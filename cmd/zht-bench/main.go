@@ -1,0 +1,214 @@
+// Command zht-bench runs the paper's micro-benchmark (§IV.A: 15-byte
+// keys, 132-byte values, all-to-all insert/lookup/remove with 1:1
+// clients and servers) against an in-process deployment.
+//
+//	zht-bench -nodes 16 -ops 2000 -replicas 2
+//	zht-bench -nodes 4 -transport tcp-cache   # real loopback TCP
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"zht/internal/core"
+	"zht/internal/loadgen"
+	"zht/internal/transport"
+)
+
+func main() {
+	var (
+		nodes      = flag.Int("nodes", 8, "instances (and concurrent clients)")
+		ops        = flag.Int("ops", 2000, "insert+lookup+remove rounds per client")
+		partitions = flag.Int("partitions", 1024, "partition count")
+		replicas   = flag.Int("replicas", 0, "replicas per partition")
+		trans      = flag.String("transport", "inproc", "inproc, tcp-cache, tcp-nocache, udp")
+		dataDir    = flag.String("data", "", "persist partitions under this directory")
+		mix        = flag.String("mix", "paper", "op mix: paper (insert/lookup/remove) or metadata (lookup-heavy with appends)")
+		dist       = flag.String("dist", "uniform", "key distribution: uniform or zipf")
+		keys       = flag.Int("keys", 100000, "keyspace size per client for -mix/-dist workloads")
+	)
+	flag.Parse()
+	cfg := core.Config{
+		NumPartitions: *partitions, Replicas: *replicas,
+		DataDir: *dataDir, RetryBase: time.Millisecond,
+	}
+	var d *core.Deployment
+	var cleanup func()
+	switch *trans {
+	case "inproc":
+		dep, _, err := core.BootstrapInproc(cfg, *nodes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d, cleanup = dep, func() { dep.Close() }
+	default:
+		dep, cl, err := bootNet(*nodes, cfg, *trans)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d, cleanup = dep, cl
+	}
+	defer cleanup()
+
+	val := make([]byte, 132)
+	var wg sync.WaitGroup
+	errCh := make(chan error, *nodes)
+	start := time.Now()
+	for ci := 0; ci < *nodes; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			c, err := d.NewClient()
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if *mix != "paper" || *dist != "uniform" {
+				if err := runGenerated(c, ci, *ops*3, *mix, *dist, *keys); err != nil {
+					errCh <- err
+				}
+				return
+			}
+			for i := 0; i < *ops; i++ {
+				k := fmt.Sprintf("c%04dk%09d", ci, i)[:15]
+				if err := c.Insert(k, val); err != nil {
+					errCh <- err
+					return
+				}
+				if _, err := c.Lookup(k); err != nil {
+					errCh <- err
+					return
+				}
+				if err := c.Remove(k); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+	el := time.Since(start)
+	close(errCh)
+	for err := range errCh {
+		log.Fatal(err)
+	}
+	total := *nodes * *ops * 3
+	fmt.Printf("transport=%s nodes=%d replicas=%d: %d ops in %s\n",
+		*trans, *nodes, *replicas, total, el.Round(time.Millisecond))
+	fmt.Printf("latency  %.3f ms/op\n", float64(el.Nanoseconds())/1e6/float64(total)*float64(*nodes))
+	fmt.Printf("throughput  %.0f ops/s\n", float64(total)/el.Seconds())
+}
+
+// runGenerated drives a loadgen workload: op mixes and key
+// distributions beyond the paper's fixed sequence.
+func runGenerated(c *core.Client, clientID, nOps int, mixName, distName string, keys int) error {
+	var m loadgen.Mix
+	switch mixName {
+	case "paper":
+		m = loadgen.PaperMicrobench()
+	case "metadata":
+		m = loadgen.MetadataHeavy()
+	default:
+		return fmt.Errorf("unknown mix %q", mixName)
+	}
+	var kd loadgen.KeyDist
+	switch distName {
+	case "uniform":
+		kd = loadgen.Uniform{Keys: keys}
+	case "zipf":
+		kd = loadgen.Zipf{Keys: keys, S: 1.3}
+	default:
+		return fmt.Errorf("unknown distribution %q", distName)
+	}
+	g, err := loadgen.New(loadgen.Options{
+		Mix: m, Dist: kd, Seed: int64(clientID) + 1,
+		KeyPrefix: fmt.Sprintf("c%04d/", clientID),
+	})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < nOps; i++ {
+		op := g.Next()
+		switch op.Kind {
+		case loadgen.OpInsert:
+			err = c.Insert(op.Key, op.Value)
+		case loadgen.OpLookup:
+			if _, lerr := c.Lookup(op.Key); lerr != nil && !errors.Is(lerr, core.ErrNotFound) {
+				err = lerr
+			}
+		case loadgen.OpRemove:
+			if rerr := c.Remove(op.Key); rerr != nil && !errors.Is(rerr, core.ErrNotFound) {
+				err = rerr
+			}
+		case loadgen.OpAppend:
+			err = c.Append(op.Key, op.Value)
+		}
+		if err != nil {
+			return fmt.Errorf("%s %s: %w", op.Kind, op.Key, err)
+		}
+	}
+	return nil
+}
+
+// bootNet mirrors the figures harness: n instances over real loopback
+// sockets.
+func bootNet(n int, cfg core.Config, kind string) (*core.Deployment, func(), error) {
+	var caller transport.Caller
+	switch kind {
+	case "tcp-cache":
+		caller = transport.NewTCPClient(transport.TCPClientOptions{ConnCache: true})
+	case "tcp-nocache":
+		caller = transport.NewTCPClient(transport.TCPClientOptions{ConnCache: false})
+	case "udp":
+		caller = transport.NewUDPClient(transport.UDPClientOptions{Timeout: 2 * time.Second})
+	default:
+		return nil, nil, fmt.Errorf("unknown transport %q", kind)
+	}
+	var lns []transport.Listener
+	var switches []*core.HandlerSwitch
+	eps := make([]core.Endpoint, n)
+	for i := range eps {
+		hs := &core.HandlerSwitch{}
+		var ln transport.Listener
+		var err error
+		if kind == "udp" {
+			ln, err = transport.ListenUDP("127.0.0.1:0", hs.Handle)
+		} else {
+			ln, err = transport.ListenTCP("127.0.0.1:0", hs.Handle, transport.EventDriven)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		lns = append(lns, ln)
+		switches = append(switches, hs)
+		eps[i] = core.Endpoint{Addr: ln.Addr(), Node: fmt.Sprintf("n%03d", i)}
+	}
+	d, err := core.Bootstrap(cfg, eps, func(addr string, h transport.Handler) (transport.Listener, error) {
+		for i, ep := range eps {
+			if ep.Addr == addr {
+				switches[i].Set(h)
+				return nopListener{addr}, nil
+			}
+		}
+		return nil, fmt.Errorf("unbound %s", addr)
+	}, caller)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, func() {
+		d.Close()
+		for _, ln := range lns {
+			ln.Close()
+		}
+		caller.Close()
+	}, nil
+}
+
+type nopListener struct{ addr string }
+
+func (l nopListener) Addr() string { return l.addr }
+func (l nopListener) Close() error { return nil }

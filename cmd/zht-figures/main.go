@@ -1,0 +1,66 @@
+// Command zht-figures regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	zht-figures [-quick] [-fig figNN|tabNN|all]
+//
+// Each series prints measured rows side by side with the paper's
+// reported numbers (see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for recorded runs).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"zht/internal/figures"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink workloads for a fast pass")
+	fig := flag.String("fig", "all", "figure/table id (fig01..fig19, tab01) or 'all'")
+	csvDir := flag.String("csv", "", "also write one CSV per series into this directory")
+	flag.Parse()
+
+	o := figures.Options{Quick: *quick}
+	emit := func(s *figures.Series) {
+		fmt.Println(s.Render())
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "csv:", err)
+				os.Exit(1)
+			}
+			path := fmt.Sprintf("%s/%s.csv", *csvDir, s.ID)
+			if err := os.WriteFile(path, []byte(s.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "csv:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	if *fig == "all" {
+		start := time.Now()
+		series, err := figures.All(o)
+		for _, s := range series {
+			emit(s)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("regenerated %d series in %s\n", len(series), time.Since(start).Round(time.Millisecond))
+		return
+	}
+	gen := figures.ByID(*fig)
+	if gen == nil {
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+	s, err := gen(o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	emit(s)
+}

@@ -1,0 +1,148 @@
+// Command zht-server runs one ZHT instance of a static deployment.
+//
+// Every server in the deployment is started with the SAME -peers list
+// (the batch scheduler's node list in the paper's static bootstrap);
+// each picks its own entry with -index. Example, two servers on one
+// machine:
+//
+//	zht-server -peers 127.0.0.1:5500,127.0.0.1:5501 -index 0 &
+//	zht-server -peers 127.0.0.1:5500,127.0.0.1:5501 -index 1 &
+//	zht-client -seed 127.0.0.1:5500 insert /file meta
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"zht/internal/core"
+	"zht/internal/ring"
+	"zht/internal/transport"
+)
+
+func main() {
+	var (
+		peers      = flag.String("peers", "", "comma-separated addresses of ALL instances (bootstrap mode)")
+		index      = flag.Int("index", 0, "this server's position in -peers")
+		joinSeed   = flag.String("join", "", "join a running deployment via this seed address (dynamic membership)")
+		joinAddr   = flag.String("addr", "", "this server's address when using -join")
+		partitions = flag.Int("partitions", 1024, "fixed partition count n (deployment-wide)")
+		replicas   = flag.Int("replicas", 2, "replicas per partition")
+		dataDir    = flag.String("data", "", "directory for NoVoHT partition logs ('' = memory only)")
+		proto      = flag.String("proto", "tcp", "transport: tcp or udp")
+		hashName   = flag.String("hash", "", "ring hash function (default lookup3)")
+	)
+	flag.Parse()
+	cfg := core.Config{
+		NumPartitions: *partitions,
+		Replicas:      *replicas,
+		DataDir:       *dataDir,
+		HashName:      *hashName,
+	}
+	if *joinSeed != "" {
+		if *joinAddr == "" {
+			log.Fatal("-join requires -addr")
+		}
+		runJoin(cfg, *joinSeed, *joinAddr, *proto)
+		return
+	}
+	addrs := strings.Split(*peers, ",")
+	if *peers == "" || *index < 0 || *index >= len(addrs) {
+		flag.Usage()
+		os.Exit(2)
+	}
+	members := make([]ring.Instance, len(addrs))
+	for i, a := range addrs {
+		members[i] = ring.Instance{
+			ID:   ring.InstanceID(fmt.Sprintf("zht-%04d", i)),
+			Addr: strings.TrimSpace(a),
+			Node: strings.TrimSpace(a),
+		}
+	}
+	table, err := ring.New(*partitions, members)
+	if err != nil {
+		log.Fatalf("membership: %v", err)
+	}
+	var caller transport.Caller
+	if *proto == "udp" {
+		caller = transport.NewUDPClient(transport.UDPClientOptions{})
+	} else {
+		caller = transport.NewTCPClient(transport.TCPClientOptions{ConnCache: true})
+	}
+	inst, err := core.NewInstance(cfg, members[*index], table, caller)
+	if err != nil {
+		log.Fatalf("instance: %v", err)
+	}
+	var ln transport.Listener
+	if *proto == "udp" {
+		ln, err = transport.ListenUDP(members[*index].Addr, inst.Handle)
+	} else {
+		ln, err = transport.ListenTCP(members[*index].Addr, inst.Handle, transport.EventDriven)
+	}
+	if err != nil {
+		log.Fatalf("listen %s: %v", members[*index].Addr, err)
+	}
+	log.Printf("zht-server %s serving %d partitions over %s (epoch %d)",
+		members[*index].ID, len(table.PartitionsOf(*index)), *proto, inst.Epoch())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down")
+	ln.Close()
+	inst.Drain()
+	if err := inst.Close(); err != nil {
+		log.Fatalf("close: %v", err)
+	}
+}
+
+// runJoin performs a dynamic join: bind the address first (peers may
+// contact the newcomer the moment the membership delta lands), then
+// run the join protocol — fetch table, migrate partitions, broadcast.
+func runJoin(cfg core.Config, seed, addr, proto string) {
+	var caller transport.Caller
+	if proto == "udp" {
+		caller = transport.NewUDPClient(transport.UDPClientOptions{})
+	} else {
+		caller = transport.NewTCPClient(transport.TCPClientOptions{ConnCache: true})
+	}
+	var hs core.HandlerSwitch
+	var ln transport.Listener
+	var err error
+	if proto == "udp" {
+		ln, err = transport.ListenUDP(addr, hs.Handle)
+	} else {
+		ln, err = transport.ListenTCP(addr, hs.Handle, transport.EventDriven)
+	}
+	if err != nil {
+		log.Fatalf("listen %s: %v", addr, err)
+	}
+	newcomer := ring.Instance{
+		ID:   ring.InstanceID("zht-join-" + addr),
+		Addr: ln.Addr(),
+		Node: addr,
+	}
+	inst, err := core.Join(cfg, newcomer, seed, caller, func(i *core.Instance) { hs.Set(i.Handle) })
+	if err != nil {
+		ln.Close()
+		log.Fatalf("join via %s: %v", seed, err)
+	}
+	t := inst.Table()
+	log.Printf("joined as %s: epoch %d, serving %d partitions",
+		inst.ID(), t.Epoch, len(t.PartitionsOf(t.IndexOf(inst.ID()))))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("departing")
+	if err := core.Depart(inst); err != nil {
+		log.Printf("planned departure failed: %v (shutting down anyway)", err)
+	}
+	ln.Close()
+	inst.Drain()
+	inst.Close()
+}

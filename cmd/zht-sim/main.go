@@ -1,0 +1,69 @@
+// Command zht-sim explores ZHT configurations on the Blue Gene/P
+// model (the role the paper's PeerSim simulator played).
+//
+//	zht-sim -nodes 1048576                 # analytic, 1M nodes
+//	zht-sim -nodes 1024 -des -seconds 0.5  # discrete-event cross-check
+//	zht-sim -sweep                         # the Figure 11 sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"zht/internal/sim"
+)
+
+func main() {
+	var (
+		nodes    = flag.Int("nodes", 8192, "physical nodes")
+		inst     = flag.Int("instances", 1, "ZHT instances per node")
+		replicas = flag.Int("replicas", 0, "replicas per partition")
+		syncRep  = flag.Bool("sync", false, "synchronous replication (ablation)")
+		des      = flag.Bool("des", false, "use the discrete-event engine (≤ ~32K instances)")
+		seconds  = flag.Float64("seconds", 0.3, "virtual seconds to simulate (DES)")
+		seed     = flag.Int64("seed", 1, "DES random seed")
+		sweep    = flag.Bool("sweep", false, "print the efficiency sweep to 1M nodes")
+	)
+	flag.Parse()
+
+	if *sweep {
+		base, err := sim.Analytic(sim.DefaultParams(2, 1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %-12s %-12s %-10s\n", "nodes", "latency(ms)", "Mops/s", "efficiency")
+		for _, n := range []int{2, 64, 1024, 8192, 65536, 1 << 20} {
+			p := sim.DefaultParams(n, 1)
+			r, err := sim.Analytic(p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-10d %-12.3f %-12.2f %.0f%%\n",
+				n, r.Latency*1e3, r.Throughput/1e6, sim.Efficiency(r, p, base.Latency)*100)
+		}
+		return
+	}
+
+	p := sim.DefaultParams(*nodes, *inst)
+	p.Replicas = *replicas
+	p.SyncReplication = *syncRep
+	var r sim.Result
+	var err error
+	engine := "analytic"
+	if *des {
+		engine = "discrete-event"
+		r, err = sim.DiscreteEvent(p, *seconds, *seed)
+	} else {
+		r, err = sim.Analytic(p)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("engine       %s\n", engine)
+	fmt.Printf("nodes        %d × %d instances\n", p.Nodes, p.InstancesPerNode)
+	fmt.Printf("latency      %.3f ms\n", r.Latency*1e3)
+	fmt.Printf("throughput   %.2f M ops/s\n", r.Throughput/1e6)
+	fmt.Printf("avg hops     %.1f\n", r.AvgHops)
+	fmt.Printf("nic util     %.0f%%\n", r.NICUtilization*100)
+}

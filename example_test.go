@@ -1,0 +1,96 @@
+package zht_test
+
+import (
+	"errors"
+	"fmt"
+
+	"zht"
+)
+
+// Example shows the library quick start: an in-process deployment and
+// the four basic operations.
+func Example() {
+	cfg := zht.Config{NumPartitions: 256, Replicas: 1}
+	d, _, err := zht.BootstrapInproc(cfg, 4)
+	if err != nil {
+		panic(err)
+	}
+	defer d.Close()
+
+	c, err := d.NewClient()
+	if err != nil {
+		panic(err)
+	}
+	c.Insert("/file", []byte("metadata"))
+	v, _ := c.Lookup("/file")
+	fmt.Println(string(v))
+	c.Remove("/file")
+	_, err = c.Lookup("/file")
+	fmt.Println(errors.Is(err, zht.ErrNotFound))
+	// Output:
+	// metadata
+	// true
+}
+
+// ExampleClient_Append shows lock-free concurrent modification: the
+// operation FusionFS uses for shared-directory updates.
+func ExampleClient_Append() {
+	d, _, err := zht.BootstrapInproc(zht.Config{NumPartitions: 64}, 2)
+	if err != nil {
+		panic(err)
+	}
+	defer d.Close()
+	c, _ := d.NewClient()
+
+	c.Append("/dir", []byte("a.txt;"))
+	c.Append("/dir", []byte("b.txt;"))
+	v, _ := c.Lookup("/dir")
+	fmt.Println(string(v))
+	// Output:
+	// a.txt;b.txt;
+}
+
+// ExampleClient_Cas shows the compare-and-swap extension used by
+// schedulers for atomic state transitions.
+func ExampleClient_Cas() {
+	d, _, err := zht.BootstrapInproc(zht.Config{NumPartitions: 64}, 2)
+	if err != nil {
+		panic(err)
+	}
+	defer d.Close()
+	c, _ := d.NewClient()
+
+	c.Cas("job", nil, []byte("queued")) // expect-absent create
+	if _, err := c.Cas("job", []byte("queued"), []byte("running")); err == nil {
+		v, _ := c.Lookup("job")
+		fmt.Println(string(v))
+	}
+	// A stale transition fails.
+	_, err = c.Cas("job", []byte("queued"), []byte("done"))
+	fmt.Println(errors.Is(err, zht.ErrCasMismatch))
+	// Output:
+	// running
+	// true
+}
+
+// ExampleDeployment_Join shows dynamic membership: a node joining a
+// live deployment takes over half the most-loaded node's partitions.
+func ExampleDeployment_Join() {
+	d, _, err := zht.BootstrapInproc(zht.Config{NumPartitions: 64}, 2)
+	if err != nil {
+		panic(err)
+	}
+	defer d.Close()
+	c, _ := d.NewClient()
+	c.Insert("survives", []byte("the move"))
+
+	if _, err := d.Join(zht.Endpoint{Addr: "node-3", Node: "rack1/node3"}); err != nil {
+		panic(err)
+	}
+	fmt.Println(d.Size())
+	v, _ := c.Lookup("survives")
+	fmt.Println(string(v))
+	// Output:
+	// 3
+	// the move
+}

@@ -1,0 +1,118 @@
+// Data-indexing example: the paper's §VI future-work idea of "using
+// ZHT to index data (not just metadata) based on its content",
+// implemented as an inverted index maintained with lock-free appends.
+//
+// Each document insert appends a posting record under every term key;
+// concurrent indexers never take a distributed lock (the same append
+// mechanism FusionFS uses for directories).
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+	"sync"
+
+	"zht"
+)
+
+// indexDoc stores the document and appends a posting per term.
+func indexDoc(c *zht.Client, id string, text string) error {
+	if err := c.Insert("doc:"+id, []byte(text)); err != nil {
+		return err
+	}
+	seen := map[string]bool{}
+	for _, term := range strings.Fields(strings.ToLower(text)) {
+		term = strings.Trim(term, ".,;:!?")
+		if term == "" || seen[term] {
+			continue
+		}
+		seen[term] = true
+		if err := c.Append("term:"+term, []byte(id+";")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// search returns the ids of documents containing every term.
+func search(c *zht.Client, terms ...string) ([]string, error) {
+	var result map[string]bool
+	for _, term := range terms {
+		postings, err := c.Lookup("term:" + strings.ToLower(term))
+		if err != nil {
+			return nil, nil // a term with no postings means no matches
+		}
+		ids := map[string]bool{}
+		for _, id := range strings.Split(string(postings), ";") {
+			if id != "" {
+				ids[id] = true
+			}
+		}
+		if result == nil {
+			result = ids
+			continue
+		}
+		for id := range result {
+			if !ids[id] {
+				delete(result, id)
+			}
+		}
+	}
+	var out []string
+	for id := range result {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func main() {
+	d, _, err := zht.BootstrapInproc(zht.Config{NumPartitions: 512, Replicas: 1}, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+
+	docs := map[string]string{
+		"sim-001": "turbulence simulation checkpoint from the climate model",
+		"sim-002": "climate model output with ocean turbulence fields",
+		"sim-003": "molecular dynamics trajectory for the protein model",
+		"sim-004": "checkpoint restart data for molecular simulation",
+	}
+
+	// Index concurrently from several "nodes" — appends interleave
+	// safely without a distributed lock.
+	var wg sync.WaitGroup
+	for id, text := range docs {
+		wg.Add(1)
+		go func(id, text string) {
+			defer wg.Done()
+			c, err := d.NewClient()
+			if err != nil {
+				log.Println(err)
+				return
+			}
+			if err := indexDoc(c, id, text); err != nil {
+				log.Printf("index %s: %v", id, err)
+			}
+		}(id, text)
+	}
+	wg.Wait()
+
+	c, _ := d.NewClient()
+	for _, q := range [][]string{
+		{"turbulence"},
+		{"climate", "model"},
+		{"molecular"},
+		{"checkpoint"},
+		{"climate", "molecular"},
+	} {
+		hits, err := search(c, q...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("search %-22v -> %v\n", q, hits)
+	}
+}

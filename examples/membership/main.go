@@ -1,0 +1,89 @@
+// Membership example: dynamic joins, a planned departure, and an
+// unplanned failure with replica failover — all under live client
+// traffic (§III.C, §III.H).
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"zht"
+)
+
+func main() {
+	cfg := zht.Config{NumPartitions: 1024, Replicas: 2}
+	d, reg, err := zht.BootstrapInproc(cfg, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+	c, err := d.NewClient()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Seed data.
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		if err := c.Insert(fmt.Sprintf("key-%06d", i), []byte(fmt.Sprintf("value-%06d", i))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	d.Drain()
+	fmt.Printf("bootstrap: %d instances, epoch %d, %d keys\n", d.Size(), c.Table().Epoch, keys)
+
+	// Background traffic while membership changes.
+	var stop atomic.Bool
+	var bgOps, bgErrs atomic.Int64
+	go func() {
+		lc, _ := d.NewClient()
+		for i := 0; !stop.Load(); i++ {
+			if err := lc.Insert(fmt.Sprintf("live-%08d", i), []byte("x")); err != nil {
+				bgErrs.Add(1)
+			}
+			bgOps.Add(1)
+		}
+	}()
+
+	// Dynamic join: the newcomer relieves the most-loaded node of
+	// half its partitions — whole-partition moves, no rehashing.
+	start := time.Now()
+	joined, err := d.Join(zht.Endpoint{Addr: "zht-join-a", Node: "node-new-a"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("join: %s in %s, now %d instances, epoch %d, newcomer holds %d keys\n",
+		joined.ID(), time.Since(start).Round(time.Millisecond), d.Size(),
+		joined.Epoch(), joined.LocalKeys())
+
+	// Planned departure: partitions migrate to ring neighbours first.
+	start = time.Now()
+	if err := d.Depart(1); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("planned departure in %s, now %d instances\n",
+		time.Since(start).Round(time.Millisecond), d.Size())
+
+	// Unplanned failure: kill an instance; clients detect it, report
+	// to a manager, and reads fail over to replicas.
+	victim := d.Instance(0)
+	reg.SetDown(victim.Addr(), true)
+	fmt.Printf("killed %s without warning\n", victim.ID())
+
+	ok := 0
+	for i := 0; i < keys; i += 100 {
+		v, err := c.Lookup(fmt.Sprintf("key-%06d", i))
+		if err == nil && string(v) == fmt.Sprintf("value-%06d", i) {
+			ok++
+		}
+	}
+	fmt.Printf("post-failure sample reads: %d/%d served (replicas answered for the dead node)\n", ok, keys/100)
+
+	stop.Store(true)
+	time.Sleep(10 * time.Millisecond)
+	fmt.Printf("background traffic during all of this: %d ops, %d errors\n", bgOps.Load(), bgErrs.Load())
+	t := c.Table()
+	fmt.Printf("final membership epoch %d with %d alive instances\n", t.Epoch, t.AliveCount())
+}

@@ -1,0 +1,3 @@
+module zht
+
+go 1.22

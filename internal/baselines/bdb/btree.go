@@ -1,0 +1,470 @@
+// Package bdb implements a BerkeleyDB-style on-disk B-tree key/value
+// store: the second baseline NoVoHT is compared against in Figure 6.
+//
+// The structural properties the comparison relies on:
+//
+//   - keys and values live in fixed-size pages on disk; a bounded LRU
+//     page cache keeps the working set small (BerkeleyDB's memory
+//     advantage in the paper), so point operations pay page I/O when
+//     the tree outgrows the cache;
+//   - lookups descend O(log_B n) internal pages to a leaf;
+//   - inserts split full leaves upward.
+//
+// Deletions remove keys from leaves without rebalancing (pages may
+// underflow but the tree stays correct), which matches how BerkeleyDB
+// behaves without explicit compaction.
+package bdb
+
+import (
+	"bytes"
+	"container/list"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// PageSize is the fixed on-disk page size.
+const PageSize = 4096
+
+// MaxKeyLen and MaxValueLen keep any single entry well under a page.
+const (
+	MaxKeyLen   = 512
+	MaxValueLen = 1536
+)
+
+// Errors returned by the store.
+var (
+	ErrClosed   = errors.New("bdb: store is closed")
+	ErrTooLarge = errors.New("bdb: key or value exceeds limit")
+)
+
+const (
+	pageLeaf     = 1
+	pageInternal = 2
+)
+
+// page is the in-memory form of one on-disk page.
+type page struct {
+	id    uint32
+	typ   byte
+	keys  [][]byte
+	vals  [][]byte // leaf only
+	child []uint32 // internal only; len = len(keys)+1
+	dirty bool
+}
+
+// DB is an on-disk B-tree.
+type DB struct {
+	mu        sync.Mutex
+	f         *os.File
+	root      uint32
+	nextPage  uint32
+	cache     map[uint32]*list.Element
+	lru       *list.List // of *page; front = most recent
+	cacheCap  int
+	closed    bool
+	pageReads uint64 // cache misses → disk reads
+}
+
+// Open creates or opens a B-tree at path. cachePages bounds the page
+// cache (0 = default 64 pages ≈ 256 KiB, deliberately small: the
+// paper's BerkeleyDB trades performance for memory).
+func Open(path string, cachePages int) (*DB, error) {
+	if cachePages <= 0 {
+		cachePages = 64
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{
+		f: f, cache: make(map[uint32]*list.Element),
+		lru: list.New(), cacheCap: cachePages,
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() == 0 {
+		// Page 0 is the meta page; page 1 the empty root leaf.
+		db.root = 1
+		db.nextPage = 2
+		rootPage := &page{id: 1, typ: pageLeaf, dirty: true}
+		if err := db.writePage(rootPage); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := db.writeMeta(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	} else {
+		var meta [PageSize]byte
+		if _, err := f.ReadAt(meta[:], 0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if string(meta[:4]) != "BDBT" {
+			f.Close()
+			return nil, errors.New("bdb: bad magic")
+		}
+		db.root = binary.LittleEndian.Uint32(meta[4:])
+		db.nextPage = binary.LittleEndian.Uint32(meta[8:])
+	}
+	return db, nil
+}
+
+func (db *DB) writeMeta() error {
+	var meta [PageSize]byte
+	copy(meta[:4], "BDBT")
+	binary.LittleEndian.PutUint32(meta[4:], db.root)
+	binary.LittleEndian.PutUint32(meta[8:], db.nextPage)
+	_, err := db.f.WriteAt(meta[:], 0)
+	return err
+}
+
+// encode serializes a page into a PageSize buffer.
+func (p *page) encode() ([]byte, error) {
+	buf := make([]byte, PageSize)
+	buf[0] = p.typ
+	binary.LittleEndian.PutUint16(buf[1:], uint16(len(p.keys)))
+	off := 3
+	if p.typ == pageInternal {
+		if len(p.child) != len(p.keys)+1 {
+			return nil, fmt.Errorf("bdb: internal page %d has %d keys / %d children", p.id, len(p.keys), len(p.child))
+		}
+		binary.LittleEndian.PutUint32(buf[off:], p.child[0])
+		off += 4
+	}
+	for i, k := range p.keys {
+		if off+4+len(k) > PageSize {
+			return nil, fmt.Errorf("bdb: page %d overflow", p.id)
+		}
+		binary.LittleEndian.PutUint16(buf[off:], uint16(len(k)))
+		off += 2
+		if p.typ == pageLeaf {
+			binary.LittleEndian.PutUint16(buf[off:], uint16(len(p.vals[i])))
+			off += 2
+			copy(buf[off:], k)
+			off += len(k)
+			if off+len(p.vals[i]) > PageSize {
+				return nil, fmt.Errorf("bdb: page %d overflow", p.id)
+			}
+			copy(buf[off:], p.vals[i])
+			off += len(p.vals[i])
+		} else {
+			copy(buf[off:], k)
+			off += len(k)
+			if off+4 > PageSize {
+				return nil, fmt.Errorf("bdb: page %d overflow", p.id)
+			}
+			binary.LittleEndian.PutUint32(buf[off:], p.child[i+1])
+			off += 4
+		}
+	}
+	return buf, nil
+}
+
+// encodedSize estimates a page's encoded size.
+func (p *page) encodedSize() int {
+	n := 3
+	if p.typ == pageInternal {
+		n += 4
+	}
+	for i, k := range p.keys {
+		n += 2 + len(k)
+		if p.typ == pageLeaf {
+			n += 2 + len(p.vals[i])
+		} else {
+			n += 4
+		}
+	}
+	return n
+}
+
+func decodePage(id uint32, buf []byte) (*page, error) {
+	p := &page{id: id, typ: buf[0]}
+	if p.typ != pageLeaf && p.typ != pageInternal {
+		return nil, fmt.Errorf("bdb: page %d has bad type %d", id, buf[0])
+	}
+	n := int(binary.LittleEndian.Uint16(buf[1:]))
+	off := 3
+	if p.typ == pageInternal {
+		p.child = append(p.child, binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+	}
+	for i := 0; i < n; i++ {
+		klen := int(binary.LittleEndian.Uint16(buf[off:]))
+		off += 2
+		if p.typ == pageLeaf {
+			vlen := int(binary.LittleEndian.Uint16(buf[off:]))
+			off += 2
+			p.keys = append(p.keys, append([]byte(nil), buf[off:off+klen]...))
+			off += klen
+			p.vals = append(p.vals, append([]byte(nil), buf[off:off+vlen]...))
+			off += vlen
+		} else {
+			p.keys = append(p.keys, append([]byte(nil), buf[off:off+klen]...))
+			off += klen
+			p.child = append(p.child, binary.LittleEndian.Uint32(buf[off:]))
+			off += 4
+		}
+	}
+	return p, nil
+}
+
+// getPage fetches a page through the cache.
+func (db *DB) getPage(id uint32) (*page, error) {
+	if el, ok := db.cache[id]; ok {
+		db.lru.MoveToFront(el)
+		return el.Value.(*page), nil
+	}
+	buf := make([]byte, PageSize)
+	if _, err := db.f.ReadAt(buf, int64(id)*PageSize); err != nil {
+		return nil, fmt.Errorf("bdb: read page %d: %w", id, err)
+	}
+	db.pageReads++
+	p, err := decodePage(id, buf)
+	if err != nil {
+		return nil, err
+	}
+	db.insertCache(p)
+	return p, nil
+}
+
+func (db *DB) insertCache(p *page) {
+	db.cache[p.id] = db.lru.PushFront(p)
+	for db.lru.Len() > db.cacheCap {
+		el := db.lru.Back()
+		victim := el.Value.(*page)
+		if victim.dirty {
+			if err := db.flushPage(victim); err != nil {
+				// Keep the dirty page; caller sees the error on Sync.
+				return
+			}
+		}
+		db.lru.Remove(el)
+		delete(db.cache, victim.id)
+	}
+}
+
+func (db *DB) flushPage(p *page) error {
+	buf, err := p.encode()
+	if err != nil {
+		return err
+	}
+	if _, err := db.f.WriteAt(buf, int64(p.id)*PageSize); err != nil {
+		return err
+	}
+	p.dirty = false
+	return nil
+}
+
+// writePage writes a page immediately and caches it.
+func (db *DB) writePage(p *page) error {
+	if err := db.flushPage(p); err != nil {
+		return err
+	}
+	if _, ok := db.cache[p.id]; !ok {
+		db.insertCache(p)
+	}
+	return nil
+}
+
+func (db *DB) allocPage(typ byte) *page {
+	p := &page{id: db.nextPage, typ: typ, dirty: true}
+	db.nextPage++
+	db.insertCache(p)
+	return p
+}
+
+// Get returns the value stored under key.
+func (db *DB) Get(key []byte) ([]byte, bool, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, false, ErrClosed
+	}
+	p, err := db.getPage(db.root)
+	if err != nil {
+		return nil, false, err
+	}
+	for p.typ == pageInternal {
+		i := sort.Search(len(p.keys), func(i int) bool { return bytes.Compare(p.keys[i], key) > 0 })
+		if p, err = db.getPage(p.child[i]); err != nil {
+			return nil, false, err
+		}
+	}
+	i := sort.Search(len(p.keys), func(i int) bool { return bytes.Compare(p.keys[i], key) >= 0 })
+	if i < len(p.keys) && bytes.Equal(p.keys[i], key) {
+		return append([]byte(nil), p.vals[i]...), true, nil
+	}
+	return nil, false, nil
+}
+
+// Set stores val under key.
+func (db *DB) Set(key, val []byte) error {
+	if len(key) > MaxKeyLen || len(val) > MaxValueLen {
+		return ErrTooLarge
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	// Descend, remembering the path for splits.
+	type step struct {
+		p   *page
+		idx int
+	}
+	var path []step
+	p, err := db.getPage(db.root)
+	if err != nil {
+		return err
+	}
+	for p.typ == pageInternal {
+		i := sort.Search(len(p.keys), func(i int) bool { return bytes.Compare(p.keys[i], key) > 0 })
+		path = append(path, step{p, i})
+		if p, err = db.getPage(p.child[i]); err != nil {
+			return err
+		}
+	}
+	i := sort.Search(len(p.keys), func(i int) bool { return bytes.Compare(p.keys[i], key) >= 0 })
+	if i < len(p.keys) && bytes.Equal(p.keys[i], key) {
+		p.vals[i] = append([]byte(nil), val...)
+	} else {
+		p.keys = append(p.keys, nil)
+		copy(p.keys[i+1:], p.keys[i:])
+		p.keys[i] = append([]byte(nil), key...)
+		p.vals = append(p.vals, nil)
+		copy(p.vals[i+1:], p.vals[i:])
+		p.vals[i] = append([]byte(nil), val...)
+	}
+	p.dirty = true
+
+	// Split upward while pages overflow.
+	for p.encodedSize() > PageSize {
+		mid := len(p.keys) / 2
+		var sep []byte
+		right := db.allocPage(p.typ)
+		if p.typ == pageLeaf {
+			sep = append([]byte(nil), p.keys[mid]...)
+			right.keys = append(right.keys, p.keys[mid:]...)
+			right.vals = append(right.vals, p.vals[mid:]...)
+			p.keys = p.keys[:mid]
+			p.vals = p.vals[:mid]
+		} else {
+			sep = append([]byte(nil), p.keys[mid]...)
+			right.keys = append(right.keys, p.keys[mid+1:]...)
+			right.child = append(right.child, p.child[mid+1:]...)
+			p.keys = p.keys[:mid]
+			p.child = p.child[:mid+1]
+		}
+		p.dirty = true
+		right.dirty = true
+
+		if len(path) == 0 {
+			// Root split: grow the tree.
+			newRoot := db.allocPage(pageInternal)
+			newRoot.keys = [][]byte{sep}
+			newRoot.child = []uint32{p.id, right.id}
+			db.root = newRoot.id
+			if err := db.writeMeta(); err != nil {
+				return err
+			}
+			break
+		}
+		parent := path[len(path)-1]
+		path = path[:len(path)-1]
+		pp, idx := parent.p, parent.idx
+		pp.keys = append(pp.keys, nil)
+		copy(pp.keys[idx+1:], pp.keys[idx:])
+		pp.keys[idx] = sep
+		pp.child = append(pp.child, 0)
+		copy(pp.child[idx+2:], pp.child[idx+1:])
+		pp.child[idx+1] = right.id
+		pp.dirty = true
+		p = pp
+	}
+	return nil
+}
+
+// Delete removes key, reporting whether it existed. Leaves may
+// underflow (no rebalancing).
+func (db *DB) Delete(key []byte) (bool, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return false, ErrClosed
+	}
+	p, err := db.getPage(db.root)
+	if err != nil {
+		return false, err
+	}
+	for p.typ == pageInternal {
+		i := sort.Search(len(p.keys), func(i int) bool { return bytes.Compare(p.keys[i], key) > 0 })
+		if p, err = db.getPage(p.child[i]); err != nil {
+			return false, err
+		}
+	}
+	i := sort.Search(len(p.keys), func(i int) bool { return bytes.Compare(p.keys[i], key) >= 0 })
+	if i >= len(p.keys) || !bytes.Equal(p.keys[i], key) {
+		return false, nil
+	}
+	p.keys = append(p.keys[:i], p.keys[i+1:]...)
+	p.vals = append(p.vals[:i], p.vals[i+1:]...)
+	p.dirty = true
+	return true, nil
+}
+
+// Sync flushes all dirty pages and the meta page.
+func (db *DB) Sync() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return db.syncLocked()
+}
+
+func (db *DB) syncLocked() error {
+	for el := db.lru.Front(); el != nil; el = el.Next() {
+		p := el.Value.(*page)
+		if p.dirty {
+			if err := db.flushPage(p); err != nil {
+				return err
+			}
+		}
+	}
+	if err := db.writeMeta(); err != nil {
+		return err
+	}
+	return db.f.Sync()
+}
+
+// PageReads reports disk page reads (cache misses).
+func (db *DB) PageReads() uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.pageReads
+}
+
+// Close flushes and closes the store.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	if err := db.syncLocked(); err != nil {
+		db.f.Close()
+		db.closed = true
+		return err
+	}
+	db.closed = true
+	return db.f.Close()
+}

@@ -1,0 +1,219 @@
+package bdb
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func openTemp(t *testing.T, cachePages int) *DB {
+	t.Helper()
+	db, err := Open(filepath.Join(t.TempDir(), "bdb.db"), cachePages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestSetGetDelete(t *testing.T) {
+	db := openTemp(t, 0)
+	if err := db.Set([]byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := db.Get([]byte("a"))
+	if err != nil || !ok || string(v) != "1" {
+		t.Fatalf("Get = %q %v %v", v, ok, err)
+	}
+	if err := db.Set([]byte("a"), []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := db.Get([]byte("a")); string(v) != "2" {
+		t.Errorf("overwrite = %q", v)
+	}
+	deleted, err := db.Delete([]byte("a"))
+	if err != nil || !deleted {
+		t.Fatalf("Delete = %v %v", deleted, err)
+	}
+	if _, ok, _ := db.Get([]byte("a")); ok {
+		t.Error("key survives delete")
+	}
+	if deleted, _ := db.Delete([]byte("a")); deleted {
+		t.Error("double delete reports true")
+	}
+}
+
+func TestSplitsManyKeysSorted(t *testing.T) {
+	db := openTemp(t, 16)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%08d", i))
+		if err := db.Set(k, []byte(fmt.Sprintf("val-%08d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i += 7 {
+		k := []byte(fmt.Sprintf("key-%08d", i))
+		v, ok, err := db.Get(k)
+		if err != nil || !ok || string(v) != fmt.Sprintf("val-%08d", i) {
+			t.Fatalf("%s = %q %v %v", k, v, ok, err)
+		}
+	}
+}
+
+func TestSplitsRandomOrder(t *testing.T) {
+	db := openTemp(t, 16)
+	const n = 5000
+	perm := rand.New(rand.NewSource(42)).Perm(n)
+	for _, i := range perm {
+		k := []byte(fmt.Sprintf("key-%08d", i))
+		if err := db.Set(k, []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%08d", i))
+		v, ok, err := db.Get(k)
+		if err != nil || !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("%s = %q %v %v", k, v, ok, err)
+		}
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "persist.db")
+	db, err := Open(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := db.Set([]byte(fmt.Sprintf("k%06d", i)), []byte(fmt.Sprintf("v%06d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Delete([]byte("k000100"))
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	for i := 0; i < n; i += 13 {
+		if i == 100 {
+			continue
+		}
+		k := []byte(fmt.Sprintf("k%06d", i))
+		v, ok, err := db2.Get(k)
+		if err != nil || !ok || string(v) != fmt.Sprintf("v%06d", i) {
+			t.Fatalf("%s after reopen = %q %v %v", k, v, ok, err)
+		}
+	}
+	if _, ok, _ := db2.Get([]byte("k000100")); ok {
+		t.Error("deleted key resurrected after reopen")
+	}
+}
+
+func TestPageCacheMissesHitDisk(t *testing.T) {
+	db := openTemp(t, 4) // tiny cache: the tree won't fit
+	const n = 3000
+	for i := 0; i < n; i++ {
+		db.Set([]byte(fmt.Sprintf("k%06d", i)), bytes.Repeat([]byte{'v'}, 128))
+	}
+	before := db.PageReads()
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		db.Get([]byte(fmt.Sprintf("k%06d", r.Intn(n))))
+	}
+	if got := db.PageReads() - before; got < 100 {
+		t.Errorf("200 random gets caused only %d page reads with a 4-page cache; disk-resident design broken", got)
+	}
+}
+
+func TestSizeLimits(t *testing.T) {
+	db := openTemp(t, 0)
+	if err := db.Set(bytes.Repeat([]byte{'k'}, MaxKeyLen+1), nil); err != ErrTooLarge {
+		t.Errorf("oversized key: %v", err)
+	}
+	if err := db.Set([]byte("k"), bytes.Repeat([]byte{'v'}, MaxValueLen+1)); err != ErrTooLarge {
+		t.Errorf("oversized value: %v", err)
+	}
+	// Max-size entries are storable and splittable.
+	for i := 0; i < 20; i++ {
+		k := append(bytes.Repeat([]byte{'k'}, MaxKeyLen-2), byte('0'+i/10), byte('0'+i%10))
+		if err := db.Set(k, bytes.Repeat([]byte{'v'}, MaxValueLen)); err != nil {
+			t.Fatalf("entry %d: %v", i, err)
+		}
+	}
+}
+
+func TestEmptyKeyAndValue(t *testing.T) {
+	db := openTemp(t, 0)
+	if err := db.Set([]byte{}, []byte{}); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := db.Get([]byte{})
+	if err != nil || !ok || len(v) != 0 {
+		t.Errorf("empty entry = %q %v %v", v, ok, err)
+	}
+}
+
+func TestClosedErrors(t *testing.T) {
+	db := openTemp(t, 0)
+	db.Close()
+	if err := db.Set([]byte("k"), nil); err != ErrClosed {
+		t.Errorf("Set after close = %v", err)
+	}
+	if _, _, err := db.Get([]byte("k")); err != ErrClosed {
+		t.Errorf("Get after close = %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Errorf("double close = %v", err)
+	}
+}
+
+func TestPropertyAgainstMap(t *testing.T) {
+	db := openTemp(t, 8)
+	model := map[string][]byte{}
+	err := quick.Check(func(kind uint8, key uint16, val []byte) bool {
+		if len(val) > MaxValueLen {
+			val = val[:MaxValueLen]
+		}
+		k := []byte(fmt.Sprintf("key-%05d", key%512))
+		switch kind % 3 {
+		case 0:
+			if db.Set(k, val) != nil {
+				return false
+			}
+			model[string(k)] = append([]byte{}, val...)
+		case 1:
+			deleted, err := db.Delete(k)
+			if err != nil {
+				return false
+			}
+			_, inModel := model[string(k)]
+			if deleted != inModel {
+				return false
+			}
+			delete(model, string(k))
+		case 2:
+			v, ok, err := db.Get(k)
+			if err != nil {
+				return false
+			}
+			mv, mok := model[string(k)]
+			if ok != mok || !bytes.Equal(v, mv) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Error(err)
+	}
+}

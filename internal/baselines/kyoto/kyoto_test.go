@@ -1,0 +1,179 @@
+package kyoto
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func openTemp(t *testing.T, buckets int) *DB {
+	t.Helper()
+	db, err := Open(filepath.Join(t.TempDir(), "kyoto.db"), buckets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestSetGetDelete(t *testing.T) {
+	db := openTemp(t, 64)
+	if err := db.Set("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := db.Get("a")
+	if err != nil || !ok || string(v) != "1" {
+		t.Fatalf("Get = %q %v %v", v, ok, err)
+	}
+	if err := db.Set("a", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := db.Get("a"); string(v) != "2" {
+		t.Errorf("newest version not returned: %q", v)
+	}
+	if err := db.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := db.Get("a"); ok {
+		t.Error("tombstone not honored")
+	}
+	// Re-insert after delete works.
+	db.Set("a", []byte("3"))
+	if v, ok, _ := db.Get("a"); !ok || string(v) != "3" {
+		t.Errorf("reinsert = %q %v", v, ok)
+	}
+}
+
+func TestMissingKey(t *testing.T) {
+	db := openTemp(t, 64)
+	if _, ok, err := db.Get("nope"); ok || err != nil {
+		t.Errorf("Get(missing) = %v %v", ok, err)
+	}
+}
+
+func TestBucketCollisions(t *testing.T) {
+	// One bucket: every key chains; all must remain retrievable.
+	db := openTemp(t, 1)
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := db.Set(fmt.Sprintf("k%03d", i), []byte(fmt.Sprintf("v%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		v, ok, err := db.Get(fmt.Sprintf("k%03d", i))
+		if err != nil || !ok || string(v) != fmt.Sprintf("v%03d", i) {
+			t.Fatalf("k%03d = %q %v %v", i, v, ok, err)
+		}
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "reopen.db")
+	db, err := Open(path, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		db.Set(fmt.Sprintf("k%03d", i), []byte("v"))
+	}
+	db.Delete("k050")
+	db.Close()
+	db2, err := Open(path, 0) // bucket count read from header
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.nBuckets != 128 {
+		t.Errorf("bucket count after reopen = %d", db2.nBuckets)
+	}
+	if v, ok, _ := db2.Get("k001"); !ok || string(v) != "v" {
+		t.Errorf("k001 = %q %v", v, ok)
+	}
+	if _, ok, _ := db2.Get("k050"); ok {
+		t.Error("tombstone lost on reopen")
+	}
+	// Writes after reopen don't corrupt chains.
+	if err := db2.Set("new", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := db2.Get("new"); !ok || string(v) != "x" {
+		t.Errorf("post-reopen write = %q %v", v, ok)
+	}
+}
+
+func TestEveryLookupHitsDisk(t *testing.T) {
+	db := openTemp(t, 64)
+	db.Set("k", []byte("v"))
+	before := db.Reads()
+	for i := 0; i < 10; i++ {
+		db.Get("k")
+	}
+	if got := db.Reads() - before; got < 30 {
+		t.Errorf("10 lookups performed %d positioned reads; disk-resident design requires >= 3 each", got)
+	}
+}
+
+func TestClosedErrors(t *testing.T) {
+	db := openTemp(t, 4)
+	db.Close()
+	if err := db.Set("k", nil); err != ErrClosed {
+		t.Errorf("Set after close = %v", err)
+	}
+	if _, _, err := db.Get("k"); err != ErrClosed {
+		t.Errorf("Get after close = %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Errorf("double close = %v", err)
+	}
+}
+
+func TestRejectsForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.db")
+	if err := writeFile(path, []byte("this is not a kyoto file....")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, 16); err == nil {
+		t.Error("garbage file opened")
+	}
+}
+
+func TestPropertyAgainstMap(t *testing.T) {
+	db := openTemp(t, 8)
+	model := map[string][]byte{}
+	err := quick.Check(func(kind uint8, key uint8, val []byte) bool {
+		k := fmt.Sprintf("k%d", key%32)
+		switch kind % 3 {
+		case 0:
+			if db.Set(k, val) != nil {
+				return false
+			}
+			model[k] = append([]byte{}, val...)
+		case 1:
+			if db.Delete(k) != nil {
+				return false
+			}
+			delete(model, k)
+		case 2:
+			v, ok, err := db.Get(k)
+			if err != nil {
+				return false
+			}
+			mv, mok := model[k]
+			if ok != mok || !bytes.Equal(v, mv) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func writeFile(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644)
+}

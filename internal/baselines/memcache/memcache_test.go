@@ -1,0 +1,180 @@
+package memcache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"zht/internal/transport"
+)
+
+func newCluster(t *testing.T, n int, memCap int64) (*Client, []*Server) {
+	t.Helper()
+	reg := transport.NewRegistry()
+	var addrs []string
+	var servers []*Server
+	for i := 0; i < n; i++ {
+		srv := NewServer(memCap)
+		addr := fmt.Sprintf("mc-%d", i)
+		if _, err := reg.Listen(addr, srv.Handle); err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, addr)
+		servers = append(servers, srv)
+	}
+	c, err := NewClient(addrs, reg.NewClient())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, servers
+}
+
+func TestSetGetDelete(t *testing.T) {
+	c, _ := newCluster(t, 4, 0)
+	if err := c.Set("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Get("k")
+	if err != nil || string(v) != "v" {
+		t.Fatalf("Get = %q %v", v, err)
+	}
+	if err := c.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("get after delete: %v", err)
+	}
+	if err := c.Delete("k"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete: %v", err)
+	}
+}
+
+func TestShardingSpreadsLoad(t *testing.T) {
+	c, servers := newCluster(t, 4, 0)
+	for i := 0; i < 1000; i++ {
+		if err := c.Set(fmt.Sprintf("key-%04d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, s := range servers {
+		if st := s.Stats(); st.Items == 0 {
+			t.Errorf("server %d received no items", i)
+		}
+	}
+}
+
+func TestSizeLimits(t *testing.T) {
+	c, _ := newCluster(t, 1, 0)
+	longKey := string(bytes.Repeat([]byte{'k'}, MaxKeyLen+1))
+	if err := c.Set(longKey, []byte("v")); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized key: %v", err)
+	}
+	bigVal := bytes.Repeat([]byte{'v'}, MaxValueLen+1)
+	if err := c.Set("k", bigVal); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized value: %v", err)
+	}
+	// Boundary sizes are accepted.
+	okKey := string(bytes.Repeat([]byte{'k'}, MaxKeyLen))
+	if err := c.Set(okKey, bytes.Repeat([]byte{'v'}, 1024)); err != nil {
+		t.Errorf("boundary key rejected: %v", err)
+	}
+}
+
+func TestLRUEvictionUnderMemoryPressure(t *testing.T) {
+	c, servers := newCluster(t, 1, 10*1024)
+	val := bytes.Repeat([]byte{'v'}, 1024)
+	for i := 0; i < 100; i++ {
+		if err := c.Set(fmt.Sprintf("key-%04d", i), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := servers[0].Stats()
+	if st.Bytes > 10*1024 {
+		t.Errorf("memory use %d exceeds cap", st.Bytes)
+	}
+	if st.Evicted == 0 {
+		t.Error("no evictions under pressure")
+	}
+	// Recent keys survive; the oldest were evicted.
+	if _, err := c.Get("key-0099"); err != nil {
+		t.Errorf("most recent key evicted: %v", err)
+	}
+	if _, err := c.Get("key-0000"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("oldest key survived a full wrap: %v", err)
+	}
+}
+
+func TestLRUTouchOnGet(t *testing.T) {
+	c, _ := newCluster(t, 1, 3*1100)
+	val := bytes.Repeat([]byte{'v'}, 1024)
+	c.Set("a", val)
+	c.Set("b", val)
+	c.Set("c", val)
+	// Touch "a" so "b" becomes the LRU victim.
+	if _, err := c.Get("a"); err != nil {
+		t.Fatal(err)
+	}
+	c.Set("d", val)
+	if _, err := c.Get("a"); err != nil {
+		t.Errorf("recently used key evicted: %v", err)
+	}
+	if _, err := c.Get("b"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("LRU victim survived: %v", err)
+	}
+}
+
+func TestOverwriteAdjustsMemory(t *testing.T) {
+	c, servers := newCluster(t, 1, 0)
+	c.Set("k", bytes.Repeat([]byte{'v'}, 1000))
+	c.Set("k", []byte("small"))
+	st := servers[0].Stats()
+	if st.Items != 1 {
+		t.Errorf("items = %d", st.Items)
+	}
+	if st.Bytes != int64(len("k")+len("small")) {
+		t.Errorf("bytes = %d after shrink", st.Bytes)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c, _ := newCluster(t, 2, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("w%d-%d", w, i)
+				if err := c.Set(k, []byte(k)); err != nil {
+					t.Error(err)
+					return
+				}
+				if v, err := c.Get(k); err != nil || string(v) != k {
+					t.Errorf("%s = %q %v", k, v, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestNoClientWithoutServers(t *testing.T) {
+	reg := transport.NewRegistry()
+	if _, err := NewClient(nil, reg.NewClient()); err == nil {
+		t.Error("client with no servers created")
+	}
+}
+
+func TestHitMissCounters(t *testing.T) {
+	c, servers := newCluster(t, 1, 0)
+	c.Set("k", []byte("v"))
+	c.Get("k")
+	c.Get("missing")
+	st := servers[0].Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("hits=%d misses=%d", st.Hits, st.Misses)
+	}
+}

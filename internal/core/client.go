@@ -1,0 +1,412 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"zht/internal/hashing"
+	"zht/internal/ring"
+	"zht/internal/transport"
+	"zht/internal/wire"
+)
+
+// Client is a ZHT client: it holds the complete membership table and
+// routes each operation directly to the owning instance (zero hops).
+// The table refreshes lazily — only when a server answers
+// StatusWrongOwner with a newer table (§III.C "Client Side State") —
+// and the client fails over to replicas when it detects a dead
+// primary, reporting the failure to a manager (§III.H).
+//
+// A Client is safe for concurrent use.
+type Client struct {
+	cfg    Config
+	caller transport.Caller
+	hashf  hashing.Func
+
+	mu    sync.RWMutex
+	table *ring.Table
+	// shared, when non-nil, is a co-located instance whose table
+	// this client reads instead of its own copy (§III.C 1:1
+	// deployment).
+	shared *Instance
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// Errors returned by client operations.
+var (
+	// ErrNotFound reports a lookup/remove/append on an absent key.
+	ErrNotFound = errors.New("zht: key not found")
+	// ErrExists reports a conditional insert on a present key.
+	ErrExists = errors.New("zht: key already exists")
+	// ErrCasMismatch reports a failed compare-and-swap.
+	ErrCasMismatch = errors.New("zht: cas mismatch")
+	// ErrUnavailable reports that the owning instance (and its
+	// replicas, if any) could not be reached.
+	ErrUnavailable = errors.New("zht: partition unavailable")
+)
+
+// routeAttempts bounds how many times one operation may re-route
+// (table refresh, redirect, failover) before giving up.
+const routeAttempts = 8
+
+// NewClient creates a client from a bootstrap membership table.
+func NewClient(cfg Config, table *ring.Table, caller transport.Caller) (*Client, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	return &Client{
+		cfg:    cfg,
+		caller: caller,
+		hashf:  cfg.hash(),
+		table:  table.Clone(),
+		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
+	}, nil
+}
+
+// NewLocalClient creates a client that shares the membership table of
+// a co-located instance instead of maintaining its own copy — the
+// paper's 1:1 deployment optimization (§III.C: "the client could
+// share the membership table with a corresponding server on the same
+// physical node, to reduce the number of membership tables that need
+// to be synchronized"). The client sees the instance's table updates
+// immediately; its own lazy refreshes are no-ops against the shared
+// view (the instance's broadcasts are authoritative).
+func NewLocalClient(in *Instance, caller transport.Caller) (*Client, error) {
+	cfg := in.cfg
+	c, err := NewClient(cfg, in.Table(), caller)
+	if err != nil {
+		return nil, err
+	}
+	c.shared = in
+	return c, nil
+}
+
+// NewClientFromSeed creates a client by fetching the membership table
+// from any live instance.
+func NewClientFromSeed(cfg Config, seedAddr string, caller transport.Caller) (*Client, error) {
+	resp, err := caller.Call(seedAddr, &wire.Request{Op: wire.OpMembership})
+	if err != nil {
+		return nil, fmt.Errorf("zht: fetch membership from %s: %w", seedAddr, err)
+	}
+	t, err := ring.DecodeTable(resp.Table)
+	if err != nil {
+		return nil, fmt.Errorf("zht: bad membership table from seed: %w", err)
+	}
+	// The table is authoritative for the partition count; a client
+	// misconfigured with a different n would otherwise be rejected
+	// for no reason (routing always uses the table's value).
+	cfg.NumPartitions = t.NumPartitions
+	return NewClient(cfg, t, caller)
+}
+
+// snapshot returns the routing table to use for one operation: the
+// co-located instance's published table for shared clients, the
+// client's own copy otherwise. The result must not be modified.
+func (c *Client) snapshot() *ring.Table {
+	if c.shared != nil {
+		return c.shared.tableRef()
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.table
+}
+
+// Table returns a snapshot of the client's current membership table.
+func (c *Client) Table() *ring.Table {
+	return c.snapshot().Clone()
+}
+
+// Insert stores val under key (unconditional).
+func (c *Client) Insert(key string, val []byte) error {
+	_, err := c.do(&wire.Request{Op: wire.OpInsert, Key: key, Value: val})
+	return err
+}
+
+// InsertIfAbsent stores val only when key is absent.
+func (c *Client) InsertIfAbsent(key string, val []byte) error {
+	_, err := c.do(&wire.Request{Op: wire.OpInsert, Key: key, Value: val, Flags: wire.FlagIfAbsent})
+	return err
+}
+
+// Lookup returns the value stored under key.
+func (c *Client) Lookup(key string) ([]byte, error) {
+	resp, err := c.do(&wire.Request{Op: wire.OpLookup, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Value, nil
+}
+
+// Remove deletes key.
+func (c *Client) Remove(key string) error {
+	_, err := c.do(&wire.Request{Op: wire.OpRemove, Key: key})
+	return err
+}
+
+// Append concatenates val to key's value, creating it when absent.
+// Appends from concurrent clients interleave without any distributed
+// lock (§III.I).
+func (c *Client) Append(key string, val []byte) error {
+	_, err := c.do(&wire.Request{Op: wire.OpAppend, Key: key, Value: val})
+	return err
+}
+
+// Cas atomically replaces key's value with newVal when the current
+// value equals oldVal; oldVal == nil means "expect absent". On
+// mismatch it returns ErrCasMismatch and the observed value.
+func (c *Client) Cas(key string, oldVal, newVal []byte) ([]byte, error) {
+	req := &wire.Request{Op: wire.OpCas, Key: key, Value: newVal, Aux: oldVal}
+	if oldVal == nil {
+		req.Flags = wire.FlagIfAbsent
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		if errors.Is(err, ErrCasMismatch) && resp != nil {
+			return resp.Value, err
+		}
+		return nil, err
+	}
+	return nil, nil
+}
+
+// Broadcast delivers key/val to every instance via the spanning-tree
+// primitive. It returns once the root instance accepted the message;
+// interior forwarding is asynchronous.
+func (c *Client) Broadcast(key string, val []byte) error {
+	table := c.snapshot()
+	// Root the tree at the key's owner so repeated broadcasts spread
+	// root load across instances.
+	origin := table.Owner[table.Partition(c.hashf(key))]
+	resp, err := c.caller.Call(table.Instances[origin].Addr, &wire.Request{
+		Op: wire.OpBroadcast, Key: key, Value: val, Partition: int64(origin),
+	})
+	if err != nil {
+		return err
+	}
+	if resp.Status != wire.StatusOK {
+		return fmt.Errorf("zht: broadcast: %s", resp.Err)
+	}
+	return nil
+}
+
+// do routes one request: pick the owner from the local table, call
+// it, and react to routing feedback (stale table, migration redirect,
+// owner failure) until the operation resolves.
+func (c *Client) do(req *wire.Request) (*wire.Response, error) {
+	h := c.hashf(req.Key)
+	var lastErr error
+	for attempt := 0; attempt < routeAttempts; attempt++ {
+		table := c.snapshot()
+		p := table.Partition(h)
+		idx := table.Owner[p]
+		target := table.Instances[idx]
+		targetAlive := table.Status[idx] == ring.Alive
+
+		if !targetAlive {
+			// Owner known dead: address the first alive replica.
+			reps := table.ReplicasOf(p, maxInt(c.cfg.Replicas, 1))
+			if len(reps) == 0 {
+				return nil, fmt.Errorf("%w: no alive replica for partition %d", ErrUnavailable, p)
+			}
+			target = reps[0]
+		}
+
+		req.Epoch = table.Epoch
+		resp, err := c.callWithBackoff(target.Addr, req)
+		if err != nil {
+			lastErr = err
+			// Exhausted retries: declare the instance failed, tell a
+			// random manager, and adopt the resulting table.
+			if rerr := c.reportFailure(table, target.ID); rerr != nil {
+				return nil, fmt.Errorf("%w: %s unreachable and failover failed: %v", ErrUnavailable, target.Addr, rerr)
+			}
+			continue
+		}
+		switch resp.Status {
+		case wire.StatusOK:
+			return resp, nil
+		case wire.StatusNotFound:
+			return resp, ErrNotFound
+		case wire.StatusExists:
+			return resp, ErrExists
+		case wire.StatusCasMismatch:
+			return resp, ErrCasMismatch
+		case wire.StatusWrongOwner:
+			if t, err := ring.DecodeTable(resp.Table); err == nil {
+				c.adoptTable(t)
+			}
+			lastErr = fmt.Errorf("zht: wrong owner for %q (epoch %d)", req.Key, table.Epoch)
+			continue
+		case wire.StatusMigrating:
+			if resp.Redirect == "" {
+				lastErr = errors.New("zht: partition migrating")
+				continue
+			}
+			// Follow the redirect directly; membership will catch up
+			// lazily.
+			r2, err := c.callWithBackoff(resp.Redirect, req)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			switch r2.Status {
+			case wire.StatusOK:
+				return r2, nil
+			case wire.StatusNotFound:
+				return r2, ErrNotFound
+			case wire.StatusExists:
+				return r2, ErrExists
+			case wire.StatusCasMismatch:
+				return r2, ErrCasMismatch
+			}
+			lastErr = fmt.Errorf("zht: redirect to %s answered %s", resp.Redirect, r2.Status)
+			continue
+		case wire.StatusError:
+			return resp, fmt.Errorf("zht: %s failed: %s", req.Op, resp.Err)
+		default:
+			return resp, fmt.Errorf("zht: unexpected status %s", resp.Status)
+		}
+	}
+	return nil, fmt.Errorf("%w: routing did not converge: %v", ErrUnavailable, lastErr)
+}
+
+// callWithBackoff retries an unreachable destination with exponential
+// backoff (§III.H: failures are tagged lazily, "using exponential
+// back off").
+func (c *Client) callWithBackoff(addr string, req *wire.Request) (*wire.Response, error) {
+	delay := c.cfg.RetryBase
+	var lastErr error
+	for i := 0; i <= c.cfg.OpRetries; i++ {
+		resp, err := c.caller.Call(addr, req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if i < c.cfg.OpRetries {
+			time.Sleep(delay)
+			delay *= 2
+		}
+	}
+	return nil, lastErr
+}
+
+// reportFailure tells a random alive manager that accused is down and
+// adopts the table the manager answers with. As a last resort (every
+// other instance unreachable — e.g. a single-node deployment) it
+// fails the instance in the local table only.
+func (c *Client) reportFailure(table *ring.Table, accused ring.InstanceID) error {
+	// Mark locally first so subsequent attempts avoid the dead node
+	// even before the manager broadcast lands.
+	c.failLocally(accused)
+
+	idxs := c.rngPerm(len(table.Instances))
+	for _, i := range idxs {
+		peer := table.Instances[i]
+		if peer.ID == accused || table.Status[i] != ring.Alive {
+			continue
+		}
+		resp, err := c.caller.Call(peer.Addr, &wire.Request{Op: wire.OpReport, Key: string(accused)})
+		if err != nil {
+			continue
+		}
+		if resp.Status == wire.StatusOK {
+			if t, terr := ring.DecodeTable(resp.Table); terr == nil {
+				c.adoptTable(t)
+			}
+			return nil
+		}
+		if resp.Status == wire.StatusError && resp.Err == "core: accused instance is alive" {
+			// False alarm (transient glitch): undo the local mark.
+			c.reviveLocally(accused)
+			return nil
+		}
+	}
+	if table.AliveCount() <= 1 {
+		return fmt.Errorf("no manager reachable for failure report")
+	}
+	return nil // local mark stands; broadcast will arrive eventually
+}
+
+// failLocally marks an instance failed in the client's table and
+// fails its partitions over to first replicas, mirroring what the
+// manager will broadcast.
+func (c *Client) failLocally(id ring.InstanceID) {
+	if c.shared != nil {
+		// The shared instance learns through the manager broadcast
+		// that reportFailure triggers synchronously.
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, err := c.table.PlanFailure(id, maxInt(c.cfg.Replicas, 1))
+	if err != nil {
+		return
+	}
+	if nt, err := c.table.Apply(d); err == nil {
+		c.table = nt
+	}
+}
+
+func (c *Client) reviveLocally(id ring.InstanceID) {
+	if c.shared != nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	idx := c.table.IndexOf(id)
+	if idx >= 0 {
+		// The local table may be a published (shared-immutability)
+		// snapshot; mutate a clone.
+		nt := c.table.Clone()
+		nt.Status[idx] = ring.Alive
+		c.table = nt
+	}
+}
+
+// adoptTable replaces the local table when t is newer; shared clients
+// forward it to their co-located instance instead, which is the
+// authoritative holder.
+func (c *Client) adoptTable(t *ring.Table) {
+	if c.shared != nil {
+		if t.Epoch > c.shared.Epoch() {
+			c.shared.Handle(&wire.Request{Op: wire.OpDelta, Aux: ring.EncodeTable(t)})
+		}
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.Epoch > c.table.Epoch {
+		c.table = t
+	}
+}
+
+// RefreshMembership pulls the current table from a random alive
+// instance (useful after out-of-band membership changes).
+func (c *Client) RefreshMembership() error {
+	table := c.snapshot()
+	for _, i := range c.rngPerm(len(table.Instances)) {
+		if table.Status[i] != ring.Alive {
+			continue
+		}
+		resp, err := c.caller.Call(table.Instances[i].Addr, &wire.Request{Op: wire.OpMembership})
+		if err != nil || resp.Status != wire.StatusOK {
+			continue
+		}
+		if t, err := ring.DecodeTable(resp.Table); err == nil {
+			c.adoptTable(t)
+			return nil
+		}
+	}
+	return errors.New("zht: no instance reachable for membership refresh")
+}
+
+func (c *Client) rngPerm(n int) []int {
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	return c.rng.Perm(n)
+}

@@ -1,0 +1,84 @@
+// Package core implements ZHT proper: the zero-hop distributed hash
+// table's instance server, client, and manager (paper §III).
+//
+// An Instance serves a set of partitions, each backed by a NoVoHT
+// store. A Client holds the full membership table and routes every
+// request directly to the owning instance — zero hops — refreshing the
+// table lazily when a server reports it stale. The Manager role
+// orchestrates membership changes: dynamic joins (with partition
+// migration), planned departures, and failure handling with replica
+// failover and re-replication.
+package core
+
+import (
+	"errors"
+	"time"
+
+	"zht/internal/hashing"
+)
+
+// Config holds deployment-wide parameters shared by every instance
+// and client.
+type Config struct {
+	// NumPartitions is n, the fixed partition count — also the
+	// ceiling on deployment size (§III.B). It never changes after
+	// bootstrap.
+	NumPartitions int
+	// Replicas is the number of replicas per partition in addition
+	// to the primary. The first replica is updated synchronously,
+	// the rest asynchronously (§III.J).
+	Replicas int
+	// SyncReplication forces every replica (not only the first) to
+	// be updated synchronously; used by the replication ablation.
+	SyncReplication bool
+	// HashName selects the ring hash function (see hashing.ByName);
+	// empty selects the default.
+	HashName string
+	// DataDir, when non-empty, persists each partition to
+	// DataDir/p<ID>.log via NoVoHT. Empty keeps all partitions in
+	// memory (the Blue Gene/P nodes used ramdisks).
+	DataDir string
+	// MaxMemValuesPerPartition bounds resident values per partition
+	// store (NoVoHT's memory-footprint control). 0 = unbounded.
+	MaxMemValuesPerPartition int
+	// OpRetries is how many times a client retries an unreachable
+	// instance (with exponential backoff) before declaring it failed.
+	// 0 means DefaultOpRetries.
+	OpRetries int
+	// RetryBase is the first backoff delay; doubles per retry.
+	// 0 means DefaultRetryBase.
+	RetryBase time.Duration
+	// NetworkAware orders the bootstrap ring by the endpoints' torus
+	// coordinates (Z-order) so that replica traffic — which flows to
+	// ring neighbours — stays network-local (§VI future work,
+	// implemented).
+	NetworkAware bool
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultOpRetries = 3
+	DefaultRetryBase = 2 * time.Millisecond
+)
+
+func (c *Config) fill() error {
+	if c.NumPartitions <= 0 {
+		return errors.New("core: NumPartitions must be positive")
+	}
+	if c.Replicas < 0 {
+		return errors.New("core: Replicas must be non-negative")
+	}
+	if hashing.ByName(c.HashName) == nil {
+		return errors.New("core: unknown hash function " + c.HashName)
+	}
+	if c.OpRetries == 0 {
+		c.OpRetries = DefaultOpRetries
+	}
+	if c.RetryBase == 0 {
+		c.RetryBase = DefaultRetryBase
+	}
+	return nil
+}
+
+// hash returns the configured hash function.
+func (c *Config) hash() hashing.Func { return hashing.ByName(c.HashName) }

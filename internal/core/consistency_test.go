@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSecondaryStrongConsistency verifies the paper's consistency
+// model (§III.J): "The ZHT primary replica and secondary replica are
+// strongly consistent" — the first replication leg is synchronous, so
+// the moment a mutation is acknowledged, the secondary already holds
+// it. Remaining replicas are asynchronous and only eventually
+// consistent.
+func TestSecondaryStrongConsistency(t *testing.T) {
+	cfg := Config{NumPartitions: 64, Replicas: 2, RetryBase: time.Millisecond}
+	d, _, c := startDeployment(t, cfg, 4)
+	byID := map[string]*Instance{}
+	for _, in := range d.Instances() {
+		byID[string(in.ID())] = in
+	}
+	tab := d.Instance(0).Table()
+	hashf := cfg.hash()
+
+	const n = 100
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("strong-%04d", i)
+		if err := c.Insert(key, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		// Immediately after the ack — no Drain — the secondary (first
+		// replica) must hold the key.
+		p := tab.Partition(hashf(key))
+		reps := tab.ReplicasOf(p, 2)
+		if len(reps) < 2 {
+			t.Fatalf("partition %d has %d replicas", p, len(reps))
+		}
+		secondary := byID[string(reps[0].ID)]
+		s, err := secondary.store(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, _ := s.Get(key); !ok {
+			t.Fatalf("secondary missing %s immediately after ack (strong consistency violated)", key)
+		}
+	}
+	// The tertiary replica is async: after Drain it must converge.
+	d.Drain()
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("strong-%04d", i)
+		p := tab.Partition(hashf(key))
+		reps := tab.ReplicasOf(p, 2)
+		tertiary := byID[string(reps[1].ID)]
+		s, err := tertiary.store(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, _ := s.Get(key); !ok {
+			t.Fatalf("tertiary missing %s after drain (eventual consistency violated)", key)
+		}
+	}
+}
+
+// TestConcurrentOverwritesConverge races many writers on a single hot
+// key: after quiescing, every replica must hold exactly the primary's
+// final value (mutation+replication must be ordered per partition).
+func TestConcurrentOverwritesConverge(t *testing.T) {
+	cfg := Config{NumPartitions: 16, Replicas: 2, RetryBase: time.Millisecond}
+	d, _, _ := startDeployment(t, cfg, 4)
+	const workers, rounds = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := d.NewClient()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < rounds; i++ {
+				if err := c.Insert("hot", []byte(fmt.Sprintf("w%d-r%d", w, i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	d.Drain()
+	c, _ := d.NewClient()
+	want, err := c.Lookup("hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := d.Instance(0).Table()
+	p := tab.Partition(cfg.hash()("hot"))
+	byID := map[string]*Instance{}
+	for _, in := range d.Instances() {
+		byID[string(in.ID())] = in
+	}
+	for _, r := range tab.ReplicasOf(p, 2) {
+		s, err := byID[string(r.ID)].store(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok, _ := s.Get("hot")
+		if !ok || string(got) != string(want) {
+			t.Fatalf("replica %s holds %q, primary holds %q (ordering violated)", r.ID, got, want)
+		}
+	}
+}
+
+// TestReplicaChainUnderConcurrentMutations hammers one partition from
+// many clients and checks full convergence of all three copies.
+func TestReplicaChainUnderConcurrentMutations(t *testing.T) {
+	cfg := Config{NumPartitions: 16, Replicas: 2, RetryBase: time.Millisecond}
+	d, _, _ := startDeployment(t, cfg, 4)
+	const workers, per = 6, 40
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := d.NewClient()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < per; i++ {
+				k := fmt.Sprintf("conv-w%d-%03d", w, i)
+				if err := c.Insert(k, []byte(k)); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%3 == 0 {
+					if err := c.Append(k, []byte("+tail")); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	d.Drain()
+	// Every copy of every key must agree with the primary's value.
+	tab := d.Instance(0).Table()
+	hashf := cfg.hash()
+	byID := map[string]*Instance{}
+	for _, in := range d.Instances() {
+		byID[string(in.ID())] = in
+	}
+	c, _ := d.NewClient()
+	for w := 0; w < workers; w++ {
+		for i := 0; i < per; i++ {
+			k := fmt.Sprintf("conv-w%d-%03d", w, i)
+			want, err := c.Lookup(k)
+			if err != nil {
+				t.Fatalf("%s: %v", k, err)
+			}
+			p := tab.Partition(hashf(k))
+			for _, r := range tab.ReplicasOf(p, 2) {
+				s, err := byID[string(r.ID)].store(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, ok, _ := s.Get(k)
+				if !ok || string(got) != string(want) {
+					t.Fatalf("replica %s diverged on %s: %q vs %q", r.ID, k, got, want)
+				}
+			}
+		}
+	}
+}

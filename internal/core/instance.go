@@ -1,0 +1,884 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"zht/internal/hashing"
+	"zht/internal/novoht"
+	"zht/internal/ring"
+	"zht/internal/transport"
+	"zht/internal/wire"
+)
+
+// migrationTimeout bounds how long a partition stays locked waiting
+// for the membership delta that completes its migration; past it the
+// migration is considered failed and queued requests get errors
+// (paper §III.C: on migration failure, discard queued requests and
+// report errors, rolling back to the consistent state).
+const migrationTimeout = 10 * time.Second
+
+// Instance is one ZHT server process: it owns a set of partitions,
+// holds replica stores for its ring neighbours, answers client
+// requests, and plays the manager role in membership changes.
+type Instance struct {
+	cfg   Config
+	self  ring.Instance
+	hashf hashing.Func
+
+	mu    sync.RWMutex // guards table
+	table *ring.Table
+
+	smu    sync.Mutex // guards stores
+	stores map[int]*novoht.Store
+
+	pmu   sync.Mutex // guards parts
+	parts map[int]*partState
+	// opLocks serialize partition exports against in-flight KV
+	// applications (striped; a migration takes the write side after
+	// marking the partition migrating, draining appliers so the
+	// exported image includes every acknowledged write).
+	opLocks [64]sync.RWMutex
+	// mutLocks serialize each partition's mutation+replication pair
+	// (striped): without it, two concurrent writes to one key could
+	// reach the secondary replica in the opposite order from the
+	// primary's apply order and diverge permanently. Lookups bypass
+	// these locks entirely.
+	mutLocks [64]sync.Mutex
+
+	bmu   sync.Mutex // guards bcast
+	bcast map[string][]byte
+
+	caller  transport.Caller
+	asyncWG sync.WaitGroup
+	closed  chan struct{}
+	closeMu sync.Mutex
+
+	// asyncQ holds one FIFO per destination for asynchronous
+	// replication legs: async replication is weakly consistent in
+	// *when* it applies, but must preserve per-key mutation order or
+	// replicas would diverge permanently (an insert overtaking the
+	// append that followed it).
+	aqMu   sync.Mutex
+	asyncQ map[string]chan *wire.Request
+}
+
+// partState tracks a partition's migration lifecycle on the node
+// giving it away. While migrating, requests queue on done.
+type partState struct {
+	migrating bool
+	done      chan struct{}
+	redirect  string // new owner address once complete; empty = failed
+	ok        bool
+}
+
+// NewInstance creates an instance. self must already appear in table.
+// caller is the transport the instance uses for server-to-server
+// communication (replication, migration, delta broadcast).
+func NewInstance(cfg Config, self ring.Instance, table *ring.Table, caller transport.Caller) (*Instance, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if table.IndexOf(self.ID) < 0 {
+		return nil, fmt.Errorf("core: instance %q not in membership table", self.ID)
+	}
+	return &Instance{
+		cfg:    cfg,
+		self:   self,
+		hashf:  cfg.hash(),
+		table:  table.Clone(),
+		stores: make(map[int]*novoht.Store),
+		parts:  make(map[int]*partState),
+		bcast:  make(map[string][]byte),
+		caller: caller,
+		closed: make(chan struct{}),
+		asyncQ: make(map[string]chan *wire.Request),
+	}, nil
+}
+
+// enqueueAsync appends an async replication leg to the destination's
+// FIFO, starting its worker on first use. Ordering per destination is
+// preserved; Drain waits for completion.
+func (in *Instance) enqueueAsync(addr string, req *wire.Request) {
+	select {
+	case <-in.closed:
+		return
+	default:
+	}
+	in.aqMu.Lock()
+	q, ok := in.asyncQ[addr]
+	if !ok {
+		q = make(chan *wire.Request, 4096)
+		in.asyncQ[addr] = q
+		go func() {
+			for r := range q {
+				in.caller.Call(addr, r)
+				in.asyncWG.Done()
+			}
+		}()
+	}
+	in.aqMu.Unlock()
+	in.asyncWG.Add(1)
+	select {
+	case q <- req:
+	case <-in.closed:
+		in.asyncWG.Done()
+	}
+}
+
+// ID returns the instance's ring UUID.
+func (in *Instance) ID() ring.InstanceID { return in.self.ID }
+
+// Addr returns the instance's transport address.
+func (in *Instance) Addr() string { return in.self.Addr }
+
+// Table returns a snapshot of the instance's membership table.
+func (in *Instance) Table() *ring.Table {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return in.table.Clone()
+}
+
+// tableRef returns the current published table without cloning.
+// Published tables are immutable; callers must not modify it.
+func (in *Instance) tableRef() *ring.Table {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return in.table
+}
+
+// Epoch returns the instance's current membership epoch.
+func (in *Instance) Epoch() uint64 {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return in.table.Epoch
+}
+
+// store returns (creating on demand) the NoVoHT store backing
+// partition p on this instance.
+func (in *Instance) store(p int) (*novoht.Store, error) {
+	in.smu.Lock()
+	defer in.smu.Unlock()
+	if s, ok := in.stores[p]; ok {
+		return s, nil
+	}
+	opts := novoht.Options{MaxMemValues: in.cfg.MaxMemValuesPerPartition}
+	if in.cfg.DataDir != "" {
+		opts.Path = filepath.Join(in.cfg.DataDir, fmt.Sprintf("%s-p%06d.log", in.self.ID, p))
+	} else {
+		opts.MaxMemValues = 0 // memory bound requires a log
+	}
+	s, err := novoht.Open(opts)
+	if err != nil {
+		return nil, err
+	}
+	in.stores[p] = s
+	return s, nil
+}
+
+// Handle implements transport.Handler: the single entry point for
+// every request this instance receives.
+func (in *Instance) Handle(req *wire.Request) *wire.Response {
+	switch req.Op {
+	case wire.OpInsert, wire.OpLookup, wire.OpRemove, wire.OpAppend, wire.OpCas:
+		return in.handleKV(req)
+	case wire.OpReplicate:
+		return in.handleReplicate(req)
+	case wire.OpMembership:
+		return in.handleMembership()
+	case wire.OpDelta:
+		return in.handleDelta(req)
+	case wire.OpMigrate:
+		return in.handleMigrate(req)
+	case wire.OpPing:
+		return &wire.Response{Status: wire.StatusOK}
+	case wire.OpReport:
+		return in.handleReport(req)
+	case wire.OpBroadcast:
+		return in.handleBroadcast(req)
+	}
+	return &wire.Response{Status: wire.StatusError, Err: "core: unsupported op " + req.Op.String()}
+}
+
+// handleKV serves the four basic operations plus CAS.
+func (in *Instance) handleKV(req *wire.Request) *wire.Response {
+	h := in.hashf(req.Key)
+	// The partition index depends only on NumPartitions, which is
+	// immutable, so it can be computed from any table snapshot.
+	in.mu.RLock()
+	p := in.table.Partition(h)
+	in.mu.RUnlock()
+
+	// Migration gate: if this partition is being given away, queue
+	// until the move resolves (paper queues requests during
+	// migration and answers with a redirect). The op lock's read
+	// side is held across gate re-check and application so an
+	// export cannot slip between them and lose an acknowledged
+	// write.
+	lock := in.opLock(p)
+	for {
+		if resp := in.migrationGate(p); resp != nil {
+			return resp
+		}
+		lock.RLock()
+		if in.isMigrating(p) {
+			lock.RUnlock()
+			continue // a migration began while we acquired the lock
+		}
+		break
+	}
+	defer lock.RUnlock()
+
+	// Ownership must be evaluated on a table snapshot taken AFTER the
+	// gate: a request racing a just-completed migration would
+	// otherwise pass the gate, then consult a pre-migration table and
+	// apply a write to a partition that has already moved away.
+	in.mu.RLock()
+	table := in.table
+	ownerIdx := table.Owner[p]
+	owner := table.Instances[ownerIdx]
+	ownerFailed := table.Status[ownerIdx] != ring.Alive
+	in.mu.RUnlock()
+
+	if owner.ID != in.self.ID {
+		// Failover service: a replica answers for a failed primary
+		// (§III.H — queries for data on the failed node are answered
+		// by the replicas).
+		if !(ownerFailed && in.firstAliveReplica(table, p) == in.self.ID) {
+			return &wire.Response{Status: wire.StatusWrongOwner, Table: ring.EncodeTable(table)}
+		}
+	}
+
+	s, err := in.store(p)
+	if err != nil {
+		return &wire.Response{Status: wire.StatusError, Err: err.Error()}
+	}
+	mutation := req.Op != wire.OpLookup && req.Flags&wire.FlagNoReplicate == 0 && in.cfg.Replicas > 0
+	if mutation {
+		ml := &in.mutLocks[p%len(in.mutLocks)]
+		ml.Lock()
+		defer ml.Unlock()
+	}
+	resp := applyKV(s, req)
+	if resp.Status == wire.StatusOK && mutation {
+		in.replicate(table, p, req)
+	}
+	return resp
+}
+
+func (in *Instance) opLock(p int) *sync.RWMutex { return &in.opLocks[p%len(in.opLocks)] }
+
+func (in *Instance) isMigrating(p int) bool {
+	in.pmu.Lock()
+	defer in.pmu.Unlock()
+	ps := in.parts[p]
+	return ps != nil && ps.migrating
+}
+
+// exportPartition snapshots partition p with the op lock held so the
+// image contains every acknowledged write.
+func (in *Instance) exportPartition(p int) ([]byte, error) {
+	s, err := in.store(p)
+	if err != nil {
+		return nil, err
+	}
+	lock := in.opLock(p)
+	lock.Lock()
+	defer lock.Unlock()
+	var img bytes.Buffer
+	if err := s.Export(&img); err != nil {
+		return nil, err
+	}
+	return img.Bytes(), nil
+}
+
+// applyKV executes one KV op against a store. Shared by the primary
+// path and the replica path so both stay byte-identical.
+func applyKV(s *novoht.Store, req *wire.Request) *wire.Response {
+	switch req.Op {
+	case wire.OpInsert:
+		if req.Flags&wire.FlagIfAbsent != 0 {
+			ok, err := s.PutIfAbsent(req.Key, req.Value)
+			if err != nil {
+				return &wire.Response{Status: wire.StatusError, Err: err.Error()}
+			}
+			if !ok {
+				return &wire.Response{Status: wire.StatusExists}
+			}
+			return &wire.Response{Status: wire.StatusOK}
+		}
+		if err := s.Put(req.Key, req.Value); err != nil {
+			return &wire.Response{Status: wire.StatusError, Err: err.Error()}
+		}
+		return &wire.Response{Status: wire.StatusOK}
+	case wire.OpLookup:
+		v, ok, err := s.Get(req.Key)
+		if err != nil {
+			return &wire.Response{Status: wire.StatusError, Err: err.Error()}
+		}
+		if !ok {
+			return &wire.Response{Status: wire.StatusNotFound}
+		}
+		return &wire.Response{Status: wire.StatusOK, Value: v}
+	case wire.OpRemove:
+		ok, err := s.Remove(req.Key)
+		if err != nil {
+			return &wire.Response{Status: wire.StatusError, Err: err.Error()}
+		}
+		if !ok {
+			return &wire.Response{Status: wire.StatusNotFound}
+		}
+		return &wire.Response{Status: wire.StatusOK}
+	case wire.OpAppend:
+		if err := s.Append(req.Key, req.Value); err != nil {
+			return &wire.Response{Status: wire.StatusError, Err: err.Error()}
+		}
+		return &wire.Response{Status: wire.StatusOK}
+	case wire.OpCas:
+		// FlagIfAbsent marks "expect absent"; otherwise Aux is the
+		// expected current value (nil Aux = expect empty value,
+		// since the wire layer normalizes empty to nil).
+		var old []byte
+		if req.Flags&wire.FlagIfAbsent == 0 {
+			old = req.Aux
+			if old == nil {
+				old = []byte{}
+			}
+		}
+		swapped, cur, err := s.Cas(req.Key, old, req.Value)
+		if err != nil {
+			return &wire.Response{Status: wire.StatusError, Err: err.Error()}
+		}
+		if !swapped {
+			return &wire.Response{Status: wire.StatusCasMismatch, Value: cur}
+		}
+		return &wire.Response{Status: wire.StatusOK}
+	}
+	return &wire.Response{Status: wire.StatusError, Err: "core: bad kv op"}
+}
+
+// replicate pushes a mutation along the replica chain: the first
+// replica synchronously (primary and secondary are strongly
+// consistent), the rest asynchronously (§III.J); SyncReplication
+// makes every leg synchronous for the ablation benchmark.
+func (in *Instance) replicate(table *ring.Table, p int, req *wire.Request) {
+	reps := table.ReplicasOf(p, in.cfg.Replicas)
+	fwd := *req
+	fwd.Op = wire.OpReplicate
+	// A successful CAS is replicated as a plain insert of the new
+	// value: the decision was already made at the primary, and
+	// re-running the comparison on a replica whose async state lags
+	// could diverge.
+	innerOp, innerAux := req.Op, req.Aux
+	if req.Op == wire.OpCas {
+		innerOp, innerAux = wire.OpInsert, nil
+	}
+	// Conditional inserts likewise: the primary already decided.
+	fwd.Flags &^= wire.FlagIfAbsent
+	fwd.Aux = encodeReplicaAux(innerOp, innerAux)
+	fwd.Partition = int64(p)
+	fwd.Flags |= wire.FlagNoReplicate
+	for i, r := range reps {
+		if r.ID == in.self.ID {
+			continue
+		}
+		if i == 0 || in.cfg.SyncReplication {
+			f := fwd
+			f.Flags |= wire.FlagSyncReplica
+			in.caller.Call(r.Addr, &f) // best effort: replica loss is repaired on failure
+			continue
+		}
+		f := fwd
+		f.Value = append([]byte(nil), fwd.Value...)
+		f.Aux = append([]byte(nil), fwd.Aux...)
+		in.enqueueAsync(r.Addr, &f)
+	}
+}
+
+// encodeReplicaAux packs the original op (and CAS expectation) into
+// the Aux field of an OpReplicate message.
+func encodeReplicaAux(op wire.Op, origAux []byte) []byte {
+	out := make([]byte, 1+len(origAux))
+	out[0] = byte(op)
+	copy(out[1:], origAux)
+	return out
+}
+
+// handleReplicate applies a forwarded mutation to the local replica
+// store for the partition.
+func (in *Instance) handleReplicate(req *wire.Request) *wire.Response {
+	if len(req.Aux) < 1 {
+		return &wire.Response{Status: wire.StatusError, Err: "core: replicate without op"}
+	}
+	inner := *req
+	inner.Op = wire.Op(req.Aux[0])
+	inner.Aux = req.Aux[1:]
+	if len(inner.Aux) == 0 {
+		inner.Aux = nil
+	}
+	s, err := in.store(int(req.Partition))
+	if err != nil {
+		return &wire.Response{Status: wire.StatusError, Err: err.Error()}
+	}
+	resp := applyKV(s, &inner)
+	// Replicas tolerate NotFound (a remove may race ahead of the
+	// insert it follows on the async path).
+	if resp.Status == wire.StatusNotFound || resp.Status == wire.StatusCasMismatch || resp.Status == wire.StatusExists {
+		resp.Status = wire.StatusOK
+	}
+	return resp
+}
+
+// handleMembership returns the current table.
+func (in *Instance) handleMembership() *wire.Response {
+	in.mu.RLock()
+	enc := ring.EncodeTable(in.table)
+	in.mu.RUnlock()
+	return &wire.Response{Status: wire.StatusOK, Table: enc}
+}
+
+// handleDelta applies an incremental membership update (or adopts a
+// full table when Aux carries one). On epoch mismatch for a delta the
+// caller receives an error and is expected to fall back to sending
+// its full table.
+func (in *Instance) handleDelta(req *wire.Request) *wire.Response {
+	if d, err := ring.DecodeDelta(req.Aux); err == nil {
+		in.mu.Lock()
+		nt, err := in.table.Apply(d)
+		if err != nil {
+			enc := ring.EncodeTable(in.table)
+			in.mu.Unlock()
+			return &wire.Response{Status: wire.StatusError, Err: err.Error(), Table: enc}
+		}
+		old := in.table
+		in.table = nt
+		in.mu.Unlock()
+		in.afterTableChange(old, nt)
+		return &wire.Response{Status: wire.StatusOK}
+	}
+	t, err := ring.DecodeTable(req.Aux)
+	if err != nil {
+		return &wire.Response{Status: wire.StatusError, Err: "core: delta payload is neither delta nor table"}
+	}
+	in.mu.Lock()
+	if t.Epoch <= in.table.Epoch {
+		in.mu.Unlock()
+		return &wire.Response{Status: wire.StatusOK} // already current
+	}
+	old := in.table
+	in.table = t
+	in.mu.Unlock()
+	in.afterTableChange(old, t)
+	return &wire.Response{Status: wire.StatusOK}
+}
+
+// afterTableChange reconciles local state with a new table: completes
+// outgoing migrations whose partitions moved away, and rebuilds
+// replicas for partitions this instance just inherited from a failed
+// node.
+func (in *Instance) afterTableChange(old, nt *ring.Table) {
+	myOld := old.IndexOf(in.self.ID)
+	myNew := nt.IndexOf(in.self.ID)
+	// A node failing (or departing) in this update means every
+	// partition that kept a copy — primary or replica — on it lost
+	// redundancy; the paper's manager "initiates a rebuilding of the
+	// replicas, specifically increasing replication on all partitions
+	// stored on the failed physical node". Each current owner
+	// re-pushes its partitions.
+	nodeFailed := false
+	for i := range old.Status {
+		if old.Status[i] == ring.Alive && i < len(nt.Status) && nt.Status[i] != ring.Alive {
+			nodeFailed = true
+			break
+		}
+	}
+	for p := 0; p < nt.NumPartitions; p++ {
+		ownedBefore := myOld >= 0 && old.Owner[p] == myOld
+		ownedNow := myNew >= 0 && nt.Owner[p] == myNew
+		if ownedBefore && !ownedNow {
+			// Outgoing migration completed: release queued requests
+			// with a redirect to the new owner.
+			in.completeMigration(p, nt.OwnerOf(p).Addr, true)
+		}
+		if ownedNow && nodeFailed && in.cfg.Replicas > 0 {
+			in.rebuildReplicas(nt, p)
+		}
+	}
+}
+
+// rebuildReplicas pushes a full image of partition p to every replica
+// in the new replica set, asynchronously.
+func (in *Instance) rebuildReplicas(table *ring.Table, p int) {
+	in.asyncWG.Add(1)
+	go func() {
+		defer in.asyncWG.Done()
+		s, err := in.store(p)
+		if err != nil {
+			return
+		}
+		var img bytes.Buffer
+		if err := s.Export(&img); err != nil {
+			return
+		}
+		for _, r := range table.ReplicasOf(p, in.cfg.Replicas) {
+			if r.ID == in.self.ID {
+				continue
+			}
+			in.caller.Call(r.Addr, &wire.Request{
+				Op: wire.OpMigrate, Partition: int64(p),
+				Flags: wire.FlagNoReplicate, Aux: img.Bytes(),
+			})
+		}
+	}()
+}
+
+// handleMigrate serves both migration directions:
+//
+//   - pull (Aux empty): the requester (a joining node, named by Key)
+//     asks for partition p; we lock p, export its image, and keep the
+//     partition locked until the membership delta confirms the move.
+//   - push (Aux = image): we import the image into our local store
+//     (used for departures and replica rebuilds).
+func (in *Instance) handleMigrate(req *wire.Request) *wire.Response {
+	p := int(req.Partition)
+	if p < 0 || p >= in.cfg.NumPartitions {
+		return &wire.Response{Status: wire.StatusError, Err: "core: bad partition"}
+	}
+	if len(req.Aux) > 0 {
+		if string(req.Aux) == "abort" {
+			in.completeMigration(p, "", false)
+			return &wire.Response{Status: wire.StatusOK}
+		}
+		s, err := in.store(p)
+		if err != nil {
+			return &wire.Response{Status: wire.StatusError, Err: err.Error()}
+		}
+		if _, err := s.Import(bytes.NewReader(req.Aux)); err != nil {
+			return &wire.Response{Status: wire.StatusError, Err: err.Error()}
+		}
+		return &wire.Response{Status: wire.StatusOK}
+	}
+	// Pull: verify ownership.
+	in.mu.RLock()
+	table := in.table
+	ownsIt := table.OwnerOf(p).ID == in.self.ID
+	in.mu.RUnlock()
+	if !ownsIt {
+		return &wire.Response{Status: wire.StatusWrongOwner, Table: ring.EncodeTable(table)}
+	}
+	if !in.beginMigration(p) {
+		return &wire.Response{Status: wire.StatusError, Err: "core: partition already migrating"}
+	}
+	img, err := in.exportPartition(p)
+	if err != nil {
+		in.completeMigration(p, "", false)
+		return &wire.Response{Status: wire.StatusError, Err: err.Error()}
+	}
+	resp := &wire.Response{Status: wire.StatusOK, Value: img}
+	// Watchdog: if the confirming delta never arrives, fail the
+	// migration so queued requests are not stuck forever.
+	go func() {
+		timer := time.NewTimer(migrationTimeout)
+		defer timer.Stop()
+		in.pmu.Lock()
+		ps := in.parts[p]
+		in.pmu.Unlock()
+		if ps == nil {
+			return
+		}
+		select {
+		case <-ps.done:
+		case <-timer.C:
+			in.completeMigration(p, "", false)
+		case <-in.closed:
+		}
+	}()
+	return resp
+}
+
+// beginMigration locks partition p for an outgoing move; it reports
+// false when a migration is already in flight.
+func (in *Instance) beginMigration(p int) bool {
+	in.pmu.Lock()
+	defer in.pmu.Unlock()
+	ps := in.parts[p]
+	if ps != nil && ps.migrating {
+		return false
+	}
+	in.parts[p] = &partState{migrating: true, done: make(chan struct{})}
+	return true
+}
+
+// completeMigration resolves a pending outgoing migration. ok=true
+// publishes redirect to the queued requests; ok=false discards them
+// with errors (the paper's rollback path).
+func (in *Instance) completeMigration(p int, redirect string, ok bool) {
+	in.pmu.Lock()
+	ps := in.parts[p]
+	if ps == nil || !ps.migrating {
+		in.pmu.Unlock()
+		return
+	}
+	ps.migrating = false
+	ps.redirect = redirect
+	ps.ok = ok
+	close(ps.done)
+	if !ok {
+		delete(in.parts, p) // rolled back: we still own the partition
+	}
+	in.pmu.Unlock()
+}
+
+// migrationGate returns nil when partition p is serveable; otherwise
+// it blocks on an in-flight migration and returns the queued verdict,
+// or returns a redirect when p has already moved away.
+func (in *Instance) migrationGate(p int) *wire.Response {
+	in.pmu.Lock()
+	ps := in.parts[p]
+	var wasMigrating bool
+	var done chan struct{}
+	if ps != nil {
+		wasMigrating = ps.migrating
+		done = ps.done
+	}
+	in.pmu.Unlock()
+	if ps == nil {
+		return nil
+	}
+	if wasMigrating {
+		select {
+		case <-done:
+		case <-time.After(migrationTimeout + time.Second):
+			return &wire.Response{Status: wire.StatusError, Err: "core: migration stuck"}
+		case <-in.closed:
+			return &wire.Response{Status: wire.StatusError, Err: "core: instance closed"}
+		}
+	}
+	in.pmu.Lock()
+	redirect, ok, migrating := ps.redirect, ps.ok, ps.migrating
+	in.pmu.Unlock()
+	if migrating {
+		return &wire.Response{Status: wire.StatusError, Err: "core: migration restarted"}
+	}
+	if !ok {
+		if redirect == "" && in.ownsNow(p) {
+			// Migration rolled back; serve normally.
+			return nil
+		}
+		return &wire.Response{Status: wire.StatusError, Err: "core: migration failed"}
+	}
+	if !in.ownsNow(p) {
+		// Migration complete and our table reflects it: new arrivals
+		// get WrongOwner + the fresh table so zero-hop routing is
+		// restored (redirects serve only the requests that queued
+		// during the move).
+		in.pmu.Lock()
+		delete(in.parts, p)
+		in.pmu.Unlock()
+		return nil
+	}
+	return &wire.Response{Status: wire.StatusMigrating, Redirect: redirect}
+}
+
+func (in *Instance) ownsNow(p int) bool {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return in.table.OwnerOf(p).ID == in.self.ID
+}
+
+// firstAliveReplica returns the instance ID of partition p's first
+// alive replica, or empty.
+func (in *Instance) firstAliveReplica(table *ring.Table, p int) ring.InstanceID {
+	reps := table.ReplicasOf(p, in.cfg.Replicas)
+	if len(reps) == 0 {
+		return ""
+	}
+	return reps[0].ID
+}
+
+// handleReport processes a failure report: verify the accused is
+// really unreachable, then fail it over and broadcast the update
+// (manager role, §III.C unplanned departures).
+func (in *Instance) handleReport(req *wire.Request) *wire.Response {
+	accused := ring.InstanceID(req.Key)
+	in.mu.RLock()
+	table := in.table
+	idx := table.IndexOf(accused)
+	in.mu.RUnlock()
+	if idx < 0 {
+		return &wire.Response{Status: wire.StatusError, Err: "core: report for unknown instance"}
+	}
+	if table.Status[idx] != ring.Alive {
+		// Already handled; return the fresher table.
+		return &wire.Response{Status: wire.StatusOK, Table: ring.EncodeTable(table)}
+	}
+	// Verify: a single ping with the transport's timeout. The client
+	// already retried with exponential backoff before reporting.
+	if accused != in.self.ID {
+		if resp, err := in.caller.Call(table.Instances[idx].Addr, &wire.Request{Op: wire.OpPing}); err == nil && resp.Status == wire.StatusOK {
+			return &wire.Response{Status: wire.StatusError, Err: "core: accused instance is alive"}
+		}
+	}
+	d, err := table.PlanFailure(accused, maxInt(in.cfg.Replicas, 1))
+	if err != nil {
+		return &wire.Response{Status: wire.StatusError, Err: err.Error()}
+	}
+	nt, err := in.applyAndBroadcast(d)
+	if err != nil {
+		return &wire.Response{Status: wire.StatusError, Err: err.Error()}
+	}
+	return &wire.Response{Status: wire.StatusOK, Table: ring.EncodeTable(nt)}
+}
+
+// applyAndBroadcast applies a delta locally and pushes it to every
+// other alive instance, falling back to the full table for instances
+// whose epoch diverged.
+func (in *Instance) applyAndBroadcast(d ring.Delta) (*ring.Table, error) {
+	in.mu.Lock()
+	nt, err := in.table.Apply(d)
+	if err != nil {
+		in.mu.Unlock()
+		return nil, err
+	}
+	old := in.table
+	in.table = nt
+	in.mu.Unlock()
+	in.afterTableChange(old, nt)
+	in.broadcastDelta(nt, d)
+	return nt, nil
+}
+
+// broadcastDelta sends the delta to all alive peers; on epoch
+// mismatch it retries with the full table.
+func (in *Instance) broadcastDelta(nt *ring.Table, d ring.Delta) {
+	encD := ring.EncodeDelta(d)
+	encT := ring.EncodeTable(nt)
+	for i, peer := range nt.Instances {
+		if peer.ID == in.self.ID || nt.Status[i] != ring.Alive {
+			continue
+		}
+		resp, err := in.caller.Call(peer.Addr, &wire.Request{Op: wire.OpDelta, Aux: encD})
+		if err == nil && resp.Status == wire.StatusOK {
+			continue
+		}
+		in.caller.Call(peer.Addr, &wire.Request{Op: wire.OpDelta, Aux: encT})
+	}
+}
+
+// handleBroadcast stores the pair locally and forwards it down the
+// spanning tree (future-work broadcast primitive, implemented). The
+// tree is a binary tree over ring indices relabeled so the origin
+// (req.Partition) is the root.
+func (in *Instance) handleBroadcast(req *wire.Request) *wire.Response {
+	in.bmu.Lock()
+	in.bcast[req.Key] = append([]byte(nil), req.Value...)
+	in.bmu.Unlock()
+
+	in.mu.RLock()
+	table := in.table
+	in.mu.RUnlock()
+	n := len(table.Instances)
+	origin := int(req.Partition)
+	if origin < 0 || origin >= n {
+		return &wire.Response{Status: wire.StatusError, Err: "core: bad broadcast origin"}
+	}
+	myIdx := table.IndexOf(in.self.ID)
+	if myIdx < 0 {
+		return &wire.Response{Status: wire.StatusError, Err: "core: not a member"}
+	}
+	pos := (myIdx - origin + n) % n
+	for _, childPos := range []int{2*pos + 1, 2*pos + 2} {
+		if childPos >= n {
+			continue
+		}
+		childIdx := (origin + childPos) % n
+		if table.Status[childIdx] != ring.Alive {
+			continue
+		}
+		fwd := *req
+		fwd.Hop = req.Hop + 1
+		fwd.Value = append([]byte(nil), req.Value...)
+		addr := table.Instances[childIdx].Addr
+		in.asyncWG.Add(1)
+		go func() {
+			defer in.asyncWG.Done()
+			in.caller.Call(addr, &fwd)
+		}()
+	}
+	return &wire.Response{Status: wire.StatusOK}
+}
+
+// BroadcastValue returns the locally delivered broadcast value for
+// key, if any (used by tests and examples to observe dissemination).
+func (in *Instance) BroadcastValue(key string) ([]byte, bool) {
+	in.bmu.Lock()
+	defer in.bmu.Unlock()
+	v, ok := in.bcast[key]
+	return v, ok
+}
+
+// Drain waits for in-flight asynchronous work (replication legs,
+// broadcast forwards, replica rebuilds) to finish.
+func (in *Instance) Drain() { in.asyncWG.Wait() }
+
+// Close flushes and closes all partition stores.
+func (in *Instance) Close() error {
+	in.closeMu.Lock()
+	select {
+	case <-in.closed:
+		in.closeMu.Unlock()
+		return nil
+	default:
+		close(in.closed)
+	}
+	in.closeMu.Unlock()
+	in.asyncWG.Wait()
+	in.aqMu.Lock()
+	for _, q := range in.asyncQ {
+		close(q) // workers exit after draining (queues are empty post-Wait)
+	}
+	in.asyncQ = make(map[string]chan *wire.Request)
+	in.aqMu.Unlock()
+	in.smu.Lock()
+	defer in.smu.Unlock()
+	var firstErr error
+	for _, s := range in.stores {
+		if err := s.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// LocalKeys reports the number of keys across all local partition
+// stores (owned + replicas).
+func (in *Instance) LocalKeys() int {
+	in.smu.Lock()
+	defer in.smu.Unlock()
+	n := 0
+	for _, s := range in.stores {
+		n += s.Len()
+	}
+	return n
+}
+
+// PartitionKeys reports keys stored locally for one partition.
+func (in *Instance) PartitionKeys(p int) int {
+	in.smu.Lock()
+	defer in.smu.Unlock()
+	s, ok := in.stores[p]
+	if !ok {
+		return 0
+	}
+	return s.Len()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

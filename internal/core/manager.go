@@ -1,0 +1,186 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"zht/internal/ring"
+	"zht/internal/transport"
+	"zht/internal/wire"
+)
+
+// Manager-role orchestration: dynamic joins and planned departures
+// (paper §III.C). Failure handling lives in instance.go
+// (handleReport) because any instance's manager can receive a report.
+
+// Join admits a new instance into a running deployment:
+//
+//  1. check out a membership table from the seed (a "random physical
+//     node" in the paper),
+//  2. plan the join: relieve the most-loaded instance of half its
+//     partitions,
+//  3. pull those partitions' contents (whole-partition moves, no
+//     rehashing),
+//  4. broadcast the incremental membership update; the relieved
+//     instance releases its queued requests with redirects when the
+//     delta lands.
+//
+// The newcomer's handler must already be reachable at newcomer.Addr
+// before Join is called (use a HandlerSwitch to bind the address
+// first); peers start sending it traffic the moment the delta
+// broadcast lands. Join retries with a fresh table when it loses an
+// epoch race with a concurrent membership change.
+func Join(cfg Config, newcomer ring.Instance, seedAddr string, caller transport.Caller, bind func(*Instance)) (*Instance, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		inst, err := joinOnce(cfg, newcomer, seedAddr, caller, bind)
+		if err == nil {
+			return inst, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("core: join failed: %w", lastErr)
+}
+
+func joinOnce(cfg Config, newcomer ring.Instance, seedAddr string, caller transport.Caller, bind func(*Instance)) (*Instance, error) {
+	resp, err := caller.Call(seedAddr, &wire.Request{Op: wire.OpMembership})
+	if err != nil {
+		return nil, fmt.Errorf("fetch table from seed: %w", err)
+	}
+	table, err := ring.DecodeTable(resp.Table)
+	if err != nil {
+		return nil, fmt.Errorf("bad table from seed: %w", err)
+	}
+	delta, parts, err := table.PlanJoin(newcomer)
+	if err != nil {
+		return nil, err
+	}
+	nt, err := table.Apply(delta)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := NewInstance(cfg, newcomer, nt, caller)
+	if err != nil {
+		return nil, err
+	}
+	bind(inst)
+
+	// Pull each partition from the instance being relieved. The
+	// giver locks the partition and queues requests until the delta
+	// confirms the move.
+	giver := table.OwnerOf(pickFirst(parts, table))
+	abort := func() {
+		for _, p := range parts {
+			caller.Call(giver.Addr, &wire.Request{
+				Op: wire.OpMigrate, Partition: int64(p), Aux: []byte("abort"),
+			})
+		}
+		inst.Close()
+	}
+	for _, p := range parts {
+		mresp, err := caller.Call(giver.Addr, &wire.Request{
+			Op: wire.OpMigrate, Partition: int64(p), Key: newcomer.Addr,
+		})
+		if err != nil || mresp.Status != wire.StatusOK {
+			abort()
+			return nil, fmt.Errorf("migrate partition %d from %s: %v %s", p, giver.Addr, err, respErr(mresp))
+		}
+		s, err := inst.store(p)
+		if err != nil {
+			abort()
+			return nil, err
+		}
+		if len(mresp.Value) > 0 {
+			if _, err := s.Import(bytes.NewReader(mresp.Value)); err != nil {
+				abort()
+				return nil, fmt.Errorf("import partition %d: %w", p, err)
+			}
+		}
+	}
+
+	// Commit: the relieved instance must accept the delta (it
+	// releases its queued requests on apply); then broadcast to the
+	// rest.
+	encD := ring.EncodeDelta(delta)
+	if len(parts) > 0 {
+		dresp, err := caller.Call(giver.Addr, &wire.Request{Op: wire.OpDelta, Aux: encD})
+		if err != nil || dresp.Status != wire.StatusOK {
+			abort()
+			return nil, fmt.Errorf("giver rejected join delta (epoch race): %v %s", err, respErr(dresp))
+		}
+	}
+	for i, peer := range table.Instances {
+		if peer.ID == giver.ID || table.Status[i] != ring.Alive {
+			continue
+		}
+		if r, err := caller.Call(peer.Addr, &wire.Request{Op: wire.OpDelta, Aux: encD}); err != nil || r.Status != wire.StatusOK {
+			caller.Call(peer.Addr, &wire.Request{Op: wire.OpDelta, Aux: ring.EncodeTable(nt)})
+		}
+	}
+	return inst, nil
+}
+
+// Depart performs a planned departure (§III.C): the departing
+// instance migrates each of its partitions to alive ring neighbours,
+// then broadcasts the membership update marking itself Departing.
+// The caller should Close the instance afterwards.
+func Depart(inst *Instance) error {
+	table := inst.Table()
+	delta, moves, err := table.PlanDeparture(inst.self.ID)
+	if err != nil {
+		return err
+	}
+	// Push every partition image to its receiver while holding the
+	// migration lock; queued requests release when the delta is
+	// applied locally below.
+	for tgtIdx, parts := range moves {
+		tgt := table.Instances[tgtIdx]
+		for _, p := range parts {
+			if !inst.beginMigration(p) {
+				return fmt.Errorf("core: partition %d already migrating", p)
+			}
+			img, err := inst.exportPartition(p)
+			if err != nil {
+				inst.completeMigration(p, "", false)
+				return err
+			}
+			resp, err := inst.caller.Call(tgt.Addr, &wire.Request{
+				Op: wire.OpMigrate, Partition: int64(p), Aux: img,
+			})
+			if err != nil || resp.Status != wire.StatusOK {
+				inst.completeMigration(p, "", false)
+				return fmt.Errorf("core: push partition %d to %s: %v %s", p, tgt.Addr, err, respErr(resp))
+			}
+		}
+	}
+	// Applying the delta locally flips ownership and releases the
+	// queued requests with redirects; then it is broadcast.
+	if _, err := inst.applyAndBroadcast(delta); err != nil {
+		for _, parts := range moves {
+			for _, p := range parts {
+				inst.completeMigration(p, "", false)
+			}
+		}
+		return err
+	}
+	return nil
+}
+
+func pickFirst(parts []int, table *ring.Table) int {
+	if len(parts) == 0 {
+		// Saturated ring: the newcomer takes nothing; any partition
+		// works for resolving the giver (unused).
+		return 0
+	}
+	return parts[0]
+}
+
+func respErr(r *wire.Response) string {
+	if r == nil {
+		return ""
+	}
+	return r.Err
+}

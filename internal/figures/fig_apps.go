@@ -1,0 +1,314 @@
+package figures
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+
+	"zht/internal/core"
+	"zht/internal/fusionfs"
+	"zht/internal/fusionfs/gpfssim"
+	"zht/internal/istore"
+	"zht/internal/matrix"
+	"zht/internal/matrix/falkon"
+	"zht/internal/transport"
+)
+
+// Fig16FusionFS — FusionFS (real, on ZHT) vs GPFS (model) time per
+// file create across N directories.
+func Fig16FusionFS(o Options) (*Series, error) {
+	s := &Series{
+		ID:      "fig16",
+		Title:   "FusionFS vs GPFS: time per file create (FusionFS real, GPFS model)",
+		Columns: []string{"nodes", "fusionfs (ms)", "gpfs (ms)", "gpfs/fusionfs"},
+		PaperNotes: []string{
+			"FusionFS 4.5 ms (1 node) → 8 ms (512 nodes, ~2x); GPFS 5 ms → 393 ms (78x); ~2 orders of magnitude gap at 512",
+		},
+	}
+	scales := []int{1, 2, 4, 8, 16}
+	if o.Quick {
+		scales = []int{1, 2, 4}
+	} else {
+		scales = append(scales, 32, 64)
+	}
+	creates := o.scale(200, 40)
+	gpfs := gpfssim.Default()
+	for _, n := range scales {
+		cfg := core.Config{NumPartitions: 1024, Replicas: 0, RetryBase: time.Millisecond}
+		d, _, err := core.BootstrapInproc(cfg, n)
+		if err != nil {
+			return nil, err
+		}
+		rootClient, err := d.NewClient()
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		fs, err := fusionfs.New(rootClient)
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		// One directory per node, as the paper's benchmark does:
+		// "creates 10K files per node, across N directories, where N
+		// was equal to the number of nodes".
+		for i := 0; i < n; i++ {
+			if err := fs.Mkdir(fmt.Sprintf("/dir%03d", i)); err != nil {
+				d.Close()
+				return nil, err
+			}
+		}
+		var wg sync.WaitGroup
+		errs := make(chan error, n)
+		start := time.Now()
+		for node := 0; node < n; node++ {
+			wg.Add(1)
+			go func(node int) {
+				defer wg.Done()
+				c, err := d.NewClient()
+				if err != nil {
+					errs <- err
+					return
+				}
+				nodeFS, err := fusionfs.New(c)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for i := 0; i < creates; i++ {
+					if err := nodeFS.Create(fmt.Sprintf("/dir%03d/f-%d-%06d", node, node, i)); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(node)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		d.Close()
+		close(errs)
+		for err := range errs {
+			return nil, err
+		}
+		perOp := elapsed / time.Duration(n*creates)
+		g := gpfs.TimePerOp(n, false)
+		s.Rows = append(s.Rows, []string{
+			fmt.Sprint(n), ms(perOp), ms(g),
+			fmt.Sprintf("%.0fx", float64(g)/float64(perOp)),
+		})
+	}
+	return s, nil
+}
+
+// Fig17IStore — IStore metadata/chunk throughput for different file
+// sizes at 8/16/32 nodes. File sizes are scaled down 100x from the
+// paper (10KB–1GB → 1KB–10MB) so the full sweep fits in memory; the
+// shape — smaller files are more metadata-intensive and thus push
+// more chunks/sec — is preserved.
+func Fig17IStore(o Options) (*Series, error) {
+	s := &Series{
+		ID:      "fig17",
+		Title:   "IStore chunk throughput vs scale and file size (real)",
+		Columns: []string{"nodes", "file size", "files", "chunks/s (write+read)"},
+		PaperNotes: []string{
+			"up to ~500 chunks/s at 32 nodes; smaller files → more metadata-intensive → higher chunks/s",
+		},
+	}
+	nodeScales := []int{8, 16, 32}
+	if o.Quick {
+		nodeScales = []int{8}
+	}
+	sizes := []int{1 << 10, 32 << 10, 1 << 20}
+	if !o.Quick {
+		sizes = append(sizes, 10<<20)
+	}
+	files := o.scale(24, 6)
+	for _, n := range nodeScales {
+		cfg := core.Config{NumPartitions: 1024, Replicas: 0, RetryBase: time.Millisecond}
+		d, reg, err := core.BootstrapInproc(cfg, 4)
+		if err != nil {
+			return nil, err
+		}
+		meta, err := d.NewClient()
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		var addrs []string
+		for i := 0; i < n; i++ {
+			cs := istore.NewChunkServer()
+			addr := fmt.Sprintf("chunk-%03d", i)
+			if _, err := reg.Listen(addr, cs.Handle); err != nil {
+				d.Close()
+				return nil, err
+			}
+			addrs = append(addrs, addr)
+		}
+		// k = n/2 data shards: files chunk into n blocks over n
+		// nodes, half needed to recover (a typical IDA setting).
+		st, err := istore.New(meta, n/2, addrs, reg.NewClient())
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		for _, size := range sizes {
+			data := bytes.Repeat([]byte{0xA5}, size)
+			start := time.Now()
+			for f := 0; f < files; f++ {
+				name := fmt.Sprintf("f-%d-%d-%d", n, size, f)
+				if err := st.Put(name, data); err != nil {
+					d.Close()
+					return nil, err
+				}
+				if _, err := st.Get(name); err != nil {
+					d.Close()
+					return nil, err
+				}
+			}
+			elapsed := time.Since(start)
+			chunks := float64(files*n) * 2 // written + read (k read, count n for symmetry with the paper's accounting)
+			s.Rows = append(s.Rows, []string{
+				fmt.Sprint(n), sizeLabel(size), fmt.Sprint(files),
+				fmt.Sprintf("%.0f", chunks/elapsed.Seconds()),
+			})
+		}
+		d.Close()
+	}
+	return s, nil
+}
+
+func sizeLabel(b int) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%dMB", b>>20)
+	case b >= 1<<10:
+		return fmt.Sprintf("%dKB", b>>10)
+	}
+	return fmt.Sprintf("%dB", b)
+}
+
+// matrixWorkers picks Figure 18 executor counts.
+func matrixWorkers(o Options) []int {
+	if o.Quick {
+		return []int{4, 8}
+	}
+	return []int{4, 8, 16, 32, 64}
+}
+
+// Fig18Matrix — MATRIX vs Falkon task throughput (NO-OP tasks).
+func Fig18Matrix(o Options) (*Series, error) {
+	s := &Series{
+		ID:      "fig18",
+		Title:   "Task throughput: MATRIX (work stealing) vs Falkon (centralized), NO-OP tasks (real)",
+		Columns: []string{"workers", "matrix (tasks/s)", "falkon (tasks/s)"},
+		PaperNotes: []string{
+			"Falkon saturates ≈1700 tasks/s at 256 cores; MATRIX grows 1100 → 4900 tasks/s at 2K cores with no saturation",
+		},
+	}
+	tasks := o.scale(3000, 400)
+	for _, w := range matrixWorkers(o) {
+		// MATRIX: w single-worker nodes.
+		regM := transport.NewRegistry()
+		mc, err := matrix.NewCluster(w, matrix.NodeOptions{Workers: 1}, nil,
+			func(addr string, h transport.Handler) (transport.Listener, error) { return regM.Listen(addr, h) },
+			regM.NewClient())
+		if err != nil {
+			return nil, err
+		}
+		mStart := time.Now()
+		if err := mc.Submit(matrix.MakeSleepTasks(tasks, 0), "balanced"); err != nil {
+			return nil, err
+		}
+		if !mc.WaitForCount(int64(tasks), 120*time.Second) {
+			mc.Stop()
+			return nil, fmt.Errorf("matrix workload stalled at %d workers", w)
+		}
+		mThr := float64(tasks) / time.Since(mStart).Seconds()
+		mc.Stop()
+
+		// Falkon: same worker count against one dispatcher.
+		regF := transport.NewRegistry()
+		fTasks := o.scale(1200, 200)
+		fc, err := falkon.NewCluster(w, falkon.DefaultServiceTime,
+			func(addr string, h transport.Handler) (transport.Listener, error) { return regF.Listen(addr, h) },
+			regF.NewClient())
+		if err != nil {
+			return nil, err
+		}
+		fStart := time.Now()
+		fc.Dispatcher.Submit(matrix.MakeSleepTasks(fTasks, 0))
+		deadline := time.Now().Add(120 * time.Second)
+		for time.Now().Before(deadline) && fc.TotalExecuted() < int64(fTasks) {
+			time.Sleep(time.Millisecond)
+		}
+		if fc.TotalExecuted() < int64(fTasks) {
+			fc.Stop()
+			return nil, fmt.Errorf("falkon workload stalled at %d workers", w)
+		}
+		fThr := float64(fTasks) / time.Since(fStart).Seconds()
+		fc.Stop()
+
+		s.Rows = append(s.Rows, []string{
+			fmt.Sprint(w),
+			fmt.Sprintf("%.0f", mThr),
+			fmt.Sprintf("%.0f", fThr),
+		})
+	}
+	return s, nil
+}
+
+// Fig19MatrixEfficiency — efficiency for 1/2/4/8-second tasks (scaled
+// 100x down to 10-80 ms so the sweep runs in seconds).
+func Fig19MatrixEfficiency(o Options) (*Series, error) {
+	s := &Series{
+		ID:      "fig19",
+		Title:   "Efficiency vs task duration: MATRIX vs Falkon (durations scaled /100, real)",
+		Columns: []string{"task (paper s / run ms)", "matrix eff", "falkon eff"},
+		PaperNotes: []string{
+			"MATRIX 92–97% across 1–8 s tasks; Falkon 18–82% (worst for short tasks)",
+		},
+	}
+	workers := o.scale(16, 8)
+	perWorker := o.scale(8, 4)
+	for _, paperSec := range []int{1, 2, 4, 8} {
+		dur := time.Duration(paperSec) * 10 * time.Millisecond
+		tasks := matrix.MakeSleepTasks(workers*perWorker, dur)
+
+		regM := transport.NewRegistry()
+		mcNodes := workers / 2
+		if mcNodes < 1 {
+			mcNodes = 1
+		}
+		mc, err := matrix.NewCluster(mcNodes, matrix.NodeOptions{Workers: 2}, nil,
+			func(addr string, h transport.Handler) (transport.Listener, error) { return regM.Listen(addr, h) },
+			regM.NewClient())
+		if err != nil {
+			return nil, err
+		}
+		_, mEff, err := mc.RunWorkload(tasks, "balanced", 300*time.Second)
+		mc.Stop()
+		if err != nil {
+			return nil, err
+		}
+
+		regF := transport.NewRegistry()
+		fc, err := falkon.NewCluster(workers, falkon.DefaultServiceTime,
+			func(addr string, h transport.Handler) (transport.Listener, error) { return regF.Listen(addr, h) },
+			regF.NewClient())
+		if err != nil {
+			return nil, err
+		}
+		_, fEff, err := fc.RunWorkload(matrix.MakeSleepTasks(workers*perWorker, dur), 300*time.Second)
+		fc.Stop()
+		if err != nil {
+			return nil, err
+		}
+		s.Rows = append(s.Rows, []string{
+			fmt.Sprintf("%d s / %d ms", paperSec, paperSec*10),
+			fmt.Sprintf("%.0f%%", mEff*100),
+			fmt.Sprintf("%.0f%%", fEff*100),
+		})
+	}
+	return s, nil
+}

@@ -1,0 +1,509 @@
+package figures
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"zht/internal/baselines/cassring"
+	"zht/internal/baselines/memcache"
+	"zht/internal/core"
+	"zht/internal/sim"
+	"zht/internal/transport"
+)
+
+// netDeployment boots n ZHT instances over a real loopback transport.
+func netDeployment(n int, cfg core.Config, kind string) (*core.Deployment, func(), error) {
+	var caller transport.Caller
+	switch kind {
+	case "tcp-cache":
+		caller = transport.NewTCPClient(transport.TCPClientOptions{ConnCache: true})
+	case "tcp-nocache":
+		caller = transport.NewTCPClient(transport.TCPClientOptions{ConnCache: false})
+	case "udp":
+		caller = transport.NewUDPClient(transport.UDPClientOptions{Timeout: 2 * time.Second})
+	default:
+		return nil, nil, fmt.Errorf("figures: unknown transport %q", kind)
+	}
+	var lns []transport.Listener
+	var switches []*core.HandlerSwitch
+	eps := make([]core.Endpoint, n)
+	for i := range eps {
+		hs := &core.HandlerSwitch{}
+		var ln transport.Listener
+		var err error
+		if kind == "udp" {
+			ln, err = transport.ListenUDP("127.0.0.1:0", hs.Handle)
+		} else {
+			ln, err = transport.ListenTCP("127.0.0.1:0", hs.Handle, transport.EventDriven)
+		}
+		if err != nil {
+			for _, l := range lns {
+				l.Close()
+			}
+			caller.Close()
+			return nil, nil, err
+		}
+		lns = append(lns, ln)
+		switches = append(switches, hs)
+		eps[i] = core.Endpoint{Addr: ln.Addr(), Node: fmt.Sprintf("n%03d", i)}
+	}
+	d, err := core.Bootstrap(cfg, eps, func(addr string, h transport.Handler) (transport.Listener, error) {
+		for i, ep := range eps {
+			if ep.Addr == addr {
+				switches[i].Set(h)
+				return nopListener{addr}, nil
+			}
+		}
+		return nil, errors.New("figures: unbound address")
+	}, caller)
+	if err != nil {
+		for _, l := range lns {
+			l.Close()
+		}
+		caller.Close()
+		return nil, nil, err
+	}
+	cleanup := func() {
+		d.Close()
+		for _, l := range lns {
+			l.Close()
+		}
+		caller.Close()
+	}
+	return d, cleanup, nil
+}
+
+type nopListener struct{ addr string }
+
+func (l nopListener) Addr() string { return l.addr }
+func (l nopListener) Close() error { return nil }
+
+// measureNet runs the all-to-all workload at scale n over the given
+// transport and returns the stats.
+func measureNet(n, opsPer int, kind string) (opStats, error) {
+	cfg := core.Config{NumPartitions: 1024, Replicas: 0, RetryBase: time.Millisecond}
+	d, cleanup, err := netDeployment(n, cfg, kind)
+	if err != nil {
+		return opStats{}, err
+	}
+	defer cleanup()
+	return runAllToAll(d, n, opsPer)
+}
+
+// measureMemcache runs set/get/delete over n real memcached-style
+// servers on loopback TCP.
+func measureMemcache(n, opsPer int) (opStats, error) {
+	caller := transport.NewTCPClient(transport.TCPClientOptions{ConnCache: true})
+	defer caller.Close()
+	var addrs []string
+	var lns []transport.Listener
+	defer func() {
+		for _, l := range lns {
+			l.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		srv := memcache.NewServer(0)
+		ln, err := transport.ListenTCP("127.0.0.1:0", srv.Handle, transport.EventDriven)
+		if err != nil {
+			return opStats{}, err
+		}
+		lns = append(lns, ln)
+		addrs = append(addrs, ln.Addr())
+	}
+	stats := opStats{}
+	start := time.Now()
+	done := make(chan error, n)
+	for ci := 0; ci < n; ci++ {
+		go func(ci int) {
+			c, err := memcache.NewClient(addrs, caller)
+			if err != nil {
+				done <- err
+				return
+			}
+			for i := 0; i < opsPer; i++ {
+				k := benchKey(ci, i)
+				if err := c.Set(k, benchValue); err != nil {
+					done <- err
+					return
+				}
+				if _, err := c.Get(k); err != nil {
+					done <- err
+					return
+				}
+				if err := c.Delete(k); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(ci)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-done; err != nil {
+			return opStats{}, err
+		}
+	}
+	stats.Ops = n * opsPer * 3
+	stats.Elapsed = time.Since(start)
+	return stats, nil
+}
+
+// simZHTLatency returns the modeled ZHT latency (TCP-cached/UDP) at
+// BG/P scale.
+func simZHTLatency(nodes int) (time.Duration, error) {
+	r, err := sim.Analytic(sim.DefaultParams(nodes, 1))
+	if err != nil {
+		return 0, err
+	}
+	return time.Duration(r.Latency * 1e9), nil
+}
+
+// Modeled deltas for the other transports/baselines at simulated
+// scales, anchored on the paper's curves: TCP without connection
+// caching pays a dial per op; Memcached starts at ~1.1 ms and
+// converges toward ZHT's curve at scale.
+const dialOverhead = 550 * time.Microsecond
+
+func simNoCacheLatency(nodes int) (time.Duration, error) {
+	l, err := simZHTLatency(nodes)
+	if err != nil {
+		return 0, err
+	}
+	return l + dialOverhead, nil
+}
+
+func simMemcachedLatency(nodes int) (time.Duration, error) {
+	l, err := simZHTLatency(nodes)
+	if err != nil {
+		return 0, err
+	}
+	base, err := simZHTLatency(1)
+	if err != nil {
+		return 0, err
+	}
+	return 1050*time.Microsecond + (l-base)/2, nil
+}
+
+// realScales / simScales pick the sweep points.
+func realScales(o Options) []int {
+	if o.Quick {
+		return []int{1, 2}
+	}
+	return []int{1, 2, 4, 8}
+}
+
+var simScales = []int{64, 256, 1024, 4096, 8192}
+
+// Fig07Latency — ZHT vs Memcached latency vs scale (BG/P): real
+// loopback measurements at small scale, simulator beyond.
+func Fig07Latency(o Options) (*Series, error) {
+	s := &Series{
+		ID:      "fig07",
+		Title:   "Latency vs scale: transports and Memcached (real ≤8, simulated ≥64)",
+		Columns: []string{"nodes", "source", "tcp-nocache (ms)", "tcp-cache (ms)", "udp (ms)", "memcached (ms)"},
+		PaperNotes: []string{
+			"TCP-cached ≈ UDP (<0.5 ms at 1 node, 1.1 ms at 8K); TCP w/o caching ~2x; Memcached 1.1→1.4 ms",
+		},
+	}
+	ops := o.scale(1500, 150)
+	for _, n := range realScales(o) {
+		row := []string{fmt.Sprint(n), "real"}
+		for _, kind := range []string{"tcp-nocache", "tcp-cache", "udp"} {
+			st, err := measureNet(n, ops, kind)
+			if err != nil {
+				return nil, fmt.Errorf("%s at %d: %w", kind, n, err)
+			}
+			row = append(row, ms(st.Latency()))
+		}
+		mc, err := measureMemcache(n, ops)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, ms(mc.Latency()))
+		s.Rows = append(s.Rows, row)
+	}
+	for _, n := range simScales {
+		nc, err := simNoCacheLatency(n)
+		if err != nil {
+			return nil, err
+		}
+		zc, _ := simZHTLatency(n)
+		mc, _ := simMemcachedLatency(n)
+		s.Rows = append(s.Rows, []string{
+			fmt.Sprint(n), "sim", ms(nc), ms(zc), ms(zc), ms(mc),
+		})
+	}
+	return s, nil
+}
+
+// Fig09Throughput — same engines, throughput view.
+func Fig09Throughput(o Options) (*Series, error) {
+	s := &Series{
+		ID:      "fig09",
+		Title:   "Throughput vs scale (real ≤8, simulated ≥64)",
+		Columns: []string{"nodes", "source", "tcp-cache (ops/s)", "udp (ops/s)", "memcached (ops/s)"},
+		PaperNotes: []string{
+			"near-linear growth; ~7.4M ops/s at 8K nodes for both ZHT (TCP-cached) and Memcached",
+		},
+	}
+	ops := o.scale(1500, 150)
+	for _, n := range realScales(o) {
+		st, err := measureNet(n, ops, "tcp-cache")
+		if err != nil {
+			return nil, err
+		}
+		ud, err := measureNet(n, ops, "udp")
+		if err != nil {
+			return nil, err
+		}
+		mc, err := measureMemcache(n, ops)
+		if err != nil {
+			return nil, err
+		}
+		s.Rows = append(s.Rows, []string{
+			fmt.Sprint(n), "real",
+			fmt.Sprintf("%.0f", st.Throughput()),
+			fmt.Sprintf("%.0f", ud.Throughput()),
+			fmt.Sprintf("%.0f", mc.Throughput()),
+		})
+	}
+	for _, n := range simScales {
+		r, err := sim.Analytic(sim.DefaultParams(n, 1))
+		if err != nil {
+			return nil, err
+		}
+		mcLat, _ := simMemcachedLatency(n)
+		mcThr := float64(n) / mcLat.Seconds()
+		s.Rows = append(s.Rows, []string{
+			fmt.Sprint(n), "sim",
+			fmt.Sprintf("%.0f", r.Throughput),
+			fmt.Sprintf("%.0f", r.Throughput),
+			fmt.Sprintf("%.0f", mcThr),
+		})
+	}
+	return s, nil
+}
+
+// clusterScales for the HEC-Cluster comparison (Figures 8/10).
+func clusterScales(o Options) []int {
+	if o.Quick {
+		return []int{1, 2, 4, 8}
+	}
+	return []int{1, 2, 4, 8, 16, 32, 64}
+}
+
+// clusterNetLatency is the injected per-hop latency standing in for
+// the HEC-Cluster's Ethernet (all three systems pay it equally; the
+// point of the figure is Cassandra paying it log(N) times).
+const clusterNetLatency = 120 * time.Microsecond
+
+// runClusterComparison measures ZHT, Cassandra (cassring) and
+// Memcached on the same in-process network with injected latency.
+func runClusterComparison(o Options) (map[string]map[int]opStats, error) {
+	ops := o.scale(400, 60)
+	out := map[string]map[int]opStats{"zht": {}, "cass": {}, "memcached": {}}
+	for _, n := range clusterScales(o) {
+		// ZHT.
+		d, reg, err := core.BootstrapInproc(core.Config{NumPartitions: 1024, Replicas: 0, RetryBase: time.Millisecond}, n)
+		if err != nil {
+			return nil, err
+		}
+		reg.SetLatency(func(string) time.Duration { return clusterNetLatency })
+		st, err := runAllToAll(d, n, ops)
+		d.Close()
+		if err != nil {
+			return nil, err
+		}
+		out["zht"][n] = st
+
+		// Cassandra-style.
+		regC := transport.NewRegistry()
+		regC.SetLatency(func(string) time.Duration { return clusterNetLatency })
+		cl, err := cassring.NewCluster(n, cassring.Options{}, func(addr string, h transport.Handler) (transport.Listener, error) {
+			return regC.Listen(addr, h)
+		}, regC.NewClient())
+		if err != nil {
+			return nil, err
+		}
+		cst, err := runCassWorkload(cl, regC, n, ops)
+		cl.Close()
+		if err != nil {
+			return nil, err
+		}
+		out["cass"][n] = cst
+
+		// Memcached-style.
+		regM := transport.NewRegistry()
+		regM.SetLatency(func(string) time.Duration { return clusterNetLatency })
+		mst, err := runMemcacheInproc(regM, n, ops)
+		if err != nil {
+			return nil, err
+		}
+		out["memcached"][n] = mst
+	}
+	return out, nil
+}
+
+func runCassWorkload(cl *cassring.Cluster, reg *transport.Registry, nClients, opsPer int) (opStats, error) {
+	done := make(chan error, nClients)
+	start := time.Now()
+	for ci := 0; ci < nClients; ci++ {
+		go func(ci int) {
+			c := cl.NewClient(reg.NewClient())
+			for i := 0; i < opsPer; i++ {
+				k := benchKey(ci, i)
+				if err := c.Put(k, benchValue); err != nil {
+					done <- err
+					return
+				}
+				if _, err := c.Get(k); err != nil {
+					done <- err
+					return
+				}
+				if err := c.Delete(k); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(ci)
+	}
+	for i := 0; i < nClients; i++ {
+		if err := <-done; err != nil {
+			return opStats{}, err
+		}
+	}
+	return opStats{Ops: nClients * opsPer * 3, Elapsed: time.Since(start)}, nil
+}
+
+func runMemcacheInproc(reg *transport.Registry, n, opsPer int) (opStats, error) {
+	var addrs []string
+	for i := 0; i < n; i++ {
+		srv := memcache.NewServer(0)
+		addr := fmt.Sprintf("mc-%03d", i)
+		if _, err := reg.Listen(addr, srv.Handle); err != nil {
+			return opStats{}, err
+		}
+		addrs = append(addrs, addr)
+	}
+	done := make(chan error, n)
+	start := time.Now()
+	for ci := 0; ci < n; ci++ {
+		go func(ci int) {
+			c, err := memcache.NewClient(addrs, reg.NewClient())
+			if err != nil {
+				done <- err
+				return
+			}
+			for i := 0; i < opsPer; i++ {
+				k := benchKey(ci, i)
+				if err := c.Set(k, benchValue); err != nil {
+					done <- err
+					return
+				}
+				if _, err := c.Get(k); err != nil {
+					done <- err
+					return
+				}
+				if err := c.Delete(k); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(ci)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-done; err != nil {
+			return opStats{}, err
+		}
+	}
+	return opStats{Ops: n * opsPer * 3, Elapsed: time.Since(start)}, nil
+}
+
+// Fig08ClusterLatency — ZHT vs Cassandra vs Memcached latency on the
+// HEC-Cluster profile.
+func Fig08ClusterLatency(o Options) (*Series, error) {
+	data, err := runClusterComparison(o)
+	if err != nil {
+		return nil, err
+	}
+	s := &Series{
+		ID:      "fig08",
+		Title:   "Cluster latency: ZHT vs Cassandra vs Memcached (same injected network)",
+		Columns: []string{"nodes", "zht (ms)", "cassandra (ms)", "memcached (ms)"},
+		PaperNotes: []string{
+			"ZHT far below Cassandra (log-routing); Memcached slightly better than ZHT (no disk writes)",
+		},
+	}
+	for _, n := range clusterScales(o) {
+		s.Rows = append(s.Rows, []string{
+			fmt.Sprint(n),
+			ms(data["zht"][n].Latency()),
+			ms(data["cass"][n].Latency()),
+			ms(data["memcached"][n].Latency()),
+		})
+	}
+	return s, nil
+}
+
+// Fig10ClusterThroughput — throughput view of the same comparison.
+func Fig10ClusterThroughput(o Options) (*Series, error) {
+	data, err := runClusterComparison(o)
+	if err != nil {
+		return nil, err
+	}
+	s := &Series{
+		ID:      "fig10",
+		Title:   "Cluster throughput: ZHT vs Cassandra vs Memcached",
+		Columns: []string{"nodes", "zht (ops/s)", "cassandra (ops/s)", "memcached (ops/s)", "zht/cass"},
+		PaperNotes: []string{
+			"~7x gap between ZHT and Cassandra at 64 nodes; Memcached ~27% above ZHT",
+		},
+	}
+	for _, n := range clusterScales(o) {
+		z, c, m := data["zht"][n], data["cass"][n], data["memcached"][n]
+		ratio := z.Throughput() / c.Throughput()
+		s.Rows = append(s.Rows, []string{
+			fmt.Sprint(n),
+			fmt.Sprintf("%.0f", z.Throughput()),
+			fmt.Sprintf("%.0f", c.Throughput()),
+			fmt.Sprintf("%.0f", m.Throughput()),
+			fmt.Sprintf("%.1fx", ratio),
+		})
+	}
+	return s, nil
+}
+
+// Fig11Efficiency — measured small-scale efficiency plus simulated
+// efficiency to 1M nodes.
+func Fig11Efficiency(o Options) (*Series, error) {
+	s := &Series{
+		ID:      "fig11",
+		Title:   "Efficiency vs scale (simulated; measured/simulated agree within ~3% in the paper)",
+		Columns: []string{"nodes", "latency (ms)", "efficiency"},
+		PaperNotes: []string{
+			"100% at 2 nodes (0.6 ms) → ~51% at 8K (1.1 ms) → ~8% at 1M (≈7 ms, still ~150M ops/s)",
+		},
+	}
+	base, err := sim.Analytic(sim.DefaultParams(2, 1))
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range []int{2, 64, 1024, 8192, 65536, 1 << 20} {
+		p := sim.DefaultParams(n, 1)
+		r, err := sim.Analytic(p)
+		if err != nil {
+			return nil, err
+		}
+		eff := sim.Efficiency(r, p, base.Latency)
+		s.Rows = append(s.Rows, []string{
+			fmt.Sprint(n),
+			fmt.Sprintf("%.3f", r.Latency*1e3),
+			fmt.Sprintf("%.0f%%", eff*100),
+		})
+	}
+	return s, nil
+}

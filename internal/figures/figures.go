@@ -1,0 +1,188 @@
+// Package figures regenerates every table and figure in the paper's
+// evaluation (see DESIGN.md §3 for the per-experiment index). Each
+// FigNN function runs the corresponding workload — on real in-process
+// or loopback-network deployments at laptop scales, and on the
+// simulator at Blue Gene/P scales — and returns a Series with the
+// measured rows next to the paper-reported values.
+//
+// cmd/zht-figures prints these; the root bench_test.go wraps each in
+// a testing.B benchmark.
+package figures
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Series is one regenerated table or figure.
+type Series struct {
+	ID      string // e.g. "fig07"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// PaperNotes state what the paper reported, for eyeball
+	// comparison of the shape.
+	PaperNotes []string
+}
+
+// CSV renders the series as RFC-4180 CSV (paper notes become trailing
+// comment lines prefixed with '#').
+func (s *Series) CSV() string {
+	var b strings.Builder
+	esc := func(cell string) string {
+		if strings.ContainsAny(cell, ",\"\n") {
+			return "\"" + strings.ReplaceAll(cell, "\"", "\"\"") + "\""
+		}
+		return cell
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(s.Columns)
+	for _, row := range s.Rows {
+		writeRow(row)
+	}
+	for _, n := range s.PaperNotes {
+		fmt.Fprintf(&b, "# paper: %s\n", n)
+	}
+	return b.String()
+}
+
+// Render formats the series as an aligned text table.
+func (s *Series) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", s.ID, s.Title)
+	widths := make([]int, len(s.Columns))
+	for i, c := range s.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range s.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(s.Columns)
+	for _, row := range s.Rows {
+		writeRow(row)
+	}
+	for _, n := range s.PaperNotes {
+		fmt.Fprintf(&b, "paper: %s\n", n)
+	}
+	return b.String()
+}
+
+// Options tunes workload sizes: Quick mode shrinks everything so the
+// full suite finishes in seconds (tests); the default sizes are meant
+// for the published numbers in EXPERIMENTS.md.
+type Options struct {
+	Quick bool
+}
+
+func (o Options) scale(def, quick int) int {
+	if o.Quick {
+		return quick
+	}
+	return def
+}
+
+// ms formats a duration in milliseconds.
+func ms(d time.Duration) string { return fmt.Sprintf("%.3f", float64(d.Nanoseconds())/1e6) }
+
+// us formats a duration in microseconds.
+func us(d time.Duration) string { return fmt.Sprintf("%.2f", float64(d.Nanoseconds())/1e3) }
+
+// All runs every figure/table generator and returns the series in
+// paper order.
+func All(o Options) ([]*Series, error) {
+	gens := []func(Options) (*Series, error){
+		Fig01GPFS,
+		Tab01Features,
+		Fig04Partitions,
+		Fig05Bootstrap,
+		Fig06NoVoHT,
+		Fig07Latency,
+		Fig08ClusterLatency,
+		Fig09Throughput,
+		Fig10ClusterThroughput,
+		Fig11Efficiency,
+		Fig12Replication,
+		Fig13InstancesLatency,
+		Fig14InstancesThroughput,
+		Fig15Migration,
+		Fig16FusionFS,
+		Fig17IStore,
+		Fig18Matrix,
+		Fig19MatrixEfficiency,
+	}
+	var out []*Series
+	for _, g := range gens {
+		s, err := g(o)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// ByID returns the generator for one figure id (e.g. "fig07",
+// "tab01"), or nil.
+func ByID(id string) func(Options) (*Series, error) {
+	switch strings.ToLower(id) {
+	case "fig01":
+		return Fig01GPFS
+	case "tab01":
+		return Tab01Features
+	case "fig04":
+		return Fig04Partitions
+	case "fig05":
+		return Fig05Bootstrap
+	case "fig06":
+		return Fig06NoVoHT
+	case "fig07":
+		return Fig07Latency
+	case "fig08":
+		return Fig08ClusterLatency
+	case "fig09":
+		return Fig09Throughput
+	case "fig10":
+		return Fig10ClusterThroughput
+	case "fig11":
+		return Fig11Efficiency
+	case "fig12":
+		return Fig12Replication
+	case "fig13":
+		return Fig13InstancesLatency
+	case "fig14":
+		return Fig14InstancesThroughput
+	case "fig15":
+		return Fig15Migration
+	case "fig16":
+		return Fig16FusionFS
+	case "fig17":
+		return Fig17IStore
+	case "fig18":
+		return Fig18Matrix
+	case "fig19":
+		return Fig19MatrixEfficiency
+	}
+	return nil
+}

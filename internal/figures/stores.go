@@ -1,0 +1,95 @@
+package figures
+
+import (
+	"errors"
+	"os"
+
+	"zht/internal/baselines/bdb"
+	"zht/internal/baselines/kyoto"
+	"zht/internal/novoht"
+)
+
+// Small adapters giving the Figure 6 stores one interface.
+
+func mkTempDir() (string, error) { return os.MkdirTemp("", "zht-fig") }
+func rmTempDir(dir string)       { os.RemoveAll(dir) }
+
+type novohtKV struct{ s *novoht.Store }
+
+func (k novohtKV) set(key string, v []byte) error { return k.s.Put(key, v) }
+func (k novohtKV) get(key string) error {
+	_, ok, err := k.s.Get(key)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return errors.New("missing key")
+	}
+	return nil
+}
+func (k novohtKV) del(key string) error {
+	_, err := k.s.Remove(key)
+	return err
+}
+func (k novohtKV) close() error { return k.s.Close() }
+
+type kyotoKV struct{ db *kyoto.DB }
+
+func openKyotoKV(path string) (kyotoKV, error) {
+	db, err := kyoto.Open(path, 1<<18)
+	return kyotoKV{db}, err
+}
+func (k kyotoKV) set(key string, v []byte) error { return k.db.Set(key, v) }
+func (k kyotoKV) get(key string) error {
+	_, ok, err := k.db.Get(key)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return errors.New("missing key")
+	}
+	return nil
+}
+func (k kyotoKV) del(key string) error { return k.db.Delete(key) }
+func (k kyotoKV) close() error         { return k.db.Close() }
+
+type bdbKV struct{ db *bdb.DB }
+
+func openBdbKV(path string) (bdbKV, error) {
+	db, err := bdb.Open(path, 64)
+	return bdbKV{db}, err
+}
+func (k bdbKV) set(key string, v []byte) error { return k.db.Set([]byte(key), v) }
+func (k bdbKV) get(key string) error {
+	_, ok, err := k.db.Get([]byte(key))
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return errors.New("missing key")
+	}
+	return nil
+}
+func (k bdbKV) del(key string) error {
+	_, err := k.db.Delete([]byte(key))
+	return err
+}
+func (k bdbKV) close() error { return k.db.Close() }
+
+type mapKV struct{ m map[string][]byte }
+
+func (k mapKV) set(key string, v []byte) error {
+	k.m[key] = append([]byte(nil), v...)
+	return nil
+}
+func (k mapKV) get(key string) error {
+	if _, ok := k.m[key]; !ok {
+		return errors.New("missing key")
+	}
+	return nil
+}
+func (k mapKV) del(key string) error {
+	delete(k.m, key)
+	return nil
+}
+func (k mapKV) close() error { return nil }

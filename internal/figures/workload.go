@@ -1,0 +1,92 @@
+package figures
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+
+	"zht/internal/core"
+)
+
+// The paper's micro-benchmark workload (§IV.A): 15-byte keys,
+// 132-byte values; clients send insert, then lookup, then remove;
+// communication is all-to-all with as many clients as servers.
+
+const (
+	keyLen = 15
+	valLen = 132
+)
+
+func benchKey(client, i int) string {
+	return fmt.Sprintf("c%04dk%09d", client, i)[:keyLen]
+}
+
+var benchValue = bytes.Repeat([]byte{'v'}, valLen)
+
+// opStats aggregates a measured workload.
+type opStats struct {
+	Ops      int
+	Elapsed  time.Duration
+	ErrCount int
+}
+
+// Latency is mean time per op.
+func (s opStats) Latency() time.Duration {
+	if s.Ops == 0 {
+		return 0
+	}
+	return s.Elapsed / time.Duration(s.Ops)
+}
+
+// Throughput is aggregate ops/second.
+func (s opStats) Throughput() float64 {
+	if s.Elapsed == 0 {
+		return 0
+	}
+	return float64(s.Ops) / s.Elapsed.Seconds()
+}
+
+// runAllToAll drives the paper's workload: nClients concurrent
+// clients, each performing opsPer insert+lookup+remove rounds.
+func runAllToAll(d *core.Deployment, nClients, opsPer int) (opStats, error) {
+	clients := make([]*core.Client, nClients)
+	for i := range clients {
+		c, err := d.NewClient()
+		if err != nil {
+			return opStats{}, err
+		}
+		clients[i] = c
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, nClients)
+	start := time.Now()
+	for ci, c := range clients {
+		wg.Add(1)
+		go func(ci int, c *core.Client) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				k := benchKey(ci, i)
+				if err := c.Insert(k, benchValue); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := c.Lookup(k); err != nil {
+					errs <- err
+					return
+				}
+				if err := c.Remove(k); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(ci, c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return opStats{}, err
+	}
+	return opStats{Ops: nClients * opsPer * 3, Elapsed: elapsed}, nil
+}

@@ -1,0 +1,147 @@
+package fusionfs
+
+import (
+	"errors"
+	"fmt"
+
+	"zht/internal/hashing"
+	"zht/internal/transport"
+	"zht/internal/wire"
+)
+
+// File data path. In FusionFS "every compute node serves all three
+// roles: client, metadata server, and storage server" (§V.A): file
+// contents live in fixed-size chunks on the nodes' storage servers,
+// and the chunk locations live in the file's ZHT metadata record —
+// so opening a file is a constant-time metadata lookup followed by
+// direct chunk fetches.
+
+// DefaultChunkSize is the data chunk size.
+const DefaultChunkSize = 64 << 10
+
+// ErrNoStorage reports a data operation on an FS handle constructed
+// without storage servers.
+var ErrNoStorage = errors.New("fusionfs: no storage servers attached")
+
+// Storage wires an FS handle to the deployment's chunk servers.
+type Storage struct {
+	// Nodes are the storage-server addresses (one per compute node).
+	Nodes []string
+	// Caller is the transport used for chunk I/O.
+	Caller transport.Caller
+	// ChunkSize is the split granularity; 0 = DefaultChunkSize.
+	ChunkSize int
+}
+
+// AttachStorage enables WriteFile/ReadFile on the volume.
+func (f *FS) AttachStorage(s Storage) error {
+	if len(s.Nodes) == 0 || s.Caller == nil {
+		return errors.New("fusionfs: storage needs nodes and a caller")
+	}
+	if s.ChunkSize <= 0 {
+		s.ChunkSize = DefaultChunkSize
+	}
+	f.storage = &s
+	return nil
+}
+
+// chunkKey names chunk i of a file in the chunk servers' namespace.
+func chunkKey(path string, i int) string { return fmt.Sprintf("fdata:%s#%06d", path, i) }
+
+// chunkHome picks the storage server for a chunk. The first chunk
+// lands on the server named by the path hash (data locality with the
+// creating node in real FusionFS); subsequent chunks round-robin from
+// there so large files spread.
+func (s *Storage) chunkHome(path string, i int) string {
+	base := hashing.Default(path) % uint64(len(s.Nodes))
+	return s.Nodes[(base+uint64(i))%uint64(len(s.Nodes))]
+}
+
+// WriteFile stores data as the file's content, replacing any previous
+// content. The file must exist (Create first).
+func (f *FS) WriteFile(path string, data []byte) error {
+	if f.storage == nil {
+		return ErrNoStorage
+	}
+	m, err := f.Stat(path)
+	if err != nil {
+		return err
+	}
+	if m.IsDir {
+		return ErrIsDir
+	}
+	oldChunks := len(m.Chunks)
+	cs := f.storage.ChunkSize
+	nChunks := (len(data) + cs - 1) / cs
+	homes := make([]string, 0, nChunks)
+	for i := 0; i < nChunks; i++ {
+		lo := i * cs
+		hi := lo + cs
+		if hi > len(data) {
+			hi = len(data)
+		}
+		home := f.storage.chunkHome(path, i)
+		resp, err := f.storage.Caller.Call(home, &wire.Request{
+			Op: wire.OpInsert, Key: chunkKey(path, i), Value: data[lo:hi],
+		})
+		if err != nil {
+			return fmt.Errorf("fusionfs: store chunk %d on %s: %w", i, home, err)
+		}
+		if resp.Status != wire.StatusOK {
+			return fmt.Errorf("fusionfs: store chunk %d: %s", i, resp.Err)
+		}
+		homes = append(homes, home)
+	}
+	// Shrinking writes orphan old tail chunks: delete them.
+	for i := nChunks; i < oldChunks; i++ {
+		f.storage.Caller.Call(f.storage.chunkHome(path, i), &wire.Request{
+			Op: wire.OpRemove, Key: chunkKey(path, i),
+		})
+	}
+	m.Size = uint64(len(data))
+	m.MTime = now()
+	m.Chunks = homes
+	return f.SetMeta(path, m)
+}
+
+// ReadFile fetches and reassembles the file's content.
+func (f *FS) ReadFile(path string) ([]byte, error) {
+	if f.storage == nil {
+		return nil, ErrNoStorage
+	}
+	m, err := f.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if m.IsDir {
+		return nil, ErrIsDir
+	}
+	out := make([]byte, 0, m.Size)
+	for i, home := range m.Chunks {
+		resp, err := f.storage.Caller.Call(home, &wire.Request{
+			Op: wire.OpLookup, Key: chunkKey(path, i),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fusionfs: fetch chunk %d from %s: %w", i, home, err)
+		}
+		if resp.Status != wire.StatusOK {
+			return nil, fmt.Errorf("fusionfs: chunk %d missing on %s", i, home)
+		}
+		out = append(out, resp.Value...)
+	}
+	if uint64(len(out)) != m.Size {
+		return nil, fmt.Errorf("fusionfs: reassembled %d bytes, metadata says %d", len(out), m.Size)
+	}
+	return out, nil
+}
+
+// removeData deletes a file's chunks (called from Unlink when storage
+// is attached).
+func (f *FS) removeData(path string, m *FileMeta) {
+	if f.storage == nil {
+		return
+	}
+	for i, home := range m.Chunks {
+		f.storage.Caller.Call(home, &wire.Request{Op: wire.OpRemove, Key: chunkKey(path, i)})
+	}
+}

@@ -1,0 +1,164 @@
+package fusionfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"zht/internal/core"
+	"zht/internal/istore"
+)
+
+// newFSWithStorage boots metadata (ZHT) + storage servers on one
+// in-process network, mirroring FusionFS's every-node-is-everything
+// deployment.
+func newFSWithStorage(t *testing.T, storageNodes int, chunkSize int) (*FS, []*istore.ChunkServer) {
+	t.Helper()
+	cfg := core.Config{NumPartitions: 64, Replicas: 1, RetryBase: time.Millisecond}
+	d, reg, err := core.BootstrapInproc(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	c, err := d.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var servers []*istore.ChunkServer
+	var addrs []string
+	for i := 0; i < storageNodes; i++ {
+		cs := istore.NewChunkServer()
+		addr := fmt.Sprintf("fstore-%02d", i)
+		if _, err := reg.Listen(addr, cs.Handle); err != nil {
+			t.Fatal(err)
+		}
+		servers = append(servers, cs)
+		addrs = append(addrs, addr)
+	}
+	if err := fs.AttachStorage(Storage{Nodes: addrs, Caller: reg.NewClient(), ChunkSize: chunkSize}); err != nil {
+		t.Fatal(err)
+	}
+	return fs, servers
+}
+
+func TestWriteReadFile(t *testing.T) {
+	fs, servers := newFSWithStorage(t, 4, 1024)
+	if err := fs.Create("/data.bin"); err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("0123456789abcdef"), 300) // 4800 B = 5 chunks
+	if err := fs.WriteFile("/data.bin", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/data.bin")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("read back %d bytes, err %v", len(got), err)
+	}
+	m, _ := fs.Stat("/data.bin")
+	if m.Size != uint64(len(payload)) || len(m.Chunks) != 5 {
+		t.Errorf("meta after write: size=%d chunks=%d", m.Size, len(m.Chunks))
+	}
+	// Chunks spread across storage servers.
+	spread := 0
+	for _, s := range servers {
+		if s.Blocks() > 0 {
+			spread++
+		}
+	}
+	if spread < 2 {
+		t.Errorf("chunks landed on %d servers; want spread", spread)
+	}
+}
+
+func TestOverwriteShrinksAndGrows(t *testing.T) {
+	fs, _ := newFSWithStorage(t, 3, 512)
+	fs.Create("/f")
+	big := bytes.Repeat([]byte{'b'}, 3000) // 6 chunks
+	if err := fs.WriteFile("/f", big); err != nil {
+		t.Fatal(err)
+	}
+	small := []byte("tiny")
+	if err := fs.WriteFile("/f", small); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/f")
+	if err != nil || !bytes.Equal(got, small) {
+		t.Fatalf("after shrink: %q %v", got, err)
+	}
+	// Grow again; stale tail chunks must not corrupt the result.
+	big2 := bytes.Repeat([]byte{'c'}, 2000)
+	if err := fs.WriteFile("/f", big2); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := fs.ReadFile("/f"); !bytes.Equal(got, big2) {
+		t.Fatal("after regrow: mismatch")
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	fs, _ := newFSWithStorage(t, 2, 512)
+	fs.Create("/empty")
+	if err := fs.WriteFile("/empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/empty")
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty file: %d bytes, %v", len(got), err)
+	}
+}
+
+func TestUnlinkReclaimsChunks(t *testing.T) {
+	fs, servers := newFSWithStorage(t, 3, 256)
+	fs.Create("/gone")
+	fs.WriteFile("/gone", bytes.Repeat([]byte{'x'}, 2048))
+	if err := fs.Unlink("/gone"); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range servers {
+		total += s.Blocks()
+	}
+	if total != 0 {
+		t.Errorf("%d orphan chunks after unlink", total)
+	}
+}
+
+func TestDataOpsValidation(t *testing.T) {
+	fs, _ := newFSWithStorage(t, 2, 512)
+	if err := fs.WriteFile("/missing", []byte("x")); !errors.Is(err, ErrNotExist) {
+		t.Errorf("write to missing file: %v", err)
+	}
+	fs.Mkdir("/d")
+	if err := fs.WriteFile("/d", []byte("x")); !errors.Is(err, ErrIsDir) {
+		t.Errorf("write to dir: %v", err)
+	}
+	if _, err := fs.ReadFile("/d"); !errors.Is(err, ErrIsDir) {
+		t.Errorf("read dir: %v", err)
+	}
+
+	// FS without storage rejects data ops.
+	cfg := core.Config{NumPartitions: 16, RetryBase: time.Millisecond}
+	d, _, err := core.BootstrapInproc(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	c, _ := d.NewClient()
+	bare, _ := New(c)
+	bare.Create("/f")
+	if err := bare.WriteFile("/f", []byte("x")); !errors.Is(err, ErrNoStorage) {
+		t.Errorf("write without storage: %v", err)
+	}
+	if _, err := bare.ReadFile("/f"); !errors.Is(err, ErrNoStorage) {
+		t.Errorf("read without storage: %v", err)
+	}
+	if err := bare.AttachStorage(Storage{}); err == nil {
+		t.Error("empty storage accepted")
+	}
+}

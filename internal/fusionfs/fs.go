@@ -1,0 +1,204 @@
+package fusionfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"zht/internal/core"
+)
+
+// Errors returned by FS operations.
+var (
+	ErrExists     = errors.New("fusionfs: file exists")
+	ErrNotExist   = errors.New("fusionfs: no such file or directory")
+	ErrNotDir     = errors.New("fusionfs: not a directory")
+	ErrIsDir      = errors.New("fusionfs: is a directory")
+	ErrNotEmpty   = errors.New("fusionfs: directory not empty")
+	ErrParentGone = errors.New("fusionfs: parent directory does not exist")
+)
+
+// dirPrefix namespaces directory entry streams away from file
+// metadata so "/a" the file and "/a" the directory listing never
+// collide in the ZHT keyspace.
+const dirPrefix = "d:"
+
+// metaPrefix namespaces metadata records.
+const metaPrefix = "m:"
+
+// FS is a FusionFS metadata volume backed by a ZHT client. Multiple
+// FS handles (one per compute node) share the same volume through the
+// same ZHT deployment. All methods are safe for concurrent use.
+type FS struct {
+	c *core.Client
+	// storage, when attached, enables the file data path (chunks on
+	// storage servers, locations in metadata).
+	storage *Storage
+}
+
+// New creates a metadata volume handle and ensures the root directory
+// exists.
+func New(c *core.Client) (*FS, error) {
+	fs := &FS{c: c}
+	root := &FileMeta{Mode: 0o755, IsDir: true, MTime: now()}
+	if err := c.InsertIfAbsent(metaPrefix+"/", encodeMeta(root)); err != nil && !errors.Is(err, core.ErrExists) {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// Create makes a new empty file. The parent directory must exist.
+// The operation is two ZHT calls and no distributed lock: a
+// conditional insert of the metadata record plus an append of the
+// entry record under the parent directory's key (§V.A).
+func (f *FS) Create(path string) error {
+	dir, base, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	if err := f.requireDir(dir); err != nil {
+		return err
+	}
+	meta := &FileMeta{Mode: ModeDefault, MTime: now()}
+	if err := f.c.InsertIfAbsent(metaPrefix+path, encodeMeta(meta)); err != nil {
+		if errors.Is(err, core.ErrExists) {
+			return ErrExists
+		}
+		return err
+	}
+	return f.c.Append(dirPrefix+dir, addRecord(base))
+}
+
+// Mkdir makes a new directory.
+func (f *FS) Mkdir(path string) error {
+	dir, base, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	if err := f.requireDir(dir); err != nil {
+		return err
+	}
+	meta := &FileMeta{Mode: 0o755, IsDir: true, MTime: now()}
+	if err := f.c.InsertIfAbsent(metaPrefix+path, encodeMeta(meta)); err != nil {
+		if errors.Is(err, core.ErrExists) {
+			return ErrExists
+		}
+		return err
+	}
+	return f.c.Append(dirPrefix+dir, addRecord(base))
+}
+
+// Stat returns a file's metadata.
+func (f *FS) Stat(path string) (*FileMeta, error) {
+	if path != "/" {
+		if _, _, err := splitPath(path); err != nil {
+			return nil, err
+		}
+	}
+	v, err := f.c.Lookup(metaPrefix + path)
+	if err != nil {
+		if errors.Is(err, core.ErrNotFound) {
+			return nil, ErrNotExist
+		}
+		return nil, err
+	}
+	return decodeMeta(v)
+}
+
+// SetMeta replaces a file's metadata record (size updates, chunk
+// lists, chmod).
+func (f *FS) SetMeta(path string, m *FileMeta) error {
+	if _, err := f.Stat(path); err != nil {
+		return err
+	}
+	return f.c.Insert(metaPrefix+path, encodeMeta(m))
+}
+
+// Unlink removes a file.
+func (f *FS) Unlink(path string) error {
+	dir, base, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	m, err := f.Stat(path)
+	if err != nil {
+		return err
+	}
+	if m.IsDir {
+		return ErrIsDir
+	}
+	if err := f.c.Remove(metaPrefix + path); err != nil {
+		if errors.Is(err, core.ErrNotFound) {
+			return ErrNotExist
+		}
+		return err
+	}
+	f.removeData(path, m) // best effort: reclaim data chunks
+	return f.c.Append(dirPrefix+dir, removeRecord(base))
+}
+
+// Rmdir removes an empty directory.
+func (f *FS) Rmdir(path string) error {
+	dir, base, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	m, err := f.Stat(path)
+	if err != nil {
+		return err
+	}
+	if !m.IsDir {
+		return ErrNotDir
+	}
+	entries, err := f.ReadDir(path)
+	if err != nil {
+		return err
+	}
+	if len(entries) > 0 {
+		return ErrNotEmpty
+	}
+	if err := f.c.Remove(metaPrefix + path); err != nil {
+		return err
+	}
+	f.c.Remove(dirPrefix + path) // best effort: clear the record stream
+	return f.c.Append(dirPrefix+dir, removeRecord(base))
+}
+
+// ReadDir lists a directory, folding the appended add/remove records
+// into a sorted name list.
+func (f *FS) ReadDir(path string) ([]string, error) {
+	if err := f.requireDir(path); err != nil {
+		return nil, err
+	}
+	v, err := f.c.Lookup(dirPrefix + path)
+	if err != nil {
+		if errors.Is(err, core.ErrNotFound) {
+			return nil, nil // no entries appended yet
+		}
+		return nil, err
+	}
+	set, err := foldDir(v)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (f *FS) requireDir(path string) error {
+	m, err := f.Stat(path)
+	if err != nil {
+		if errors.Is(err, ErrNotExist) {
+			return fmt.Errorf("%w: %s", ErrParentGone, path)
+		}
+		return err
+	}
+	if !m.IsDir {
+		return ErrNotDir
+	}
+	return nil
+}

@@ -1,0 +1,268 @@
+package fusionfs
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"zht/internal/core"
+)
+
+func newFS(t *testing.T, instances int) (*FS, *core.Deployment) {
+	t.Helper()
+	cfg := core.Config{NumPartitions: 64, Replicas: 1, RetryBase: time.Millisecond}
+	d, _, err := core.BootstrapInproc(cfg, instances)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	c, err := d.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, d
+}
+
+func TestMetaRoundTrip(t *testing.T) {
+	m := &FileMeta{Mode: 0o755, Size: 12345, MTime: 987654321, IsDir: true, Replica: 3,
+		Chunks: []string{"node-1", "node-7"}}
+	got, err := decodeMeta(encodeMeta(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, m)
+	}
+}
+
+func TestMetaRejectsGarbage(t *testing.T) {
+	for _, b := range [][]byte{nil, {}, []byte("XX"), []byte("F1"), []byte("F1\x00")} {
+		if _, err := decodeMeta(b); err == nil {
+			t.Errorf("decodeMeta(%q) accepted", b)
+		}
+	}
+}
+
+func TestCreateStatUnlink(t *testing.T) {
+	fs, _ := newFS(t, 2)
+	if err := fs.Create("/a.txt"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := fs.Stat("/a.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.IsDir || m.Mode != ModeDefault {
+		t.Errorf("meta = %+v", m)
+	}
+	if err := fs.Create("/a.txt"); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate create: %v", err)
+	}
+	if err := fs.Unlink("/a.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("/a.txt"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("stat after unlink: %v", err)
+	}
+	if err := fs.Unlink("/a.txt"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("double unlink: %v", err)
+	}
+}
+
+func TestDirectories(t *testing.T) {
+	fs, _ := newFS(t, 2)
+	if err := fs.Mkdir("/data"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/data/run1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("/data/run1/out.log"); err != nil {
+		t.Fatal(err)
+	}
+	names, err := fs.ReadDir("/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(names, []string{"run1"}) {
+		t.Errorf("ReadDir(/data) = %v", names)
+	}
+	names, _ = fs.ReadDir("/data/run1")
+	if !reflect.DeepEqual(names, []string{"out.log"}) {
+		t.Errorf("ReadDir(/data/run1) = %v", names)
+	}
+	// Root listing contains /data.
+	names, _ = fs.ReadDir("/")
+	if !reflect.DeepEqual(names, []string{"data"}) {
+		t.Errorf("ReadDir(/) = %v", names)
+	}
+}
+
+func TestCreateRequiresParent(t *testing.T) {
+	fs, _ := newFS(t, 2)
+	if err := fs.Create("/missing/file"); !errors.Is(err, ErrParentGone) {
+		t.Errorf("create without parent: %v", err)
+	}
+	fs.Create("/plain")
+	if err := fs.Create("/plain/child"); !errors.Is(err, ErrNotDir) {
+		t.Errorf("create under file: %v", err)
+	}
+}
+
+func TestRmdir(t *testing.T) {
+	fs, _ := newFS(t, 2)
+	fs.Mkdir("/d")
+	fs.Create("/d/f")
+	if err := fs.Rmdir("/d"); !errors.Is(err, ErrNotEmpty) {
+		t.Errorf("rmdir non-empty: %v", err)
+	}
+	fs.Unlink("/d/f")
+	if err := fs.Rmdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("/d"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("stat after rmdir: %v", err)
+	}
+	if names, _ := fs.ReadDir("/"); len(names) != 0 {
+		t.Errorf("root still lists %v", names)
+	}
+	// Recreating the directory after rmdir starts empty.
+	fs.Mkdir("/d")
+	if names, _ := fs.ReadDir("/d"); len(names) != 0 {
+		t.Errorf("recreated dir lists stale entries: %v", names)
+	}
+	if err := fs.Rmdir("/plainfile"); !errors.Is(err, ErrNotExist) {
+		fs.Create("/plainfile")
+		if err := fs.Rmdir("/plainfile"); !errors.Is(err, ErrNotDir) {
+			t.Errorf("rmdir on file: %v", err)
+		}
+	}
+}
+
+func TestUnlinkDirRejected(t *testing.T) {
+	fs, _ := newFS(t, 2)
+	fs.Mkdir("/d")
+	if err := fs.Unlink("/d"); !errors.Is(err, ErrIsDir) {
+		t.Errorf("unlink dir: %v", err)
+	}
+}
+
+func TestPathValidation(t *testing.T) {
+	fs, _ := newFS(t, 1)
+	for _, p := range []string{"", "rel/path", "/a//b", "/a/", "//"} {
+		if err := fs.Create(p); err == nil {
+			t.Errorf("Create(%q) accepted", p)
+		}
+	}
+	if _, err := fs.Stat("/"); err != nil {
+		t.Errorf("Stat(/) = %v", err)
+	}
+}
+
+func TestSetMeta(t *testing.T) {
+	fs, _ := newFS(t, 2)
+	fs.Create("/f")
+	m, _ := fs.Stat("/f")
+	m.Size = 4096
+	m.Chunks = []string{"node-0", "node-1"}
+	if err := fs.SetMeta("/f", m); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := fs.Stat("/f")
+	if got.Size != 4096 || len(got.Chunks) != 2 {
+		t.Errorf("SetMeta lost fields: %+v", got)
+	}
+	if err := fs.SetMeta("/missing", m); !errors.Is(err, ErrNotExist) {
+		t.Errorf("SetMeta on missing: %v", err)
+	}
+}
+
+// TestConcurrentCreatesOneDirectory is the paper's marquee FusionFS
+// scenario: many clients creating files in ONE shared directory with
+// no distributed lock — ZHT append makes the directory updates
+// lock-free (§III.I: "creating 10K files from 10K processes in one
+// directory").
+func TestConcurrentCreatesOneDirectory(t *testing.T) {
+	fs, d := newFS(t, 4)
+	fs.Mkdir("/shared")
+	const workers, per = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := d.NewClient()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			nodeFS := &FS{c: c}
+			for i := 0; i < per; i++ {
+				if err := nodeFS.Create(fmt.Sprintf("/shared/w%d-f%04d", w, i)); err != nil {
+					t.Errorf("create w%d-f%04d: %v", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	names, err := fs.ReadDir("/shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != workers*per {
+		t.Fatalf("directory lists %d entries, want %d (lock-free appends lost records)", len(names), workers*per)
+	}
+}
+
+func TestConcurrentCreateSameName(t *testing.T) {
+	// Exactly one of N racing creates for the same path must win.
+	fs, d := newFS(t, 4)
+	fs.Mkdir("/race")
+	const workers = 8
+	var wins int32
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, _ := d.NewClient()
+			nodeFS := &FS{c: c}
+			if err := nodeFS.Create("/race/hot"); err == nil {
+				mu.Lock()
+				wins++
+				mu.Unlock()
+			} else if !errors.Is(err, ErrExists) {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if wins != 1 {
+		t.Errorf("%d creates won the race, want exactly 1", wins)
+	}
+	if names, _ := fs.ReadDir("/race"); len(names) != 1 {
+		t.Errorf("directory lists %d entries, want 1", len(names))
+	}
+}
+
+func TestFoldDirMalformed(t *testing.T) {
+	if _, err := foldDir([]byte("+a")); err == nil {
+		t.Error("unterminated record accepted")
+	}
+	if _, err := foldDir([]byte("?a\x00")); err == nil {
+		t.Error("bad opcode accepted")
+	}
+	set, err := foldDir([]byte("+a\x00+b\x00-a\x00"))
+	if err != nil || len(set) != 1 || !set["b"] {
+		t.Errorf("fold = %v %v", set, err)
+	}
+}

@@ -1,0 +1,61 @@
+// Package gpfssim models GPFS's metadata service: the baseline
+// FusionFS is compared against in Figures 1 and 16.
+//
+// The paper's measurements show two structural behaviours this model
+// reproduces:
+//
+//   - GPFS's metadata servers saturate at very small client counts
+//     ("reaching saturation at only 4 to 32 core scales"), so time
+//     per create grows linearly once clients outnumber the fixed
+//     metadata server pool;
+//   - creates in a single shared directory additionally serialize on
+//     the directory lock ("the concurrent metadata modification occur
+//     via distributed locks"), adding a per-client lock-hold term —
+//     the many-dir vs one-dir gap of Figure 1.
+//
+// Calibration anchors from the paper: ~5 ms per create at 1 node
+// growing to ~393 ms at 512 nodes (many directories, Figure 16), and
+// ~63 s per create at 16K processors in one directory (§III.I);
+// 2449 ms at 512 nodes one-dir (§V.A).
+package gpfssim
+
+import "time"
+
+// Model holds the GPFS metadata service parameters.
+type Model struct {
+	// Servers is the effective metadata-server parallelism; GPFS
+	// saturates when clients exceed it.
+	Servers float64
+	// BaseOp is the uncontended time per metadata operation.
+	BaseOp time.Duration
+	// LockHold is the per-client directory-lock serialization cost
+	// for same-directory operations.
+	LockHold time.Duration
+}
+
+// Default returns a model calibrated to the paper's measurements.
+func Default() Model {
+	return Model{Servers: 6.5, BaseOp: 5 * time.Millisecond, LockHold: 3850 * time.Microsecond}
+}
+
+// TimePerOp predicts the wall-clock time per create observed by each
+// of n concurrent clients; sameDir selects the single-shared-directory
+// workload.
+func (m Model) TimePerOp(n int, sameDir bool) time.Duration {
+	if n < 1 {
+		n = 1
+	}
+	t := m.BaseOp
+	if f := float64(n) / m.Servers; f > 1 {
+		t = time.Duration(float64(m.BaseOp) * f)
+	}
+	if sameDir {
+		t += time.Duration(n) * m.LockHold
+	}
+	return t
+}
+
+// Throughput predicts aggregate creates/second for n clients.
+func (m Model) Throughput(n int, sameDir bool) float64 {
+	return float64(n) / m.TimePerOp(n, sameDir).Seconds()
+}

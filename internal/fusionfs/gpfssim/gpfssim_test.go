@@ -1,0 +1,67 @@
+package gpfssim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAnchorsFromPaper(t *testing.T) {
+	m := Default()
+	// Figure 16: ~5 ms at 1 node, ~393 ms at 512 nodes (many dirs).
+	if got := m.TimePerOp(1, false); got < 3*time.Millisecond || got > 8*time.Millisecond {
+		t.Errorf("1 node many-dir = %v, want ≈5 ms", got)
+	}
+	if got := m.TimePerOp(512, false); got < 250*time.Millisecond || got > 550*time.Millisecond {
+		t.Errorf("512 nodes many-dir = %v, want ≈393 ms", got)
+	}
+	// §V.A: 2449 ms at 512 nodes, single directory.
+	if got := m.TimePerOp(512, true); got < 1500*time.Millisecond || got > 3500*time.Millisecond {
+		t.Errorf("512 nodes one-dir = %v, want ≈2.4 s", got)
+	}
+	// §III.I: ~63 s per op at 16K processors, single directory.
+	if got := m.TimePerOp(16384, true); got < 40*time.Second || got > 90*time.Second {
+		t.Errorf("16K one-dir = %v, want ≈63 s", got)
+	}
+}
+
+func TestMonotonicInScale(t *testing.T) {
+	m := Default()
+	var prev time.Duration
+	for _, n := range []int{1, 4, 16, 64, 256, 1024, 4096, 16384} {
+		got := m.TimePerOp(n, false)
+		if got < prev {
+			t.Errorf("time per op decreased at n=%d", n)
+		}
+		prev = got
+	}
+}
+
+func TestOneDirAlwaysWorse(t *testing.T) {
+	m := Default()
+	for _, n := range []int{1, 8, 64, 512, 4096} {
+		if m.TimePerOp(n, true) <= m.TimePerOp(n, false) {
+			t.Errorf("n=%d: one-dir not worse than many-dir", n)
+		}
+	}
+}
+
+func TestSaturationShape(t *testing.T) {
+	// Throughput must plateau once clients exceed the server pool:
+	// going 64 → 512 clients should improve aggregate throughput by
+	// far less than 8x (GPFS saturates; FusionFS does not).
+	m := Default()
+	gain := m.Throughput(512, false) / m.Throughput(64, false)
+	if gain > 1.5 {
+		t.Errorf("throughput gain 64→512 = %.1fx; GPFS model should be saturated", gain)
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	m := Default()
+	if m.TimePerOp(0, false) != m.TimePerOp(1, false) {
+		t.Error("n=0 should clamp to 1")
+	}
+	if m.Throughput(1, false) <= 0 {
+		t.Error("throughput must be positive")
+	}
+}

@@ -1,0 +1,96 @@
+package fusionfs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"zht/internal/core"
+	"zht/internal/transport"
+)
+
+// TestFusionFSOverRealTCP runs the metadata service on a real TCP
+// loopback deployment: the full stack a FusionFS node would use
+// (client → wire codec → TCP with connection cache → instance →
+// NoVoHT).
+func TestFusionFSOverRealTCP(t *testing.T) {
+	cfg := core.Config{NumPartitions: 256, Replicas: 1, RetryBase: time.Millisecond, DataDir: t.TempDir()}
+	caller := transport.NewTCPClient(transport.TCPClientOptions{ConnCache: true})
+	defer caller.Close()
+	var switches []*core.HandlerSwitch
+	eps := make([]core.Endpoint, 3)
+	for i := range eps {
+		hs := &core.HandlerSwitch{}
+		ln, err := transport.ListenTCP("127.0.0.1:0", hs.Handle, transport.EventDriven)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		switches = append(switches, hs)
+		eps[i] = core.Endpoint{Addr: ln.Addr(), Node: fmt.Sprintf("fsnode-%d", i)}
+	}
+	d, err := core.Bootstrap(cfg, eps, func(addr string, h transport.Handler) (transport.Listener, error) {
+		for i, ep := range eps {
+			if ep.Addr == addr {
+				switches[i].Set(h)
+				return tcpNop{addr}, nil
+			}
+		}
+		return nil, errors.New("unbound")
+	}, caller)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	rootClient, err := d.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := New(rootClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/tcp"); err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent creates from several client handles into one dir.
+	const workers, per = 4, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := d.NewClient()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			nodeFS := &FS{c: c}
+			for i := 0; i < per; i++ {
+				if err := nodeFS.Create(fmt.Sprintf("/tcp/w%d-f%03d", w, i)); err != nil {
+					t.Errorf("create: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	names, err := fs.ReadDir("/tcp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != workers*per {
+		t.Fatalf("directory lists %d entries over TCP, want %d", len(names), workers*per)
+	}
+	if _, err := fs.Stat("/tcp/w0-f000"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type tcpNop struct{ addr string }
+
+func (l tcpNop) Addr() string { return l.addr }
+func (l tcpNop) Close() error { return nil }

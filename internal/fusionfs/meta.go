@@ -1,0 +1,180 @@
+// Package fusionfs implements FusionFS's distributed metadata
+// management on top of ZHT (paper §V.A).
+//
+// In FusionFS every compute node is simultaneously client, metadata
+// server, and storage server; the metadata servers "use ZHT, which
+// allows the metadata information to be dispersed throughout the
+// system, and allows metadata lookups to occur in constant time at
+// extremely high concurrency". Directories are special files
+// containing only metadata about the files they hold; concurrent
+// directory modification uses ZHT's append operation instead of any
+// distributed lock (§III.I): each create appends an entry record
+// under the parent directory's key, and ReadDir folds the appended
+// add/remove records into the current listing.
+package fusionfs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// FileMeta is the metadata record stored under a file's path key.
+type FileMeta struct {
+	Mode    uint32 // permission bits + type
+	Size    uint64
+	MTime   int64 // unix nanos
+	IsDir   bool
+	Replica uint8 // storage replica count for the file's chunks
+	// Chunks lists the storage locations of the file's data chunks
+	// (node identifiers); metadata-only workloads leave it empty.
+	Chunks []string
+}
+
+// ModeDefault is the mode bits new files receive.
+const ModeDefault = 0o644
+
+var errBadMeta = errors.New("fusionfs: malformed metadata record")
+
+// encodeMeta serializes a FileMeta.
+func encodeMeta(m *FileMeta) []byte {
+	buf := make([]byte, 0, 32)
+	buf = append(buf, 'F', '1')
+	flags := byte(0)
+	if m.IsDir {
+		flags = 1
+	}
+	buf = append(buf, flags, m.Replica)
+	buf = binary.AppendUvarint(buf, uint64(m.Mode))
+	buf = binary.AppendUvarint(buf, m.Size)
+	buf = binary.AppendVarint(buf, m.MTime)
+	buf = binary.AppendUvarint(buf, uint64(len(m.Chunks)))
+	for _, c := range m.Chunks {
+		buf = binary.AppendUvarint(buf, uint64(len(c)))
+		buf = append(buf, c...)
+	}
+	return buf
+}
+
+// decodeMeta parses a FileMeta.
+func decodeMeta(b []byte) (*FileMeta, error) {
+	if len(b) < 4 || b[0] != 'F' || b[1] != '1' {
+		return nil, errBadMeta
+	}
+	m := &FileMeta{IsDir: b[2]&1 == 1, Replica: b[3]}
+	b = b[4:]
+	var err error
+	var mode uint64
+	if mode, b, err = uvar(b); err != nil {
+		return nil, err
+	}
+	m.Mode = uint32(mode)
+	if m.Size, b, err = uvar(b); err != nil {
+		return nil, err
+	}
+	var mt int64
+	mt, n := binary.Varint(b)
+	if n <= 0 {
+		return nil, errBadMeta
+	}
+	m.MTime = mt
+	b = b[n:]
+	var nc uint64
+	if nc, b, err = uvar(b); err != nil || nc > 1<<20 {
+		return nil, errBadMeta
+	}
+	for i := uint64(0); i < nc; i++ {
+		var l uint64
+		if l, b, err = uvar(b); err != nil || uint64(len(b)) < l {
+			return nil, errBadMeta
+		}
+		m.Chunks = append(m.Chunks, string(b[:l]))
+		b = b[l:]
+	}
+	if len(b) != 0 {
+		return nil, errBadMeta
+	}
+	return m, nil
+}
+
+func uvar(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, errBadMeta
+	}
+	return v, b[n:], nil
+}
+
+// Directory entry records appended under the parent key. '+' adds a
+// name, '-' removes it; records are NUL-terminated so appends from
+// concurrent clients cannot corrupt each other (ZHT append is atomic
+// per operation).
+func addRecord(name string) []byte    { return append(append([]byte{'+'}, name...), 0) }
+func removeRecord(name string) []byte { return append(append([]byte{'-'}, name...), 0) }
+
+// foldDir folds an appended record stream into the directory's
+// current entry set.
+func foldDir(stream []byte) (map[string]bool, error) {
+	entries := map[string]bool{}
+	for len(stream) > 0 {
+		i := indexByte(stream, 0)
+		if i < 0 {
+			return nil, errors.New("fusionfs: truncated directory record")
+		}
+		rec := stream[:i]
+		stream = stream[i+1:]
+		if len(rec) == 0 {
+			continue
+		}
+		name := string(rec[1:])
+		switch rec[0] {
+		case '+':
+			entries[name] = true
+		case '-':
+			delete(entries, name)
+		default:
+			return nil, fmt.Errorf("fusionfs: bad directory record %q", rec)
+		}
+	}
+	return entries, nil
+}
+
+func indexByte(b []byte, c byte) int {
+	for i, x := range b {
+		if x == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// splitPath returns the parent directory and base name of a clean
+// absolute path.
+func splitPath(path string) (dir, base string, err error) {
+	if !strings.HasPrefix(path, "/") || path != cleanish(path) {
+		return "", "", fmt.Errorf("fusionfs: path %q must be clean and absolute", path)
+	}
+	if path == "/" {
+		return "", "", errors.New("fusionfs: root has no parent")
+	}
+	i := strings.LastIndexByte(path, '/')
+	dir = path[:i]
+	if dir == "" {
+		dir = "/"
+	}
+	return dir, path[i+1:], nil
+}
+
+// cleanish rejects the path irregularities FusionFS never produces
+// (FUSE hands it clean paths).
+func cleanish(p string) string {
+	if strings.Contains(p, "//") || (len(p) > 1 && strings.HasSuffix(p, "/")) {
+		return ""
+	}
+	return p
+}
+
+// now is a hook for tests.
+var now = func() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,241 @@
+// Package hashing provides the customizable hash functions ZHT uses to
+// map keys onto its 64-bit ring namespace.
+//
+// The paper (§III.E) calls for hash functions that minimize collisions,
+// distribute signatures uniformly, exhibit an avalanche effect, and
+// detect permutations. It explores Bob Jenkins' functions and FNV for
+// their simple implementation and consistent behaviour on strings.
+// Both families are implemented here from scratch; the ring accepts any
+// Func, making the consistent-hashing function customizable as the
+// paper requires.
+package hashing
+
+// Func maps an arbitrarily long key to a 64-bit index in the ZHT
+// namespace.
+type Func func(key string) uint64
+
+// Named hash function identifiers accepted by ByName.
+const (
+	NameFNV1a    = "fnv1a"
+	NameJenkins  = "jenkins"  // one-at-a-time
+	NameLookup3  = "lookup3"  // Jenkins lookup3 (hashlittle2 folded to 64 bits)
+	NameFNV1a32x = "fnv1a32x" // two independent 32-bit FNV passes packed to 64 bits
+)
+
+// Default is the hash function ZHT uses when none is configured:
+// Jenkins lookup3, whose output is uniform across all 64 bits and so
+// suits the ring's high-bit range partitioning.
+var Default = Lookup3
+
+// ByName returns the hash function registered under name, or nil if
+// the name is unknown. Callers should treat nil as a configuration
+// error. The empty name selects the Default (lookup3).
+func ByName(name string) Func {
+	switch name {
+	case "":
+		return Default
+	case NameFNV1a:
+		return FNV1a
+	case NameJenkins:
+		return Jenkins
+	case NameLookup3:
+		return Lookup3
+	case NameFNV1a32x:
+		return FNV1a32x
+	}
+	return nil
+}
+
+// FNV-1a constants (64-bit).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// FNV1a is the 64-bit Fowler–Noll–Vo 1a hash.
+//
+// Note: FNV-1a's low-order bits are well distributed but its top bits
+// mix slowly, and ZHT's ring partitions keys on contiguous high-bit
+// ranges. Deployments that select FNV should either tolerate mild
+// partition skew or prefer Lookup3 (the Default); this mirrors the
+// paper's observation that the consistent-hash function is a pluggable
+// policy choice (§III.E).
+func FNV1a(key string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// FNV-1a constants (32-bit).
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+// FNV1a32x packs two decorrelated 32-bit FNV-1a passes (the second
+// seeded differently) into a 64-bit value. It exists to demonstrate the
+// pluggable-hash design with a distinct distribution profile.
+func FNV1a32x(key string) uint64 {
+	lo := uint32(fnvOffset32)
+	hi := uint32(fnvOffset32 ^ 0x5bd1e995)
+	for i := 0; i < len(key); i++ {
+		c := uint32(key[i])
+		lo ^= c
+		lo *= fnvPrime32
+		hi ^= c ^ 0xff
+		hi *= fnvPrime32
+	}
+	return uint64(hi)<<32 | uint64(lo)
+}
+
+// Jenkins is Bob Jenkins' one-at-a-time hash widened to 64 bits by
+// running two independently seeded passes and packing the results.
+// A single pass carries only 32 bits of entropy, which would produce
+// birthday collisions within a ZHT namespace of ~10^5 keys.
+func Jenkins(key string) uint64 {
+	lo := jenkinsOAAT(key, 0)
+	hi := jenkinsOAAT(key, 0x9e3779b9)
+	return mix64(uint64(hi)<<32 | uint64(lo))
+}
+
+func jenkinsOAAT(key string, seed uint32) uint32 {
+	h := seed
+	for i := 0; i < len(key); i++ {
+		h += uint32(key[i])
+		h += h << 10
+		h ^= h >> 6
+	}
+	h += h << 3
+	h ^= h >> 11
+	h += h << 15
+	return h
+}
+
+// Lookup3 implements the core mixing of Bob Jenkins' lookup3
+// (hashlittle2) over the key bytes, returning the two 32-bit results
+// packed into one uint64.
+func Lookup3(key string) uint64 {
+	a := uint32(0xdeadbeef) + uint32(len(key))
+	b := a
+	c := a
+	i := 0
+	for len(key)-i > 12 {
+		a += le32(key, i)
+		b += le32(key, i+4)
+		c += le32(key, i+8)
+		a, b, c = lookup3Mix(a, b, c)
+		i += 12
+	}
+	// Tail: consume the remaining 0..12 bytes.
+	rest := key[i:]
+	switch len(rest) {
+	case 12:
+		c += le32(rest, 8)
+		b += le32(rest, 4)
+		a += le32(rest, 0)
+	case 11:
+		c += uint32(rest[10]) << 16
+		fallthrough
+	case 10:
+		c += uint32(rest[9]) << 8
+		fallthrough
+	case 9:
+		c += uint32(rest[8])
+		fallthrough
+	case 8:
+		b += le32(rest, 4)
+		a += le32(rest, 0)
+	case 7:
+		b += uint32(rest[6]) << 16
+		fallthrough
+	case 6:
+		b += uint32(rest[5]) << 8
+		fallthrough
+	case 5:
+		b += uint32(rest[4])
+		fallthrough
+	case 4:
+		a += le32(rest, 0)
+	case 3:
+		a += uint32(rest[2]) << 16
+		fallthrough
+	case 2:
+		a += uint32(rest[1]) << 8
+		fallthrough
+	case 1:
+		a += uint32(rest[0])
+	case 0:
+		return uint64(c)<<32 | uint64(b)
+	}
+	a, b, c = lookup3Final(a, b, c)
+	return uint64(c)<<32 | uint64(b)
+}
+
+func le32(s string, i int) uint32 {
+	switch len(s) - i {
+	case 1:
+		return uint32(s[i])
+	case 2:
+		return uint32(s[i]) | uint32(s[i+1])<<8
+	case 3:
+		return uint32(s[i]) | uint32(s[i+1])<<8 | uint32(s[i+2])<<16
+	default:
+		return uint32(s[i]) | uint32(s[i+1])<<8 | uint32(s[i+2])<<16 | uint32(s[i+3])<<24
+	}
+}
+
+func rot(x uint32, k uint) uint32 { return x<<k | x>>(32-k) }
+
+func lookup3Mix(a, b, c uint32) (uint32, uint32, uint32) {
+	a -= c
+	a ^= rot(c, 4)
+	c += b
+	b -= a
+	b ^= rot(a, 6)
+	a += c
+	c -= b
+	c ^= rot(b, 8)
+	b += a
+	a -= c
+	a ^= rot(c, 16)
+	c += b
+	b -= a
+	b ^= rot(a, 19)
+	a += c
+	c -= b
+	c ^= rot(b, 4)
+	b += a
+	return a, b, c
+}
+
+func lookup3Final(a, b, c uint32) (uint32, uint32, uint32) {
+	c ^= b
+	c -= rot(b, 14)
+	a ^= c
+	a -= rot(c, 11)
+	b ^= a
+	b -= rot(a, 25)
+	c ^= b
+	c -= rot(b, 16)
+	a ^= c
+	a -= rot(c, 4)
+	b ^= a
+	b -= rot(a, 14)
+	c ^= b
+	c -= rot(b, 24)
+	return a, b, c
+}
+
+// mix64 is the 64-bit finalizer from MurmurHash3 (fmix64); it provides
+// full avalanche over a 64-bit word.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

@@ -1,0 +1,191 @@
+package hashing
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+var allFuncs = map[string]Func{
+	NameFNV1a:    FNV1a,
+	NameJenkins:  Jenkins,
+	NameLookup3:  Lookup3,
+	NameFNV1a32x: FNV1a32x,
+}
+
+func TestByName(t *testing.T) {
+	for name := range allFuncs {
+		if ByName(name) == nil {
+			t.Errorf("ByName(%q) = nil", name)
+		}
+	}
+	if ByName("") == nil {
+		t.Error("ByName(\"\") should return the default hash")
+	}
+	if ByName("nope") != nil {
+		t.Error("ByName(\"nope\") should be nil")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for name, f := range allFuncs {
+		f := f
+		t.Run(name, func(t *testing.T) {
+			if err := quick.Check(func(s string) bool {
+				return f(s) == f(s)
+			}, nil); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestKnownFNVVectors(t *testing.T) {
+	// Published FNV-1a 64-bit test vectors.
+	cases := map[string]uint64{
+		"":    0xcbf29ce484222325,
+		"a":   0xaf63dc4c8601ec8c,
+		"foo": 0xdcb27518fed9d577,
+		"bar": 0x003934191339461a,
+	}
+	for in, want := range cases {
+		if got := FNV1a(in); got != want {
+			t.Errorf("FNV1a(%q) = %#x, want %#x", in, got, want)
+		}
+	}
+}
+
+// TestUniformity buckets hashes of sequential keys into 64 bins and
+// requires each bin to hold within 25%% of the expected share. A
+// grossly non-uniform hash would break partition load balance.
+// FNV-1a is binned on its low bits — its high bits are documented to
+// mix slowly, which is why it is not the ring default.
+func TestUniformity(t *testing.T) {
+	const nKeys = 1 << 16
+	const bins = 64
+	for name, f := range allFuncs {
+		name, f := name, f
+		t.Run(name, func(t *testing.T) {
+			counts := make([]int, bins)
+			for i := 0; i < nKeys; i++ {
+				h := f(fmt.Sprintf("key-%d", i))
+				if name == NameFNV1a {
+					counts[h%bins]++
+				} else {
+					counts[h>>(64-6)]++
+				}
+			}
+			expect := float64(nKeys) / bins
+			for b, c := range counts {
+				if math.Abs(float64(c)-expect) > expect*0.25 {
+					t.Errorf("bin %d holds %d keys, expected %.0f±25%%", b, c, expect)
+				}
+			}
+		})
+	}
+}
+
+// TestAvalanche flips single input bits and requires, on average,
+// roughly half of output bits to change (property 3 in §III.E).
+func TestAvalanche(t *testing.T) {
+	for name, f := range allFuncs {
+		f := f
+		t.Run(name, func(t *testing.T) {
+			var flips, trials int
+			for i := 0; i < 256; i++ {
+				base := fmt.Sprintf("avalanche-key-%04d", i)
+				h0 := f(base)
+				bs := []byte(base)
+				for bit := 0; bit < 8; bit++ {
+					bs[0] ^= 1 << bit
+					h1 := f(string(bs))
+					bs[0] ^= 1 << bit
+					flips += popcount(h0 ^ h1)
+					trials++
+				}
+			}
+			mean := float64(flips) / float64(trials)
+			if mean < 24 || mean > 40 {
+				t.Errorf("mean flipped output bits = %.1f, want ≈32", mean)
+			}
+		})
+	}
+}
+
+// TestPermutationSensitivity checks property 4 in §III.E: reordering
+// the input must change the hash for almost all inputs.
+func TestPermutationSensitivity(t *testing.T) {
+	for name, f := range allFuncs {
+		f := f
+		t.Run(name, func(t *testing.T) {
+			same := 0
+			for i := 0; i < 1000; i++ {
+				a := fmt.Sprintf("ab%[1]d", i)
+				b := fmt.Sprintf("ba%[1]d", i)
+				if f(a) == f(b) {
+					same++
+				}
+			}
+			if same > 0 {
+				t.Errorf("%d/1000 permuted pairs collided", same)
+			}
+		})
+	}
+}
+
+// TestCollisionRate hashes 100K distinct short keys (the paper's keys
+// are ~15-byte ASCII strings) and requires zero 64-bit collisions,
+// which any of these functions should deliver at this scale.
+func TestCollisionRate(t *testing.T) {
+	const n = 100_000
+	for name, f := range allFuncs {
+		f := f
+		t.Run(name, func(t *testing.T) {
+			seen := make(map[uint64]string, n)
+			for i := 0; i < n; i++ {
+				k := fmt.Sprintf("file-%09d.dat", i)
+				h := f(k)
+				if prev, ok := seen[h]; ok {
+					t.Fatalf("collision: %q and %q both hash to %#x", prev, k, h)
+				}
+				seen[h] = k
+			}
+		})
+	}
+}
+
+func TestLookup3TailLengths(t *testing.T) {
+	// Exercise every tail-length branch (0..12 plus a multi-block key).
+	base := "abcdefghijklmnopqrstuvwxyz"
+	seen := map[uint64]int{}
+	for n := 0; n <= len(base); n++ {
+		h := Lookup3(base[:n])
+		if prev, ok := seen[h]; ok {
+			t.Errorf("prefix lengths %d and %d collide", prev, n)
+		}
+		seen[h] = n
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+func BenchmarkHashFuncs(b *testing.B) {
+	key := "some/typical/file/path/key-000042"
+	for name, f := range allFuncs {
+		f := f
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(int64(len(key)))
+			for i := 0; i < b.N; i++ {
+				_ = f(key)
+			}
+		})
+	}
+}

@@ -1,0 +1,178 @@
+// Package istore implements IStore, the information-dispersal object
+// storage system built on ZHT (paper §V.B, Figure 17).
+//
+// "By implementing erasure coding, these algorithms encode the data
+// into multiple blocks among which only a portion is necessary to
+// recover the original data." IStore chunks each file into n blocks
+// with a k-of-n Reed-Solomon code (the information dispersal
+// algorithm, IDA), spreads the blocks over n distinct nodes, and
+// records block locations in ZHT for later retrieval.
+//
+// This file: GF(2^8) arithmetic with the AES/Rijndael-compatible
+// reduction polynomial x^8+x^4+x^3+x^2+1 (0x11d), table-driven.
+package istore
+
+// gfExp/gfLog are the exponent and logarithm tables for GF(256) with
+// generator 2.
+var (
+	gfExp [512]byte
+	gfLog [256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= 0x11d
+		}
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+// gfMul multiplies in GF(256).
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+// gfDiv divides a by b in GF(256); b must be non-zero.
+func gfDiv(a, b byte) byte {
+	if a == 0 {
+		return 0
+	}
+	if b == 0 {
+		panic("istore: division by zero in GF(256)")
+	}
+	return gfExp[int(gfLog[a])+255-int(gfLog[b])]
+}
+
+// gfInv returns the multiplicative inverse.
+func gfInv(a byte) byte { return gfDiv(1, a) }
+
+// gfPow raises the generator's power: g^e.
+func gfPow(e int) byte { return gfExp[e%255] }
+
+// mulSlice computes dst[i] ^= c * src[i] — the inner loop of
+// encoding/decoding.
+func mulSliceXor(c byte, src, dst []byte) {
+	if c == 0 {
+		return
+	}
+	lc := int(gfLog[c])
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= gfExp[lc+int(gfLog[s])]
+		}
+	}
+}
+
+// matrix is a dense GF(256) matrix in row-major order.
+type matrix struct {
+	rows, cols int
+	d          []byte
+}
+
+func newMatrix(r, c int) matrix { return matrix{r, c, make([]byte, r*c)} }
+
+func (m matrix) at(r, c int) byte     { return m.d[r*m.cols+c] }
+func (m matrix) set(r, c int, v byte) { m.d[r*m.cols+c] = v }
+
+// mul returns m × b.
+func (m matrix) mul(b matrix) matrix {
+	if m.cols != b.rows {
+		panic("istore: matrix dimension mismatch")
+	}
+	out := newMatrix(m.rows, b.cols)
+	for r := 0; r < m.rows; r++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.at(r, k)
+			if a == 0 {
+				continue
+			}
+			la := int(gfLog[a])
+			for c := 0; c < b.cols; c++ {
+				v := b.at(k, c)
+				if v != 0 {
+					out.d[r*out.cols+c] ^= gfExp[la+int(gfLog[v])]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// invert returns the inverse via Gauss-Jordan elimination, or ok=false
+// for singular matrices.
+func (m matrix) invert() (matrix, bool) {
+	if m.rows != m.cols {
+		return matrix{}, false
+	}
+	n := m.rows
+	// Augment with identity.
+	aug := newMatrix(n, 2*n)
+	for r := 0; r < n; r++ {
+		copy(aug.d[r*2*n:], m.d[r*n:(r+1)*n])
+		aug.set(r, n+r, 1)
+	}
+	for col := 0; col < n; col++ {
+		// Find pivot.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if aug.at(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return matrix{}, false
+		}
+		if pivot != col {
+			pr := aug.d[pivot*2*n : (pivot+1)*2*n]
+			cr := aug.d[col*2*n : (col+1)*2*n]
+			for i := range pr {
+				pr[i], cr[i] = cr[i], pr[i]
+			}
+		}
+		// Normalize pivot row.
+		inv := gfInv(aug.at(col, col))
+		row := aug.d[col*2*n : (col+1)*2*n]
+		for i := range row {
+			row[i] = gfMul(row[i], inv)
+		}
+		// Eliminate other rows.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := aug.at(r, col)
+			if f == 0 {
+				continue
+			}
+			target := aug.d[r*2*n : (r+1)*2*n]
+			for i := range target {
+				target[i] ^= gfMul(f, row[i])
+			}
+		}
+	}
+	out := newMatrix(n, n)
+	for r := 0; r < n; r++ {
+		copy(out.d[r*n:], aug.d[r*2*n+n:(r+1)*2*n])
+	}
+	return out, true
+}
+
+// submatrix extracts the given rows.
+func (m matrix) subRows(rows []int) matrix {
+	out := newMatrix(len(rows), m.cols)
+	for i, r := range rows {
+		copy(out.d[i*m.cols:], m.d[r*m.cols:(r+1)*m.cols])
+	}
+	return out
+}

@@ -1,0 +1,371 @@
+package istore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"zht/internal/core"
+	"zht/internal/transport"
+	"zht/internal/wire"
+)
+
+func TestGFAxioms(t *testing.T) {
+	// Multiplicative inverse and distributivity over random samples.
+	err := quick.Check(func(a, b, c byte) bool {
+		if gfMul(a, gfMul(b, c)) != gfMul(gfMul(a, b), c) {
+			return false
+		}
+		if gfMul(a, b^c) != gfMul(a, b)^gfMul(a, c) {
+			return false
+		}
+		if a != 0 && gfMul(a, gfInv(a)) != 1 {
+			return false
+		}
+		return gfMul(a, 1) == a && gfMul(a, 0) == 0
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGFDivPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("division by zero did not panic")
+		}
+	}()
+	gfDiv(5, 0)
+}
+
+func TestMatrixInvert(t *testing.T) {
+	// Invert a known-invertible Vandermonde block and verify M×M⁻¹=I.
+	m := newMatrix(3, 3)
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			m.set(r, c, gfPowInt(byte(r+1), c))
+		}
+	}
+	inv, ok := m.invert()
+	if !ok {
+		t.Fatal("vandermonde reported singular")
+	}
+	id := m.mul(inv)
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			want := byte(0)
+			if r == c {
+				want = 1
+			}
+			if id.at(r, c) != want {
+				t.Fatalf("M×M⁻¹ != I at (%d,%d): %d", r, c, id.at(r, c))
+			}
+		}
+	}
+	// Singular matrix detected.
+	z := newMatrix(2, 2)
+	if _, ok := z.invert(); ok {
+		t.Error("zero matrix inverted")
+	}
+}
+
+func TestCodecRoundTripAllErasurePatterns(t *testing.T) {
+	const k, n = 3, 6
+	codec, err := NewCodec(k, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("the quick brown fox jumps over the lazy dog 0123456789")
+	shards, err := codec.Encode(codec.Split(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every way of keeping exactly k of n shards must reconstruct.
+	for mask := 0; mask < 1<<n; mask++ {
+		if popcount(mask) != k {
+			continue
+		}
+		got := make([][]byte, n)
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				got[i] = shards[i]
+			}
+		}
+		rec, err := codec.Reconstruct(got)
+		if err != nil {
+			t.Fatalf("mask %06b: %v", mask, err)
+		}
+		joined, err := codec.Join(rec, len(data))
+		if err != nil || !bytes.Equal(joined, data) {
+			t.Fatalf("mask %06b: reconstruction mismatch", mask)
+		}
+	}
+}
+
+func TestCodecTooFewShards(t *testing.T) {
+	codec, _ := NewCodec(4, 6)
+	shards, _ := codec.Encode(codec.Split([]byte("payload")))
+	for i := 0; i < 3; i++ {
+		shards[i] = nil
+	}
+	if _, err := codec.Reconstruct(shards); !errors.Is(err, ErrTooFewShards) {
+		t.Errorf("want ErrTooFewShards, got %v", err)
+	}
+}
+
+func TestCodecParamValidation(t *testing.T) {
+	for _, c := range []struct{ k, n int }{{0, 4}, {5, 4}, {-1, 3}, {3, 300}} {
+		if _, err := NewCodec(c.k, c.n); err == nil {
+			t.Errorf("NewCodec(%d,%d) accepted", c.k, c.n)
+		}
+	}
+}
+
+func TestCodecPropertyRandomData(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		k := 1 + rng.Intn(8)
+		n := k + rng.Intn(8)
+		codec, err := NewCodec(k, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, rng.Intn(4096))
+		rng.Read(data)
+		shards, err := codec.Encode(codec.Split(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Drop n-k random shards.
+		perm := rng.Perm(n)
+		for _, i := range perm[:n-k] {
+			shards[i] = nil
+		}
+		rec, err := codec.Reconstruct(shards)
+		if err != nil {
+			t.Fatalf("k=%d n=%d len=%d: %v", k, n, len(data), err)
+		}
+		joined, err := codec.Join(rec, len(data))
+		if err != nil || !bytes.Equal(joined, data) {
+			t.Fatalf("k=%d n=%d len=%d: data mismatch", k, n, len(data))
+		}
+	}
+}
+
+func TestCodecExtremes(t *testing.T) {
+	// k == n: pure striping, no parity; zero shards may be lost.
+	c, err := NewCodec(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("0123456789abcdef")
+	shards, _ := c.Encode(c.Split(data))
+	rec, err := c.Reconstruct(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined, _ := c.Join(rec, len(data))
+	if !bytes.Equal(joined, data) {
+		t.Error("k=n round trip failed")
+	}
+	shards[0] = nil
+	if _, err := c.Reconstruct(shards); !errors.Is(err, ErrTooFewShards) {
+		t.Errorf("k=n with a loss: %v", err)
+	}
+	// k=1: pure replication; any single shard suffices.
+	c1, _ := NewCodec(1, 5)
+	s1, _ := c1.Encode(c1.Split(data))
+	for keep := 0; keep < 5; keep++ {
+		got := make([][]byte, 5)
+		got[keep] = s1[keep]
+		rec, err := c1.Reconstruct(got)
+		if err != nil {
+			t.Fatalf("k=1 keep %d: %v", keep, err)
+		}
+		joined, _ := c1.Join(rec, len(data))
+		if !bytes.Equal(joined, data) {
+			t.Fatalf("k=1 keep %d: mismatch", keep)
+		}
+	}
+	// Maximum field size: n = 255.
+	if _, err := NewCodec(128, 255); err != nil {
+		t.Errorf("n=255: %v", err)
+	}
+}
+
+func TestChunkServerRejectsUnknownOp(t *testing.T) {
+	cs := NewChunkServer()
+	if resp := cs.Handle(&wire.Request{Op: wire.OpAppend, Key: "k"}); resp.Status != wire.StatusError {
+		t.Errorf("unknown op accepted: %v", resp.Status)
+	}
+}
+
+func TestObjectMetaRoundTrip(t *testing.T) {
+	m := &objectMeta{Size: 1 << 30, K: 3, N: 5, Shards: []string{"a", "b", "c", "d", "e"}}
+	got, err := decodeObjectMeta(encodeObjectMeta(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size != m.Size || got.K != m.K || got.N != m.N || len(got.Shards) != 5 {
+		t.Errorf("round trip: %+v", got)
+	}
+	for _, b := range [][]byte{nil, []byte("XX"), []byte("I1")} {
+		if _, err := decodeObjectMeta(b); err == nil {
+			t.Errorf("garbage %q accepted", b)
+		}
+	}
+}
+
+// newIStore wires N chunk servers + a ZHT deployment for metadata.
+func newIStore(t *testing.T, k, n int) (*Store, []*ChunkServer, *transport.Registry) {
+	t.Helper()
+	cfg := core.Config{NumPartitions: 64, Replicas: 1, RetryBase: time.Millisecond}
+	d, reg, err := core.BootstrapInproc(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	meta, err := d.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var servers []*ChunkServer
+	var addrs []string
+	for i := 0; i < n; i++ {
+		cs := NewChunkServer()
+		addr := fmt.Sprintf("chunk-%03d", i)
+		if _, err := reg.Listen(addr, cs.Handle); err != nil {
+			t.Fatal(err)
+		}
+		servers = append(servers, cs)
+		addrs = append(addrs, addr)
+	}
+	st, err := New(meta, k, addrs, reg.NewClient())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, servers, reg
+}
+
+func TestStorePutGet(t *testing.T) {
+	st, servers, _ := newIStore(t, 3, 5)
+	data := bytes.Repeat([]byte("scientific-data-"), 1000)
+	if err := st.Put("dataset/run1", data); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range servers {
+		if s.Blocks() != 1 {
+			t.Errorf("chunk server %d holds %d blocks, want 1", i, s.Blocks())
+		}
+	}
+	got, err := st.Get("dataset/run1")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("Get mismatch: %v (len %d vs %d)", err, len(got), len(data))
+	}
+}
+
+func TestStoreSurvivesNodeFailures(t *testing.T) {
+	st, _, reg := newIStore(t, 3, 5)
+	data := bytes.Repeat([]byte{0xAB, 0xCD}, 5000)
+	if err := st.Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	// Take down n-k = 2 chunk servers: the IDA property must hold.
+	reg.SetDown("chunk-000", true)
+	reg.SetDown("chunk-003", true)
+	got, err := st.Get("obj")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("Get with 2 nodes down: %v", err)
+	}
+	// A third failure exceeds the code's tolerance.
+	reg.SetDown("chunk-001", true)
+	if _, err := st.Get("obj"); err == nil {
+		t.Error("Get succeeded with only k-1 shards reachable")
+	}
+}
+
+func TestStoreDelete(t *testing.T) {
+	st, servers, _ := newIStore(t, 2, 4)
+	st.Put("temp", []byte("data"))
+	if err := st.Delete("temp"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Get("temp"); !errors.Is(err, ErrObjectNotFound) {
+		t.Errorf("get after delete: %v", err)
+	}
+	for i, s := range servers {
+		if s.Blocks() != 0 {
+			t.Errorf("server %d still holds %d blocks", i, s.Blocks())
+		}
+	}
+	if err := st.Delete("temp"); !errors.Is(err, ErrObjectNotFound) {
+		t.Errorf("double delete: %v", err)
+	}
+}
+
+func TestStoreEmptyAndSmallObjects(t *testing.T) {
+	st, _, _ := newIStore(t, 3, 5)
+	for _, size := range []int{0, 1, 2, 3, 17} {
+		name := fmt.Sprintf("small-%d", size)
+		data := bytes.Repeat([]byte{'x'}, size)
+		if err := st.Put(name, data); err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		got, err := st.Get(name)
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("size %d: %q %v", size, got, err)
+		}
+	}
+}
+
+func TestStoreMetaOpsCounted(t *testing.T) {
+	st, _, _ := newIStore(t, 2, 3)
+	st.Put("a", []byte("1"))
+	st.Get("a")
+	st.Delete("a")
+	if ops := st.MetaOps(); ops < 4 {
+		t.Errorf("MetaOps = %d, want >= 4", ops)
+	}
+}
+
+func popcount(x int) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+func BenchmarkEncode(b *testing.B) {
+	codec, _ := NewCodec(4, 6)
+	data := make([]byte, 1<<20)
+	rand.New(rand.NewSource(1)).Read(data)
+	shards := codec.Split(data)
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.Encode(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconstruct(b *testing.B) {
+	codec, _ := NewCodec(4, 6)
+	data := make([]byte, 1<<20)
+	rand.New(rand.NewSource(1)).Read(data)
+	shards, _ := codec.Encode(codec.Split(data))
+	shards[0], shards[2] = nil, nil
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.Reconstruct(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package istore
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Reed-Solomon k-of-n erasure coding with a systematic encoding
+// matrix: the first k output shards are the data itself, the
+// remaining n-k are parity. Any k shards reconstruct the data.
+
+// Codec encodes and decodes shard sets for fixed (k, n).
+type Codec struct {
+	k, n int
+	// enc is the n×k encoding matrix; its top k×k block is the
+	// identity (systematic form).
+	enc matrix
+}
+
+// Errors returned by the codec.
+var (
+	ErrTooFewShards = errors.New("istore: not enough shards to reconstruct")
+	ErrShardSize    = errors.New("istore: inconsistent shard sizes")
+)
+
+// NewCodec creates a k-of-n codec (k data shards, n total). Built
+// from a Vandermonde matrix normalized to systematic form, which
+// guarantees every k×k row subset is invertible.
+func NewCodec(k, n int) (*Codec, error) {
+	if k <= 0 || n < k || n > 255 {
+		return nil, fmt.Errorf("istore: invalid code parameters k=%d n=%d", k, n)
+	}
+	// Vandermonde: V[r][c] = r^c (row r = evaluation point r).
+	v := newMatrix(n, k)
+	for r := 0; r < n; r++ {
+		for c := 0; c < k; c++ {
+			v.set(r, c, gfPowInt(byte(r+1), c))
+		}
+	}
+	// Systematize: multiply by inverse of the top k×k block.
+	top := v.subRows(seq(k))
+	topInv, ok := top.invert()
+	if !ok {
+		return nil, errors.New("istore: vandermonde top block singular")
+	}
+	return &Codec{k: k, n: n, enc: v.mul(topInv)}, nil
+}
+
+// gfPowInt computes b^e in GF(256).
+func gfPowInt(b byte, e int) byte {
+	r := byte(1)
+	for i := 0; i < e; i++ {
+		r = gfMul(r, b)
+	}
+	return r
+}
+
+func seq(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}
+
+// K and N report the code parameters.
+func (c *Codec) K() int { return c.k }
+func (c *Codec) N() int { return c.n }
+
+// Split pads data and splits it into k equal data shards. The
+// original length must be carried out-of-band (IStore stores it in
+// the ZHT metadata record).
+func (c *Codec) Split(data []byte) [][]byte {
+	shardLen := (len(data) + c.k - 1) / c.k
+	if shardLen == 0 {
+		shardLen = 1
+	}
+	shards := make([][]byte, c.k)
+	for i := range shards {
+		shards[i] = make([]byte, shardLen)
+		start := i * shardLen
+		if start < len(data) {
+			copy(shards[i], data[start:])
+		}
+	}
+	return shards
+}
+
+// Encode produces the n-shard set (k data shards followed by n-k
+// parity shards) from the k data shards.
+func (c *Codec) Encode(data [][]byte) ([][]byte, error) {
+	if len(data) != c.k {
+		return nil, fmt.Errorf("istore: Encode wants %d data shards, got %d", c.k, len(data))
+	}
+	size := len(data[0])
+	for _, s := range data {
+		if len(s) != size {
+			return nil, ErrShardSize
+		}
+	}
+	out := make([][]byte, c.n)
+	for i := 0; i < c.k; i++ {
+		out[i] = data[i]
+	}
+	for r := c.k; r < c.n; r++ {
+		p := make([]byte, size)
+		for col := 0; col < c.k; col++ {
+			mulSliceXor(c.enc.at(r, col), data[col], p)
+		}
+		out[r] = p
+	}
+	return out, nil
+}
+
+// Reconstruct recovers the k data shards from any k available shards.
+// shards has length n with nil entries for missing shards.
+func (c *Codec) Reconstruct(shards [][]byte) ([][]byte, error) {
+	var avail []int
+	size := -1
+	for i, s := range shards {
+		if s == nil {
+			continue
+		}
+		if size == -1 {
+			size = len(s)
+		} else if len(s) != size {
+			return nil, ErrShardSize
+		}
+		avail = append(avail, i)
+	}
+	if len(avail) < c.k {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrTooFewShards, len(avail), c.k)
+	}
+	avail = avail[:c.k]
+	// Fast path: all data shards present.
+	allData := true
+	for i := 0; i < c.k; i++ {
+		if shards[i] == nil {
+			allData = false
+			break
+		}
+	}
+	if allData {
+		return shards[:c.k], nil
+	}
+	sub := c.enc.subRows(avail)
+	inv, ok := sub.invert()
+	if !ok {
+		return nil, errors.New("istore: decode matrix singular")
+	}
+	data := make([][]byte, c.k)
+	for r := 0; r < c.k; r++ {
+		d := make([]byte, size)
+		for col := 0; col < c.k; col++ {
+			mulSliceXor(inv.at(r, col), shards[avail[col]], d)
+		}
+		data[r] = d
+	}
+	return data, nil
+}
+
+// Join concatenates data shards and trims to origLen.
+func (c *Codec) Join(data [][]byte, origLen int) ([]byte, error) {
+	if len(data) != c.k {
+		return nil, fmt.Errorf("istore: Join wants %d shards", c.k)
+	}
+	out := make([]byte, 0, len(data)*len(data[0]))
+	for _, s := range data {
+		out = append(out, s...)
+	}
+	if origLen > len(out) {
+		return nil, errors.New("istore: original length exceeds shard capacity")
+	}
+	return out[:origLen], nil
+}

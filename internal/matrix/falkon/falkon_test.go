@@ -1,0 +1,96 @@
+package falkon
+
+import (
+	"testing"
+	"time"
+
+	"zht/internal/matrix"
+	"zht/internal/transport"
+)
+
+func newFalkon(t *testing.T, executors int, service time.Duration) *Cluster {
+	t.Helper()
+	reg := transport.NewRegistry()
+	c, err := NewCluster(executors, service, func(addr string, h transport.Handler) (transport.Listener, error) {
+		return reg.Listen(addr, h)
+	}, reg.NewClient())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func TestWorkloadCompletes(t *testing.T) {
+	c := newFalkon(t, 4, 10*time.Microsecond)
+	c.Dispatcher.Submit(matrix.MakeSleepTasks(200, 0))
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && c.TotalExecuted() < 200 {
+		time.Sleep(time.Millisecond)
+	}
+	if got := c.TotalExecuted(); got != 200 {
+		t.Fatalf("executed %d/200", got)
+	}
+	if c.Dispatcher.QueueLen() != 0 {
+		t.Errorf("queue not drained: %d", c.Dispatcher.QueueLen())
+	}
+}
+
+// TestCentralizedSaturation shows the structural property the paper
+// measures: with a per-dispatch service time, throughput is capped at
+// 1/serviceTime regardless of executor count (Falkon saturates at
+// ~1700 tasks/s in the paper).
+func TestCentralizedSaturation(t *testing.T) {
+	const service = 2 * time.Millisecond // cap = 500 tasks/s
+	c := newFalkon(t, 16, service)
+	const n = 300
+	start := time.Now()
+	c.Dispatcher.Submit(matrix.MakeSleepTasks(n, 0))
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) && c.TotalExecuted() < n {
+		time.Sleep(time.Millisecond)
+	}
+	if c.TotalExecuted() < n {
+		t.Fatalf("executed %d/%d", c.TotalExecuted(), n)
+	}
+	rate := float64(n) / time.Since(start).Seconds()
+	cap := 1.0 / service.Seconds()
+	if rate > cap*1.3 {
+		t.Errorf("throughput %.0f tasks/s exceeds the centralized cap %.0f", rate, cap)
+	}
+	if rate < cap*0.3 {
+		t.Errorf("throughput %.0f tasks/s far below the cap %.0f; dispatcher broken", rate, cap)
+	}
+}
+
+func TestEfficiencyDropsForShortTasks(t *testing.T) {
+	// Figure 19: Falkon's efficiency falls as tasks shorten, because
+	// the fixed per-task dispatch cost dominates.
+	const service = 2 * time.Millisecond
+	effFor := func(dur time.Duration) float64 {
+		c := newFalkon(t, 8, service)
+		defer c.Stop()
+		_, eff, err := c.RunWorkload(matrix.MakeSleepTasks(64, dur), 60*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eff
+	}
+	long := effFor(40 * time.Millisecond)
+	short := effFor(4 * time.Millisecond)
+	if short >= long {
+		t.Errorf("efficiency short=%.2f >= long=%.2f; dispatch overhead should hurt short tasks", short, long)
+	}
+	if long < 0.3 {
+		t.Errorf("long-task efficiency %.2f unexpectedly low", long)
+	}
+}
+
+func TestNoExecutorsRejected(t *testing.T) {
+	reg := transport.NewRegistry()
+	if _, err := NewCluster(0, 0, func(addr string, h transport.Handler) (transport.Listener, error) {
+		return reg.Listen(addr, h)
+	}, reg.NewClient()); err == nil {
+		t.Error("zero executors accepted")
+	}
+}

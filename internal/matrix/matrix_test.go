@@ -1,0 +1,182 @@
+package matrix
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"zht/internal/core"
+	"zht/internal/transport"
+	"zht/internal/wire"
+)
+
+func TestTaskCodecRoundTrip(t *testing.T) {
+	cases := []*Task{
+		{ID: "task-1", Duration: time.Second, Payload: []byte("args")},
+		{ID: "", Duration: 0},
+		{ID: "x", Duration: 8 * time.Second},
+	}
+	for i, task := range cases {
+		got, err := decodeTask(encodeTask(task))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(task, got) {
+			t.Errorf("case %d:\n got %+v\nwant %+v", i, got, task)
+		}
+	}
+	for _, b := range [][]byte{nil, {}, []byte("X1"), []byte("T1")} {
+		if _, err := decodeTask(b); err == nil {
+			t.Errorf("garbage %q accepted", b)
+		}
+	}
+}
+
+func TestTaskListCodec(t *testing.T) {
+	ts := MakeSleepTasks(17, 3*time.Millisecond)
+	got, err := decodeTaskList(encodeTaskList(ts))
+	if err != nil || len(got) != 17 {
+		t.Fatalf("list round trip: %d %v", len(got), err)
+	}
+	if got[5].ID != ts[5].ID || got[5].Duration != ts[5].Duration {
+		t.Error("list entries corrupted")
+	}
+	empty, err := decodeTaskList(encodeTaskList(nil))
+	if err != nil || len(empty) != 0 {
+		t.Errorf("empty list: %v %v", empty, err)
+	}
+	if _, err := decodeTaskList([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}); err == nil {
+		t.Error("absurd count accepted")
+	}
+}
+
+func newMatrixCluster(t *testing.T, n int, opts NodeOptions, withZHT bool) (*Cluster, *transport.Registry) {
+	t.Helper()
+	reg := transport.NewRegistry()
+	var zc *core.Client
+	if withZHT {
+		d, zreg, err := core.BootstrapInproc(core.Config{NumPartitions: 64, RetryBase: time.Millisecond}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { d.Close() })
+		_ = zreg
+		if zc, err = d.NewClient(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := NewCluster(n, opts, zc, func(addr string, h transport.Handler) (transport.Listener, error) {
+		return reg.Listen(addr, h)
+	}, reg.NewClient())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	return c, reg
+}
+
+func TestBalancedWorkloadCompletes(t *testing.T) {
+	c, _ := newMatrixCluster(t, 4, NodeOptions{Workers: 2}, false)
+	tasks := MakeSleepTasks(400, 0)
+	if err := c.Submit(tasks, "balanced"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.WaitForCount(400, 5*time.Second) {
+		t.Fatalf("only %d/400 completed", c.TotalExecuted())
+	}
+}
+
+// TestWorkStealingBalancesSingleNodeSubmit submits everything to node
+// 0 and requires the other nodes to steal a meaningful share.
+func TestWorkStealingBalancesSingleNodeSubmit(t *testing.T) {
+	c, _ := newMatrixCluster(t, 4, NodeOptions{Workers: 1}, false)
+	tasks := MakeSleepTasks(800, 500*time.Microsecond)
+	if err := c.Submit(tasks, "single"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.WaitForCount(800, 30*time.Second) {
+		t.Fatalf("only %d/800 completed", c.TotalExecuted())
+	}
+	for i, nd := range c.Nodes {
+		if ex := nd.Executed(); ex < 40 {
+			t.Errorf("node %d executed only %d/800 tasks; stealing ineffective", i, ex)
+		}
+	}
+	if c.Nodes[0].Stolen() == 0 {
+		t.Error("nothing was stolen from the submit target")
+	}
+}
+
+func TestRemoteSubmit(t *testing.T) {
+	c, _ := newMatrixCluster(t, 2, NodeOptions{Workers: 1}, false)
+	if err := c.SubmitRemote("matrix-0001", MakeSleepTasks(50, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if !c.WaitForCount(50, 5*time.Second) {
+		t.Fatalf("remote submit: %d/50 done", c.TotalExecuted())
+	}
+}
+
+func TestTaskStatusInZHT(t *testing.T) {
+	c, _ := newMatrixCluster(t, 2, NodeOptions{Workers: 1}, true)
+	tasks := MakeSleepTasks(20, 0)
+	if err := c.Submit(tasks, "balanced"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.WaitForCount(20, 5*time.Second) {
+		t.Fatal("workload incomplete")
+	}
+	// Every task's ZHT record must eventually read done@node.
+	deadline := time.Now().Add(5 * time.Second)
+	for _, task := range tasks {
+		for {
+			s, err := c.TaskStatus(task.ID)
+			if err == nil && len(s) > 5 && s[:4] == "done" {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("task %s status = %q %v", task.ID, s, err)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func TestRunWorkloadEfficiency(t *testing.T) {
+	c, _ := newMatrixCluster(t, 4, NodeOptions{Workers: 2}, false)
+	tasks := MakeSleepTasks(160, 5*time.Millisecond)
+	makespan, eff, err := c.RunWorkload(tasks, "balanced", 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if makespan <= 0 {
+		t.Error("zero makespan")
+	}
+	// 160 × 5 ms over 8 workers = 100 ms ideal; distributed queues
+	// should stay well above 60% efficiency (the paper's MATRIX
+	// reaches 92–97%).
+	if eff < 0.6 || eff > 1.05 {
+		t.Errorf("efficiency = %.2f, want 0.6–1.0", eff)
+	}
+}
+
+func TestNodeHandleRejectsUnknown(t *testing.T) {
+	c, _ := newMatrixCluster(t, 1, NodeOptions{}, false)
+	resp := c.Nodes[0].Handle(&wire.Request{Op: wire.OpAppend, Key: "whatever"})
+	if resp.Status != wire.StatusError {
+		t.Errorf("unknown request accepted: %v", resp.Status)
+	}
+}
+
+func TestStopIdempotent(t *testing.T) {
+	c, _ := newMatrixCluster(t, 2, NodeOptions{Workers: 1}, false)
+	c.Stop()
+	c.Stop()
+}
+
+func TestBadSubmitMode(t *testing.T) {
+	c, _ := newMatrixCluster(t, 1, NodeOptions{}, false)
+	if err := c.Submit(MakeSleepTasks(1, 0), "chaotic"); err == nil {
+		t.Error("bad mode accepted")
+	}
+}

@@ -1,0 +1,128 @@
+// Package matrix implements MATRIX, the distributed many-task
+// computing execution framework built on ZHT (paper §V.C, Figures 18
+// and 19).
+//
+// MATRIX "utilizes the adaptive work stealing algorithm to achieve
+// distributed load balancing, and ZHT to submit tasks and monitor the
+// task execution progress": every compute node runs an executor with
+// a local task queue; idle executors steal batches of tasks from
+// randomly probed peers with an adaptive backoff; task submission and
+// completion status live in ZHT, so any client can submit to an
+// arbitrary node and observe progress with plain lookups.
+package matrix
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Task is one unit of work: MATRIX's evaluation uses sleep tasks of
+// configurable duration (0–8 s in the paper).
+type Task struct {
+	ID       string
+	Duration time.Duration // simulated compute time
+	Payload  []byte        // opaque application data
+}
+
+var errBadTask = errors.New("matrix: malformed task encoding")
+
+// encodeTask serializes a task.
+func encodeTask(t *Task) []byte {
+	buf := []byte{'T', '1'}
+	buf = binary.AppendUvarint(buf, uint64(len(t.ID)))
+	buf = append(buf, t.ID...)
+	buf = binary.AppendVarint(buf, int64(t.Duration))
+	buf = binary.AppendUvarint(buf, uint64(len(t.Payload)))
+	buf = append(buf, t.Payload...)
+	return buf
+}
+
+func decodeTask(b []byte) (*Task, error) {
+	if len(b) < 2 || b[0] != 'T' || b[1] != '1' {
+		return nil, errBadTask
+	}
+	b = b[2:]
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || uint64(len(b[sz:])) < n {
+		return nil, errBadTask
+	}
+	t := &Task{ID: string(b[sz : sz+int(n)])}
+	b = b[sz+int(n):]
+	d, sz2 := binary.Varint(b)
+	if sz2 <= 0 {
+		return nil, errBadTask
+	}
+	t.Duration = time.Duration(d)
+	b = b[sz2:]
+	pn, sz3 := binary.Uvarint(b)
+	if sz3 <= 0 || uint64(len(b[sz3:])) < pn {
+		return nil, errBadTask
+	}
+	if pn > 0 {
+		t.Payload = append([]byte(nil), b[sz3:sz3+int(pn)]...)
+	}
+	b = b[sz3+int(pn):]
+	if len(b) != 0 {
+		return nil, errBadTask
+	}
+	return t, nil
+}
+
+// encodeTaskList frames a batch of tasks (steal responses, submit
+// batches).
+func encodeTaskList(ts []*Task) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(ts)))
+	for _, t := range ts {
+		e := encodeTask(t)
+		buf = binary.AppendUvarint(buf, uint64(len(e)))
+		buf = append(buf, e...)
+	}
+	return buf
+}
+
+func decodeTaskList(b []byte) ([]*Task, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || n > 1<<24 {
+		return nil, errBadTask
+	}
+	b = b[sz:]
+	out := make([]*Task, 0, n)
+	for i := uint64(0); i < n; i++ {
+		l, sz2 := binary.Uvarint(b)
+		if sz2 <= 0 || uint64(len(b[sz2:])) < l {
+			return nil, errBadTask
+		}
+		t, err := decodeTask(b[sz2 : sz2+int(l)])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		b = b[sz2+int(l):]
+	}
+	if len(b) != 0 {
+		return nil, errBadTask
+	}
+	return out, nil
+}
+
+// EncodeTaskForWire exposes the task codec to sibling packages (the
+// Falkon baseline shares the task type).
+func EncodeTaskForWire(t *Task) []byte { return encodeTask(t) }
+
+// DecodeTaskFromWire is the inverse of EncodeTaskForWire.
+func DecodeTaskFromWire(b []byte) (*Task, error) { return decodeTask(b) }
+
+// Status values stored in ZHT under "mtask:<id>".
+const (
+	StatusQueued = "queued"
+	StatusDone   = "done"
+)
+
+func statusKey(id string) string { return "mtask:" + id }
+
+// statusValue records where the task ran.
+func statusValue(status, node string) []byte {
+	return []byte(fmt.Sprintf("%s@%s", status, node))
+}

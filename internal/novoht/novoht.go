@@ -1,0 +1,748 @@
+// Package novoht implements NoVoHT, ZHT's Non-Volatile Hash Table
+// (paper §III.I and reference [49]).
+//
+// NoVoHT keeps every key/value pair in memory for constant-time
+// lookups and appends each mutation to an on-disk log so the full
+// state survives failures and restarts. The design goals lifted from
+// the paper:
+//
+//   - log-based persistence with periodic checkpointing: mutations are
+//     appended to a log; compaction periodically rewrites the log with
+//     only live records (reclaiming space — the paper's "garbage
+//     collection"), which doubles as the checkpoint;
+//   - a configurable bound on the number of values held in memory
+//     ("specifying a size to control memory footprint"): past the
+//     bound, cold values are evicted to their on-disk image and read
+//     back on demand;
+//   - a fourth basic operation, Append, that concatenates to an
+//     existing value under a local lock, enabling ZHT's lock-free
+//     concurrent key/value modification.
+//
+// A Store is safe for concurrent use by multiple goroutines.
+package novoht
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// Options configures a Store.
+type Options struct {
+	// Path is the log file. Empty means a volatile, memory-only
+	// store (the paper's "NoVoHT no persistence" configuration).
+	Path string
+	// CompactEvery triggers log compaction after this many mutations
+	// (0 = use DefaultCompactEvery; negative = never auto-compact).
+	CompactEvery int
+	// GCRatio triggers compaction when dead log bytes exceed this
+	// fraction of the log (0 = use DefaultGCRatio).
+	GCRatio float64
+	// MaxMemValues bounds how many values stay resident in memory;
+	// 0 means unbounded. Keys always stay resident. Requires Path.
+	MaxMemValues int
+	// SyncOnCompact fsyncs the rewritten log during compaction.
+	SyncOnCompact bool
+}
+
+// Defaults for Options zero values.
+const (
+	DefaultCompactEvery = 1 << 20
+	DefaultGCRatio      = 0.5
+)
+
+// Store is a NoVoHT hash table.
+type Store struct {
+	mu   sync.RWMutex
+	m    map[string]*entry
+	opts Options
+
+	f         *os.File
+	w         *bufio.Writer
+	logSize   int64 // bytes written to the log
+	deadBytes int64 // bytes belonging to superseded records
+	mutations int   // mutations since last compaction
+	resident  int   // values currently held in memory
+	closed    bool
+
+	// clock hand for eviction (iteration order is fine: eviction is
+	// best-effort cache management, not a correctness property).
+	evictKeys []string
+	evictPos  int
+}
+
+// entry is one key's state. If val is nil and onDisk is true, the
+// current value lives at [off, off+vlen) in the log file.
+type entry struct {
+	val    []byte
+	off    int64
+	vlen   int64
+	onDisk bool // an up-to-date contiguous image exists on disk
+}
+
+// Log record types.
+const (
+	recPut    = 1
+	recRemove = 2
+	recAppend = 3
+)
+
+var (
+	// ErrClosed reports use after Close.
+	ErrClosed = errors.New("novoht: store is closed")
+	// ErrNoPersistence reports an operation that requires a log file
+	// on a memory-only store.
+	ErrNoPersistence = errors.New("novoht: store has no persistence")
+)
+
+// Open creates or recovers a store. If opts.Path exists, its log is
+// replayed; a torn final record (from a crash mid-write) is truncated
+// away, recovering the longest consistent prefix.
+func Open(opts Options) (*Store, error) {
+	if opts.CompactEvery == 0 {
+		opts.CompactEvery = DefaultCompactEvery
+	}
+	if opts.GCRatio == 0 {
+		opts.GCRatio = DefaultGCRatio
+	}
+	if opts.MaxMemValues > 0 && opts.Path == "" {
+		return nil, errors.New("novoht: MaxMemValues requires a log path")
+	}
+	s := &Store{m: make(map[string]*entry), opts: opts}
+	if opts.Path == "" {
+		return s, nil
+	}
+	f, err := os.OpenFile(opts.Path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("novoht: open log: %w", err)
+	}
+	s.f = f
+	if err := s.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(s.logSize, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("novoht: seek log end: %w", err)
+	}
+	if err := f.Truncate(s.logSize); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("novoht: truncate torn tail: %w", err)
+	}
+	s.w = bufio.NewWriterSize(f, 64<<10)
+	return s, nil
+}
+
+// replay loads the log into memory, stopping at the first corrupt or
+// torn record.
+func (s *Store) replay() error {
+	r := bufio.NewReaderSize(s.f, 1<<20)
+	var off int64
+	for {
+		rec, key, val, n, err := readRecord(r)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, errBadRecord) {
+				break // torn tail: keep the consistent prefix
+			}
+			return err
+		}
+		switch rec {
+		case recPut:
+			if old, ok := s.m[key]; ok {
+				s.deadBytes += recordSize(key, old.vlen)
+			}
+			voff := off + int64(n) - int64(len(val)) - 4
+			s.m[key] = &entry{val: val, off: voff, vlen: int64(len(val)), onDisk: true}
+		case recRemove:
+			if old, ok := s.m[key]; ok {
+				s.deadBytes += recordSize(key, old.vlen) + recordSize(key, 0)
+				delete(s.m, key)
+			}
+		case recAppend:
+			e, ok := s.m[key]
+			if !ok {
+				e = &entry{}
+				s.m[key] = e
+			}
+			if e.onDisk && e.val == nil {
+				// Shouldn't happen during replay (values are loaded),
+				// but guard anyway.
+				return errors.New("novoht: replay: append to evicted entry")
+			}
+			e.val = append(e.val, val...)
+			e.vlen = int64(len(e.val))
+			e.onDisk = false // value no longer contiguous on disk
+		}
+		off += int64(n)
+	}
+	s.logSize = off
+	s.resident = len(s.m)
+	return nil
+}
+
+// Put stores val under key, replacing any existing value.
+func (s *Store) Put(key string, val []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.putLocked(key, val)
+}
+
+func (s *Store) putLocked(key string, val []byte) error {
+	voff, err := s.writeRecord(recPut, key, val)
+	if err != nil {
+		return err
+	}
+	if old, ok := s.m[key]; ok {
+		s.deadBytes += recordSize(key, old.vlen)
+		if old.val == nil && old.onDisk {
+			s.resident++ // evicted entry becomes resident again
+		}
+		old.val = append(old.val[:0], val...)
+		old.off, old.vlen, old.onDisk = voff, int64(len(val)), s.f != nil
+	} else {
+		s.m[key] = &entry{
+			val: append([]byte(nil), val...), off: voff,
+			vlen: int64(len(val)), onDisk: s.f != nil,
+		}
+		s.resident++
+	}
+	return s.afterMutation()
+}
+
+// PutIfAbsent stores val only when key is not present; it reports
+// whether the store was modified.
+func (s *Store) PutIfAbsent(key string, val []byte) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false, ErrClosed
+	}
+	if _, ok := s.m[key]; ok {
+		return false, nil
+	}
+	return true, s.putLocked(key, val)
+}
+
+// Get returns a copy of the value stored under key.
+func (s *Store) Get(key string) ([]byte, bool, error) {
+	s.mu.RLock()
+	e, ok := s.m[key]
+	if !ok {
+		s.mu.RUnlock()
+		return nil, false, nil
+	}
+	if e.val != nil || e.vlen == 0 {
+		v := append([]byte(nil), e.val...)
+		s.mu.RUnlock()
+		return v, true, nil
+	}
+	s.mu.RUnlock()
+	// Evicted: fetch from the log under the write lock (the value
+	// may be re-resident or compacted concurrently).
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false, ErrClosed
+	}
+	e, ok = s.m[key]
+	if !ok {
+		return nil, false, nil
+	}
+	if e.val == nil && e.vlen > 0 {
+		if err := s.loadEvicted(e); err != nil {
+			return nil, false, err
+		}
+	}
+	return append([]byte(nil), e.val...), true, nil
+}
+
+// loadEvicted reads an evicted entry's value back from the log.
+func (s *Store) loadEvicted(e *entry) error {
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("novoht: flush before read: %w", err)
+	}
+	buf := make([]byte, e.vlen)
+	if _, err := s.f.ReadAt(buf, e.off); err != nil {
+		return fmt.Errorf("novoht: read evicted value: %w", err)
+	}
+	e.val = buf
+	s.resident++
+	return nil
+}
+
+// Remove deletes key, reporting whether it was present.
+func (s *Store) Remove(key string) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false, ErrClosed
+	}
+	e, ok := s.m[key]
+	if !ok {
+		return false, nil
+	}
+	if _, err := s.writeRecord(recRemove, key, nil); err != nil {
+		return false, err
+	}
+	s.deadBytes += recordSize(key, e.vlen) + recordSize(key, 0)
+	if e.val != nil || e.vlen == 0 {
+		s.resident--
+	}
+	delete(s.m, key)
+	return true, s.afterMutation()
+}
+
+// Append concatenates val to the value stored under key, creating the
+// key when absent. This is the operation FusionFS uses for lock-free
+// concurrent directory updates: only this store's local lock is held.
+func (s *Store) Append(key string, val []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	e, ok := s.m[key]
+	if ok && e.val == nil && e.vlen > 0 {
+		if err := s.loadEvicted(e); err != nil {
+			return err
+		}
+	}
+	if _, err := s.writeRecord(recAppend, key, val); err != nil {
+		return err
+	}
+	if !ok {
+		e = &entry{}
+		s.m[key] = e
+		s.resident++
+	}
+	// Append records never supersede earlier log bytes (replay needs
+	// the whole chain), so deadBytes is unchanged until compaction.
+	e.val = append(e.val, val...)
+	e.vlen = int64(len(e.val))
+	e.onDisk = false
+	return s.afterMutation()
+}
+
+// Cas atomically replaces the value under key with newVal when the
+// current value equals oldVal. A nil oldVal means "expect absent".
+// It returns the value observed when the swap fails.
+func (s *Store) Cas(key string, oldVal, newVal []byte) (bool, []byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false, nil, ErrClosed
+	}
+	e, ok := s.m[key]
+	if ok && e.val == nil && e.vlen > 0 {
+		if err := s.loadEvicted(e); err != nil {
+			return false, nil, err
+		}
+	}
+	switch {
+	case !ok && oldVal != nil:
+		return false, nil, nil
+	case ok && oldVal == nil:
+		return false, append([]byte(nil), e.val...), nil
+	case ok && string(e.val) != string(oldVal):
+		return false, append([]byte(nil), e.val...), nil
+	}
+	if err := s.putLocked(key, newVal); err != nil {
+		return false, nil, err
+	}
+	return true, nil, nil
+}
+
+// Len reports the number of keys stored.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// ForEach calls fn for every pair; fn must not mutate the store. The
+// value passed to fn for evicted entries is loaded from disk.
+func (s *Store) ForEach(fn func(key string, val []byte) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	for k, e := range s.m {
+		v := e.val
+		if v == nil && e.vlen > 0 {
+			if err := s.loadEvicted(e); err != nil {
+				return err
+			}
+			v = e.val
+		}
+		if err := fn(k, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeRecord appends one record to the log and returns the file
+// offset of the value bytes within the record (for eviction).
+func (s *Store) writeRecord(typ byte, key string, val []byte) (int64, error) {
+	if s.f == nil {
+		return 0, nil
+	}
+	var hdr [1 + 2*binary.MaxVarintLen64]byte
+	hdr[0] = typ
+	n := 1
+	n += binary.PutUvarint(hdr[n:], uint64(len(key)))
+	n += binary.PutUvarint(hdr[n:], uint64(len(val)))
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[:n])
+	crc.Write([]byte(key))
+	crc.Write(val)
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+
+	if _, err := s.w.Write(hdr[:n]); err != nil {
+		return 0, fmt.Errorf("novoht: write log: %w", err)
+	}
+	if _, err := s.w.WriteString(key); err != nil {
+		return 0, fmt.Errorf("novoht: write log: %w", err)
+	}
+	if _, err := s.w.Write(val); err != nil {
+		return 0, fmt.Errorf("novoht: write log: %w", err)
+	}
+	if _, err := s.w.Write(sum[:]); err != nil {
+		return 0, fmt.Errorf("novoht: write log: %w", err)
+	}
+	voff := s.logSize + int64(n) + int64(len(key))
+	s.logSize += int64(n) + int64(len(key)) + int64(len(val)) + 4
+	// Flush per mutation: data reaches the page cache so persistence
+	// costs only a write syscall (the paper measured ~3µs extra per
+	// op for persistence). Durability against power loss would need
+	// fsync, which the paper also does not pay per-op.
+	if err := s.w.Flush(); err != nil {
+		return 0, fmt.Errorf("novoht: flush log: %w", err)
+	}
+	return voff, nil
+}
+
+// afterMutation enforces the memory bound and auto-compaction policy.
+func (s *Store) afterMutation() error {
+	s.mutations++
+	if s.opts.MaxMemValues > 0 && s.resident > s.opts.MaxMemValues {
+		if err := s.evictLocked(s.resident - s.opts.MaxMemValues); err != nil {
+			return err
+		}
+	}
+	if s.f == nil {
+		return nil
+	}
+	need := false
+	if s.opts.CompactEvery > 0 && s.mutations >= s.opts.CompactEvery {
+		need = true
+	}
+	if s.logSize > 0 && float64(s.deadBytes)/float64(s.logSize) > s.opts.GCRatio && s.deadBytes > 1<<16 {
+		need = true
+	}
+	if need {
+		return s.compactLocked()
+	}
+	return nil
+}
+
+// evictLocked drops up to n resident values whose latest image is
+// contiguous on disk; values mutated by Append since their last full
+// write are first rewritten so an image exists.
+func (s *Store) evictLocked(n int) error {
+	if len(s.evictKeys) == 0 || s.evictPos >= len(s.evictKeys) {
+		s.evictKeys = s.evictKeys[:0]
+		for k := range s.m {
+			s.evictKeys = append(s.evictKeys, k)
+		}
+		s.evictPos = 0
+	}
+	for n > 0 && s.evictPos < len(s.evictKeys) {
+		k := s.evictKeys[s.evictPos]
+		s.evictPos++
+		e, ok := s.m[k]
+		if !ok || e.val == nil {
+			continue
+		}
+		if !e.onDisk {
+			// Rewrite the full value so a contiguous image exists.
+			voff, err := s.writeRecord(recPut, k, e.val)
+			if err != nil {
+				return err
+			}
+			e.off, e.onDisk = voff, true
+		}
+		if e.vlen == 0 {
+			continue // nothing to reclaim; keep resident
+		}
+		e.val = nil
+		s.resident--
+		n--
+	}
+	return nil
+}
+
+// Compact rewrites the log to contain exactly one Put record per live
+// key, reclaiming dead space; this is the periodic checkpoint + GC the
+// paper describes.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.f == nil {
+		return ErrNoPersistence
+	}
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	tmpPath := s.opts.Path + ".compact"
+	tmp, err := os.Create(tmpPath)
+	if err != nil {
+		return fmt.Errorf("novoht: compact: %w", err)
+	}
+	defer os.Remove(tmpPath)
+	bw := bufio.NewWriterSize(tmp, 1<<20)
+
+	type relocation struct {
+		e   *entry
+		off int64
+	}
+	var relocs []relocation
+	var newSize int64
+	for k, e := range s.m {
+		v := e.val
+		if v == nil && e.vlen > 0 {
+			buf := make([]byte, e.vlen)
+			if _, err := s.f.ReadAt(buf, e.off); err != nil {
+				tmp.Close()
+				return fmt.Errorf("novoht: compact read: %w", err)
+			}
+			v = buf
+		}
+		n, voff, err := writeRecordTo(bw, newSize, recPut, k, v)
+		if err != nil {
+			tmp.Close()
+			return err
+		}
+		relocs = append(relocs, relocation{e, voff})
+		newSize += n
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if s.opts.SyncOnCompact {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpPath, s.opts.Path); err != nil {
+		return fmt.Errorf("novoht: compact rename: %w", err)
+	}
+	old := s.f
+	f, err := os.OpenFile(s.opts.Path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("novoht: reopen after compact: %w", err)
+	}
+	old.Close()
+	if _, err := f.Seek(newSize, io.SeekStart); err != nil {
+		f.Close()
+		return err
+	}
+	s.f = f
+	s.w = bufio.NewWriterSize(f, 64<<10)
+	for _, r := range relocs {
+		r.e.off = r.off
+		r.e.onDisk = true
+	}
+	s.logSize = newSize
+	s.deadBytes = 0
+	s.mutations = 0
+	return nil
+}
+
+// Sync flushes buffered log data and fsyncs the file.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.f == nil {
+		return nil
+	}
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	return s.f.Sync()
+}
+
+// Close flushes and closes the store. The store is unusable afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.f == nil {
+		return nil
+	}
+	if err := s.w.Flush(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}
+
+// Stats reports store internals for monitoring and tests.
+type Stats struct {
+	Keys       int
+	Resident   int
+	LogBytes   int64
+	DeadBytes  int64
+	Mutations  int
+	Persistent bool
+}
+
+// Stats returns a snapshot of store statistics.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{
+		Keys: len(s.m), Resident: s.resident, LogBytes: s.logSize,
+		DeadBytes: s.deadBytes, Mutations: s.mutations, Persistent: s.f != nil,
+	}
+}
+
+var errBadRecord = errors.New("novoht: bad record checksum")
+
+// readRecord reads one log record, returning its type, key, value and
+// total encoded size.
+func readRecord(r *bufio.Reader) (typ byte, key string, val []byte, n int, err error) {
+	crc := crc32.NewIEEE()
+	typ, err = r.ReadByte()
+	if err != nil {
+		return 0, "", nil, 0, err
+	}
+	crc.Write([]byte{typ})
+	n = 1
+	if typ != recPut && typ != recRemove && typ != recAppend {
+		return 0, "", nil, 0, errBadRecord
+	}
+	klen, kn, err := readUvarintCRC(r, crc)
+	if err != nil {
+		return 0, "", nil, 0, err
+	}
+	n += kn
+	vlen, vn, err := readUvarintCRC(r, crc)
+	if err != nil {
+		return 0, "", nil, 0, err
+	}
+	n += vn
+	if klen > 1<<20 || vlen > 1<<30 {
+		return 0, "", nil, 0, errBadRecord
+	}
+	kb := make([]byte, klen)
+	if _, err := io.ReadFull(r, kb); err != nil {
+		return 0, "", nil, 0, err
+	}
+	crc.Write(kb)
+	n += int(klen)
+	val = make([]byte, vlen)
+	if _, err := io.ReadFull(r, val); err != nil {
+		return 0, "", nil, 0, err
+	}
+	crc.Write(val)
+	n += int(vlen)
+	var sum [4]byte
+	if _, err := io.ReadFull(r, sum[:]); err != nil {
+		return 0, "", nil, 0, err
+	}
+	n += 4
+	if binary.LittleEndian.Uint32(sum[:]) != crc.Sum32() {
+		return 0, "", nil, 0, errBadRecord
+	}
+	return typ, string(kb), val, n, nil
+}
+
+func readUvarintCRC(r *bufio.Reader, crc io.Writer) (uint64, int, error) {
+	var v uint64
+	var shift, n int
+	for {
+		b, err := r.ReadByte()
+		if err != nil {
+			return 0, n, err
+		}
+		crc.Write([]byte{b})
+		n++
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, n, nil
+		}
+		shift += 7
+		if shift > 63 {
+			return 0, n, errBadRecord
+		}
+	}
+}
+
+// writeRecordTo writes a record at logical offset base to w, returning
+// the record length and the value offset.
+func writeRecordTo(w io.Writer, base int64, typ byte, key string, val []byte) (int64, int64, error) {
+	var hdr [1 + 2*binary.MaxVarintLen64]byte
+	hdr[0] = typ
+	n := 1
+	n += binary.PutUvarint(hdr[n:], uint64(len(key)))
+	n += binary.PutUvarint(hdr[n:], uint64(len(val)))
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[:n])
+	crc.Write([]byte(key))
+	crc.Write(val)
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	for _, chunk := range [][]byte{hdr[:n], []byte(key), val, sum[:]} {
+		if _, err := w.Write(chunk); err != nil {
+			return 0, 0, fmt.Errorf("novoht: compact write: %w", err)
+		}
+	}
+	total := int64(n) + int64(len(key)) + int64(len(val)) + 4
+	voff := base + int64(n) + int64(len(key))
+	return total, voff, nil
+}
+
+// recordSize returns the encoded size of a record with the given key
+// and value length (used for dead-byte accounting).
+func recordSize(key string, vlen int64) int64 {
+	return 1 + int64(uvarintLen(uint64(len(key)))) + int64(uvarintLen(uint64(vlen))) +
+		int64(len(key)) + vlen + 4
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}

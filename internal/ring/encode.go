@@ -1,0 +1,225 @@
+package ring
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Binary encoding for membership tables and deltas. ZHT ships tables to
+// lazily-updating clients and broadcasts deltas between managers; both
+// use this compact varint format (the Google-protobuf role in the
+// paper; see DESIGN.md substitutions).
+
+var (
+	tableMagic = [4]byte{'Z', 'H', 'T', 'T'}
+	deltaMagic = [4]byte{'Z', 'H', 'T', 'D'}
+
+	errBadTable = errors.New("ring: malformed table encoding")
+	errBadDelta = errors.New("ring: malformed delta encoding")
+)
+
+// EncodeTable serializes a membership table.
+func EncodeTable(t *Table) []byte {
+	buf := make([]byte, 0, 64+len(t.Instances)*48+len(t.Owner)*2)
+	buf = append(buf, tableMagic[:]...)
+	buf = binary.AppendUvarint(buf, t.Epoch)
+	buf = binary.AppendUvarint(buf, uint64(t.NumPartitions))
+	buf = binary.AppendUvarint(buf, uint64(len(t.Instances)))
+	for i, in := range t.Instances {
+		buf = appendString(buf, string(in.ID))
+		buf = appendString(buf, in.Addr)
+		buf = appendString(buf, in.Node)
+		buf = append(buf, byte(t.Status[i]))
+	}
+	for _, o := range t.Owner {
+		buf = binary.AppendUvarint(buf, uint64(o))
+	}
+	return buf
+}
+
+// DecodeTable parses a table produced by EncodeTable.
+func DecodeTable(b []byte) (*Table, error) {
+	if len(b) < 4 || [4]byte(b[:4]) != tableMagic {
+		return nil, errBadTable
+	}
+	b = b[4:]
+	epoch, b, err := readUvarint(b)
+	if err != nil {
+		return nil, errBadTable
+	}
+	np, b, err := readUvarint(b)
+	if err != nil || np == 0 || np > 1<<31 {
+		return nil, errBadTable
+	}
+	ni, b, err := readUvarint(b)
+	if err != nil || ni == 0 || ni > np {
+		return nil, errBadTable
+	}
+	t := &Table{
+		Epoch:         epoch,
+		NumPartitions: int(np),
+		Instances:     make([]Instance, ni),
+		Status:        make([]Status, ni),
+		Owner:         make([]int, np),
+	}
+	for i := range t.Instances {
+		var id, addr, node string
+		if id, b, err = readString(b); err != nil {
+			return nil, errBadTable
+		}
+		if addr, b, err = readString(b); err != nil {
+			return nil, errBadTable
+		}
+		if node, b, err = readString(b); err != nil {
+			return nil, errBadTable
+		}
+		if len(b) < 1 {
+			return nil, errBadTable
+		}
+		t.Instances[i] = Instance{ID: InstanceID(id), Addr: addr, Node: node}
+		t.Status[i] = Status(b[0])
+		b = b[1:]
+	}
+	for p := range t.Owner {
+		var o uint64
+		if o, b, err = readUvarint(b); err != nil {
+			return nil, errBadTable
+		}
+		if o >= ni {
+			return nil, fmt.Errorf("%w: owner index %d out of range", errBadTable, o)
+		}
+		t.Owner[p] = int(o)
+	}
+	if len(b) != 0 {
+		return nil, errBadTable
+	}
+	// Tables arrive off the network: reject anything structurally
+	// invalid (duplicate IDs, bad owner indices) rather than letting
+	// it poison routing.
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", errBadTable, err)
+	}
+	t.buildIndex()
+	return t, nil
+}
+
+// EncodeDelta serializes an incremental update.
+func EncodeDelta(d Delta) []byte {
+	buf := make([]byte, 0, 64)
+	buf = append(buf, deltaMagic[:]...)
+	buf = binary.AppendUvarint(buf, d.FromEpoch)
+	if d.AddInstance != nil {
+		buf = append(buf, 1)
+		buf = appendString(buf, string(d.AddInstance.ID))
+		buf = appendString(buf, d.AddInstance.Addr)
+		buf = appendString(buf, d.AddInstance.Node)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(d.SetStatus)))
+	for id, s := range d.SetStatus {
+		buf = appendString(buf, string(id))
+		buf = append(buf, byte(s))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(d.Reassign)))
+	for p, id := range d.Reassign {
+		buf = binary.AppendUvarint(buf, uint64(p))
+		buf = appendString(buf, string(id))
+	}
+	return buf
+}
+
+// DecodeDelta parses a delta produced by EncodeDelta.
+func DecodeDelta(b []byte) (Delta, error) {
+	var d Delta
+	if len(b) < 4 || [4]byte(b[:4]) != deltaMagic {
+		return d, errBadDelta
+	}
+	b = b[4:]
+	var err error
+	if d.FromEpoch, b, err = readUvarint(b); err != nil {
+		return d, errBadDelta
+	}
+	if len(b) < 1 {
+		return d, errBadDelta
+	}
+	hasAdd := b[0] == 1
+	b = b[1:]
+	if hasAdd {
+		var id, addr, node string
+		if id, b, err = readString(b); err != nil {
+			return d, errBadDelta
+		}
+		if addr, b, err = readString(b); err != nil {
+			return d, errBadDelta
+		}
+		if node, b, err = readString(b); err != nil {
+			return d, errBadDelta
+		}
+		d.AddInstance = &Instance{ID: InstanceID(id), Addr: addr, Node: node}
+	}
+	var n uint64
+	if n, b, err = readUvarint(b); err != nil || n > 1<<20 {
+		return d, errBadDelta
+	}
+	if n > 0 {
+		d.SetStatus = make(map[InstanceID]Status, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		var id string
+		if id, b, err = readString(b); err != nil {
+			return d, errBadDelta
+		}
+		if len(b) < 1 {
+			return d, errBadDelta
+		}
+		d.SetStatus[InstanceID(id)] = Status(b[0])
+		b = b[1:]
+	}
+	if n, b, err = readUvarint(b); err != nil || n > 1<<31 {
+		return d, errBadDelta
+	}
+	if n > 0 {
+		d.Reassign = make(map[int]InstanceID, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		var p uint64
+		var id string
+		if p, b, err = readUvarint(b); err != nil {
+			return d, errBadDelta
+		}
+		if id, b, err = readString(b); err != nil {
+			return d, errBadDelta
+		}
+		d.Reassign[int(p)] = InstanceID(id)
+	}
+	if len(b) != 0 {
+		return d, errBadDelta
+	}
+	return d, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, errors.New("ring: short uvarint")
+	}
+	return v, b[n:], nil
+}
+
+func readString(b []byte) (string, []byte, error) {
+	n, rest, err := readUvarint(b)
+	if err != nil {
+		return "", nil, err
+	}
+	if uint64(len(rest)) < n {
+		return "", nil, errors.New("ring: short string")
+	}
+	return string(rest[:n]), rest[n:], nil
+}

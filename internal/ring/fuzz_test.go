@@ -1,0 +1,45 @@
+package ring
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDecodeNeverPanics: random and mutated inputs must produce
+// errors or valid tables, never panics — these bytes arrive off the
+// network.
+func TestDecodeNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tab, _ := New(64, mkInstances(4, 1))
+	validT := EncodeTable(tab)
+	d, _, _ := tab.PlanJoin(Instance{ID: "j", Addr: "a", Node: "n"})
+	validD := EncodeDelta(d)
+	for i := 0; i < 5000; i++ {
+		var b []byte
+		switch i % 4 {
+		case 0:
+			b = make([]byte, rng.Intn(128))
+			rng.Read(b)
+		case 1:
+			b = append([]byte(nil), validT...)
+			b[rng.Intn(len(b))] ^= byte(1 << rng.Intn(8))
+		case 2:
+			b = append([]byte(nil), validD...)
+			b[rng.Intn(len(b))] ^= byte(1 << rng.Intn(8))
+		case 3: // truncation
+			src := validT
+			if rng.Intn(2) == 0 {
+				src = validD
+			}
+			b = src[:rng.Intn(len(src))]
+		}
+		if dt, err := DecodeTable(b); err == nil {
+			// Whatever decodes must satisfy the structural
+			// invariants.
+			if verr := dt.Validate(); verr != nil {
+				t.Fatalf("decoded table violates invariants: %v", verr)
+			}
+		}
+		DecodeDelta(b) // must not panic
+	}
+}

@@ -1,0 +1,113 @@
+package ring
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestRandomMembershipSequences drives long random sequences of
+// joins, planned departures, and failures, checking after every step
+// that the table stays structurally valid, partitions are always
+// owned by alive instances (where possible), and an independent
+// follower applying the same deltas converges byte-for-byte.
+func TestRandomMembershipSequences(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			tab, err := New(256, mkInstances(4, 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			follower := tab.Clone()
+			nextID := 0
+			for step := 0; step < 60; step++ {
+				var d Delta
+				var ok bool
+				switch rng.Intn(3) {
+				case 0: // join
+					in := Instance{
+						ID:   InstanceID(fmt.Sprintf("rand-%d-%d", seed, nextID)),
+						Addr: fmt.Sprintf("a%d", nextID),
+						Node: fmt.Sprintf("rn-%d-%d", seed, nextID),
+					}
+					nextID++
+					var err error
+					d, _, err = tab.PlanJoin(in)
+					if err != nil {
+						continue
+					}
+					ok = true
+				case 1: // planned departure of a random alive instance
+					alive := aliveIdxs(tab)
+					if len(alive) <= 2 {
+						continue
+					}
+					id := tab.Instances[alive[rng.Intn(len(alive))]].ID
+					var err error
+					d, _, err = tab.PlanDeparture(id)
+					if err != nil {
+						continue
+					}
+					ok = true
+				case 2: // failure of a random alive instance
+					alive := aliveIdxs(tab)
+					if len(alive) <= 2 {
+						continue
+					}
+					id := tab.Instances[alive[rng.Intn(len(alive))]].ID
+					var err error
+					d, err = tab.PlanFailure(id, 2)
+					if err != nil {
+						continue
+					}
+					ok = true
+				}
+				if !ok {
+					continue
+				}
+				nt, err := tab.Apply(d)
+				if err != nil {
+					t.Fatalf("step %d: apply: %v", step, err)
+				}
+				nf, err := follower.Apply(d)
+				if err != nil {
+					t.Fatalf("step %d: follower apply: %v", step, err)
+				}
+				tab, follower = nt, nf
+				if err := tab.Validate(); err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+				if string(EncodeTable(tab)) != string(EncodeTable(follower)) {
+					t.Fatalf("step %d: follower diverged", step)
+				}
+				// Every partition owned by an instance that is not
+				// Failed (Departing instances have already migrated
+				// their partitions away by construction; Failed ones
+				// fail over in the same delta).
+				for p, o := range tab.Owner {
+					if tab.Status[o] == Failed {
+						t.Fatalf("step %d: partition %d owned by failed instance", step, p)
+					}
+					if tab.Status[o] == Departing {
+						t.Fatalf("step %d: partition %d owned by departing instance", step, p)
+					}
+				}
+			}
+			if tab.Epoch < 10 {
+				t.Fatalf("sequence made too few changes (epoch %d); test is vacuous", tab.Epoch)
+			}
+		})
+	}
+}
+
+func aliveIdxs(t *Table) []int {
+	var out []int
+	for i, s := range t.Status {
+		if s == Alive {
+			out = append(out, i)
+		}
+	}
+	return out
+}

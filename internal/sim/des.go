@@ -1,0 +1,248 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"math/rand"
+)
+
+// Discrete-event engine: walks every request through client
+// processing, the source node's NIC, torus propagation, the
+// destination NIC, the server's FIFO queue, and back. One closed-loop
+// client per instance, matching the paper's 1:1 all-to-all workload.
+
+type event struct {
+	at float64
+	fn func(at float64)
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// fifo is a deterministic single-server queue.
+type fifo struct {
+	nextFree float64
+	busy     float64 // total busy time (for utilization)
+}
+
+// admit returns the completion time of a job arriving at t with the
+// given service requirement.
+func (q *fifo) admit(t, service float64) float64 {
+	start := t
+	if q.nextFree > start {
+		start = q.nextFree
+	}
+	q.nextFree = start + service
+	q.busy += service
+	return q.nextFree
+}
+
+type desState struct {
+	p        Params
+	rng      *rand.Rand
+	events   eventHeap
+	nics     []fifo // one per node
+	servers  []fifo // one per instance
+	dims     [3]int
+	rackDims [3]int
+	racks    int
+
+	completed int
+	latSum    float64
+	warmup    float64
+}
+
+// DiscreteEvent simulates the deployment for simSeconds of virtual
+// time (plus a 20% warmup) and reports steady-state results.
+// Replication is simulated event-by-event: with SyncReplication every
+// replica leg nests a full round trip before the acknowledgment;
+// otherwise all legs are asynchronous and contribute only load.
+func DiscreteEvent(p Params, simSeconds float64, seed int64) (Result, error) {
+	if err := validate(p); err != nil {
+		return Result{}, err
+	}
+	if simSeconds <= 0 {
+		return Result{}, errors.New("sim: simSeconds must be positive")
+	}
+	nInst := p.Nodes * p.InstancesPerNode
+	s := &desState{
+		p:       p,
+		rng:     rand.New(rand.NewSource(seed)),
+		nics:    make([]fifo, p.Nodes),
+		servers: make([]fifo, nInst),
+		dims:    torusDims(min(p.Nodes, p.RackSize)),
+		racks:   (p.Nodes + p.RackSize - 1) / p.RackSize,
+		warmup:  simSeconds * 0.2,
+	}
+	s.rackDims = torusDims(s.racks)
+	end := simSeconds * 1.2
+
+	for c := 0; c < nInst; c++ {
+		c := c
+		// Stagger client starts to avoid a synchronized burst.
+		start := s.rng.Float64() * p.ClientTime
+		s.schedule(start, func(at float64) { s.issue(c, at) })
+	}
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(event)
+		if e.at > end {
+			break
+		}
+		e.fn(e.at)
+	}
+	if s.completed == 0 {
+		return Result{}, errors.New("sim: no operations completed; simSeconds too short")
+	}
+	meanLat := s.latSum / float64(s.completed)
+	measured := end - s.warmup
+	var nicBusy float64
+	for i := range s.nics {
+		nicBusy += s.nics[i].busy
+	}
+	_, hops := networkDelay(p)
+	return Result{
+		Latency:        meanLat,
+		Throughput:     float64(s.completed) / measured,
+		AvgHops:        hops,
+		NICUtilization: nicBusy / (float64(p.Nodes) * end),
+	}, nil
+}
+
+func (s *desState) schedule(at float64, fn func(float64)) {
+	heap.Push(&s.events, event{at, fn})
+}
+
+// issue starts one operation from client c (instance index c).
+func (s *desState) issue(c int, t0 float64) {
+	srcNode := c / s.p.InstancesPerNode
+	dst := s.rng.Intn(len(s.servers))
+	dstNode := dst / s.p.InstancesPerNode
+
+	afterClient := t0 + s.p.ClientTime
+	out := s.nics[srcNode].admit(afterClient, s.p.NICTime)
+	prop := s.propagation(srcNode, dstNode)
+	s.schedule(out+prop, func(at float64) {
+		in := s.nics[dstNode].admit(at, s.p.NICTime)
+		s.schedule(in, func(at float64) {
+			done := s.servers[dst].admit(at, s.p.ServerTime)
+			s.schedule(done, func(at float64) {
+				s.afterServer(c, t0, srcNode, dst, dstNode, prop, at)
+			})
+		})
+	})
+}
+
+// afterServer handles replication legs and the response path once the
+// primary has applied the op.
+func (s *desState) afterServer(c int, t0 float64, srcNode, dst, dstNode int, prop, at float64) {
+	syncLegs, asyncLegs := replicationLegs(s.p)
+	// Asynchronous legs: inject their traffic (NIC passes, replica
+	// server work) without delaying the acknowledgment.
+	for i := 0; i < asyncLegs; i++ {
+		s.replicaLeg(dst, dstNode, at, nil)
+	}
+	respond := func(at float64) {
+		rout := s.nics[dstNode].admit(at, s.p.NICTime)
+		s.schedule(rout+prop, func(at float64) {
+			rin := s.nics[srcNode].admit(at, s.p.NICTime)
+			s.schedule(rin, func(at float64) {
+				if at > s.warmup {
+					s.completed++
+					s.latSum += at - t0
+				}
+				s.issue(c, at) // closed loop
+			})
+		})
+	}
+	if syncLegs == 0 {
+		respond(at)
+		return
+	}
+	// Synchronous legs complete sequentially before the ack.
+	var chain func(remaining int, at float64)
+	chain = func(remaining int, at float64) {
+		if remaining == 0 {
+			respond(at)
+			return
+		}
+		s.replicaLeg(dst, dstNode, at, func(at float64) {
+			chain(remaining-1, at)
+		})
+	}
+	chain(syncLegs, at)
+}
+
+// replicaLeg simulates one primary→replica round trip. done, when
+// non-nil, fires at ack time (synchronous leg).
+func (s *desState) replicaLeg(primary, primaryNode int, at float64, done func(float64)) {
+	// Replicas are ring successors; under contiguous bootstrap the
+	// successor instance lives on the next node.
+	replica := (primary + 1 + s.rng.Intn(3)) % len(s.servers)
+	replicaNode := replica / s.p.InstancesPerNode
+	prop := s.propagation(primaryNode, replicaNode)
+	out := s.nics[primaryNode].admit(at, s.p.NICTime)
+	s.schedule(out+prop, func(at float64) {
+		in := s.nics[replicaNode].admit(at, s.p.NICTime)
+		s.schedule(in, func(at float64) {
+			applied := s.servers[replica].admit(at, s.p.ServerTime)
+			s.schedule(applied, func(at float64) {
+				back := s.nics[replicaNode].admit(at, s.p.NICTime)
+				s.schedule(back+prop, func(at float64) {
+					ackIn := s.nics[primaryNode].admit(at, s.p.NICTime)
+					if done != nil {
+						s.schedule(ackIn, done)
+					}
+				})
+			})
+		})
+	})
+}
+
+// propagation computes the torus delay between two nodes.
+func (s *desState) propagation(a, b int) float64 {
+	if a == b {
+		return 0
+	}
+	ra, rb := a/s.p.RackSize, b/s.p.RackSize
+	la, lb := a%s.p.RackSize, b%s.p.RackSize
+	d := float64(torusDist(s.dims, la, lb)) * s.p.HopTime
+	if ra != rb {
+		d += float64(torusDist(s.rackDims, ra, rb)) * s.p.RackHopTime
+	}
+	return d
+}
+
+// torusDist is the wraparound Manhattan distance between linear
+// indices x and y on a torus with the given dimensions.
+func torusDist(dims [3]int, x, y int) int {
+	d := 0
+	for ax := 0; ax < 3; ax++ {
+		k := dims[ax]
+		if k == 0 {
+			k = 1
+		}
+		cx, cy := x%k, y%k
+		x /= k
+		y /= k
+		dd := cx - cy
+		if dd < 0 {
+			dd = -dd
+		}
+		if k-dd < dd {
+			dd = k - dd
+		}
+		d += dd
+	}
+	return d
+}

@@ -1,0 +1,309 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTorusDims(t *testing.T) {
+	cases := map[int][3]int{
+		1:    {1, 1, 1},
+		8:    {2, 2, 2},
+		64:   {4, 4, 4},
+		1024: {8, 8, 16},
+	}
+	for n, want := range cases {
+		got := torusDims(n)
+		if got != want {
+			t.Errorf("torusDims(%d) = %v, want %v", n, got, want)
+		}
+	}
+	// Non-factorable sizes still produce a valid factorization.
+	d := torusDims(30)
+	if d[0]*d[1]*d[2] != 30 {
+		t.Errorf("torusDims(30) = %v does not multiply to 30", d)
+	}
+}
+
+func TestAvgRingDist(t *testing.T) {
+	if got := avgRingDist(2); got != 0.5 {
+		t.Errorf("avgRingDist(2) = %v, want 0.5", got)
+	}
+	if got := avgRingDist(4); got != 1.0 {
+		t.Errorf("avgRingDist(4) = %v, want 1", got)
+	}
+	if avgRingDist(1) != 0 {
+		t.Error("single-node ring has nonzero distance")
+	}
+}
+
+func TestTorusDist(t *testing.T) {
+	dims := [3]int{4, 4, 4}
+	if got := torusDist(dims, 0, 0); got != 0 {
+		t.Errorf("self distance = %d", got)
+	}
+	// Node 1 is one hop along the first axis.
+	if got := torusDist(dims, 0, 1); got != 1 {
+		t.Errorf("adjacent distance = %d", got)
+	}
+	// Wraparound: node 3 on a ring of 4 is distance 1 from node 0.
+	if got := torusDist(dims, 0, 3); got != 1 {
+		t.Errorf("wraparound distance = %d", got)
+	}
+	// Diameter corner: (2,2,2) from origin.
+	if got := torusDist(dims, 0, 2+2*4+2*16); got != 6 {
+		t.Errorf("diameter distance = %d", got)
+	}
+}
+
+func TestAnchorPoints(t *testing.T) {
+	// The calibration anchors from the paper: ~0.6 ms at 2 nodes,
+	// ~1.1 ms at 8K nodes (§IV.E).
+	r2, err := Analytic(DefaultParams(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Latency < 0.4e-3 || r2.Latency > 0.8e-3 {
+		t.Errorf("2-node latency = %.3f ms, want ≈0.6 ms", r2.Latency*1e3)
+	}
+	r8k, err := Analytic(DefaultParams(8192, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r8k.Latency < 0.9e-3 || r8k.Latency > 1.4e-3 {
+		t.Errorf("8K-node latency = %.3f ms, want ≈1.1 ms", r8k.Latency*1e3)
+	}
+	// Throughput at 8K nodes ≈ 7.4M ops/s in the paper.
+	if r8k.Throughput < 5e6 || r8k.Throughput > 10e6 {
+		t.Errorf("8K-node throughput = %.2fM ops/s, want ≈7.4M", r8k.Throughput/1e6)
+	}
+}
+
+func TestLatencyMonotoneInScale(t *testing.T) {
+	prev := 0.0
+	for _, n := range []int{1, 2, 64, 1024, 8192, 65536, 1 << 20} {
+		r, err := Analytic(DefaultParams(n, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Latency < prev {
+			t.Errorf("latency decreased at n=%d: %.3f ms", n, r.Latency*1e3)
+		}
+		prev = r.Latency
+	}
+}
+
+func TestEfficiencyCurveShape(t *testing.T) {
+	// Figure 11: ~100% at 2 nodes, ~51% at 8K, ~8% at 1M.
+	base, _ := Analytic(DefaultParams(2, 1))
+	eff := func(n int) float64 {
+		r, err := Analytic(DefaultParams(n, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Efficiency(r, DefaultParams(n, 1), base.Latency)
+	}
+	if e := eff(2); math.Abs(e-1.0) > 0.01 {
+		t.Errorf("efficiency(2) = %.2f, want 1.0", e)
+	}
+	e8k := eff(8192)
+	if e8k < 0.40 || e8k > 0.65 {
+		t.Errorf("efficiency(8K) = %.2f, want ≈0.51", e8k)
+	}
+	e1m := eff(1 << 20)
+	if e1m < 0.04 || e1m > 0.20 {
+		t.Errorf("efficiency(1M) = %.2f, want ≈0.08", e1m)
+	}
+	if !(e8k > e1m) {
+		t.Error("efficiency must decrease with scale")
+	}
+}
+
+func TestInstancesPerNodeTradeoff(t *testing.T) {
+	// Figures 13/14: 4 instances/node at 8K nodes roughly doubles
+	// aggregate throughput (2.2x in the paper) while roughly
+	// doubling latency (1.1 → 2.08 ms).
+	r1, _ := Analytic(DefaultParams(8192, 1))
+	r4, _ := Analytic(DefaultParams(8192, 4))
+	if r4.Latency < 1.4*r1.Latency {
+		t.Errorf("4 inst/node latency %.2f ms not clearly above 1 inst %.2f ms", r4.Latency*1e3, r1.Latency*1e3)
+	}
+	gain := r4.Throughput / r1.Throughput
+	if gain < 1.5 || gain > 3.2 {
+		t.Errorf("4 inst/node throughput gain = %.2fx, want ≈2.2x", gain)
+	}
+	r8, _ := Analytic(DefaultParams(8192, 8))
+	if r8.Latency <= r4.Latency {
+		t.Error("8 inst/node latency must exceed 4 inst/node")
+	}
+	if r8.Throughput < r4.Throughput {
+		t.Error("aggregate throughput should keep growing to 8 inst/node (Figure 14)")
+	}
+}
+
+func TestReplicationOverheadShape(t *testing.T) {
+	// Figure 12: async replication adds ~20% (1 replica) and ~30%
+	// (2 replicas); sync replication would add ~100%/200%.
+	p0 := DefaultParams(1024, 1)
+	r0, _ := Analytic(p0)
+	p1 := p0
+	p1.Replicas = 1
+	r1, _ := Analytic(p1)
+	p2 := p0
+	p2.Replicas = 2
+	r2, _ := Analytic(p2)
+	ov1 := r1.Latency/r0.Latency - 1
+	ov2 := r2.Latency/r0.Latency - 1
+	if ov1 < 0.05 || ov1 > 0.8 {
+		t.Errorf("1 async replica overhead = %.0f%%, want ≈20%%", ov1*100)
+	}
+	if ov2 <= ov1 {
+		t.Error("2 replicas must cost more than 1")
+	}
+	// Sync replication is much more expensive.
+	ps2 := p2
+	ps2.SyncReplication = true
+	rs2, _ := Analytic(ps2)
+	if rs2.Latency < r2.Latency*1.3 {
+		t.Errorf("sync replication (%.2f ms) should far exceed async (%.2f ms)", rs2.Latency*1e3, r2.Latency*1e3)
+	}
+}
+
+func TestDiscreteEventMatchesAnalyticSmallScale(t *testing.T) {
+	for _, cfg := range []struct{ nodes, inst int }{{2, 1}, {16, 1}, {64, 1}, {16, 4}} {
+		p := DefaultParams(cfg.nodes, cfg.inst)
+		a, err := Analytic(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := DiscreteEvent(p, 0.5, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := d.Latency / a.Latency
+		if ratio < 0.6 || ratio > 1.6 {
+			t.Errorf("nodes=%d inst=%d: DES latency %.3f ms vs analytic %.3f ms (ratio %.2f)",
+				cfg.nodes, cfg.inst, d.Latency*1e3, a.Latency*1e3, ratio)
+		}
+	}
+}
+
+func TestDiscreteEventDeterministic(t *testing.T) {
+	p := DefaultParams(16, 2)
+	a, err := DiscreteEvent(p, 0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DiscreteEvent(p, 0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Latency != b.Latency || a.Throughput != b.Throughput {
+		t.Error("same seed produced different results")
+	}
+	c, _ := DiscreteEvent(p, 0.2, 8)
+	if c.Latency == a.Latency && c.Throughput == a.Throughput {
+		t.Error("different seeds produced identical results (suspicious)")
+	}
+}
+
+func TestDiscreteEventRejectsBadInput(t *testing.T) {
+	if _, err := DiscreteEvent(DefaultParams(0, 1), 0.1, 1); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := DiscreteEvent(DefaultParams(2, 1), 0, 1); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+// TestDiscreteEventReplication cross-validates the DES replication
+// model against the paper's qualitative claims: async legs add little
+// acknowledged latency; sync legs add roughly a full round trip each.
+func TestDiscreteEventReplication(t *testing.T) {
+	base := DefaultParams(32, 1)
+	r0, err := DiscreteEvent(base, 0.4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa := base
+	pa.Replicas = 2
+	ra, err := DiscreteEvent(pa, 0.4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := pa
+	ps.SyncReplication = true
+	rs, err := DiscreteEvent(ps, 0.4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asyncOv := ra.Latency/r0.Latency - 1
+	syncOv := rs.Latency/r0.Latency - 1
+	if asyncOv > 0.6 {
+		t.Errorf("async r=2 overhead = %.0f%%; should be modest", asyncOv*100)
+	}
+	if syncOv < asyncOv+0.3 {
+		t.Errorf("sync r=2 overhead %.0f%% not clearly above async %.0f%%", syncOv*100, asyncOv*100)
+	}
+	// Agreement with the analytic model on the sync configuration.
+	an, err := Analytic(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := rs.Latency / an.Latency
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("DES sync latency %.3f ms vs analytic %.3f ms (ratio %.2f)", rs.Latency*1e3, an.Latency*1e3, ratio)
+	}
+}
+
+func TestAnalyticRejectsBadInput(t *testing.T) {
+	p := DefaultParams(4, 1)
+	p.Replicas = -1
+	if _, err := Analytic(p); err == nil {
+		t.Error("negative replicas accepted")
+	}
+	p2 := DefaultParams(4, 1)
+	p2.RackSize = 0
+	if _, err := Analytic(p2); err == nil {
+		t.Error("zero rack size accepted")
+	}
+}
+
+func TestBootstrapModel(t *testing.T) {
+	// §III.H: ZHT bootstrap ≈8 s at 1K nodes, ≈10 s at 8K.
+	b1k := Bootstrap(1024)
+	zht1k := b1k.NeighborList + b1k.ServerStart
+	if zht1k < 6 || zht1k > 10 {
+		t.Errorf("ZHT bootstrap at 1K = %.1f s, want ≈8 s", zht1k)
+	}
+	b8k := Bootstrap(8192)
+	zht8k := b8k.NeighborList + b8k.ServerStart
+	if zht8k < 8 || zht8k > 13 {
+		t.Errorf("ZHT bootstrap at 8K = %.1f s, want ≈10 s", zht8k)
+	}
+	if b8k.Total() <= b1k.Total() {
+		t.Error("total bootstrap must grow with scale")
+	}
+	// Batch-system partition boot dominates (Figure 5).
+	if b8k.PartitionBoot < zht8k {
+		t.Error("partition boot should dominate ZHT's own bootstrap")
+	}
+}
+
+func BenchmarkAnalytic(b *testing.B) {
+	p := DefaultParams(1<<20, 4)
+	for i := 0; i < b.N; i++ {
+		if _, err := Analytic(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDiscreteEvent1K(b *testing.B) {
+	p := DefaultParams(1024, 1)
+	for i := 0; i < b.N; i++ {
+		if _, err := DiscreteEvent(p, 0.05, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

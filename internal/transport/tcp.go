@@ -1,0 +1,373 @@
+package transport
+
+import (
+	"bufio"
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"zht/internal/wire"
+)
+
+// Frame format on TCP: uvarint length followed by the encoded message.
+const maxFrame = 128 << 20
+
+func writeFrame(w *bufio.Writer, payload []byte) error {
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(payload)))
+	if _, err := w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+func readFrame(r *bufio.Reader, buf []byte) ([]byte, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	if uint64(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// TCPServer serves ZHT requests over TCP.
+type TCPServer struct {
+	ln      net.Listener
+	handler Handler
+	mode    ServerMode
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	closed  bool
+}
+
+// ListenTCP starts a TCP server on addr (use ":0" for an ephemeral
+// port) dispatching to h with the given mode.
+func ListenTCP(addr string, h Handler, mode ServerMode) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &TCPServer{ln: ln, handler: h, mode: mode, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *TCPServer) Addr() string { return s.ln.Addr().String() }
+
+func (s *TCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(c)
+	}
+}
+
+func (s *TCPServer) serveConn(c net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+	}()
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	br := bufio.NewReaderSize(c, 64<<10)
+	bw := bufio.NewWriterSize(c, 64<<10)
+	var rbuf, wbuf []byte
+	var wmu sync.Mutex // SpawnPerRequest writers race on bw
+	for {
+		frame, err := readFrame(br, rbuf)
+		if err != nil {
+			return
+		}
+		rbuf = frame
+		req, err := wire.DecodeRequest(frame)
+		if err != nil {
+			return // protocol violation: drop the connection
+		}
+		switch s.mode {
+		case EventDriven:
+			resp := s.handler(req)
+			resp.Seq = req.Seq
+			wbuf = wire.EncodeResponse(wbuf[:0], resp)
+			if err := writeFrame(bw, wbuf); err != nil {
+				return
+			}
+		case SpawnPerRequest:
+			// The multithreaded prototype spun up a thread per
+			// request; its costs were thread creation and handoff
+			// synchronization. DecodeRequest aliases the read
+			// buffer, so the spawned goroutine needs its own copy.
+			reqCopy := *req
+			reqCopy.Value = append([]byte(nil), req.Value...)
+			reqCopy.Aux = append([]byte(nil), req.Aux...)
+			done := make(chan *wire.Response, 1)
+			go func() {
+				done <- s.handler(&reqCopy)
+			}()
+			resp := <-done
+			resp.Seq = req.Seq
+			wmu.Lock()
+			out := wire.EncodeResponse(nil, resp)
+			err := writeFrame(bw, out)
+			wmu.Unlock()
+			if err != nil {
+				return
+			}
+		}
+	}
+}
+
+// Close stops accepting, closes all connections, and waits for
+// in-flight handlers.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// TCPClientOptions configures a TCP client.
+type TCPClientOptions struct {
+	// ConnCache enables the LRU connection cache. Without it every
+	// Call dials a fresh connection (the paper's "TCP without
+	// connection caching" configuration).
+	ConnCache bool
+	// MaxCached bounds the total number of cached idle connections
+	// across all destinations; the least recently used is evicted.
+	// 0 means DefaultMaxCached.
+	MaxCached int
+	// Timeout bounds dial + round trip per call. 0 means
+	// DefaultTimeout.
+	Timeout time.Duration
+}
+
+// Defaults for TCPClientOptions zero values.
+const (
+	DefaultMaxCached = 1024
+	DefaultTimeout   = 10 * time.Second
+)
+
+// TCPClient issues requests over TCP, optionally caching connections
+// in an LRU pool keyed by destination address (§III.F).
+type TCPClient struct {
+	opts TCPClientOptions
+
+	mu     sync.Mutex
+	lru    *list.List                 // of *cachedConn, front = most recent
+	byAddr map[string][]*list.Element // idle conns per destination
+	size   int
+	closed bool
+}
+
+type cachedConn struct {
+	addr string
+	c    net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// NewTCPClient creates a client.
+func NewTCPClient(opts TCPClientOptions) *TCPClient {
+	if opts.MaxCached == 0 {
+		opts.MaxCached = DefaultMaxCached
+	}
+	if opts.Timeout == 0 {
+		opts.Timeout = DefaultTimeout
+	}
+	return &TCPClient{
+		opts:   opts,
+		lru:    list.New(),
+		byAddr: make(map[string][]*list.Element),
+	}
+}
+
+// Call implements Caller.
+func (c *TCPClient) Call(addr string, req *wire.Request) (*wire.Response, error) {
+	deadline := time.Now().Add(c.opts.Timeout)
+	cc, err := c.get(addr, deadline)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+	}
+	cc.c.SetDeadline(deadline)
+	resp, err := c.roundTrip(cc, req)
+	if err != nil {
+		cc.c.Close()
+		// A cached connection may have gone stale (server restart,
+		// idle timeout): retry exactly once on a fresh dial.
+		cc, derr := c.dial(addr, deadline)
+		if derr != nil {
+			return nil, fmt.Errorf("%w: %v", ErrUnreachable, derr)
+		}
+		cc.c.SetDeadline(deadline)
+		resp, err = c.roundTrip(cc, req)
+		if err != nil {
+			cc.c.Close()
+			if nerr, ok := err.(net.Error); ok && nerr.Timeout() {
+				return nil, ErrTimeout
+			}
+			return nil, err
+		}
+		c.put(cc)
+		return resp, nil
+	}
+	c.put(cc)
+	return resp, nil
+}
+
+func (c *TCPClient) roundTrip(cc *cachedConn, req *wire.Request) (*wire.Response, error) {
+	out := wire.EncodeRequest(nil, req)
+	if err := writeFrame(cc.bw, out); err != nil {
+		return nil, err
+	}
+	frame, err := readFrame(cc.br, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := wire.DecodeResponse(frame)
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// get returns a cached idle connection for addr or dials a new one.
+func (c *TCPClient) get(addr string, deadline time.Time) (*cachedConn, error) {
+	if c.opts.ConnCache {
+		c.mu.Lock()
+		if els := c.byAddr[addr]; len(els) > 0 {
+			el := els[len(els)-1]
+			c.byAddr[addr] = els[:len(els)-1]
+			cc := el.Value.(*cachedConn)
+			c.lru.Remove(el)
+			c.size--
+			c.mu.Unlock()
+			return cc, nil
+		}
+		c.mu.Unlock()
+	}
+	return c.dial(addr, deadline)
+}
+
+func (c *TCPClient) dial(addr string, deadline time.Time) (*cachedConn, error) {
+	d := net.Dialer{Deadline: deadline}
+	conn, err := d.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return &cachedConn{
+		addr: addr,
+		c:    conn,
+		br:   bufio.NewReaderSize(conn, 64<<10),
+		bw:   bufio.NewWriterSize(conn, 64<<10),
+	}, nil
+}
+
+// put returns a connection to the cache (or closes it when caching is
+// off or the cache is full, evicting the LRU entry).
+func (c *TCPClient) put(cc *cachedConn) {
+	if !c.opts.ConnCache {
+		cc.c.Close()
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		cc.c.Close()
+		return
+	}
+	for c.size >= c.opts.MaxCached {
+		el := c.lru.Back()
+		if el == nil {
+			break
+		}
+		victim := el.Value.(*cachedConn)
+		c.removeLocked(el, victim)
+		victim.c.Close()
+	}
+	el := c.lru.PushFront(cc)
+	c.byAddr[cc.addr] = append(c.byAddr[cc.addr], el)
+	c.size++
+}
+
+func (c *TCPClient) removeLocked(el *list.Element, cc *cachedConn) {
+	c.lru.Remove(el)
+	els := c.byAddr[cc.addr]
+	for i, e := range els {
+		if e == el {
+			c.byAddr[cc.addr] = append(els[:i], els[i+1:]...)
+			break
+		}
+	}
+	if len(c.byAddr[cc.addr]) == 0 {
+		delete(c.byAddr, cc.addr)
+	}
+	c.size--
+}
+
+// CachedConns reports the number of idle cached connections (for
+// tests and monitoring).
+func (c *TCPClient) CachedConns() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size
+}
+
+// Close drops all cached connections.
+func (c *TCPClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		el.Value.(*cachedConn).c.Close()
+	}
+	c.lru.Init()
+	c.byAddr = make(map[string][]*list.Element)
+	c.size = 0
+	return nil
+}

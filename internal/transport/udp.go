@@ -1,0 +1,241 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zht/internal/wire"
+)
+
+// UDP transport: acknowledge-message based (§III.F) — every request
+// datagram is answered by a response datagram; the sender retransmits
+// on timeout. Connectionless communication avoids the connection
+// establishment cost that motivates the paper's interest in UDP at
+// extreme scales.
+
+// maxDatagram bounds UDP message size. ZHT's micro-benchmark payloads
+// (15 B keys, 132 B values) fit trivially; larger values should use
+// TCP.
+const maxDatagram = 60 * 1024
+
+// UDPServer serves ZHT requests over UDP.
+type UDPServer struct {
+	pc      *net.UDPConn
+	handler Handler
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+}
+
+// ListenUDP starts a UDP server on addr (":0" for ephemeral).
+func ListenUDP(addr string, h Handler) (*UDPServer, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	pc, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, err
+	}
+	s := &UDPServer{pc: pc, handler: h}
+	s.wg.Add(1)
+	go s.loop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *UDPServer) Addr() string { return s.pc.LocalAddr().String() }
+
+// udpWorkers bounds concurrent handler executions per server. The
+// read loop itself stays single-threaded (event-driven), but handlers
+// run off-loop: a ZHT handler may issue nested server-to-server RPCs
+// (replication, migration), and two servers handling each other's
+// requests inline would deadlock until their clients' retransmission
+// timeouts fired.
+const udpWorkers = 256
+
+func (s *UDPServer) loop() {
+	defer s.wg.Done()
+	sem := make(chan struct{}, udpWorkers)
+	buf := make([]byte, maxDatagram)
+	for {
+		n, from, err := s.pc.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		req, err := wire.DecodeRequest(buf[:n])
+		if err != nil {
+			continue // drop malformed datagrams
+		}
+		// DecodeRequest aliases buf; copy before handing off.
+		r := *req
+		r.Value = append([]byte(nil), req.Value...)
+		r.Aux = append([]byte(nil), req.Aux...)
+		if len(r.Value) == 0 {
+			r.Value = nil
+		}
+		if len(r.Aux) == 0 {
+			r.Aux = nil
+		}
+		dst := *from
+		sem <- struct{}{}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() { <-sem }()
+			resp := s.handler(&r)
+			resp.Seq = r.Seq
+			out := wire.EncodeResponse(nil, resp)
+			if len(out) > maxDatagram {
+				out = wire.EncodeResponse(nil, &wire.Response{
+					Status: wire.StatusError, Seq: r.Seq,
+					Err: "transport: response exceeds datagram limit",
+				})
+			}
+			s.pc.WriteToUDP(out, &dst)
+		}()
+	}
+}
+
+// Close stops the server.
+func (s *UDPServer) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	err := s.pc.Close()
+	s.wg.Wait()
+	return err
+}
+
+// UDPClientOptions configures a UDP client.
+type UDPClientOptions struct {
+	// Timeout is the per-attempt ack deadline. 0 means
+	// DefaultUDPTimeout.
+	Timeout time.Duration
+	// Retries is the number of retransmissions after the first
+	// attempt. 0 means DefaultUDPRetries; negative means none.
+	Retries int
+}
+
+// Defaults for UDPClientOptions zero values.
+const (
+	DefaultUDPTimeout = 500 * time.Millisecond
+	DefaultUDPRetries = 3
+)
+
+// UDPClient issues acknowledge-based UDP requests.
+type UDPClient struct {
+	opts UDPClientOptions
+	seq  atomic.Uint64
+
+	mu     sync.Mutex
+	socks  map[string][]*net.UDPConn // idle sockets per destination
+	closed bool
+}
+
+// NewUDPClient creates a client.
+func NewUDPClient(opts UDPClientOptions) *UDPClient {
+	if opts.Timeout == 0 {
+		opts.Timeout = DefaultUDPTimeout
+	}
+	if opts.Retries == 0 {
+		opts.Retries = DefaultUDPRetries
+	}
+	return &UDPClient{opts: opts, socks: make(map[string][]*net.UDPConn)}
+}
+
+// Call implements Caller: send, await the matching ack, retransmit on
+// timeout.
+func (c *UDPClient) Call(addr string, req *wire.Request) (*wire.Response, error) {
+	r := *req
+	r.Seq = c.seq.Add(1)
+	out := wire.EncodeRequest(nil, &r)
+	if len(out) > maxDatagram {
+		return nil, fmt.Errorf("transport: request of %d bytes exceeds datagram limit", len(out))
+	}
+	conn, err := c.getSock(addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+	}
+	buf := make([]byte, maxDatagram)
+	attempts := 1 + c.opts.Retries
+	if c.opts.Retries < 0 {
+		attempts = 1
+	}
+	for a := 0; a < attempts; a++ {
+		if _, err := conn.Write(out); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+		}
+		conn.SetReadDeadline(time.Now().Add(c.opts.Timeout))
+		for {
+			n, err := conn.Read(buf)
+			if err != nil {
+				if ne, ok := err.(net.Error); ok && ne.Timeout() {
+					break // retransmit
+				}
+				conn.Close()
+				return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+			}
+			resp, derr := wire.DecodeResponse(buf[:n])
+			if derr != nil || resp.Seq != r.Seq {
+				continue // stray or stale datagram; keep waiting
+			}
+			// Copy fields that alias buf before reuse.
+			resp.Value = append([]byte(nil), resp.Value...)
+			resp.Table = append([]byte(nil), resp.Table...)
+			if len(resp.Value) == 0 {
+				resp.Value = nil
+			}
+			if len(resp.Table) == 0 {
+				resp.Table = nil
+			}
+			c.putSock(addr, conn)
+			return resp, nil
+		}
+	}
+	c.putSock(addr, conn)
+	return nil, ErrTimeout
+}
+
+func (c *UDPClient) getSock(addr string) (*net.UDPConn, error) {
+	c.mu.Lock()
+	if ss := c.socks[addr]; len(ss) > 0 {
+		s := ss[len(ss)-1]
+		c.socks[addr] = ss[:len(ss)-1]
+		c.mu.Unlock()
+		return s, nil
+	}
+	c.mu.Unlock()
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return net.DialUDP("udp", nil, ua)
+}
+
+func (c *UDPClient) putSock(addr string, s *net.UDPConn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || len(c.socks[addr]) >= 16 {
+		s.Close()
+		return
+	}
+	c.socks[addr] = append(c.socks[addr], s)
+}
+
+// Close releases pooled sockets.
+func (c *UDPClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for _, ss := range c.socks {
+		for _, s := range ss {
+			s.Close()
+		}
+	}
+	c.socks = make(map[string][]*net.UDPConn)
+	return nil
+}

@@ -1,0 +1,45 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDecodeNeverPanics feeds random byte soup and mutated valid
+// messages to the decoders: they must return errors, never panic, and
+// re-encoding anything they accept must round-trip.
+func TestDecodeNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	valid := EncodeRequest(nil, &Request{Op: OpInsert, Key: "key", Value: []byte("value"), Aux: []byte("aux")})
+	validResp := EncodeResponse(nil, &Response{Status: StatusOK, Value: []byte("v"), Table: []byte("t"), Redirect: "r", Err: "e"})
+	for i := 0; i < 5000; i++ {
+		var b []byte
+		switch i % 3 {
+		case 0: // pure noise
+			b = make([]byte, rng.Intn(64))
+			rng.Read(b)
+		case 1: // mutated valid request
+			b = append([]byte(nil), valid...)
+			if len(b) > 0 {
+				b[rng.Intn(len(b))] ^= byte(1 << rng.Intn(8))
+			}
+		case 2: // mutated valid response
+			b = append([]byte(nil), validResp...)
+			if len(b) > 0 {
+				b[rng.Intn(len(b))] ^= byte(1 << rng.Intn(8))
+			}
+		}
+		if req, err := DecodeRequest(b); err == nil {
+			re := EncodeRequest(nil, req)
+			if rt, err2 := DecodeRequest(re); err2 != nil || rt.Op != req.Op || rt.Key != req.Key {
+				t.Fatalf("accepted request does not round-trip: %v", err2)
+			}
+		}
+		if resp, err := DecodeResponse(b); err == nil {
+			re := EncodeResponse(nil, resp)
+			if rt, err2 := DecodeResponse(re); err2 != nil || rt.Status != resp.Status {
+				t.Fatalf("accepted response does not round-trip: %v", err2)
+			}
+		}
+	}
+}

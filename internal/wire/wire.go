@@ -1,0 +1,334 @@
+// Package wire defines ZHT's message schema and compact binary codec.
+//
+// The paper (§III.G) serializes requests with Google Protocol Buffers:
+// an operation indicator plus the key/value pair, encapsulated into a
+// plain string and sent over the network. This package plays that role
+// with a hand-written varint codec (see DESIGN.md substitutions): the
+// schema is the same — op indicator, key, value — extended with the
+// fields the rest of the protocol needs (client membership epoch for
+// lazy table refresh, sequence numbers for UDP matching, and
+// server-to-server partition/replication payloads).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Op is the operation indicator carried by every request.
+type Op uint8
+
+// Client-facing and server-to-server operations.
+const (
+	OpNop Op = iota
+	// The four basic ZHT operations (§III.A).
+	OpInsert
+	OpLookup
+	OpRemove
+	OpAppend
+	// OpCas is a compare-and-swap extension used by MATRIX-style
+	// clients that need atomic read-modify-write.
+	OpCas
+	// OpBroadcast delivers a key/value pair to every instance via a
+	// spanning tree (future-work broadcast primitive, implemented).
+	OpBroadcast
+	// OpReplicate forwards a mutation from a primary to a replica.
+	OpReplicate
+	// OpMembership requests the server's current membership table.
+	OpMembership
+	// OpDelta carries an incremental membership update broadcast by a
+	// manager.
+	OpDelta
+	// OpMigrate transfers a whole partition's contents to a new
+	// owner (migration moves partitions, never rehashes pairs).
+	OpMigrate
+	// OpPing is the failure detector's liveness probe.
+	OpPing
+	// OpReport informs a manager that the sender observed an
+	// instance failing repeatedly (Key holds the instance ID); the
+	// manager verifies, fails the node over, and broadcasts the
+	// membership change (§III.C unplanned departures).
+	OpReport
+	opMax
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpNop:
+		return "nop"
+	case OpInsert:
+		return "insert"
+	case OpLookup:
+		return "lookup"
+	case OpRemove:
+		return "remove"
+	case OpAppend:
+		return "append"
+	case OpCas:
+		return "cas"
+	case OpBroadcast:
+		return "broadcast"
+	case OpReplicate:
+		return "replicate"
+	case OpMembership:
+		return "membership"
+	case OpDelta:
+		return "delta"
+	case OpMigrate:
+		return "migrate"
+	case OpPing:
+		return "ping"
+	case OpReport:
+		return "report"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Status is the result code of a response. The paper's API returns 0
+// for success and non-zero codes describing the error.
+type Status uint8
+
+const (
+	// StatusOK — operation applied (return code 0 in the paper).
+	StatusOK Status = iota
+	// StatusNotFound — lookup/remove/append on an absent key.
+	StatusNotFound
+	// StatusWrongOwner — the receiving instance does not own the
+	// key's partition; the response carries the server's current
+	// membership table so the client can lazily refresh (§III.C).
+	StatusWrongOwner
+	// StatusMigrating — the partition is locked for migration; the
+	// request was queued and answered with a redirect to the new
+	// location once the move completed, or the client should retry
+	// at the address in Redirect.
+	StatusMigrating
+	// StatusCasMismatch — compare-and-swap expectation failed; the
+	// current value is returned.
+	StatusCasMismatch
+	// StatusExists — insert with IfAbsent flag on a present key.
+	StatusExists
+	// StatusError — server-side failure; Err holds detail.
+	StatusError
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusNotFound:
+		return "not-found"
+	case StatusWrongOwner:
+		return "wrong-owner"
+	case StatusMigrating:
+		return "migrating"
+	case StatusCasMismatch:
+		return "cas-mismatch"
+	case StatusExists:
+		return "exists"
+	case StatusError:
+		return "error"
+	}
+	return fmt.Sprintf("status(%d)", uint8(s))
+}
+
+// Request flag bits.
+const (
+	// FlagNoReplicate marks a mutation already traveling along the
+	// replica chain; the receiver must not re-replicate it.
+	FlagNoReplicate uint8 = 1 << iota
+	// FlagIfAbsent makes insert fail with StatusExists when the key
+	// is already present.
+	FlagIfAbsent
+	// FlagSyncReplica marks the synchronous (secondary) replication
+	// leg; async legs omit it.
+	FlagSyncReplica
+)
+
+// Request is a ZHT protocol request.
+type Request struct {
+	Op    Op
+	Flags uint8
+	// Seq matches responses to requests on connectionless
+	// transports.
+	Seq uint64
+	// Epoch is the sender's membership epoch; servers use it to
+	// detect stale clients.
+	Epoch uint64
+	// Partition addresses server-to-server partition operations
+	// (replication, migration); -1 when unused.
+	Partition int64
+	Key       string
+	Value     []byte
+	// Aux carries secondary payloads: expected value for CAS,
+	// encoded deltas/tables, or a migration image.
+	Aux []byte
+	// Hop counts spanning-tree depth for OpBroadcast.
+	Hop uint32
+}
+
+// Response is a ZHT protocol response.
+type Response struct {
+	Status Status
+	Seq    uint64
+	Value  []byte
+	// Table, when present, is an encoded up-to-date membership table
+	// (sent with StatusWrongOwner and membership fetches).
+	Table []byte
+	// Redirect is the address now serving the request's partition
+	// (sent after a migration completes).
+	Redirect string
+	// Err carries human-readable detail for StatusError.
+	Err string
+}
+
+// maxString caps any single field to guard against corrupt length
+// prefixes allocating unbounded memory.
+const maxString = 64 << 20
+
+var errMalformed = errors.New("wire: malformed message")
+
+// EncodeRequest appends the encoded request to dst and returns it.
+func EncodeRequest(dst []byte, r *Request) []byte {
+	dst = append(dst, 'Q', byte(r.Op), r.Flags)
+	dst = binary.AppendUvarint(dst, r.Seq)
+	dst = binary.AppendUvarint(dst, r.Epoch)
+	dst = binary.AppendVarint(dst, r.Partition)
+	dst = binary.AppendUvarint(dst, uint64(r.Hop))
+	dst = binary.AppendUvarint(dst, uint64(len(r.Key)))
+	dst = append(dst, r.Key...)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Value)))
+	dst = append(dst, r.Value...)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Aux)))
+	dst = append(dst, r.Aux...)
+	return dst
+}
+
+// DecodeRequest parses a request. The returned request aliases b's
+// backing array for Value/Aux; callers that retain those must copy.
+func DecodeRequest(b []byte) (*Request, error) {
+	if len(b) < 3 || b[0] != 'Q' {
+		return nil, errMalformed
+	}
+	r := &Request{Op: Op(b[1]), Flags: b[2]}
+	if r.Op == OpNop || r.Op >= opMax {
+		return nil, fmt.Errorf("%w: bad op %d", errMalformed, b[1])
+	}
+	b = b[3:]
+	var err error
+	if r.Seq, b, err = uvar(b); err != nil {
+		return nil, err
+	}
+	if r.Epoch, b, err = uvar(b); err != nil {
+		return nil, err
+	}
+	if r.Partition, b, err = svar(b); err != nil {
+		return nil, err
+	}
+	var hop uint64
+	if hop, b, err = uvar(b); err != nil {
+		return nil, err
+	}
+	r.Hop = uint32(hop)
+	var key []byte
+	if key, b, err = bytesField(b); err != nil {
+		return nil, err
+	}
+	r.Key = string(key)
+	if r.Value, b, err = bytesField(b); err != nil {
+		return nil, err
+	}
+	if r.Aux, b, err = bytesField(b); err != nil {
+		return nil, err
+	}
+	if len(b) != 0 {
+		return nil, errMalformed
+	}
+	if len(r.Value) == 0 {
+		r.Value = nil
+	}
+	if len(r.Aux) == 0 {
+		r.Aux = nil
+	}
+	return r, nil
+}
+
+// EncodeResponse appends the encoded response to dst and returns it.
+func EncodeResponse(dst []byte, r *Response) []byte {
+	dst = append(dst, 'S', byte(r.Status))
+	dst = binary.AppendUvarint(dst, r.Seq)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Value)))
+	dst = append(dst, r.Value...)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Table)))
+	dst = append(dst, r.Table...)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Redirect)))
+	dst = append(dst, r.Redirect...)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Err)))
+	dst = append(dst, r.Err...)
+	return dst
+}
+
+// DecodeResponse parses a response. Value/Table alias b.
+func DecodeResponse(b []byte) (*Response, error) {
+	if len(b) < 2 || b[0] != 'S' {
+		return nil, errMalformed
+	}
+	r := &Response{Status: Status(b[1])}
+	b = b[2:]
+	var err error
+	if r.Seq, b, err = uvar(b); err != nil {
+		return nil, err
+	}
+	if r.Value, b, err = bytesField(b); err != nil {
+		return nil, err
+	}
+	if r.Table, b, err = bytesField(b); err != nil {
+		return nil, err
+	}
+	var s []byte
+	if s, b, err = bytesField(b); err != nil {
+		return nil, err
+	}
+	r.Redirect = string(s)
+	if s, b, err = bytesField(b); err != nil {
+		return nil, err
+	}
+	r.Err = string(s)
+	if len(b) != 0 {
+		return nil, errMalformed
+	}
+	if len(r.Value) == 0 {
+		r.Value = nil
+	}
+	if len(r.Table) == 0 {
+		r.Table = nil
+	}
+	return r, nil
+}
+
+func uvar(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, errMalformed
+	}
+	return v, b[n:], nil
+}
+
+func svar(b []byte) (int64, []byte, error) {
+	v, n := binary.Varint(b)
+	if n <= 0 {
+		return 0, nil, errMalformed
+	}
+	return v, b[n:], nil
+}
+
+func bytesField(b []byte) ([]byte, []byte, error) {
+	n, rest, err := uvar(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > maxString || uint64(len(rest)) < n {
+		return nil, nil, errMalformed
+	}
+	return rest[:n], rest[n:], nil
+}
