@@ -1,0 +1,24 @@
+# Developer entry points. The repo is plain `go` otherwise; these
+# targets just pin the invocations CI and contributors should use.
+
+GO ?= go
+
+.PHONY: build test verify bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the pre-merge gate: static checks plus the full test
+# suite (including the chaos soak) under the race detector.
+verify:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+clean:
+	$(GO) clean ./...

@@ -12,8 +12,10 @@ import (
 	"fmt"
 	"log"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"zht/internal/chaos"
 	"zht/internal/core"
 	"zht/internal/loadgen"
 	"zht/internal/transport"
@@ -30,29 +32,62 @@ func main() {
 		mix        = flag.String("mix", "paper", "op mix: paper (insert/lookup/remove) or metadata (lookup-heavy with appends)")
 		dist       = flag.String("dist", "uniform", "key distribution: uniform or zipf")
 		keys       = flag.Int("keys", 100000, "keyspace size per client for -mix/-dist workloads")
+		chaosSeed  = flag.Int64("chaos", 0, "fault-injection seed: run client traffic through a lossy, slow, ack-dropping network (0 = off)")
 	)
 	flag.Parse()
 	cfg := core.Config{
 		NumPartitions: *partitions, Replicas: *replicas,
 		DataDir: *dataDir, RetryBase: time.Millisecond,
 	}
+	if *chaosSeed != 0 {
+		// Degraded mode: bound each op so the run measures throughput
+		// under faults instead of hanging on them.
+		cfg.OpDeadline = 800 * time.Millisecond
+	}
 	var d *core.Deployment
 	var cleanup func()
+	var rawCaller func() transport.Caller
 	switch *trans {
 	case "inproc":
-		dep, _, err := core.BootstrapInproc(cfg, *nodes)
+		dep, reg, err := core.BootstrapInproc(cfg, *nodes)
 		if err != nil {
 			log.Fatal(err)
 		}
 		d, cleanup = dep, func() { dep.Close() }
+		rawCaller = func() transport.Caller { return reg.NewClient() }
 	default:
-		dep, cl, err := bootNet(*nodes, cfg, *trans)
+		dep, cl, caller, err := bootNet(*nodes, cfg, *trans)
 		if err != nil {
 			log.Fatal(err)
 		}
 		d, cleanup = dep, cl
+		rawCaller = func() transport.Caller { return caller }
 	}
 	defer cleanup()
+
+	// newClient builds one bench client; under -chaos its traffic runs
+	// through a scripted degraded network (loss, slow links, lost acks).
+	newClient := func(ci int) (*core.Client, error) { return d.NewClient() }
+	var unavail, attempted atomic.Int64
+	tolerate := func(err error) bool { return false }
+	if *chaosSeed != 0 {
+		sc := degradedScenario()
+		newClient = func(ci int) (*core.Client, error) {
+			ch := chaos.Wrap(rawCaller(), sc, chaos.Options{
+				Seed: *chaosSeed + int64(ci), LossTimeout: 25 * time.Millisecond,
+			})
+			return core.NewClient(cfg, d.Instance(0).Table(), ch)
+		}
+		// Degraded mode tolerates bounded unavailability (and the
+		// NotFound shadows it casts on later ops in a round).
+		tolerate = func(err error) bool {
+			if errors.Is(err, core.ErrUnavailable) || errors.Is(err, core.ErrNotFound) {
+				unavail.Add(1)
+				return true
+			}
+			return false
+		}
+	}
 
 	val := make([]byte, 132)
 	var wg sync.WaitGroup
@@ -62,28 +97,39 @@ func main() {
 		wg.Add(1)
 		go func(ci int) {
 			defer wg.Done()
-			c, err := d.NewClient()
+			c, err := newClient(ci)
 			if err != nil {
 				errCh <- err
 				return
 			}
 			if *mix != "paper" || *dist != "uniform" {
-				if err := runGenerated(c, ci, *ops*3, *mix, *dist, *keys); err != nil {
+				if err := runGenerated(c, ci, *ops*3, *mix, *dist, *keys, tolerate); err != nil {
 					errCh <- err
+					return
 				}
+				attempted.Add(int64(*ops * 3))
 				return
 			}
 			for i := 0; i < *ops; i++ {
 				k := fmt.Sprintf("c%04dk%09d", ci, i)[:15]
+				attempted.Add(1)
 				if err := c.Insert(k, val); err != nil {
+					if tolerate(err) {
+						continue
+					}
 					errCh <- err
 					return
 				}
+				attempted.Add(1)
 				if _, err := c.Lookup(k); err != nil {
+					if tolerate(err) {
+						continue
+					}
 					errCh <- err
 					return
 				}
-				if err := c.Remove(k); err != nil {
+				attempted.Add(1)
+				if err := c.Remove(k); err != nil && !tolerate(err) {
 					errCh <- err
 					return
 				}
@@ -96,16 +142,36 @@ func main() {
 	for err := range errCh {
 		log.Fatal(err)
 	}
-	total := *nodes * *ops * 3
+	total := int(attempted.Load())
 	fmt.Printf("transport=%s nodes=%d replicas=%d: %d ops in %s\n",
 		*trans, *nodes, *replicas, total, el.Round(time.Millisecond))
 	fmt.Printf("latency  %.3f ms/op\n", float64(el.Nanoseconds())/1e6/float64(total)*float64(*nodes))
 	fmt.Printf("throughput  %.0f ops/s\n", float64(total)/el.Seconds())
+	if *chaosSeed != 0 {
+		failed := int(unavail.Load())
+		fmt.Printf("chaos seed=%d: %d/%d ops unavailable; degraded goodput %.0f ops/s\n",
+			*chaosSeed, failed, total, float64(total-failed)/el.Seconds())
+	}
+}
+
+// degradedScenario is the default -chaos schedule: a persistently bad
+// network — loss on the request leg, lost acks, and jittery slow
+// links — rather than a staged outage, so throughput numbers describe
+// steady-state degraded operation.
+func degradedScenario() *chaos.Scenario {
+	return &chaos.Scenario{Steps: []chaos.Step{{
+		At:    0,
+		Label: "degraded network",
+		Rules: []chaos.Rule{
+			{Drop: 0.05, DropReply: 0.02},
+			chaos.SlowLink("", "", 100*time.Microsecond, 500*time.Microsecond),
+		},
+	}}}
 }
 
 // runGenerated drives a loadgen workload: op mixes and key
 // distributions beyond the paper's fixed sequence.
-func runGenerated(c *core.Client, clientID, nOps int, mixName, distName string, keys int) error {
+func runGenerated(c *core.Client, clientID, nOps int, mixName, distName string, keys int, tolerate func(error) bool) error {
 	var m loadgen.Mix
 	switch mixName {
 	case "paper":
@@ -148,6 +214,10 @@ func runGenerated(c *core.Client, clientID, nOps int, mixName, distName string, 
 			err = c.Append(op.Key, op.Value)
 		}
 		if err != nil {
+			if tolerate(err) {
+				err = nil
+				continue
+			}
 			return fmt.Errorf("%s %s: %w", op.Kind, op.Key, err)
 		}
 	}
@@ -156,7 +226,7 @@ func runGenerated(c *core.Client, clientID, nOps int, mixName, distName string, 
 
 // bootNet mirrors the figures harness: n instances over real loopback
 // sockets.
-func bootNet(n int, cfg core.Config, kind string) (*core.Deployment, func(), error) {
+func bootNet(n int, cfg core.Config, kind string) (*core.Deployment, func(), transport.Caller, error) {
 	var caller transport.Caller
 	switch kind {
 	case "tcp-cache":
@@ -166,7 +236,7 @@ func bootNet(n int, cfg core.Config, kind string) (*core.Deployment, func(), err
 	case "udp":
 		caller = transport.NewUDPClient(transport.UDPClientOptions{Timeout: 2 * time.Second})
 	default:
-		return nil, nil, fmt.Errorf("unknown transport %q", kind)
+		return nil, nil, nil, fmt.Errorf("unknown transport %q", kind)
 	}
 	var lns []transport.Listener
 	var switches []*core.HandlerSwitch
@@ -181,7 +251,7 @@ func bootNet(n int, cfg core.Config, kind string) (*core.Deployment, func(), err
 			ln, err = transport.ListenTCP("127.0.0.1:0", hs.Handle, transport.EventDriven)
 		}
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		lns = append(lns, ln)
 		switches = append(switches, hs)
@@ -197,7 +267,7 @@ func bootNet(n int, cfg core.Config, kind string) (*core.Deployment, func(), err
 		return nil, fmt.Errorf("unbound %s", addr)
 	}, caller)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	return d, func() {
 		d.Close()
@@ -205,7 +275,7 @@ func bootNet(n int, cfg core.Config, kind string) (*core.Deployment, func(), err
 			ln.Close()
 		}
 		caller.Close()
-	}, nil
+	}, caller, nil
 }
 
 type nopListener struct{ addr string }

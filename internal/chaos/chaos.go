@@ -1,0 +1,403 @@
+// Package chaos is a deterministic fault-injection layer over any
+// transport.Caller.
+//
+// The paper's reliability mechanisms (§III.H–§III.J: lazy failure
+// tagging with exponential backoff, replica failover, re-replication)
+// only earn their keep under adversarial failure schedules — crashed
+// nodes, partitions, lossy and slow links, duplicated datagrams.
+// chaos.Caller wraps a real transport client (in-process, TCP, or
+// UDP) and perturbs its traffic according to a scripted Scenario:
+// each call consults the rule set active at the current offset into
+// the scenario and may be dropped, delayed, duplicated, or blocked.
+//
+// Every decision derives from a stateless hash of (seed, destination,
+// per-destination call counter, rule index, fault kind) — not from a
+// shared RNG stream — so the same seed and the same per-destination
+// call sequence reproduce exactly the same faults regardless of how
+// calls to different destinations interleave. That makes failures
+// replayable: a soak-test seed that loses a write is a repro case.
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"zht/internal/transport"
+	"zht/internal/wire"
+)
+
+// Rule perturbs traffic on the links it matches. Empty From/To match
+// any source/destination; Sym additionally matches the reverse
+// direction. A rule matched in the request direction (src→dst)
+// affects the request leg; a rule matched in the reply direction
+// (dst→src) affects the response leg — so a one-way partition can
+// deliver a request and still starve the caller of its ack, which is
+// the failure mode that distinguishes "op lost" from "ack lost".
+type Rule struct {
+	From, To string
+	Sym      bool
+
+	// Down fails the destination fast (dial refused): the caller
+	// gets transport.ErrUnreachable without the request running.
+	Down bool
+	// Cut blackholes the link (partition): the caller burns its
+	// budget (or the emulated loss timeout) and gets ErrTimeout.
+	Cut bool
+	// Drop is the probability a request leg is lost in flight
+	// (handler never runs); DropReply is the probability the same
+	// link's response leg is lost after the handler ran — the op
+	// applied but the caller times out. Both match in the request
+	// direction.
+	Drop, DropReply float64
+	// Dup is the probability the request is delivered twice
+	// (at-least-once datagram semantics; exercises idempotency).
+	Dup float64
+	// Latency is fixed added one-way delay; Jitter adds a uniform
+	// random extra in [0, Jitter).
+	Latency, Jitter time.Duration
+}
+
+// matches reports whether the rule applies to the directed link
+// from→to.
+func (r *Rule) matches(from, to string) bool {
+	if (r.From == "" || r.From == from) && (r.To == "" || r.To == to) {
+		return true
+	}
+	if r.Sym && (r.From == "" || r.From == to) && (r.To == "" || r.To == from) {
+		return true
+	}
+	return false
+}
+
+// Convenience constructors for common faults.
+
+// Down marks addr crashed: every call to it fails fast.
+func Down(addr string) Rule { return Rule{To: addr, Down: true} }
+
+// Partition cuts both directions between a and b ("" = everyone).
+func Partition(a, b string) Rule { return Rule{From: a, To: b, Sym: true, Cut: true} }
+
+// OneWay cuts only the from→to direction.
+func OneWay(from, to string) Rule { return Rule{From: from, To: to, Cut: true} }
+
+// SlowLink adds symmetric latency (+ jitter) between a and b.
+func SlowLink(a, b string, lat, jitter time.Duration) Rule {
+	return Rule{From: a, To: b, Sym: true, Latency: lat, Jitter: jitter}
+}
+
+// Lossy drops the from→to request leg with probability p.
+func Lossy(from, to string, p float64) Rule { return Rule{From: from, To: to, Drop: p} }
+
+// Duplicating delivers from→to requests twice with probability p.
+func Duplicating(from, to string, p float64) Rule { return Rule{From: from, To: to, Dup: p} }
+
+// Step is one stage of a scripted scenario: Rules becomes the active
+// rule set At the given offset from the scenario's start (replacing
+// the previous step's rules entirely — an empty Rules heals all
+// faults).
+type Step struct {
+	At    time.Duration
+	Label string
+	Rules []Rule
+}
+
+// Scenario is a timed schedule of fault configurations.
+type Scenario struct {
+	Steps []Step
+}
+
+// active returns the rule set in force at elapsed time since start.
+func (s *Scenario) active(elapsed time.Duration) []Rule {
+	if s == nil || len(s.Steps) == 0 {
+		return nil
+	}
+	// First step with At > elapsed; the one before it governs.
+	i := sort.Search(len(s.Steps), func(i int) bool { return s.Steps[i].At > elapsed })
+	if i == 0 {
+		return nil
+	}
+	return s.Steps[i-1].Rules
+}
+
+// Options configures a chaos Caller.
+type Options struct {
+	// Source is this caller's endpoint identity for rule matching
+	// (the From side of its requests). Empty matches only wildcard
+	// From rules.
+	Source string
+	// Seed drives every probabilistic decision. The same seed and
+	// per-destination call sequence reproduce the same faults.
+	Seed int64
+	// LossTimeout emulates how long a dropped or blackholed request
+	// takes to surface as ErrTimeout when the request carries no
+	// deadline budget; a budget, when present, bounds it instead.
+	// 0 means DefaultLossTimeout.
+	LossTimeout time.Duration
+	// Trace records every decision for inspection via Trace().
+	Trace bool
+}
+
+// DefaultLossTimeout is the emulated loss-detection delay for calls
+// without a deadline budget.
+const DefaultLossTimeout = 100 * time.Millisecond
+
+// Verdict labels what the chaos layer did to one call.
+type Verdict string
+
+// Verdicts recorded in the decision trace.
+const (
+	VerdictOK        Verdict = "ok"
+	VerdictDown      Verdict = "down"
+	VerdictCut       Verdict = "cut"
+	VerdictDrop      Verdict = "drop"
+	VerdictDup       Verdict = "dup"
+	VerdictReplyLost Verdict = "reply-lost"
+)
+
+// Decision is one trace entry: the n'th call to Dst got Verdict with
+// Delay of injected latency.
+type Decision struct {
+	Dst     string
+	N       uint64
+	Verdict Verdict
+	Delay   time.Duration
+}
+
+// Caller wraps a transport.Caller with scripted fault injection. It
+// is safe for concurrent use; determinism is per destination (the
+// i'th call to one destination always sees the same faults for a
+// given seed, however calls to other destinations interleave).
+type Caller struct {
+	inner transport.Caller
+	src   string
+	seed  uint64
+	loss  time.Duration
+	sc    *Scenario
+	start time.Time
+
+	mu       sync.Mutex
+	counters map[string]uint64
+	trace    []Decision
+	traceOn  bool
+}
+
+var _ transport.Caller = (*Caller)(nil)
+
+// Wrap builds a chaos Caller over inner. The scenario clock starts
+// now; a nil scenario injects nothing.
+func Wrap(inner transport.Caller, sc *Scenario, opts Options) *Caller {
+	if opts.LossTimeout <= 0 {
+		opts.LossTimeout = DefaultLossTimeout
+	}
+	return &Caller{
+		inner:    inner,
+		src:      opts.Source,
+		seed:     uint64(opts.Seed),
+		loss:     opts.LossTimeout,
+		sc:       sc,
+		start:    time.Now(),
+		counters: make(map[string]uint64),
+		traceOn:  opts.Trace,
+	}
+}
+
+// Trace returns a copy of the recorded decisions (Options.Trace).
+func (c *Caller) Trace() []Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Decision(nil), c.trace...)
+}
+
+// splitmix64 is the SplitMix64 finalizer: a cheap, well-distributed
+// bijection used to derive independent decision bits.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func hashAddr(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// Salt layout for decision derivation: ruleIdx*8 + fault kind.
+const (
+	saltDrop = iota
+	saltDropReply
+	saltDup
+	saltJitterReq
+	saltJitterReply
+	saltKinds
+)
+
+// u01 derives a uniform float64 in [0,1) for decision n to dst under
+// rule ri, fault kind k.
+func (c *Caller) u01(dst string, n uint64, ri int, k int) float64 {
+	x := splitmix64(c.seed ^ splitmix64(hashAddr(dst)))
+	x = splitmix64(x ^ splitmix64(n))
+	x = splitmix64(x ^ uint64(ri*saltKinds+k))
+	return float64(x>>11) / float64(uint64(1)<<53)
+}
+
+// effects is the merged outcome of every rule matching one direction
+// of one call.
+type effects struct {
+	down, cut, drop, dup, replyLost bool
+	delay                           time.Duration
+}
+
+// resolve evaluates the active rules for call n in both directions.
+func (c *Caller) resolve(rules []Rule, dst string, n uint64) (req, reply effects) {
+	for ri := range rules {
+		r := &rules[ri]
+		if r.matches(c.src, dst) {
+			if r.Down {
+				req.down = true
+			}
+			if r.Cut {
+				req.cut = true
+			}
+			if r.Drop > 0 && c.u01(dst, n, ri, saltDrop) < r.Drop {
+				req.drop = true
+			}
+			if r.Dup > 0 && c.u01(dst, n, ri, saltDup) < r.Dup {
+				req.dup = true
+			}
+			if r.DropReply > 0 && c.u01(dst, n, ri, saltDropReply) < r.DropReply {
+				reply.replyLost = true
+			}
+			req.delay += r.Latency
+			if r.Jitter > 0 {
+				req.delay += time.Duration(c.u01(dst, n, ri, saltJitterReq) * float64(r.Jitter))
+			}
+		}
+		if r.matches(dst, c.src) {
+			if r.Cut {
+				reply.cut = true
+			}
+			reply.delay += r.Latency
+			if r.Jitter > 0 {
+				reply.delay += time.Duration(c.u01(dst, n, ri, saltJitterReply) * float64(r.Jitter))
+			}
+		}
+	}
+	return req, reply
+}
+
+func (c *Caller) record(dst string, n uint64, v Verdict, delay time.Duration) {
+	if !c.traceOn {
+		return
+	}
+	c.mu.Lock()
+	c.trace = append(c.trace, Decision{Dst: dst, N: n, Verdict: v, Delay: delay})
+	c.mu.Unlock()
+}
+
+// sleepLost burns the caller's loss-detection time for a blackholed
+// leg — the request's remaining budget when it carries one, the
+// emulated loss timeout otherwise — and returns ErrTimeout.
+func (c *Caller) sleepLost(deadline time.Time) error {
+	d := c.loss
+	if !deadline.IsZero() {
+		if rem := time.Until(deadline); rem < d {
+			d = rem
+		}
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+	return fmt.Errorf("%w: injected loss", transport.ErrTimeout)
+}
+
+// Call implements transport.Caller with fault injection around the
+// wrapped caller.
+func (c *Caller) Call(addr string, req *wire.Request) (*wire.Response, error) {
+	elapsed := time.Since(c.start)
+	rules := c.sc.active(elapsed)
+
+	c.mu.Lock()
+	n := c.counters[addr]
+	c.counters[addr] = n + 1
+	c.mu.Unlock()
+
+	if len(rules) == 0 {
+		c.record(addr, n, VerdictOK, 0)
+		return c.inner.Call(addr, req)
+	}
+	reqFx, replyFx := c.resolve(rules, addr, n)
+
+	var deadline time.Time
+	if req.Budget > 0 {
+		deadline = time.Now().Add(time.Duration(req.Budget))
+	}
+	if reqFx.down {
+		c.record(addr, n, VerdictDown, 0)
+		return nil, fmt.Errorf("%w: injected crash of %q", transport.ErrUnreachable, addr)
+	}
+	if reqFx.cut || reqFx.drop {
+		v := VerdictCut
+		if reqFx.drop && !reqFx.cut {
+			v = VerdictDrop
+		}
+		c.record(addr, n, v, 0)
+		return nil, c.sleepLost(deadline)
+	}
+
+	// Request-leg latency: the message arrives late; if it lands past
+	// the deadline the ack cannot possibly return in time.
+	if reqFx.delay > 0 {
+		if !deadline.IsZero() && reqFx.delay >= time.Until(deadline) {
+			c.record(addr, n, VerdictCut, reqFx.delay)
+			return nil, c.sleepLost(deadline)
+		}
+		time.Sleep(reqFx.delay)
+	}
+
+	// Shrink the forwarded budget by the time chaos consumed so the
+	// wrapped transport still honors the end-to-end deadline.
+	fwd := *req
+	if !deadline.IsZero() {
+		rem := time.Until(deadline)
+		if rem <= 0 {
+			return nil, c.sleepLost(deadline)
+		}
+		fwd.Budget = uint64(rem)
+	}
+	resp, err := c.inner.Call(addr, &fwd)
+	if reqFx.dup {
+		// At-least-once delivery: the retransmitted duplicate lands
+		// after the original; its response is discarded.
+		dup := fwd
+		c.inner.Call(addr, &dup)
+	}
+
+	if err == nil && (replyFx.cut || replyFx.replyLost) {
+		// The op ran — possibly mutating state — but its ack never
+		// reaches us: indistinguishable from a lost request to the
+		// caller, which is exactly the ambiguity worth testing.
+		c.record(addr, n, VerdictReplyLost, reqFx.delay)
+		return nil, c.sleepLost(deadline)
+	}
+	if replyFx.delay > 0 && err == nil {
+		if !deadline.IsZero() && replyFx.delay >= time.Until(deadline) {
+			c.record(addr, n, VerdictReplyLost, reqFx.delay+replyFx.delay)
+			return nil, c.sleepLost(deadline)
+		}
+		time.Sleep(replyFx.delay)
+	}
+	v := VerdictOK
+	if reqFx.dup {
+		v = VerdictDup
+	}
+	c.record(addr, n, v, reqFx.delay+replyFx.delay)
+	return resp, err
+}
+
+// Close implements transport.Caller.
+func (c *Caller) Close() error { return c.inner.Close() }

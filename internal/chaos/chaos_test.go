@@ -1,0 +1,192 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"zht/internal/transport"
+	"zht/internal/wire"
+)
+
+// chaosHarness is an inproc endpoint with a call counter, so tests
+// can distinguish "request never delivered" from "ack lost".
+type chaosHarness struct {
+	reg   *transport.Registry
+	calls atomic.Int64
+}
+
+func newHarness(t *testing.T, addr string) *chaosHarness {
+	t.Helper()
+	h := &chaosHarness{reg: transport.NewRegistry()}
+	_, err := h.reg.Listen(addr, func(req *wire.Request) *wire.Response {
+		h.calls.Add(1)
+		return &wire.Response{Status: wire.StatusOK, Value: []byte(req.Key)}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func always(sc []Rule) *Scenario { return &Scenario{Steps: []Step{{At: 0, Rules: sc}}} }
+
+func TestDeterministicPerSeed(t *testing.T) {
+	// Probabilistic rules on two destinations: same seed must yield an
+	// identical decision trace; a different seed must diverge.
+	rules := []Rule{
+		{To: "a", Drop: 0.5, Dup: 0.3},
+		{To: "b", DropReply: 0.5, Jitter: time.Millisecond},
+	}
+	run := func(seed int64) []Decision {
+		h := newHarness(t, "a")
+		if _, err := h.reg.Listen("b", func(req *wire.Request) *wire.Response {
+			return &wire.Response{Status: wire.StatusOK}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		c := Wrap(h.reg.NewClient(), always(rules), Options{
+			Seed: seed, LossTimeout: time.Microsecond, Trace: true,
+		})
+		for i := 0; i < 40; i++ {
+			c.Call("a", &wire.Request{Op: wire.OpLookup, Key: fmt.Sprint(i)})
+			c.Call("b", &wire.Request{Op: wire.OpPing})
+		}
+		return c.Trace()
+	}
+	t1, t2, t3 := run(42), run(42), run(43)
+	if len(t1) != len(t2) {
+		t.Fatalf("trace lengths differ for same seed: %d vs %d", len(t1), len(t2))
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("same seed diverged at %d: %+v vs %+v", i, t1[i], t2[i])
+		}
+	}
+	differs := len(t3) != len(t1)
+	for i := 0; !differs && i < len(t1); i++ {
+		differs = t1[i].Verdict != t3[i].Verdict || t1[i].Delay != t3[i].Delay
+	}
+	if !differs {
+		t.Fatal("seeds 42 and 43 produced identical traces over 80 probabilistic calls")
+	}
+}
+
+func TestDownFailsFast(t *testing.T) {
+	h := newHarness(t, "a")
+	c := Wrap(h.reg.NewClient(), always([]Rule{Down("a")}), Options{LossTimeout: time.Millisecond})
+	_, err := c.Call("a", &wire.Request{Op: wire.OpPing})
+	if !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("got %v, want ErrUnreachable", err)
+	}
+	if n := h.calls.Load(); n != 0 {
+		t.Fatalf("handler ran %d times on a downed endpoint", n)
+	}
+}
+
+func TestDropLosesRequestBeforeHandler(t *testing.T) {
+	h := newHarness(t, "a")
+	c := Wrap(h.reg.NewClient(), always([]Rule{Lossy("", "a", 1.0)}), Options{LossTimeout: time.Millisecond})
+	_, err := c.Call("a", &wire.Request{Op: wire.OpInsert, Key: "k", Value: []byte("v")})
+	if !errors.Is(err, transport.ErrTimeout) {
+		t.Fatalf("got %v, want ErrTimeout", err)
+	}
+	if n := h.calls.Load(); n != 0 {
+		t.Fatalf("handler ran %d times for a dropped request", n)
+	}
+}
+
+func TestReplyLostAfterHandlerRan(t *testing.T) {
+	// The ack-lost ambiguity: the op applies server-side but the
+	// caller sees the same ErrTimeout as a lost request.
+	h := newHarness(t, "a")
+	c := Wrap(h.reg.NewClient(), always([]Rule{{To: "a", DropReply: 1.0}}), Options{LossTimeout: time.Millisecond})
+	_, err := c.Call("a", &wire.Request{Op: wire.OpInsert, Key: "k", Value: []byte("v")})
+	if !errors.Is(err, transport.ErrTimeout) {
+		t.Fatalf("got %v, want ErrTimeout", err)
+	}
+	if n := h.calls.Load(); n != 1 {
+		t.Fatalf("handler ran %d times, want exactly 1 (op applied, ack lost)", n)
+	}
+}
+
+func TestDupDeliversTwice(t *testing.T) {
+	h := newHarness(t, "a")
+	c := Wrap(h.reg.NewClient(), always([]Rule{Duplicating("", "a", 1.0)}), Options{})
+	resp, err := c.Call("a", &wire.Request{Op: wire.OpInsert, Key: "k", Value: []byte("v")})
+	if err != nil || resp.Status != wire.StatusOK {
+		t.Fatalf("dup call failed: %+v %v", resp, err)
+	}
+	if n := h.calls.Load(); n != 2 {
+		t.Fatalf("handler ran %d times, want 2 (original + duplicate)", n)
+	}
+}
+
+func TestSlowLinkRespectsBudget(t *testing.T) {
+	// Injected latency larger than the request budget must surface as
+	// ErrTimeout in about the budget's time, not the latency's.
+	h := newHarness(t, "a")
+	c := Wrap(h.reg.NewClient(), always([]Rule{SlowLink("", "a", time.Minute, 0)}), Options{})
+	start := time.Now()
+	_, err := c.Call("a", &wire.Request{Op: wire.OpPing, Budget: uint64(20 * time.Millisecond)})
+	if !errors.Is(err, transport.ErrTimeout) {
+		t.Fatalf("got %v, want ErrTimeout", err)
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("budget-bounded loss took %v", el)
+	}
+}
+
+func TestPartitionIsSymmetric(t *testing.T) {
+	h := newHarness(t, "a")
+	// Our source is "x": Partition("x","a") matched in either
+	// direction cuts the call.
+	c := Wrap(h.reg.NewClient(), always([]Rule{Partition("x", "a")}),
+		Options{Source: "x", LossTimeout: time.Millisecond})
+	if _, err := c.Call("a", &wire.Request{Op: wire.OpPing}); !errors.Is(err, transport.ErrTimeout) {
+		t.Fatalf("got %v, want ErrTimeout", err)
+	}
+	// A different source is unaffected.
+	c2 := Wrap(h.reg.NewClient(), always([]Rule{Partition("x", "a")}),
+		Options{Source: "y", LossTimeout: time.Millisecond})
+	if resp, err := c2.Call("a", &wire.Request{Op: wire.OpPing}); err != nil || resp.Status != wire.StatusOK {
+		t.Fatalf("unpartitioned source blocked: %+v %v", resp, err)
+	}
+}
+
+func TestScenarioSchedule(t *testing.T) {
+	sc := &Scenario{Steps: []Step{
+		{At: 0, Label: "healthy"},
+		{At: 10 * time.Second, Label: "kill a", Rules: []Rule{Down("a")}},
+		{At: 20 * time.Second, Label: "heal"},
+	}}
+	if got := sc.active(5 * time.Second); len(got) != 0 {
+		t.Fatalf("t=5s: want no rules, got %+v", got)
+	}
+	if got := sc.active(15 * time.Second); len(got) != 1 || !got[0].Down {
+		t.Fatalf("t=15s: want the Down rule, got %+v", got)
+	}
+	if got := sc.active(25 * time.Second); len(got) != 0 {
+		t.Fatalf("t=25s: want healed, got %+v", got)
+	}
+	// Before the first step and with a nil scenario: no rules.
+	var nilSc *Scenario
+	if got := nilSc.active(time.Second); got != nil {
+		t.Fatalf("nil scenario returned rules: %+v", got)
+	}
+}
+
+func TestNoScenarioPassesThrough(t *testing.T) {
+	h := newHarness(t, "a")
+	c := Wrap(h.reg.NewClient(), nil, Options{Trace: true})
+	resp, err := c.Call("a", &wire.Request{Op: wire.OpLookup, Key: "k"})
+	if err != nil || resp.Status != wire.StatusOK {
+		t.Fatalf("passthrough failed: %+v %v", resp, err)
+	}
+	tr := c.Trace()
+	if len(tr) != 1 || tr[0].Verdict != VerdictOK {
+		t.Fatalf("trace = %+v, want one ok decision", tr)
+	}
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is a per-endpoint circuit breaker. Each endpoint's circuit
+// moves through the classic three states:
+//
+//	closed    — calls flow; consecutive transport failures are
+//	            counted, any success resets the count.
+//	open      — threshold reached: calls fail fast (no transport
+//	            attempt, no backoff sleeps) until the cooldown
+//	            elapses. This is what stops a dead primary from
+//	            costing OpRetries×RetryBase on every operation
+//	            before failover.
+//	half-open — after the cooldown exactly one probe call is let
+//	            through; success closes the circuit, failure
+//	            re-opens it and restarts the cooldown.
+//
+// Only transport-level failures count: a server answering anything —
+// including StatusBusy — is alive, so responses never trip the
+// breaker. A nil *breaker (disabled) admits everything.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu  sync.Mutex
+	eps map[string]*circuit
+}
+
+type circuit struct {
+	fails    int
+	open     bool
+	openedAt time.Time
+	probing  bool
+}
+
+// newBreaker builds a breaker; threshold < 0 disables it (nil).
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold < 0 {
+		return nil
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, eps: make(map[string]*circuit)}
+}
+
+// allow reports whether a call to addr may proceed. In the open
+// state it admits a single half-open probe once the cooldown has
+// elapsed and rejects everything else.
+func (b *breaker) allow(addr string) bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := b.eps[addr]
+	if c == nil || !c.open {
+		return true
+	}
+	if !c.probing && time.Since(c.openedAt) >= b.cooldown {
+		c.probing = true
+		return true
+	}
+	return false
+}
+
+// success records a successful call: the circuit closes and the
+// failure count resets.
+func (b *breaker) success(addr string) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	delete(b.eps, addr)
+	b.mu.Unlock()
+}
+
+// failure records a transport failure to addr, opening the circuit at
+// the threshold and re-opening it when a half-open probe fails.
+func (b *breaker) failure(addr string) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := b.eps[addr]
+	if c == nil {
+		c = &circuit{}
+		b.eps[addr] = c
+	}
+	c.fails++
+	if c.open {
+		// A failed half-open probe restarts the cooldown.
+		c.probing = false
+		c.openedAt = time.Now()
+		return
+	}
+	if c.fails >= b.threshold {
+		c.open = true
+		c.probing = false
+		c.openedAt = time.Now()
+	}
+}

@@ -22,9 +22,10 @@ import (
 //
 // A Client is safe for concurrent use.
 type Client struct {
-	cfg    Config
-	caller transport.Caller
-	hashf  hashing.Func
+	cfg     Config
+	caller  transport.Caller
+	hashf   hashing.Func
+	breaker *breaker
 
 	mu    sync.RWMutex
 	table *ring.Table
@@ -46,8 +47,13 @@ var (
 	// ErrCasMismatch reports a failed compare-and-swap.
 	ErrCasMismatch = errors.New("zht: cas mismatch")
 	// ErrUnavailable reports that the owning instance (and its
-	// replicas, if any) could not be reached.
+	// replicas, if any) could not be reached, or that the operation's
+	// deadline budget ran out before routing converged.
 	ErrUnavailable = errors.New("zht: partition unavailable")
+	// ErrCircuitOpen reports that an endpoint's circuit breaker is
+	// open: recent consecutive transport failures made the client
+	// fail fast instead of retrying into a dead node.
+	ErrCircuitOpen = errors.New("zht: circuit open")
 )
 
 // routeAttempts bounds how many times one operation may re-route
@@ -60,11 +66,16 @@ func NewClient(cfg Config, table *ring.Table, caller transport.Caller) (*Client,
 		return nil, err
 	}
 	return &Client{
-		cfg:    cfg,
-		caller: caller,
-		hashf:  cfg.hash(),
-		table:  table.Clone(),
-		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
+		cfg:     cfg,
+		caller:  caller,
+		hashf:   cfg.hash(),
+		breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		table:   table.Clone(),
+		// Seed from the process-global (randomly seeded) source:
+		// time.Now().UnixNano() collides for clients created in the
+		// same nanosecond, which would synchronize their retry
+		// jitter and permutation streams.
+		rng: rand.New(rand.NewSource(rand.Int63())),
 	}, nil
 }
 
@@ -194,13 +205,48 @@ func (c *Client) Broadcast(key string, val []byte) error {
 	return nil
 }
 
+// statusToErr translates a terminal response status into the
+// client's error vocabulary. done=false marks the routing statuses
+// (WrongOwner, Migrating, Busy) the caller must react to instead of
+// returning.
+func statusToErr(op wire.Op, resp *wire.Response) (err error, done bool) {
+	switch resp.Status {
+	case wire.StatusOK:
+		return nil, true
+	case wire.StatusNotFound:
+		return ErrNotFound, true
+	case wire.StatusExists:
+		return ErrExists, true
+	case wire.StatusCasMismatch:
+		return ErrCasMismatch, true
+	case wire.StatusError:
+		return fmt.Errorf("zht: %s failed: %s", op, resp.Err), true
+	case wire.StatusWrongOwner, wire.StatusMigrating, wire.StatusBusy:
+		return nil, false
+	default:
+		return fmt.Errorf("zht: unexpected status %s", resp.Status), true
+	}
+}
+
 // do routes one request: pick the owner from the local table, call
 // it, and react to routing feedback (stale table, migration redirect,
-// owner failure) until the operation resolves.
+// server overload, owner failure) until the operation resolves. The
+// whole loop — transport retries, redirects, failovers, backoff
+// sleeps — shares one OpDeadline budget, propagated to every
+// transport call via wire.Request.Budget, so an operation resolves
+// or fails with ErrUnavailable within its deadline instead of
+// compounding per-layer timeouts.
 func (c *Client) do(req *wire.Request) (*wire.Response, error) {
 	h := c.hashf(req.Key)
+	var deadline time.Time
+	if c.cfg.OpDeadline > 0 {
+		deadline = time.Now().Add(c.cfg.OpDeadline)
+	}
 	var lastErr error
 	for attempt := 0; attempt < routeAttempts; attempt++ {
+		if expired(deadline) {
+			return nil, fmt.Errorf("%w: op deadline exceeded: %v", ErrUnavailable, lastErr)
+		}
 		table := c.snapshot()
 		p := table.Partition(h)
 		idx := table.Owner[p]
@@ -217,25 +263,30 @@ func (c *Client) do(req *wire.Request) (*wire.Response, error) {
 		}
 
 		req.Epoch = table.Epoch
-		resp, err := c.callWithBackoff(target.Addr, req)
+		resp, err := c.callWithBackoff(target.Addr, req, deadline)
 		if err != nil {
 			lastErr = err
+			if expired(deadline) {
+				return nil, fmt.Errorf("%w: op deadline exceeded: %v", ErrUnavailable, err)
+			}
 			// Exhausted retries: declare the instance failed, tell a
 			// random manager, and adopt the resulting table.
-			if rerr := c.reportFailure(table, target.ID); rerr != nil {
+			if rerr := c.reportFailure(table, target.ID, deadline); rerr != nil {
 				return nil, fmt.Errorf("%w: %s unreachable and failover failed: %v", ErrUnavailable, target.Addr, rerr)
 			}
 			continue
 		}
+		if err, done := statusToErr(req.Op, resp); done {
+			return resp, err
+		}
 		switch resp.Status {
-		case wire.StatusOK:
-			return resp, nil
-		case wire.StatusNotFound:
-			return resp, ErrNotFound
-		case wire.StatusExists:
-			return resp, ErrExists
-		case wire.StatusCasMismatch:
-			return resp, ErrCasMismatch
+		case wire.StatusBusy:
+			// The owner shed us; callWithBackoff already slept
+			// through its retry budget, so just re-route (the table
+			// may even have changed) until the deadline runs out.
+			lastErr = fmt.Errorf("zht: %s overloaded", target.Addr)
+			c.sleepBounded(c.busyDelay(resp, attempt), deadline)
+			continue
 		case wire.StatusWrongOwner:
 			if t, err := ring.DecodeTable(resp.Table); err == nil {
 				c.adoptTable(t)
@@ -249,68 +300,134 @@ func (c *Client) do(req *wire.Request) (*wire.Response, error) {
 			}
 			// Follow the redirect directly; membership will catch up
 			// lazily.
-			r2, err := c.callWithBackoff(resp.Redirect, req)
+			r2, err := c.callWithBackoff(resp.Redirect, req, deadline)
 			if err != nil {
 				lastErr = err
 				continue
 			}
-			switch r2.Status {
-			case wire.StatusOK:
-				return r2, nil
-			case wire.StatusNotFound:
-				return r2, ErrNotFound
-			case wire.StatusExists:
-				return r2, ErrExists
-			case wire.StatusCasMismatch:
-				return r2, ErrCasMismatch
+			if err, done := statusToErr(req.Op, r2); done {
+				return r2, err
 			}
 			lastErr = fmt.Errorf("zht: redirect to %s answered %s", resp.Redirect, r2.Status)
 			continue
-		case wire.StatusError:
-			return resp, fmt.Errorf("zht: %s failed: %s", req.Op, resp.Err)
-		default:
-			return resp, fmt.Errorf("zht: unexpected status %s", resp.Status)
 		}
 	}
 	return nil, fmt.Errorf("%w: routing did not converge: %v", ErrUnavailable, lastErr)
 }
 
-// callWithBackoff retries an unreachable destination with exponential
-// backoff (§III.H: failures are tagged lazily, "using exponential
-// back off").
-func (c *Client) callWithBackoff(addr string, req *wire.Request) (*wire.Response, error) {
-	delay := c.cfg.RetryBase
+// callWithBackoff retries an unreachable destination with capped,
+// full-jitter exponential backoff (§III.H: failures are tagged
+// lazily, "using exponential back off"; the jitter keeps concurrent
+// clients from synchronizing retry storms against a recovering
+// node). Every attempt carries the operation's remaining budget in
+// wire.Request.Budget, and the endpoint's circuit breaker fails the
+// call fast while open. StatusBusy responses are retried here too —
+// waiting at least the server's RetryAfter hint — without counting
+// toward the breaker (a shedding server is alive).
+func (c *Client) callWithBackoff(addr string, req *wire.Request, deadline time.Time) (*wire.Response, error) {
 	var lastErr error
-	for i := 0; i <= c.cfg.OpRetries; i++ {
+	for i := 0; ; i++ {
+		if !deadline.IsZero() {
+			rem := time.Until(deadline)
+			if rem <= 0 {
+				if lastErr == nil {
+					lastErr = transport.ErrTimeout
+				}
+				return nil, lastErr
+			}
+			req.Budget = uint64(rem)
+		}
+		if !c.breaker.allow(addr) {
+			return nil, fmt.Errorf("%w: %s", ErrCircuitOpen, addr)
+		}
 		resp, err := c.caller.Call(addr, req)
 		if err == nil {
-			return resp, nil
+			c.breaker.success(addr)
+			if resp.Status != wire.StatusBusy || i >= c.cfg.OpRetries {
+				return resp, nil
+			}
+			d := c.backoff(i)
+			if hint := time.Duration(resp.RetryAfter); hint > d {
+				d = hint
+			}
+			c.sleepBounded(d, deadline)
+			continue
 		}
+		c.breaker.failure(addr)
 		lastErr = err
-		if i < c.cfg.OpRetries {
-			time.Sleep(delay)
-			delay *= 2
+		if i >= c.cfg.OpRetries {
+			return nil, lastErr
+		}
+		c.sleepBounded(c.backoff(i), deadline)
+	}
+}
+
+// backoff returns the full-jitter delay for retry attempt i: uniform
+// in (0, min(RetryMax, RetryBase<<i)].
+func (c *Client) backoff(i int) time.Duration {
+	if i > 20 {
+		i = 20 // avoid shifting into the sign bit
+	}
+	d := c.cfg.RetryBase << uint(i)
+	if d <= 0 || d > c.cfg.RetryMax {
+		d = c.cfg.RetryMax
+	}
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	return time.Duration(c.rng.Int63n(int64(d))) + 1
+}
+
+// busyDelay is the wait before re-routing after an exhausted Busy
+// exchange: the server's hint when present, otherwise one jittered
+// backoff step.
+func (c *Client) busyDelay(resp *wire.Response, attempt int) time.Duration {
+	if hint := time.Duration(resp.RetryAfter); hint > 0 {
+		return hint
+	}
+	return c.backoff(attempt)
+}
+
+// sleepBounded sleeps for d, clamped so it never crosses deadline.
+func (c *Client) sleepBounded(d time.Duration, deadline time.Time) {
+	if !deadline.IsZero() {
+		if rem := time.Until(deadline); d > rem {
+			d = rem
 		}
 	}
-	return nil, lastErr
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// expired reports whether a non-zero deadline has passed.
+func expired(deadline time.Time) bool {
+	return !deadline.IsZero() && !time.Now().Before(deadline)
 }
 
 // reportFailure tells a random alive manager that accused is down and
 // adopts the table the manager answers with. As a last resort (every
 // other instance unreachable — e.g. a single-node deployment) it
-// fails the instance in the local table only.
-func (c *Client) reportFailure(table *ring.Table, accused ring.InstanceID) error {
+// fails the instance in the local table only. The walk over managers
+// shares the calling operation's deadline budget.
+func (c *Client) reportFailure(table *ring.Table, accused ring.InstanceID, deadline time.Time) error {
 	// Mark locally first so subsequent attempts avoid the dead node
 	// even before the manager broadcast lands.
 	c.failLocally(accused)
 
 	idxs := c.rngPerm(len(table.Instances))
 	for _, i := range idxs {
+		if expired(deadline) {
+			break
+		}
 		peer := table.Instances[i]
 		if peer.ID == accused || table.Status[i] != ring.Alive {
 			continue
 		}
-		resp, err := c.caller.Call(peer.Addr, &wire.Request{Op: wire.OpReport, Key: string(accused)})
+		req := &wire.Request{Op: wire.OpReport, Key: string(accused)}
+		if !deadline.IsZero() {
+			req.Budget = uint64(time.Until(deadline))
+		}
+		resp, err := c.caller.Call(peer.Addr, req)
 		if err != nil {
 			continue
 		}

@@ -45,9 +45,30 @@ type Config struct {
 	// instance (with exponential backoff) before declaring it failed.
 	// 0 means DefaultOpRetries.
 	OpRetries int
-	// RetryBase is the first backoff delay; doubles per retry.
+	// RetryBase is the first backoff delay; the delay doubles per
+	// retry up to RetryMax, and each sleep is full-jitter randomized
+	// so concurrent clients do not synchronize retry storms.
 	// 0 means DefaultRetryBase.
 	RetryBase time.Duration
+	// RetryMax caps the exponential backoff delay.
+	// 0 means DefaultRetryMax.
+	RetryMax time.Duration
+	// OpDeadline bounds one client operation end to end: all of its
+	// transport retries, table refreshes, redirects, and replica
+	// failovers share this single time budget (propagated to servers
+	// via wire.Request.Budget) instead of compounding their own
+	// timeouts. Past it the operation fails with ErrUnavailable.
+	// 0 means DefaultOpDeadline; negative disables the deadline.
+	OpDeadline time.Duration
+	// BreakerThreshold is how many consecutive transport failures to
+	// one endpoint trip its circuit breaker; while open, calls to
+	// that endpoint fail fast instead of burning OpRetries×RetryBase
+	// per operation. 0 means DefaultBreakerThreshold; negative
+	// disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit waits before
+	// admitting a half-open probe. 0 means DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
 	// NetworkAware orders the bootstrap ring by the endpoints' torus
 	// coordinates (Z-order) so that replica traffic — which flows to
 	// ring neighbours — stays network-local (§VI future work,
@@ -57,8 +78,12 @@ type Config struct {
 
 // Defaults for Config zero values.
 const (
-	DefaultOpRetries = 3
-	DefaultRetryBase = 2 * time.Millisecond
+	DefaultOpRetries        = 3
+	DefaultRetryBase        = 2 * time.Millisecond
+	DefaultRetryMax         = 100 * time.Millisecond
+	DefaultOpDeadline       = 10 * time.Second
+	DefaultBreakerThreshold = 5
+	DefaultBreakerCooldown  = 250 * time.Millisecond
 )
 
 func (c *Config) fill() error {
@@ -76,6 +101,21 @@ func (c *Config) fill() error {
 	}
 	if c.RetryBase == 0 {
 		c.RetryBase = DefaultRetryBase
+	}
+	if c.RetryMax == 0 {
+		c.RetryMax = DefaultRetryMax
+	}
+	if c.RetryMax < c.RetryBase {
+		c.RetryMax = c.RetryBase
+	}
+	if c.OpDeadline == 0 {
+		c.OpDeadline = DefaultOpDeadline
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if c.BreakerCooldown == 0 {
+		c.BreakerCooldown = DefaultBreakerCooldown
 	}
 	return nil
 }

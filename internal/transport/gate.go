@@ -1,0 +1,132 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"time"
+
+	"zht/internal/wire"
+)
+
+// Server-side overload protection: a bounded in-flight admission gate
+// shared by the TCP, UDP, and in-process servers. When the configured
+// number of requests is already executing, the server sheds new
+// arrivals immediately with wire.StatusBusy plus a retry-after hint
+// instead of queueing them — bounding memory and tail latency under
+// overload, and keeping the reader loops responsive so the server can
+// still answer pings and shed cheaply (load shedding beats collapse).
+
+// DefaultRetryAfter is the backoff hint attached to StatusBusy
+// responses when the server does not configure one.
+const DefaultRetryAfter = 2 * time.Millisecond
+
+// ServerOptions tunes robustness features shared by every transport's
+// server. The zero value disables them all (no admission limit).
+type ServerOptions struct {
+	// MaxInflight bounds concurrently executing handlers; excess
+	// requests are answered with StatusBusy. 0 means unlimited.
+	MaxInflight int
+	// RetryAfter is the backoff hint sent with StatusBusy.
+	// 0 means DefaultRetryAfter.
+	RetryAfter time.Duration
+}
+
+// ServerOption mutates ServerOptions (variadic-option pattern so the
+// Listen constructors keep their existing signatures).
+type ServerOption func(*ServerOptions)
+
+// WithMaxInflight bounds concurrently executing handlers to n.
+func WithMaxInflight(n int) ServerOption {
+	return func(o *ServerOptions) { o.MaxInflight = n }
+}
+
+// WithRetryAfter sets the StatusBusy backoff hint.
+func WithRetryAfter(d time.Duration) ServerOption {
+	return func(o *ServerOptions) { o.RetryAfter = d }
+}
+
+// gate is the admission counter. A nil *gate admits everything.
+type gate struct {
+	slots      chan struct{}
+	retryAfter time.Duration
+}
+
+// newGate builds a gate from options; nil when no limit is set.
+func newGate(opts []ServerOption) *gate {
+	var o ServerOptions
+	for _, f := range opts {
+		f(&o)
+	}
+	if o.MaxInflight <= 0 {
+		return nil
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = DefaultRetryAfter
+	}
+	return &gate{
+		slots:      make(chan struct{}, o.MaxInflight),
+		retryAfter: o.RetryAfter,
+	}
+}
+
+// tryAcquire claims an execution slot; false means the server is
+// saturated and the request must be shed.
+func (g *gate) tryAcquire() bool {
+	if g == nil {
+		return true
+	}
+	select {
+	case g.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// release returns a slot.
+func (g *gate) release() {
+	if g != nil {
+		<-g.slots
+	}
+}
+
+// busy builds the shed response for a request.
+func (g *gate) busy(seq uint64) *wire.Response {
+	return &wire.Response{
+		Status:     wire.StatusBusy,
+		Seq:        seq,
+		RetryAfter: uint64(g.retryAfter),
+	}
+}
+
+// classify maps a low-level network error into the transport error
+// taxonomy: deadline-style failures become ErrTimeout, everything
+// else ErrUnreachable. Keeping the mapping in one place makes the
+// taxonomy consistent across TCP, UDP, and in-process callers, which
+// the client's failure detector depends on.
+func classify(err error) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return ErrTimeout
+	}
+	return ErrUnreachable
+}
+
+// callDeadline resolves the absolute deadline for one call: the
+// transport's own timeout bound by the request's remaining budget
+// (wire.Request.Budget), whichever expires first. A zero transport
+// timeout means the budget alone governs; no budget and no timeout
+// yields a zero time (no deadline).
+func callDeadline(req *wire.Request, timeout time.Duration) time.Time {
+	var d time.Time
+	if timeout > 0 {
+		d = time.Now().Add(timeout)
+	}
+	if req.Budget > 0 {
+		b := time.Now().Add(time.Duration(req.Budget))
+		if d.IsZero() || b.Before(d) {
+			d = b
+		}
+	}
+	return d
+}

@@ -60,19 +60,20 @@ type InprocServer struct {
 	reg     *Registry
 	addr    string
 	handler Handler
+	gate    *gate
 	closed  atomic.Bool
 	// inflight tracks handler executions so Close can drain.
 	inflight sync.WaitGroup
 }
 
 // Listen registers a new endpoint under addr.
-func (r *Registry) Listen(addr string, h Handler) (*InprocServer, error) {
+func (r *Registry) Listen(addr string, h Handler, opts ...ServerOption) (*InprocServer, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.endpoints[addr]; ok {
 		return nil, fmt.Errorf("transport: inproc address %q already bound", addr)
 	}
-	s := &InprocServer{reg: r, addr: addr, handler: h}
+	s := &InprocServer{reg: r, addr: addr, handler: h, gate: newGate(opts)}
 	r.endpoints[addr] = s
 	return s, nil
 }
@@ -102,8 +103,13 @@ func (r *Registry) NewClient() *InprocClient { return &InprocClient{reg: r} }
 
 // Call implements Caller by direct dispatch. Requests and responses
 // are deep-copied across the boundary so callers and handlers cannot
-// alias each other's buffers, matching real-transport semantics.
+// alias each other's buffers, matching real-transport semantics. The
+// request's Budget (remaining deadline) bounds synthetic latency and
+// handler execution; a handler still running at the deadline keeps
+// running server-side, but the caller observes ErrTimeout — matching
+// what a datagram client sees when the ack arrives too late.
 func (c *InprocClient) Call(addr string, req *wire.Request) (*wire.Response, error) {
+	deadline := callDeadline(req, 0)
 	c.reg.mu.RLock()
 	srv := c.reg.endpoints[addr]
 	down := c.reg.down[addr]
@@ -112,16 +118,39 @@ func (c *InprocClient) Call(addr string, req *wire.Request) (*wire.Response, err
 	if down || srv == nil || srv.closed.Load() {
 		return nil, fmt.Errorf("%w: inproc %q", ErrUnreachable, addr)
 	}
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		return nil, fmt.Errorf("%w: inproc %q: budget exhausted", ErrTimeout, addr)
+	}
 	if lat != nil {
 		if d := lat(addr); d > 0 {
+			if !deadline.IsZero() {
+				if rem := time.Until(deadline); d >= rem {
+					// The request (or its ack) lands past the
+					// deadline; the caller observes a timeout.
+					time.Sleep(rem)
+					return nil, fmt.Errorf("%w: inproc %q", ErrTimeout, addr)
+				}
+			}
 			time.Sleep(d)
 		}
 	}
 	c.reg.calls.Add(1)
-	srv.inflight.Add(1)
-	defer srv.inflight.Done()
-	if srv.closed.Load() {
+	// Register as in-flight under the registry lock: Close deletes
+	// the endpoint under the same lock before waiting, so this Add
+	// either strictly precedes the Wait or the endpoint is gone —
+	// never the Add/Wait-at-zero race the WaitGroup contract forbids.
+	c.reg.mu.RLock()
+	live := c.reg.endpoints[addr] == srv
+	if live {
+		srv.inflight.Add(1)
+	}
+	c.reg.mu.RUnlock()
+	if !live {
 		return nil, fmt.Errorf("%w: inproc %q", ErrUnreachable, addr)
+	}
+	if !srv.gate.tryAcquire() {
+		srv.inflight.Done()
+		return srv.gate.busy(req.Seq), nil
 	}
 	// Serialize through the wire codec: this keeps in-proc behaviour
 	// byte-identical to the real transports (copy semantics, field
@@ -129,15 +158,42 @@ func (c *InprocClient) Call(addr string, req *wire.Request) (*wire.Response, err
 	enc := wire.EncodeRequest(nil, req)
 	dreq, err := wire.DecodeRequest(enc)
 	if err != nil {
+		srv.gate.release()
+		srv.inflight.Done()
 		return nil, err
 	}
-	resp := srv.handler(dreq)
+	if deadline.IsZero() {
+		resp := srv.handler(dreq)
+		srv.gate.release()
+		srv.inflight.Done()
+		return copyResponse(resp, req.Seq)
+	}
+	done := make(chan *wire.Response, 1)
+	go func() {
+		resp := srv.handler(dreq)
+		srv.gate.release()
+		srv.inflight.Done()
+		done <- resp
+	}()
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	select {
+	case resp := <-done:
+		return copyResponse(resp, req.Seq)
+	case <-timer.C:
+		return nil, fmt.Errorf("%w: inproc %q: handler exceeded budget", ErrTimeout, addr)
+	}
+}
+
+// copyResponse deep-copies a handler response through the wire codec
+// and stamps the caller's sequence number.
+func copyResponse(resp *wire.Response, seq uint64) (*wire.Response, error) {
 	rEnc := wire.EncodeResponse(nil, resp)
 	dresp, err := wire.DecodeResponse(rEnc)
 	if err != nil {
 		return nil, err
 	}
-	dresp.Seq = req.Seq
+	dresp.Seq = seq
 	return dresp, nil
 }
 

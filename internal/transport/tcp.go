@@ -51,6 +51,7 @@ type TCPServer struct {
 	ln      net.Listener
 	handler Handler
 	mode    ServerMode
+	gate    *gate
 	wg      sync.WaitGroup
 	mu      sync.Mutex
 	conns   map[net.Conn]struct{}
@@ -58,13 +59,15 @@ type TCPServer struct {
 }
 
 // ListenTCP starts a TCP server on addr (use ":0" for an ephemeral
-// port) dispatching to h with the given mode.
-func ListenTCP(addr string, h Handler, mode ServerMode) (*TCPServer, error) {
+// port) dispatching to h with the given mode. Options configure the
+// admission gate (WithMaxInflight) shedding excess load as
+// StatusBusy.
+func ListenTCP(addr string, h Handler, mode ServerMode, opts ...ServerOption) (*TCPServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &TCPServer{ln: ln, handler: h, mode: mode, conns: make(map[net.Conn]struct{})}
+	s := &TCPServer{ln: ln, handler: h, mode: mode, gate: newGate(opts), conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -118,9 +121,22 @@ func (s *TCPServer) serveConn(c net.Conn) {
 		if err != nil {
 			return // protocol violation: drop the connection
 		}
+		if !s.gate.tryAcquire() {
+			// Saturated: shed without touching the handler so the
+			// reader loop stays responsive under overload.
+			wbuf = wire.EncodeResponse(wbuf[:0], s.gate.busy(req.Seq))
+			wmu.Lock()
+			err := writeFrame(bw, wbuf)
+			wmu.Unlock()
+			if err != nil {
+				return
+			}
+			continue
+		}
 		switch s.mode {
 		case EventDriven:
 			resp := s.handler(req)
+			s.gate.release()
 			resp.Seq = req.Seq
 			wbuf = wire.EncodeResponse(wbuf[:0], resp)
 			if err := writeFrame(bw, wbuf); err != nil {
@@ -136,7 +152,9 @@ func (s *TCPServer) serveConn(c net.Conn) {
 			reqCopy.Aux = append([]byte(nil), req.Aux...)
 			done := make(chan *wire.Response, 1)
 			go func() {
-				done <- s.handler(&reqCopy)
+				r := s.handler(&reqCopy)
+				s.gate.release()
+				done <- r
 			}()
 			resp := <-done
 			resp.Seq = req.Seq
@@ -224,12 +242,18 @@ func NewTCPClient(opts TCPClientOptions) *TCPClient {
 	}
 }
 
-// Call implements Caller.
+// Call implements Caller. The connection deadline is the client's
+// configured timeout bounded by the request's remaining budget
+// (wire.Request.Budget), so one over-deadline call can never block
+// past the operation's end-to-end deadline.
 func (c *TCPClient) Call(addr string, req *wire.Request) (*wire.Response, error) {
-	deadline := time.Now().Add(c.opts.Timeout)
+	deadline := callDeadline(req, c.opts.Timeout)
+	if !time.Now().Before(deadline) {
+		return nil, fmt.Errorf("%w: budget exhausted before dial", ErrTimeout)
+	}
 	cc, err := c.get(addr, deadline)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+		return nil, fmt.Errorf("%w: %v", classify(err), err)
 	}
 	cc.c.SetDeadline(deadline)
 	resp, err := c.roundTrip(cc, req)
@@ -239,16 +263,13 @@ func (c *TCPClient) Call(addr string, req *wire.Request) (*wire.Response, error)
 		// idle timeout): retry exactly once on a fresh dial.
 		cc, derr := c.dial(addr, deadline)
 		if derr != nil {
-			return nil, fmt.Errorf("%w: %v", ErrUnreachable, derr)
+			return nil, fmt.Errorf("%w: %v", classify(derr), derr)
 		}
 		cc.c.SetDeadline(deadline)
 		resp, err = c.roundTrip(cc, req)
 		if err != nil {
 			cc.c.Close()
-			if nerr, ok := err.(net.Error); ok && nerr.Timeout() {
-				return nil, ErrTimeout
-			}
-			return nil, err
+			return nil, fmt.Errorf("%w: %v", classify(err), err)
 		}
 		c.put(cc)
 		return resp, nil

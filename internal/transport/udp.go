@@ -25,12 +25,15 @@ const maxDatagram = 60 * 1024
 type UDPServer struct {
 	pc      *net.UDPConn
 	handler Handler
+	gate    *gate
 	wg      sync.WaitGroup
 	closed  atomic.Bool
 }
 
 // ListenUDP starts a UDP server on addr (":0" for ephemeral).
-func ListenUDP(addr string, h Handler) (*UDPServer, error) {
+// Options configure the admission gate (WithMaxInflight) shedding
+// excess load as StatusBusy.
+func ListenUDP(addr string, h Handler, opts ...ServerOption) (*UDPServer, error) {
 	ua, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, err
@@ -39,7 +42,7 @@ func ListenUDP(addr string, h Handler) (*UDPServer, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &UDPServer{pc: pc, handler: h}
+	s := &UDPServer{pc: pc, handler: h, gate: newGate(opts)}
 	s.wg.Add(1)
 	go s.loop()
 	return s, nil
@@ -80,11 +83,19 @@ func (s *UDPServer) loop() {
 			r.Aux = nil
 		}
 		dst := *from
+		if !s.gate.tryAcquire() {
+			// Admission gate saturated: shed from the read loop with
+			// StatusBusy instead of queueing behind the worker pool.
+			out := wire.EncodeResponse(nil, s.gate.busy(r.Seq))
+			s.pc.WriteToUDP(out, &dst)
+			continue
+		}
 		sem <- struct{}{}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
 			defer func() { <-sem }()
+			defer s.gate.release()
 			resp := s.handler(&r)
 			resp.Seq = r.Seq
 			out := wire.EncodeResponse(nil, resp)
@@ -147,13 +158,18 @@ func NewUDPClient(opts UDPClientOptions) *UDPClient {
 }
 
 // Call implements Caller: send, await the matching ack, retransmit on
-// timeout.
+// timeout. Retransmission stops at the request's remaining budget
+// (wire.Request.Budget) even when attempts remain.
 func (c *UDPClient) Call(addr string, req *wire.Request) (*wire.Response, error) {
 	r := *req
 	r.Seq = c.seq.Add(1)
 	out := wire.EncodeRequest(nil, &r)
 	if len(out) > maxDatagram {
 		return nil, fmt.Errorf("transport: request of %d bytes exceeds datagram limit", len(out))
+	}
+	deadline := callDeadline(req, 0)
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		return nil, fmt.Errorf("%w: budget exhausted before send", ErrTimeout)
 	}
 	conn, err := c.getSock(addr)
 	if err != nil {
@@ -165,11 +181,19 @@ func (c *UDPClient) Call(addr string, req *wire.Request) (*wire.Response, error)
 		attempts = 1
 	}
 	for a := 0; a < attempts; a++ {
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			c.putSock(addr, conn)
+			return nil, ErrTimeout
+		}
 		if _, err := conn.Write(out); err != nil {
 			conn.Close()
 			return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
 		}
-		conn.SetReadDeadline(time.Now().Add(c.opts.Timeout))
+		attemptDeadline := time.Now().Add(c.opts.Timeout)
+		if !deadline.IsZero() && deadline.Before(attemptDeadline) {
+			attemptDeadline = deadline
+		}
+		conn.SetReadDeadline(attemptDeadline)
 		for {
 			n, err := conn.Read(buf)
 			if err != nil {

@@ -110,6 +110,12 @@ const (
 	StatusExists
 	// StatusError — server-side failure; Err holds detail.
 	StatusError
+	// StatusBusy — the server's admission gate shed the request
+	// because too many were already in flight. The response's
+	// RetryAfter carries a backoff hint; clients retry with full
+	// jitter. Busy is an overload signal, not a failure: it must not
+	// count toward failure detection.
+	StatusBusy
 )
 
 func (s Status) String() string {
@@ -128,6 +134,8 @@ func (s Status) String() string {
 		return "exists"
 	case StatusError:
 		return "error"
+	case StatusBusy:
+		return "busy"
 	}
 	return fmt.Sprintf("status(%d)", uint8(s))
 }
@@ -165,6 +173,14 @@ type Request struct {
 	Aux []byte
 	// Hop counts spanning-tree depth for OpBroadcast.
 	Hop uint32
+	// Budget is the operation's remaining time budget in nanoseconds
+	// at send time; 0 means no deadline. It is a relative duration —
+	// not an absolute timestamp — so it survives clock skew between
+	// machines. Transports bound their blocking (dial, round trip,
+	// retransmission) by it, and servers may propagate it into nested
+	// server-to-server calls so one client operation's retries,
+	// redirects, and failovers share a single end-to-end deadline.
+	Budget uint64
 }
 
 // Response is a ZHT protocol response.
@@ -180,6 +196,10 @@ type Response struct {
 	Redirect string
 	// Err carries human-readable detail for StatusError.
 	Err string
+	// RetryAfter is a backoff hint in nanoseconds sent with
+	// StatusBusy: the shed client should wait at least this long
+	// (with jitter) before retrying. 0 means no hint.
+	RetryAfter uint64
 }
 
 // maxString caps any single field to guard against corrupt length
@@ -195,6 +215,7 @@ func EncodeRequest(dst []byte, r *Request) []byte {
 	dst = binary.AppendUvarint(dst, r.Epoch)
 	dst = binary.AppendVarint(dst, r.Partition)
 	dst = binary.AppendUvarint(dst, uint64(r.Hop))
+	dst = binary.AppendUvarint(dst, r.Budget)
 	dst = binary.AppendUvarint(dst, uint64(len(r.Key)))
 	dst = append(dst, r.Key...)
 	dst = binary.AppendUvarint(dst, uint64(len(r.Value)))
@@ -230,6 +251,9 @@ func DecodeRequest(b []byte) (*Request, error) {
 		return nil, err
 	}
 	r.Hop = uint32(hop)
+	if r.Budget, b, err = uvar(b); err != nil {
+		return nil, err
+	}
 	var key []byte
 	if key, b, err = bytesField(b); err != nil {
 		return nil, err
@@ -265,6 +289,7 @@ func EncodeResponse(dst []byte, r *Response) []byte {
 	dst = append(dst, r.Redirect...)
 	dst = binary.AppendUvarint(dst, uint64(len(r.Err)))
 	dst = append(dst, r.Err...)
+	dst = binary.AppendUvarint(dst, r.RetryAfter)
 	return dst
 }
 
@@ -294,6 +319,9 @@ func DecodeResponse(b []byte) (*Response, error) {
 		return nil, err
 	}
 	r.Err = string(s)
+	if r.RetryAfter, b, err = uvar(b); err != nil {
+		return nil, err
+	}
 	if len(b) != 0 {
 		return nil, errMalformed
 	}

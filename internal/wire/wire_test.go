@@ -19,6 +19,7 @@ func TestRequestRoundTrip(t *testing.T) {
 		{Op: OpBroadcast, Hop: 12, Key: "announce", Value: []byte("x")},
 		{Op: OpPing, Seq: 1<<63 + 5},
 		{Op: OpDelta, Aux: []byte("ZHTD...")},
+		{Op: OpInsert, Key: "deadline", Value: []byte("v"), Budget: 1_500_000_000},
 	}
 	for i, r := range cases {
 		enc := EncodeRequest(nil, r)
@@ -41,6 +42,7 @@ func TestResponseRoundTrip(t *testing.T) {
 		{Status: StatusMigrating, Redirect: "10.0.0.9:5000"},
 		{Status: StatusCasMismatch, Value: []byte("current")},
 		{Status: StatusError, Err: "novoht: disk full"},
+		{Status: StatusBusy, Seq: 3, RetryAfter: 2_000_000},
 	}
 	for i, r := range cases {
 		got, err := DecodeResponse(EncodeResponse(nil, r))
@@ -54,10 +56,11 @@ func TestResponseRoundTrip(t *testing.T) {
 }
 
 func TestRequestRoundTripProperty(t *testing.T) {
-	err := quick.Check(func(seq, epoch uint64, part int64, key string, val, aux []byte, flags uint8, hop uint32) bool {
+	err := quick.Check(func(seq, epoch, budget uint64, part int64, key string, val, aux []byte, flags uint8, hop uint32) bool {
 		in := &Request{
 			Op: OpInsert, Flags: flags, Seq: seq, Epoch: epoch,
 			Partition: part, Key: key, Value: val, Aux: aux, Hop: hop,
+			Budget: budget,
 		}
 		if len(in.Value) == 0 {
 			in.Value = nil
@@ -74,10 +77,11 @@ func TestRequestRoundTripProperty(t *testing.T) {
 }
 
 func TestResponseRoundTripProperty(t *testing.T) {
-	err := quick.Check(func(seq uint64, val, table []byte, redirect, errs string, status uint8) bool {
+	err := quick.Check(func(seq, retryAfter uint64, val, table []byte, redirect, errs string, status uint8) bool {
 		in := &Response{
-			Status: Status(status % 7), Seq: seq, Value: val,
+			Status: Status(status % 8), Seq: seq, Value: val,
 			Table: table, Redirect: redirect, Err: errs,
+			RetryAfter: retryAfter,
 		}
 		if len(in.Value) == 0 {
 			in.Value = nil
