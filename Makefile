@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test verify bench clean
+.PHONY: build test verify bench clean docs-check
 
 build:
 	$(GO) build ./...
@@ -11,9 +11,15 @@ build:
 test:
 	$(GO) test ./...
 
+# docs-check keeps the prose honest: every package has a godoc
+# comment, doc code blocks only reference real CLI flags, and every
+# registered metric name is catalogued in OBSERVABILITY.md.
+docs-check:
+	$(GO) run ./internal/tools/docscheck
+
 # verify is the pre-merge gate: static checks plus the full test
 # suite (including the chaos soak) under the race detector.
-verify:
+verify: docs-check
 	$(GO) vet ./...
 	$(GO) test -race ./...
 

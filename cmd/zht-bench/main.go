@@ -18,6 +18,7 @@ import (
 	"zht/internal/chaos"
 	"zht/internal/core"
 	"zht/internal/loadgen"
+	"zht/internal/metrics"
 	"zht/internal/transport"
 )
 
@@ -33,11 +34,26 @@ func main() {
 		dist       = flag.String("dist", "uniform", "key distribution: uniform or zipf")
 		keys       = flag.Int("keys", 100000, "keyspace size per client for -mix/-dist workloads")
 		chaosSeed  = flag.Int64("chaos", 0, "fault-injection seed: run client traffic through a lossy, slow, ack-dropping network (0 = off)")
+		metricsOn  = flag.Bool("metrics", false, "record into the metrics registry and print p50/p90/p99/p999 latency plus subsystem counters")
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address during the run (implies -metrics)")
 	)
 	flag.Parse()
+	var reg *metrics.Registry
+	if *metricsOn || *debugAddr != "" {
+		reg = metrics.NewRegistry()
+	}
 	cfg := core.Config{
 		NumPartitions: *partitions, Replicas: *replicas,
 		DataDir: *dataDir, RetryBase: time.Millisecond,
+		Metrics: reg,
+	}
+	if *debugAddr != "" {
+		ln, stop, err := metrics.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stop()
+		fmt.Printf("debug endpoint: http://%s/metrics\n", ln.Addr())
 	}
 	if *chaosSeed != 0 {
 		// Degraded mode: bound each op so the run measures throughput
@@ -56,7 +72,7 @@ func main() {
 		d, cleanup = dep, func() { dep.Close() }
 		rawCaller = func() transport.Caller { return reg.NewClient() }
 	default:
-		dep, cl, caller, err := bootNet(*nodes, cfg, *trans)
+		dep, cl, caller, err := bootNet(*nodes, cfg, *trans, reg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -75,6 +91,7 @@ func main() {
 		newClient = func(ci int) (*core.Client, error) {
 			ch := chaos.Wrap(rawCaller(), sc, chaos.Options{
 				Seed: *chaosSeed + int64(ci), LossTimeout: 25 * time.Millisecond,
+				Metrics: reg,
 			})
 			return core.NewClient(cfg, d.Instance(0).Table(), ch)
 		}
@@ -152,6 +169,9 @@ func main() {
 		fmt.Printf("chaos seed=%d: %d/%d ops unavailable; degraded goodput %.0f ops/s\n",
 			*chaosSeed, failed, total, float64(total-failed)/el.Seconds())
 	}
+	if reg != nil {
+		printRegistryMetrics(reg)
+	}
 }
 
 // degradedScenario is the default -chaos schedule: a persistently bad
@@ -225,16 +245,16 @@ func runGenerated(c *core.Client, clientID, nOps int, mixName, distName string, 
 }
 
 // bootNet mirrors the figures harness: n instances over real loopback
-// sockets.
-func bootNet(n int, cfg core.Config, kind string) (*core.Deployment, func(), transport.Caller, error) {
+// sockets. reg (may be nil) wires the transport-level instruments.
+func bootNet(n int, cfg core.Config, kind string, reg *metrics.Registry) (*core.Deployment, func(), transport.Caller, error) {
 	var caller transport.Caller
 	switch kind {
 	case "tcp-cache":
-		caller = transport.NewTCPClient(transport.TCPClientOptions{ConnCache: true})
+		caller = transport.NewTCPClient(transport.TCPClientOptions{ConnCache: true, Metrics: reg})
 	case "tcp-nocache":
-		caller = transport.NewTCPClient(transport.TCPClientOptions{ConnCache: false})
+		caller = transport.NewTCPClient(transport.TCPClientOptions{ConnCache: false, Metrics: reg})
 	case "udp":
-		caller = transport.NewUDPClient(transport.UDPClientOptions{Timeout: 2 * time.Second})
+		caller = transport.NewUDPClient(transport.UDPClientOptions{Timeout: 2 * time.Second, Metrics: reg})
 	default:
 		return nil, nil, nil, fmt.Errorf("unknown transport %q", kind)
 	}
@@ -246,9 +266,9 @@ func bootNet(n int, cfg core.Config, kind string) (*core.Deployment, func(), tra
 		var ln transport.Listener
 		var err error
 		if kind == "udp" {
-			ln, err = transport.ListenUDP("127.0.0.1:0", hs.Handle)
+			ln, err = transport.ListenUDP("127.0.0.1:0", hs.Handle, transport.WithServerMetrics(reg))
 		} else {
-			ln, err = transport.ListenTCP("127.0.0.1:0", hs.Handle, transport.EventDriven)
+			ln, err = transport.ListenTCP("127.0.0.1:0", hs.Handle, transport.EventDriven, transport.WithServerMetrics(reg))
 		}
 		if err != nil {
 			return nil, nil, nil, err

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"zht/internal/metrics"
+)
+
+// printRegistryMetrics renders the benchmark's registry: the
+// percentile summary for every latency histogram (replacing the old
+// ad-hoc mean-only math), then every counter and gauge.
+func printRegistryMetrics(reg *metrics.Registry) {
+	s := reg.Snapshot()
+	fmt.Println("--- registry metrics ---")
+	names := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		if h.Count == 0 {
+			continue
+		}
+		fmt.Printf("%s  count=%d mean=%s p50=%s p90=%s p99=%s p999=%s max=%s\n",
+			name, h.Count, fmtNs(int64(h.Mean)),
+			fmtNs(h.P50), fmtNs(h.P90), fmtNs(h.P99), fmtNs(h.P999), fmtNs(h.Max))
+	}
+	var sb strings.Builder
+	counts := metrics.Snapshot{Counters: s.Counters, Gauges: s.Gauges}
+	if err := counts.WriteText(&sb); err == nil && sb.Len() > 0 {
+		fmt.Fprint(os.Stdout, sb.String())
+	}
+}
+
+// fmtNs renders a nanosecond quantity in the most readable unit.
+func fmtNs(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"zht/internal/metrics"
+)
+
+// adhocQuantile is the benchmark's old percentile math: sort the raw
+// samples and index the rank directly. The registry histograms
+// replaced it; this test pins the two against each other.
+func adhocQuantile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// TestRegistryMatchesAdhocPercentiles drives one latency distribution
+// through both the exact sorted-sample math zht-bench used to print
+// and the registry histogram it prints now, and requires every
+// reported quantile to agree within the histogram's bucket error
+// (1/32 relative, doubled for rank-rounding slack at the tails).
+func TestRegistryMatchesAdhocPercentiles(t *testing.T) {
+	reg := metrics.NewRegistry()
+	h := reg.Histogram("zht.client.op.all.latency_ns")
+	rng := rand.New(rand.NewSource(7))
+	samples := make([]int64, 0, 100000)
+	for i := 0; i < 100000; i++ {
+		// Log-normal-ish latencies centered near 50µs, like a real
+		// inproc bench run.
+		v := int64(50e3 * math.Exp(rng.NormFloat64()*0.8))
+		if v < 1 {
+			v = 1
+		}
+		samples = append(samples, v)
+		h.Observe(v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+
+	snap := h.Snapshot()
+	if snap.Count != int64(len(samples)) {
+		t.Fatalf("count = %d, want %d", snap.Count, len(samples))
+	}
+	var sum int64
+	for _, v := range samples {
+		sum += v
+	}
+	exactMean := float64(sum) / float64(len(samples))
+	if math.Abs(snap.Mean-exactMean)/exactMean > 1e-9 {
+		t.Errorf("mean = %f, want exact %f", snap.Mean, exactMean)
+	}
+	for _, tc := range []struct {
+		name  string
+		q     float64
+		reg   int64
+		adhoc int64
+	}{
+		{"p50", 0.50, snap.P50, adhocQuantile(samples, 0.50)},
+		{"p90", 0.90, snap.P90, adhocQuantile(samples, 0.90)},
+		{"p99", 0.99, snap.P99, adhocQuantile(samples, 0.99)},
+		{"p999", 0.999, snap.P999, adhocQuantile(samples, 0.999)},
+	} {
+		rel := math.Abs(float64(tc.reg)-float64(tc.adhoc)) / float64(tc.adhoc)
+		if rel > 2.0/32 {
+			t.Errorf("%s: registry %d vs ad-hoc %d (rel err %.4f > %.4f)",
+				tc.name, tc.reg, tc.adhoc, rel, 2.0/32)
+		}
+	}
+	exactMax := samples[len(samples)-1]
+	if rel := math.Abs(float64(snap.Max)-float64(exactMax)) / float64(exactMax); rel > 1.0/32 {
+		t.Errorf("max = %d, want %d within bucket error (rel err %.4f)", snap.Max, exactMax, rel)
+	}
+}
+
+// TestFmtNs pins the unit thresholds the bench output uses.
+func TestFmtNs(t *testing.T) {
+	for _, tc := range []struct {
+		ns   int64
+		want string
+	}{
+		{999, "999ns"},
+		{1500, "1.5µs"},
+		{2500000, "2.50ms"},
+		{3200000000, "3.20s"},
+	} {
+		if got := fmtNs(tc.ns); got != tc.want {
+			t.Errorf("fmtNs(%d) = %q, want %q", tc.ns, got, tc.want)
+		}
+	}
+}
+
+// TestPrintRegistryMetricsOutput spot-checks the rendered form: a
+// histogram line with all five summary stats and the counter lines
+// beneath it.
+func TestPrintRegistryMetricsOutput(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("zht.client.ops").Add(3)
+	reg.Histogram("zht.client.op.all.latency_ns").Observe(1000)
+
+	var sb strings.Builder
+	s := reg.Snapshot()
+	if err := s.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"zht.client.ops 3", "zht.client.op.all.latency_ns count=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("snapshot text missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -16,15 +16,30 @@ import (
 	"time"
 
 	"zht/internal/figures"
+	"zht/internal/metrics"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "shrink workloads for a fast pass")
 	fig := flag.String("fig", "all", "figure/table id (fig01..fig19, tab01) or 'all'")
 	csvDir := flag.String("csv", "", "also write one CSV per series into this directory")
+	metricsOn := flag.Bool("metrics", false, "accumulate all runs into one metrics registry and print its snapshot at the end")
 	flag.Parse()
 
 	o := figures.Options{Quick: *quick}
+	if *metricsOn {
+		o.Metrics = metrics.NewRegistry()
+	}
+	dumpMetrics := func() {
+		if o.Metrics == nil {
+			return
+		}
+		fmt.Println("--- registry metrics ---")
+		if err := o.Metrics.Snapshot().WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
+			os.Exit(1)
+		}
+	}
 	emit := func(s *figures.Series) {
 		fmt.Println(s.Render())
 		if *csvDir != "" {
@@ -50,6 +65,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("regenerated %d series in %s\n", len(series), time.Since(start).Round(time.Millisecond))
+		dumpMetrics()
 		return
 	}
 	gen := figures.ByID(*fig)
@@ -63,4 +79,5 @@ func main() {
 		os.Exit(1)
 	}
 	emit(s)
+	dumpMetrics()
 }

@@ -20,6 +20,7 @@ import (
 	"syscall"
 
 	"zht/internal/core"
+	"zht/internal/metrics"
 	"zht/internal/ring"
 	"zht/internal/transport"
 )
@@ -35,13 +36,25 @@ func main() {
 		dataDir    = flag.String("data", "", "directory for NoVoHT partition logs ('' = memory only)")
 		proto      = flag.String("proto", "tcp", "transport: tcp or udp")
 		hashName   = flag.String("hash", "", "ring hash function (default lookup3)")
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	)
 	flag.Parse()
+	var reg *metrics.Registry
+	if *debugAddr != "" {
+		reg = metrics.NewRegistry()
+		dln, stop, err := metrics.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			log.Fatalf("debug endpoint: %v", err)
+		}
+		defer stop()
+		log.Printf("debug endpoint on http://%s/metrics", dln.Addr())
+	}
 	cfg := core.Config{
 		NumPartitions: *partitions,
 		Replicas:      *replicas,
 		DataDir:       *dataDir,
 		HashName:      *hashName,
+		Metrics:       reg,
 	}
 	if *joinSeed != "" {
 		if *joinAddr == "" {
@@ -69,9 +82,9 @@ func main() {
 	}
 	var caller transport.Caller
 	if *proto == "udp" {
-		caller = transport.NewUDPClient(transport.UDPClientOptions{})
+		caller = transport.NewUDPClient(transport.UDPClientOptions{Metrics: reg})
 	} else {
-		caller = transport.NewTCPClient(transport.TCPClientOptions{ConnCache: true})
+		caller = transport.NewTCPClient(transport.TCPClientOptions{ConnCache: true, Metrics: reg})
 	}
 	inst, err := core.NewInstance(cfg, members[*index], table, caller)
 	if err != nil {
@@ -79,9 +92,9 @@ func main() {
 	}
 	var ln transport.Listener
 	if *proto == "udp" {
-		ln, err = transport.ListenUDP(members[*index].Addr, inst.Handle)
+		ln, err = transport.ListenUDP(members[*index].Addr, inst.Handle, transport.WithServerMetrics(reg))
 	} else {
-		ln, err = transport.ListenTCP(members[*index].Addr, inst.Handle, transport.EventDriven)
+		ln, err = transport.ListenTCP(members[*index].Addr, inst.Handle, transport.EventDriven, transport.WithServerMetrics(reg))
 	}
 	if err != nil {
 		log.Fatalf("listen %s: %v", members[*index].Addr, err)
@@ -106,17 +119,17 @@ func main() {
 func runJoin(cfg core.Config, seed, addr, proto string) {
 	var caller transport.Caller
 	if proto == "udp" {
-		caller = transport.NewUDPClient(transport.UDPClientOptions{})
+		caller = transport.NewUDPClient(transport.UDPClientOptions{Metrics: cfg.Metrics})
 	} else {
-		caller = transport.NewTCPClient(transport.TCPClientOptions{ConnCache: true})
+		caller = transport.NewTCPClient(transport.TCPClientOptions{ConnCache: true, Metrics: cfg.Metrics})
 	}
 	var hs core.HandlerSwitch
 	var ln transport.Listener
 	var err error
 	if proto == "udp" {
-		ln, err = transport.ListenUDP(addr, hs.Handle)
+		ln, err = transport.ListenUDP(addr, hs.Handle, transport.WithServerMetrics(cfg.Metrics))
 	} else {
-		ln, err = transport.ListenTCP(addr, hs.Handle, transport.EventDriven)
+		ln, err = transport.ListenTCP(addr, hs.Handle, transport.EventDriven, transport.WithServerMetrics(cfg.Metrics))
 	}
 	if err != nil {
 		log.Fatalf("listen %s: %v", addr, err)

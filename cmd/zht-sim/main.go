@@ -10,20 +10,23 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
+	"zht/internal/metrics"
 	"zht/internal/sim"
 )
 
 func main() {
 	var (
-		nodes    = flag.Int("nodes", 8192, "physical nodes")
-		inst     = flag.Int("instances", 1, "ZHT instances per node")
-		replicas = flag.Int("replicas", 0, "replicas per partition")
-		syncRep  = flag.Bool("sync", false, "synchronous replication (ablation)")
-		des      = flag.Bool("des", false, "use the discrete-event engine (≤ ~32K instances)")
-		seconds  = flag.Float64("seconds", 0.3, "virtual seconds to simulate (DES)")
-		seed     = flag.Int64("seed", 1, "DES random seed")
-		sweep    = flag.Bool("sweep", false, "print the efficiency sweep to 1M nodes")
+		nodes     = flag.Int("nodes", 8192, "physical nodes")
+		inst      = flag.Int("instances", 1, "ZHT instances per node")
+		replicas  = flag.Int("replicas", 0, "replicas per partition")
+		syncRep   = flag.Bool("sync", false, "synchronous replication (ablation)")
+		des       = flag.Bool("des", false, "use the discrete-event engine (≤ ~32K instances)")
+		seconds   = flag.Float64("seconds", 0.3, "virtual seconds to simulate (DES)")
+		seed      = flag.Int64("seed", 1, "DES random seed")
+		sweep     = flag.Bool("sweep", false, "print the efficiency sweep to 1M nodes")
+		metricsOn = flag.Bool("metrics", false, "record DES completions into a metrics registry and print the zht.client.* snapshot (requires -des)")
 	)
 	flag.Parse()
 
@@ -48,12 +51,19 @@ func main() {
 	p := sim.DefaultParams(*nodes, *inst)
 	p.Replicas = *replicas
 	p.SyncReplication = *syncRep
+	var reg *metrics.Registry
+	if *metricsOn {
+		if !*des {
+			log.Fatal("-metrics requires -des (the analytic model has no per-op completions)")
+		}
+		reg = metrics.NewRegistry()
+	}
 	var r sim.Result
 	var err error
 	engine := "analytic"
 	if *des {
 		engine = "discrete-event"
-		r, err = sim.DiscreteEvent(p, *seconds, *seed)
+		r, err = sim.DiscreteEventObserved(p, *seconds, *seed, reg)
 	} else {
 		r, err = sim.Analytic(p)
 	}
@@ -66,4 +76,12 @@ func main() {
 	fmt.Printf("throughput   %.2f M ops/s\n", r.Throughput/1e6)
 	fmt.Printf("avg hops     %.1f\n", r.AvgHops)
 	fmt.Printf("nic util     %.0f%%\n", r.NICUtilization*100)
+	if reg != nil {
+		// Same names a live client emits, so simulated and measured
+		// latency distributions line up column for column.
+		fmt.Println("--- registry metrics ---")
+		if err := reg.Snapshot().WriteText(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
 }

@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"zht/internal/metrics"
 	"zht/internal/transport"
 	"zht/internal/wire"
 )
@@ -138,6 +139,11 @@ type Options struct {
 	LossTimeout time.Duration
 	// Trace records every decision for inspection via Trace().
 	Trace bool
+	// Metrics, when non-nil, counts every call through the layer
+	// (zht.chaos.calls) and every injected fault by kind
+	// (zht.chaos.faults.{down,cut,drop,dup,reply_lost}) — unlike the
+	// trace, counting is cheap enough to leave on during soak runs.
+	Metrics *metrics.Registry
 }
 
 // DefaultLossTimeout is the emulated loss-detection delay for calls
@@ -182,6 +188,9 @@ type Caller struct {
 	counters map[string]uint64
 	trace    []Decision
 	traceOn  bool
+
+	calls  *metrics.Counter             // zht.chaos.calls
+	faults map[Verdict]*metrics.Counter // nil when metrics are off
 }
 
 var _ transport.Caller = (*Caller)(nil)
@@ -192,7 +201,7 @@ func Wrap(inner transport.Caller, sc *Scenario, opts Options) *Caller {
 	if opts.LossTimeout <= 0 {
 		opts.LossTimeout = DefaultLossTimeout
 	}
-	return &Caller{
+	c := &Caller{
 		inner:    inner,
 		src:      opts.Source,
 		seed:     uint64(opts.Seed),
@@ -202,6 +211,17 @@ func Wrap(inner transport.Caller, sc *Scenario, opts Options) *Caller {
 		counters: make(map[string]uint64),
 		traceOn:  opts.Trace,
 	}
+	if reg := opts.Metrics; reg != nil {
+		c.calls = reg.Counter("zht.chaos.calls")
+		c.faults = map[Verdict]*metrics.Counter{
+			VerdictDown:      reg.Counter("zht.chaos.faults.down"),
+			VerdictCut:       reg.Counter("zht.chaos.faults.cut"),
+			VerdictDrop:      reg.Counter("zht.chaos.faults.drop"),
+			VerdictDup:       reg.Counter("zht.chaos.faults.dup"),
+			VerdictReplyLost: reg.Counter("zht.chaos.faults.reply_lost"),
+		}
+	}
+	return c
 }
 
 // Trace returns a copy of the recorded decisions (Options.Trace).
@@ -291,6 +311,10 @@ func (c *Caller) resolve(rules []Rule, dst string, n uint64) (req, reply effects
 }
 
 func (c *Caller) record(dst string, n uint64, v Verdict, delay time.Duration) {
+	c.calls.Inc()
+	if v != VerdictOK {
+		c.faults[v].Inc() // nil-map lookup yields a nil (no-op) counter
+	}
 	if !c.traceOn {
 		return
 	}

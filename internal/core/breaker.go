@@ -3,6 +3,8 @@ package core
 import (
 	"sync"
 	"time"
+
+	"zht/internal/metrics"
 )
 
 // breaker is a per-endpoint circuit breaker. Each endpoint's circuit
@@ -25,6 +27,10 @@ import (
 type breaker struct {
 	threshold int
 	cooldown  time.Duration
+	// trips counts closed→open transitions; openG tracks how many
+	// circuits are open right now. Both are nil-safe.
+	trips *metrics.Counter
+	openG *metrics.Gauge
 
 	mu  sync.Mutex
 	eps map[string]*circuit
@@ -38,11 +44,17 @@ type circuit struct {
 }
 
 // newBreaker builds a breaker; threshold < 0 disables it (nil).
-func newBreaker(threshold int, cooldown time.Duration) *breaker {
+func newBreaker(threshold int, cooldown time.Duration, trips *metrics.Counter, openG *metrics.Gauge) *breaker {
 	if threshold < 0 {
 		return nil
 	}
-	return &breaker{threshold: threshold, cooldown: cooldown, eps: make(map[string]*circuit)}
+	return &breaker{
+		threshold: threshold,
+		cooldown:  cooldown,
+		trips:     trips,
+		openG:     openG,
+		eps:       make(map[string]*circuit),
+	}
 }
 
 // allow reports whether a call to addr may proceed. In the open
@@ -72,6 +84,9 @@ func (b *breaker) success(addr string) {
 		return
 	}
 	b.mu.Lock()
+	if c := b.eps[addr]; c != nil && c.open {
+		b.openG.Dec()
+	}
 	delete(b.eps, addr)
 	b.mu.Unlock()
 }
@@ -100,5 +115,7 @@ func (b *breaker) failure(addr string) {
 		c.open = true
 		c.probing = false
 		c.openedAt = time.Now()
+		b.trips.Inc()
+		b.openG.Inc()
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"zht/internal/hashing"
+	"zht/internal/metrics"
 	"zht/internal/ring"
 	"zht/internal/transport"
 	"zht/internal/wire"
@@ -26,6 +27,7 @@ type Client struct {
 	caller  transport.Caller
 	hashf   hashing.Func
 	breaker *breaker
+	metrics clientMetrics
 
 	mu    sync.RWMutex
 	table *ring.Table
@@ -66,10 +68,13 @@ func NewClient(cfg Config, table *ring.Table, caller transport.Caller) (*Client,
 		return nil, err
 	}
 	return &Client{
-		cfg:     cfg,
-		caller:  caller,
-		hashf:   cfg.hash(),
-		breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		cfg:    cfg,
+		caller: caller,
+		hashf:  cfg.hash(),
+		breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown,
+			cfg.Metrics.Counter("zht.client.breaker.trips"),
+			cfg.Metrics.Gauge("zht.client.breaker.open")),
+		metrics: newClientMetrics(cfg.Metrics),
 		table:   table.Clone(),
 		// Seed from the process-global (randomly seeded) source:
 		// time.Now().UnixNano() collides for clients created in the
@@ -228,15 +233,40 @@ func statusToErr(op wire.Op, resp *wire.Response) (err error, done bool) {
 	}
 }
 
-// do routes one request: pick the owner from the local table, call
-// it, and react to routing feedback (stale table, migration redirect,
-// server overload, owner failure) until the operation resolves. The
-// whole loop — transport retries, redirects, failovers, backoff
-// sleeps — shares one OpDeadline budget, propagated to every
+// do wraps doRouted with the client-side measurements: one ops count
+// per operation and, for one op in metrics.SampleEvery, an end-to-end
+// latency observation (per-op-type and aggregate). The sampling
+// decision reuses the op count the path already pays for, so the
+// untimed ops cost no clock reads; with metrics disabled the whole
+// thing degrades to nil checks.
+func (c *Client) do(req *wire.Request) (*wire.Response, error) {
+	n := c.metrics.ops.Inc()
+	var start time.Time
+	timed := c.metrics.allLat != nil && n%metrics.SampleEvery == 0
+	if timed {
+		start = time.Now()
+	}
+	resp, err := c.doRouted(req)
+	if timed {
+		el := time.Since(start).Nanoseconds()
+		c.metrics.allLat.Observe(el)
+		c.metrics.opLat[req.Op].Observe(el)
+	}
+	if errors.Is(err, ErrUnavailable) {
+		c.metrics.unavailable.Inc()
+	}
+	return resp, err
+}
+
+// doRouted routes one request: pick the owner from the local table,
+// call it, and react to routing feedback (stale table, migration
+// redirect, server overload, owner failure) until the operation
+// resolves. The whole loop — transport retries, redirects, failovers,
+// backoff sleeps — shares one OpDeadline budget, propagated to every
 // transport call via wire.Request.Budget, so an operation resolves
 // or fails with ErrUnavailable within its deadline instead of
 // compounding per-layer timeouts.
-func (c *Client) do(req *wire.Request) (*wire.Response, error) {
+func (c *Client) doRouted(req *wire.Request) (*wire.Response, error) {
 	h := c.hashf(req.Key)
 	var deadline time.Time
 	if c.cfg.OpDeadline > 0 {
@@ -288,6 +318,7 @@ func (c *Client) do(req *wire.Request) (*wire.Response, error) {
 			c.sleepBounded(c.busyDelay(resp, attempt), deadline)
 			continue
 		case wire.StatusWrongOwner:
+			c.metrics.wrongOwner.Inc()
 			if t, err := ring.DecodeTable(resp.Table); err == nil {
 				c.adoptTable(t)
 			}
@@ -338,11 +369,15 @@ func (c *Client) callWithBackoff(addr string, req *wire.Request, deadline time.T
 			req.Budget = uint64(rem)
 		}
 		if !c.breaker.allow(addr) {
+			c.metrics.fastfails.Inc()
 			return nil, fmt.Errorf("%w: %s", ErrCircuitOpen, addr)
 		}
 		resp, err := c.caller.Call(addr, req)
 		if err == nil {
 			c.breaker.success(addr)
+			if resp.Status == wire.StatusBusy {
+				c.metrics.busyRetries.Inc()
+			}
 			if resp.Status != wire.StatusBusy || i >= c.cfg.OpRetries {
 				return resp, nil
 			}
@@ -358,6 +393,7 @@ func (c *Client) callWithBackoff(addr string, req *wire.Request, deadline time.T
 		if i >= c.cfg.OpRetries {
 			return nil, lastErr
 		}
+		c.metrics.retries.Inc()
 		c.sleepBounded(c.backoff(i), deadline)
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"zht/internal/hashing"
+	"zht/internal/metrics"
 )
 
 // Config holds deployment-wide parameters shared by every instance
@@ -69,6 +70,12 @@ type Config struct {
 	// BreakerCooldown is how long an open circuit waits before
 	// admitting a half-open probe. 0 means DefaultBreakerCooldown.
 	BreakerCooldown time.Duration
+	// Metrics, when non-nil, receives every client-, instance-, and
+	// store-level measurement (latency histograms, retry/shed/breaker
+	// counters — see OBSERVABILITY.md for the catalogue). Nil disables
+	// metrics at near-zero cost: instruments degrade to nil pointers
+	// whose methods no-op.
+	Metrics *metrics.Registry
 	// NetworkAware orders the bootstrap ring by the endpoints' torus
 	// coordinates (Z-order) so that replica traffic — which flows to
 	// ring neighbours — stays network-local (§VI future work,

@@ -135,10 +135,15 @@ func InprocEndpoints(n int) []Endpoint {
 }
 
 // BootstrapInproc starts n instances on a fresh in-process registry.
+// When cfg.Metrics is set, the transport's server- and caller-side
+// instruments are wired to it as well.
 func BootstrapInproc(cfg Config, n int) (*Deployment, *transport.Registry, error) {
 	reg := transport.NewRegistry()
+	if cfg.Metrics != nil {
+		reg.SetMetrics(cfg.Metrics)
+	}
 	d, err := Bootstrap(cfg, InprocEndpoints(n), func(addr string, h transport.Handler) (transport.Listener, error) {
-		return reg.Listen(addr, h)
+		return reg.Listen(addr, h, transport.WithServerMetrics(cfg.Metrics))
 	}, reg.NewClient())
 	if err != nil {
 		return nil, nil, err

@@ -165,7 +165,10 @@ func (in *Instance) store(p int) (*novoht.Store, error) {
 	if s, ok := in.stores[p]; ok {
 		return s, nil
 	}
-	opts := novoht.Options{MaxMemValues: in.cfg.MaxMemValuesPerPartition}
+	opts := novoht.Options{
+		MaxMemValues: in.cfg.MaxMemValuesPerPartition,
+		Metrics:      in.cfg.Metrics,
+	}
 	if in.cfg.DataDir != "" {
 		opts.Path = filepath.Join(in.cfg.DataDir, fmt.Sprintf("%s-p%06d.log", in.self.ID, p))
 	} else {

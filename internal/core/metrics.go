@@ -1,0 +1,45 @@
+package core
+
+import (
+	"zht/internal/metrics"
+	"zht/internal/wire"
+)
+
+// clientMetrics holds the client-side instruments, pre-resolved at
+// construction so the hot path never touches the registry map. With
+// metrics disabled (nil registry) every field is nil and recording
+// degrades to nil-checks; latency timing is additionally sampled
+// (one op in metrics.SampleEvery) and skipped entirely when allLat
+// is nil, so untimed ops never read the clock.
+type clientMetrics struct {
+	ops         *metrics.Counter // zht.client.ops
+	retries     *metrics.Counter // zht.client.retries
+	busyRetries *metrics.Counter // zht.client.busy_retries
+	wrongOwner  *metrics.Counter // zht.client.wrong_owner
+	unavailable *metrics.Counter // zht.client.unavailable
+	fastfails   *metrics.Counter // zht.client.breaker.fastfails
+	allLat      *metrics.Histogram
+	opLat       map[wire.Op]*metrics.Histogram
+}
+
+func newClientMetrics(reg *metrics.Registry) clientMetrics {
+	m := clientMetrics{
+		ops:         reg.Counter("zht.client.ops"),
+		retries:     reg.Counter("zht.client.retries"),
+		busyRetries: reg.Counter("zht.client.busy_retries"),
+		wrongOwner:  reg.Counter("zht.client.wrong_owner"),
+		unavailable: reg.Counter("zht.client.unavailable"),
+		fastfails:   reg.Counter("zht.client.breaker.fastfails"),
+		allLat:      reg.Histogram("zht.client.op.all.latency_ns"),
+	}
+	if reg != nil {
+		m.opLat = map[wire.Op]*metrics.Histogram{
+			wire.OpInsert: reg.Histogram("zht.client.op.insert.latency_ns"),
+			wire.OpLookup: reg.Histogram("zht.client.op.lookup.latency_ns"),
+			wire.OpRemove: reg.Histogram("zht.client.op.remove.latency_ns"),
+			wire.OpAppend: reg.Histogram("zht.client.op.append.latency_ns"),
+			wire.OpCas:    reg.Histogram("zht.client.op.cas.latency_ns"),
+		}
+	}
+	return m
+}

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"zht/internal/metrics"
 	"zht/internal/transport"
 	"zht/internal/wire"
 )
@@ -15,7 +16,10 @@ import (
 // StatusBusy retry handling, and the end-to-end operation deadline.
 
 func TestBreakerTripAndRecover(t *testing.T) {
-	b := newBreaker(3, 50*time.Millisecond)
+	reg := metrics.NewRegistry()
+	trips := reg.Counter("zht.client.breaker.trips")
+	openG := reg.Gauge("zht.client.breaker.open")
+	b := newBreaker(3, 50*time.Millisecond, trips, openG)
 	const ep = "node-1"
 	// Closed: failures below the threshold keep admitting.
 	for i := 0; i < 2; i++ {
@@ -30,6 +34,9 @@ func TestBreakerTripAndRecover(t *testing.T) {
 	b.failure(ep) // third consecutive failure: trips
 	if b.allow(ep) {
 		t.Fatal("open circuit admitted a call before the cooldown")
+	}
+	if trips.Value() != 1 || openG.Value() != 1 {
+		t.Fatalf("after trip: trips=%d open=%d, want 1/1", trips.Value(), openG.Value())
 	}
 	// Other endpoints are independent.
 	if !b.allow("node-2") {
@@ -59,10 +66,18 @@ func TestBreakerTripAndRecover(t *testing.T) {
 			t.Fatal("closed circuit rejected after success")
 		}
 	}
+	// A failed probe re-opens without re-counting a trip; the final
+	// success closed the circuit, so the open gauge returns to zero.
+	if trips.Value() != 1 {
+		t.Fatalf("trips = %d, want 1 (re-open after failed probe must not re-count)", trips.Value())
+	}
+	if openG.Value() != 0 {
+		t.Fatalf("open gauge = %d, want 0 after recovery", openG.Value())
+	}
 }
 
 func TestBreakerDisabled(t *testing.T) {
-	b := newBreaker(-1, time.Millisecond)
+	b := newBreaker(-1, time.Millisecond, nil, nil)
 	if b != nil {
 		t.Fatal("negative threshold should disable the breaker")
 	}

@@ -35,7 +35,7 @@ func Fig16FusionFS(o Options) (*Series, error) {
 	creates := o.scale(200, 40)
 	gpfs := gpfssim.Default()
 	for _, n := range scales {
-		cfg := core.Config{NumPartitions: 1024, Replicas: 0, RetryBase: time.Millisecond}
+		cfg := core.Config{NumPartitions: 1024, Replicas: 0, RetryBase: time.Millisecond, Metrics: o.Metrics}
 		d, _, err := core.BootstrapInproc(cfg, n)
 		if err != nil {
 			return nil, err
@@ -125,7 +125,7 @@ func Fig17IStore(o Options) (*Series, error) {
 	}
 	files := o.scale(24, 6)
 	for _, n := range nodeScales {
-		cfg := core.Config{NumPartitions: 1024, Replicas: 0, RetryBase: time.Millisecond}
+		cfg := core.Config{NumPartitions: 1024, Replicas: 0, RetryBase: time.Millisecond, Metrics: o.Metrics}
 		d, reg, err := core.BootstrapInproc(cfg, 4)
 		if err != nil {
 			return nil, err

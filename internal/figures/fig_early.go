@@ -55,7 +55,7 @@ func Tab01Features(o Options) (*Series, error) {
 		},
 	}
 	// Probe ZHT append.
-	d, _, err := core.BootstrapInproc(core.Config{NumPartitions: 8, RetryBase: time.Millisecond}, 2)
+	d, _, err := core.BootstrapInproc(core.Config{NumPartitions: 8, RetryBase: time.Millisecond, Metrics: o.Metrics}, 2)
 	if err != nil {
 		return nil, err
 	}
@@ -131,7 +131,7 @@ func Fig04Partitions(o Options) (*Series, error) {
 	}
 	ops := o.scale(3000, 300)
 	for _, parts := range []int{1, 10, 100, 1000} {
-		cfg := core.Config{NumPartitions: parts, Replicas: 0, RetryBase: time.Millisecond}
+		cfg := core.Config{NumPartitions: parts, Replicas: 0, RetryBase: time.Millisecond, Metrics: o.Metrics}
 		d, _, err := core.BootstrapInproc(cfg, 1)
 		if err != nil {
 			return nil, err
@@ -163,7 +163,7 @@ func Fig05Bootstrap(o Options) (*Series, error) {
 		real := "-"
 		if n <= realMax {
 			start := time.Now()
-			d, _, err := core.BootstrapInproc(core.Config{NumPartitions: 8192, RetryBase: time.Millisecond}, n)
+			d, _, err := core.BootstrapInproc(core.Config{NumPartitions: 8192, RetryBase: time.Millisecond, Metrics: o.Metrics}, n)
 			if err != nil {
 				return nil, err
 			}

@@ -30,7 +30,7 @@ func Fig12Replication(o Options) (*Series, error) {
 	for _, n := range scales {
 		var lats [3]time.Duration
 		for r := 0; r <= 2; r++ {
-			cfg := core.Config{NumPartitions: 1024, Replicas: r, RetryBase: time.Millisecond}
+			cfg := core.Config{NumPartitions: 1024, Replicas: r, RetryBase: time.Millisecond, Metrics: o.Metrics}
 			d, _, err := core.BootstrapInproc(cfg, n)
 			if err != nil {
 				return nil, err
@@ -98,7 +98,7 @@ func Fig13InstancesLatency(o Options) (*Series, error) {
 			if o.Quick {
 				dur = 0.05
 			}
-			r, err := sim.DiscreteEvent(sim.DefaultParams(n, 1), dur, 1)
+			r, err := sim.DiscreteEventObserved(sim.DefaultParams(n, 1), dur, 1, o.Metrics)
 			if err != nil {
 				return nil, err
 			}
@@ -149,7 +149,7 @@ func Fig15Migration(o Options) (*Series, error) {
 	if o.Quick {
 		maxN = 8
 	}
-	cfg := core.Config{NumPartitions: 1024, Replicas: 0, RetryBase: time.Millisecond}
+	cfg := core.Config{NumPartitions: 1024, Replicas: 0, RetryBase: time.Millisecond, Metrics: o.Metrics}
 	d, _, err := core.BootstrapInproc(cfg, 2)
 	if err != nil {
 		return nil, err

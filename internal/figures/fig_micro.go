@@ -13,15 +13,16 @@ import (
 )
 
 // netDeployment boots n ZHT instances over a real loopback transport.
+// cfg.Metrics, when set, also wires the transport-level instruments.
 func netDeployment(n int, cfg core.Config, kind string) (*core.Deployment, func(), error) {
 	var caller transport.Caller
 	switch kind {
 	case "tcp-cache":
-		caller = transport.NewTCPClient(transport.TCPClientOptions{ConnCache: true})
+		caller = transport.NewTCPClient(transport.TCPClientOptions{ConnCache: true, Metrics: cfg.Metrics})
 	case "tcp-nocache":
-		caller = transport.NewTCPClient(transport.TCPClientOptions{ConnCache: false})
+		caller = transport.NewTCPClient(transport.TCPClientOptions{ConnCache: false, Metrics: cfg.Metrics})
 	case "udp":
-		caller = transport.NewUDPClient(transport.UDPClientOptions{Timeout: 2 * time.Second})
+		caller = transport.NewUDPClient(transport.UDPClientOptions{Timeout: 2 * time.Second, Metrics: cfg.Metrics})
 	default:
 		return nil, nil, fmt.Errorf("figures: unknown transport %q", kind)
 	}
@@ -33,9 +34,9 @@ func netDeployment(n int, cfg core.Config, kind string) (*core.Deployment, func(
 		var ln transport.Listener
 		var err error
 		if kind == "udp" {
-			ln, err = transport.ListenUDP("127.0.0.1:0", hs.Handle)
+			ln, err = transport.ListenUDP("127.0.0.1:0", hs.Handle, transport.WithServerMetrics(cfg.Metrics))
 		} else {
-			ln, err = transport.ListenTCP("127.0.0.1:0", hs.Handle, transport.EventDriven)
+			ln, err = transport.ListenTCP("127.0.0.1:0", hs.Handle, transport.EventDriven, transport.WithServerMetrics(cfg.Metrics))
 		}
 		if err != nil {
 			for _, l := range lns {
@@ -81,8 +82,8 @@ func (l nopListener) Close() error { return nil }
 
 // measureNet runs the all-to-all workload at scale n over the given
 // transport and returns the stats.
-func measureNet(n, opsPer int, kind string) (opStats, error) {
-	cfg := core.Config{NumPartitions: 1024, Replicas: 0, RetryBase: time.Millisecond}
+func measureNet(o Options, n, opsPer int, kind string) (opStats, error) {
+	cfg := core.Config{NumPartitions: 1024, Replicas: 0, RetryBase: time.Millisecond, Metrics: o.Metrics}
 	d, cleanup, err := netDeployment(n, cfg, kind)
 	if err != nil {
 		return opStats{}, err
@@ -211,7 +212,7 @@ func Fig07Latency(o Options) (*Series, error) {
 	for _, n := range realScales(o) {
 		row := []string{fmt.Sprint(n), "real"}
 		for _, kind := range []string{"tcp-nocache", "tcp-cache", "udp"} {
-			st, err := measureNet(n, ops, kind)
+			st, err := measureNet(o, n, ops, kind)
 			if err != nil {
 				return nil, fmt.Errorf("%s at %d: %w", kind, n, err)
 			}
@@ -250,11 +251,11 @@ func Fig09Throughput(o Options) (*Series, error) {
 	}
 	ops := o.scale(1500, 150)
 	for _, n := range realScales(o) {
-		st, err := measureNet(n, ops, "tcp-cache")
+		st, err := measureNet(o, n, ops, "tcp-cache")
 		if err != nil {
 			return nil, err
 		}
-		ud, err := measureNet(n, ops, "udp")
+		ud, err := measureNet(o, n, ops, "udp")
 		if err != nil {
 			return nil, err
 		}
@@ -306,7 +307,7 @@ func runClusterComparison(o Options) (map[string]map[int]opStats, error) {
 	out := map[string]map[int]opStats{"zht": {}, "cass": {}, "memcached": {}}
 	for _, n := range clusterScales(o) {
 		// ZHT.
-		d, reg, err := core.BootstrapInproc(core.Config{NumPartitions: 1024, Replicas: 0, RetryBase: time.Millisecond}, n)
+		d, reg, err := core.BootstrapInproc(core.Config{NumPartitions: 1024, Replicas: 0, RetryBase: time.Millisecond, Metrics: o.Metrics}, n)
 		if err != nil {
 			return nil, err
 		}

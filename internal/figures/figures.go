@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"zht/internal/metrics"
 )
 
 // Series is one regenerated table or figure.
@@ -94,6 +96,11 @@ func (s *Series) Render() string {
 // for the published numbers in EXPERIMENTS.md.
 type Options struct {
 	Quick bool
+	// Metrics, when non-nil, is threaded into every deployment and
+	// simulator run the generators build, so one registry accumulates
+	// the whole suite's instruments (real and simulated ops share the
+	// same names — see OBSERVABILITY.md).
+	Metrics *metrics.Registry
 }
 
 func (o Options) scale(def, quick int) int {

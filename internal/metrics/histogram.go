@@ -1,0 +1,206 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket log-scale histogram of non-negative
+// int64 samples (by convention nanoseconds for *_latency_ns metrics).
+//
+// Bucket scheme: values below 2^histSubBits (32) get one exact bucket
+// each; above that, every power-of-two octave [2^e, 2^(e+1)) is split
+// into 2^histSubBits (32) linear sub-buckets of width 2^(e-5). The
+// worst-case relative width of a bucket is therefore 1/32 (3.125%),
+// and quantiles — reported at the bucket midpoint — carry a relative
+// error bound of 1/64 (~1.6%) plus quantile discreteness. The full
+// int64 range needs (64-5)*32 + 32 = 1920 buckets (15 KiB), allocated
+// once per histogram.
+//
+// Recording is three atomic adds (count, sum, bucket) and never
+// allocates; reads (Quantile, Snapshot) iterate the bucket array with
+// atomic loads and may observe a torn-but-valid view under concurrent
+// writes, which is fine for monitoring. A nil *Histogram ignores all
+// observations.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	tick    atomic.Uint64 // ShouldSample's 1-in-SampleEvery decimator
+	buckets []atomic.Int64
+}
+
+const (
+	histSubBits    = 5
+	histSubBuckets = 1 << histSubBits // 32 sub-buckets per octave
+	histNumBuckets = (64-histSubBits)*histSubBuckets + histSubBuckets
+)
+
+// SampleEvery is the decimation rate hot call sites use for timing:
+// ShouldSample returns true for one observation in SampleEvery. On
+// hosts with slow clock sources (paravirtualized guests can pay
+// >100 ns per time.Now) unconditional timing of every operation costs
+// >10% throughput; sampling 1-in-16 keeps the distribution unbiased
+// while amortizing the clock reads to noise. Counters are never
+// sampled — only the decision to measure a duration is.
+const SampleEvery = 16
+
+// ShouldSample reports whether a call site that times operations
+// should measure this one: exactly one call in SampleEvery returns
+// true (false always for nil). The tick costs one atomic add —
+// cheaper than the two clock reads it usually saves.
+func (h *Histogram) ShouldSample() bool {
+	if h == nil {
+		return false
+	}
+	return h.tick.Add(1)%SampleEvery == 0
+}
+
+func newHistogram() *Histogram {
+	return &Histogram{buckets: make([]atomic.Int64, histNumBuckets)}
+}
+
+// bucketIndex maps a sample to its bucket.
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < histSubBuckets {
+		return int(u)
+	}
+	e := bits.Len64(u) - 1 // floor(log2), >= histSubBits
+	sub := int((u >> uint(e-histSubBits)) & (histSubBuckets - 1))
+	return (e-histSubBits+1)*histSubBuckets + sub
+}
+
+// bucketBounds returns a bucket's lower bound and width.
+func bucketBounds(idx int) (lower, width int64) {
+	if idx < histSubBuckets {
+		return int64(idx), 1
+	}
+	o := idx / histSubBuckets // octave number, 1-based past the exact range
+	e := o + histSubBits - 1
+	width = int64(1) << uint(e-histSubBits)
+	lower = int64(1)<<uint(e) + int64(idx%histSubBuckets)*width
+	return lower, width
+}
+
+// bucketMid returns a bucket's midpoint, the value quantiles report.
+func bucketMid(idx int) int64 {
+	lower, width := bucketBounds(idx)
+	return lower + width/2
+}
+
+// Observe records one sample. Negative samples are clamped to 0.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketIndex(v)].Add(1)
+}
+
+// Count returns the number of recorded samples (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of recorded samples (0 for nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Mean returns the arithmetic mean of recorded samples (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// Quantile returns the approximate q-quantile (0 <= q <= 1) as the
+// midpoint of the bucket containing the rank-⌈q·count⌉ sample, with
+// relative error bounded by the bucket scheme (~1.6% past the exact
+// range). Returns 0 when the histogram is empty or nil.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	last := 0
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		last = i
+		cum += n
+		if cum >= rank {
+			return bucketMid(i)
+		}
+	}
+	// Concurrent writers may have bumped count after our bucket walk;
+	// report the highest occupied bucket.
+	return bucketMid(last)
+}
+
+// HistogramSnapshot is a point-in-time summary of a histogram.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P90   int64   `json:"p90"`
+	P99   int64   `json:"p99"`
+	P999  int64   `json:"p999"`
+	Max   int64   `json:"max"`
+}
+
+// Snapshot summarizes the histogram (zero value for nil/empty).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil || h.count.Load() == 0 {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+	}
+	for i := len(h.buckets) - 1; i >= 0; i-- {
+		if h.buckets[i].Load() > 0 {
+			s.Max = bucketMid(i)
+			break
+		}
+	}
+	return s
+}

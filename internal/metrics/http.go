@@ -1,0 +1,44 @@
+package metrics
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// ServeDebug starts an HTTP debug server on addr serving:
+//
+//	/metrics        registry snapshot, plain text (?format=json for JSON)
+//	/debug/vars     Go runtime expvar
+//	/debug/pprof/*  net/http/pprof profiles (profile, heap, trace, ...)
+//
+// It returns the bound listener (so addr may use port 0) and a stop
+// function that shuts the server down. The registry may be nil, in
+// which case /metrics serves an empty snapshot but pprof still works.
+func ServeDebug(addr string, reg *Registry) (net.Listener, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		snap := reg.Snapshot()
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = snap.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = snap.WriteText(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln, srv.Close, nil
+}

@@ -1,0 +1,176 @@
+// Package metrics is ZHT's dependency-free observability layer: a
+// registry of atomic counters, gauges, and fixed-bucket log-scale
+// latency histograms shared by every subsystem (client, transports,
+// NoVoHT, chaos, simulator) and every binary.
+//
+// The paper's whole evaluation (Figures 5-10: per-op latency,
+// aggregate throughput, scaling efficiency) rests on measuring
+// latency distributions, not just means; this package is the
+// repo-wide substrate for that. Design constraints:
+//
+//   - Recording must be cheap enough for the hot path: a counter
+//     increment is one atomic add, a histogram observation is three
+//     (count, sum, bucket).
+//   - A disabled registry must cost (almost) nothing: every
+//     instrument type is nil-safe, so code holds possibly-nil
+//     *Counter/*Gauge/*Histogram fields and calls them
+//     unconditionally — when metrics are off the call is a nil check,
+//     cheaper even than an atomic load.
+//   - One metric namespace for real and simulated runs: the
+//     discrete-event simulator records into the same names
+//     (zht.client.op.all.latency_ns, zht.client.ops) as a real
+//     deployment, so zht-figures and zht-sim snapshots are directly
+//     comparable with zht-bench and a live zht-server's /metrics.
+//
+// Instruments are interned by name: two callers asking the registry
+// for the same name share the same instrument, which is how per-client
+// and per-partition measurements aggregate process-wide.
+//
+// See OBSERVABILITY.md for the catalogue of every registered metric
+// name, and DESIGN.md §6 for the histogram bucket scheme and its
+// error bound.
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry interns instruments by name. A nil *Registry is valid and
+// hands out nil instruments, whose methods are all no-ops — the
+// canonical "metrics disabled" state.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. A nil registry returns nil (a valid no-op counter).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use. A nil registry returns nil (a valid no-op gauge).
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// on first use. A nil registry returns nil (a valid no-op histogram).
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing atomic counter. The zero
+// value is ready to use; a nil *Counter ignores all updates.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one and returns the new count (0 for a nil counter). The
+// return value lets hot paths reuse the count they already pay for as
+// a sampling tick instead of maintaining a second atomic.
+func (c *Counter) Inc() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Add(1)
+}
+
+// Add adds n (n should be non-negative; counters are monotonic).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value (can go up and down). The
+// zero value is ready to use; a nil *Gauge ignores all updates.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// sortedKeys returns m's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -1,0 +1,347 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryAndInstruments(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x")
+	if c != nil || g != nil || h != nil {
+		t.Fatalf("nil registry must hand out nil instruments")
+	}
+	// All of these must be safe no-ops.
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Inc()
+	g.Dec()
+	h.Observe(42)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("nil instruments must read zero")
+	}
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatalf("nil histogram stats must read zero")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 || len(snap.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot must be empty")
+	}
+	var sb strings.Builder
+	if err := snap.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterning(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatalf("counters with the same name must be interned")
+	}
+	if r.Gauge("a") != r.Gauge("a") {
+		t.Fatalf("gauges with the same name must be interned")
+	}
+	if r.Histogram("a") != r.Histogram("a") {
+		t.Fatalf("histograms with the same name must be interned")
+	}
+}
+
+func TestConcurrentCounterHistogram(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 8
+	const perG = 10000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			c := r.Counter("ops")
+			g := r.Gauge("inflight")
+			h := r.Histogram("lat")
+			rng := rand.New(rand.NewSource(seed))
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				g.Inc()
+				h.Observe(int64(rng.Intn(1_000_000)))
+				g.Dec()
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+	if got := r.Counter("ops").Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := r.Gauge("inflight").Value(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+	h := r.Histogram("lat")
+	if h.Count() != goroutines*perG {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), goroutines*perG)
+	}
+	// Bucket counts must sum to the total count.
+	var sum int64
+	for i := range h.buckets {
+		sum += h.buckets[i].Load()
+	}
+	if sum != h.Count() {
+		t.Fatalf("bucket sum = %d, count = %d", sum, h.Count())
+	}
+}
+
+func TestBucketIndexBounds(t *testing.T) {
+	// Every sample must land in a bucket whose [lower, lower+width)
+	// range contains it, across the exact range, octave boundaries,
+	// and large values.
+	samples := []int64{0, 1, 31, 32, 33, 63, 64, 65, 100, 1023, 1024, 1025,
+		1 << 20, 1<<20 + 12345, 1 << 40, math.MaxInt64}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		samples = append(samples, rng.Int63())
+	}
+	for _, v := range samples {
+		idx := bucketIndex(v)
+		lower, width := bucketBounds(idx)
+		if v < lower || (width > 0 && v-lower >= width && lower+width > lower) {
+			t.Fatalf("v=%d landed in bucket %d [%d, %d+%d)", v, idx, lower, lower, width)
+		}
+	}
+	// Buckets are contiguous: bucket i+1 starts where bucket i ends.
+	for i := 0; i < histNumBuckets-1; i++ {
+		lo, w := bucketBounds(i)
+		next, _ := bucketBounds(i + 1)
+		if lo+w != next && lo+w > lo { // skip the final overflow wrap
+			t.Fatalf("bucket %d ends at %d but bucket %d starts at %d", i, lo+w, i+1, next)
+		}
+	}
+}
+
+// TestQuantileAccuracy checks percentiles against exact sorted-sample
+// math on a known heavy-tailed distribution. The histogram reports
+// bucket midpoints, so the relative error bound is half the bucket
+// width: 1/64 (~1.6%). Allow 2% for quantile-rank discreteness.
+func TestQuantileAccuracy(t *testing.T) {
+	h := newHistogram()
+	rng := rand.New(rand.NewSource(42))
+	n := 200000
+	samples := make([]int64, n)
+	for i := range samples {
+		// Log-normal-ish: exp of a normal, scaled to ~microseconds.
+		v := int64(math.Exp(rng.NormFloat64()*1.5+10)) + 1
+		samples[i] = v
+		h.Observe(v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		rank := int(math.Ceil(q*float64(n))) - 1
+		exact := samples[rank]
+		got := h.Quantile(q)
+		relErr := math.Abs(float64(got)-float64(exact)) / float64(exact)
+		if relErr > 0.02 {
+			t.Errorf("q=%v: got %d, exact %d, rel err %.4f > 0.02", q, got, exact, relErr)
+		}
+	}
+	// Mean is exact (sum/count), no bucket error.
+	var sum int64
+	for _, v := range samples {
+		sum += v
+	}
+	exactMean := float64(sum) / float64(n)
+	if math.Abs(h.Mean()-exactMean) > 1e-6 {
+		t.Errorf("mean: got %v, want %v", h.Mean(), exactMean)
+	}
+}
+
+func TestHistogramSnapshotOrdering(t *testing.T) {
+	h := newHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Observe(int64(i) * 1000)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if !(s.P50 <= s.P90 && s.P90 <= s.P99 && s.P99 <= s.P999 && s.P999 <= s.Max) {
+		t.Fatalf("percentiles not monotone: %+v", s)
+	}
+	if s.P50 < 450_000 || s.P50 > 550_000 {
+		t.Fatalf("p50 = %d, want ~500000", s.P50)
+	}
+}
+
+func TestSnapshotAndText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zht.test.ops").Add(7)
+	r.Gauge("zht.test.inflight").Set(3)
+	r.Histogram("zht.test.latency_ns").Observe(1500)
+	s := r.Snapshot()
+	if s.Counters["zht.test.ops"] != 7 {
+		t.Fatalf("counter snapshot = %d", s.Counters["zht.test.ops"])
+	}
+	if s.Gauges["zht.test.inflight"] != 3 {
+		t.Fatalf("gauge snapshot = %d", s.Gauges["zht.test.inflight"])
+	}
+	if s.Histograms["zht.test.latency_ns"].Count != 1 {
+		t.Fatalf("histogram snapshot = %+v", s.Histograms["zht.test.latency_ns"])
+	}
+	var sb strings.Builder
+	if err := s.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"zht.test.ops 7", "zht.test.inflight 3", "zht.test.latency_ns count=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	var jb strings.Builder
+	if err := s.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	var round Snapshot
+	if err := json.Unmarshal([]byte(jb.String()), &round); err != nil {
+		t.Fatalf("JSON round-trip: %v", err)
+	}
+	if round.Counters["zht.test.ops"] != 7 {
+		t.Fatalf("JSON round-trip counter = %d", round.Counters["zht.test.ops"])
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zht.test.ops").Add(42)
+	r.Histogram("zht.test.latency_ns").Observe(1000)
+	ln, stop, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = stop() }()
+	base := "http://" + ln.Addr().String()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	code, body := get("/metrics")
+	if code != 200 || !strings.Contains(body, "zht.test.ops 42") {
+		t.Fatalf("/metrics: code=%d body=%q", code, body)
+	}
+	code, body = get("/metrics?format=json")
+	if code != 200 {
+		t.Fatalf("/metrics?format=json: code=%d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics json: %v", err)
+	}
+	if snap.Counters["zht.test.ops"] != 42 {
+		t.Fatalf("/metrics json counter = %d", snap.Counters["zht.test.ops"])
+	}
+	code, _ = get("/debug/vars")
+	if code != 200 {
+		t.Fatalf("/debug/vars: code=%d", code)
+	}
+	code, body = get("/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "profile") {
+		t.Fatalf("/debug/pprof/: code=%d", code)
+	}
+	// A zero-second CPU profile request is rejected with 400 by pprof
+	// only for bad params; use the cmdline endpoint as a cheap pprof
+	// smoke test instead of a multi-second profile capture.
+	code, _ = get("/debug/pprof/cmdline")
+	if code != 200 {
+		t.Fatalf("/debug/pprof/cmdline: code=%d", code)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkCounterIncDisabled(b *testing.B) {
+	var c *Counter
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := newHistogram()
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(12345)
+		for pb.Next() {
+			h.Observe(v)
+			v += 997
+		}
+	})
+}
+
+func ExampleRegistry() {
+	r := NewRegistry()
+	r.Counter("zht.client.ops").Add(3)
+	r.Histogram("zht.client.op.all.latency_ns").Observe(1500)
+	s := r.Snapshot()
+	fmt.Println(s.Counters["zht.client.ops"], s.Histograms["zht.client.op.all.latency_ns"].Count)
+	// Output: 3 1
+}
+
+// TestShouldSample pins the decimation contract: nil never samples;
+// a live histogram samples exactly once per SampleEvery ticks.
+func TestShouldSample(t *testing.T) {
+	var nilH *Histogram
+	for i := 0; i < 100; i++ {
+		if nilH.ShouldSample() {
+			t.Fatal("nil histogram sampled")
+		}
+	}
+	h := NewRegistry().Histogram("zht.test.latency_ns")
+	got := 0
+	const rounds = 10 * SampleEvery
+	for i := 0; i < rounds; i++ {
+		if h.ShouldSample() {
+			got++
+		}
+	}
+	if got != rounds/SampleEvery {
+		t.Fatalf("sampled %d of %d ticks, want %d", got, rounds, rounds/SampleEvery)
+	}
+}
+
+// TestCounterIncReturnsCount pins the Inc return value call sites use
+// as a free sampling tick.
+func TestCounterIncReturnsCount(t *testing.T) {
+	var nilC *Counter
+	if nilC.Inc() != 0 {
+		t.Fatal("nil counter Inc != 0")
+	}
+	c := NewRegistry().Counter("zht.test.ops")
+	for want := int64(1); want <= 5; want++ {
+		if got := c.Inc(); got != want {
+			t.Fatalf("Inc = %d, want %d", got, want)
+		}
+	}
+}

@@ -30,6 +30,9 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
+
+	"zht/internal/metrics"
 )
 
 // Options configures a Store.
@@ -48,6 +51,13 @@ type Options struct {
 	MaxMemValues int
 	// SyncOnCompact fsyncs the rewritten log during compaction.
 	SyncOnCompact bool
+	// Metrics, when non-nil, receives per-operation latency
+	// histograms (zht.novoht.{get,put,append}.latency_ns) and
+	// eviction/compaction counters. Stores sharing a registry (e.g.
+	// all partitions of one instance) aggregate into the same
+	// instruments. Nil disables measurement entirely — the hot paths
+	// skip even their time.Now calls.
+	Metrics *metrics.Registry
 }
 
 // Defaults for Options zero values.
@@ -74,6 +84,15 @@ type Store struct {
 	// best-effort cache management, not a correctness property).
 	evictKeys []string
 	evictPos  int
+
+	// Instruments resolved once at Open; all nil when metrics are
+	// disabled.
+	getLat       *metrics.Histogram // zht.novoht.get.latency_ns
+	putLat       *metrics.Histogram // zht.novoht.put.latency_ns
+	appendLat    *metrics.Histogram // zht.novoht.append.latency_ns
+	evictions    *metrics.Counter   // zht.novoht.evictions
+	evictedLoads *metrics.Counter   // zht.novoht.evicted_loads
+	compactions  *metrics.Counter   // zht.novoht.compactions
 }
 
 // entry is one key's state. If val is nil and onDisk is true, the
@@ -114,6 +133,14 @@ func Open(opts Options) (*Store, error) {
 		return nil, errors.New("novoht: MaxMemValues requires a log path")
 	}
 	s := &Store{m: make(map[string]*entry), opts: opts}
+	if reg := opts.Metrics; reg != nil {
+		s.getLat = reg.Histogram("zht.novoht.get.latency_ns")
+		s.putLat = reg.Histogram("zht.novoht.put.latency_ns")
+		s.appendLat = reg.Histogram("zht.novoht.append.latency_ns")
+		s.evictions = reg.Counter("zht.novoht.evictions")
+		s.evictedLoads = reg.Counter("zht.novoht.evicted_loads")
+		s.compactions = reg.Counter("zht.novoht.compactions")
+	}
 	if opts.Path == "" {
 		return s, nil
 	}
@@ -187,6 +214,7 @@ func (s *Store) replay() error {
 
 // Put stores val under key, replacing any existing value.
 func (s *Store) Put(key string, val []byte) error {
+	defer s.timeOp(s.putLat)()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -194,6 +222,21 @@ func (s *Store) Put(key string, val []byte) error {
 	}
 	return s.putLocked(key, val)
 }
+
+// timeOp starts timing an operation against h, returning the function
+// that records the elapsed time. Only one call in metrics.SampleEvery
+// is measured (none when h is nil): the rest return a shared no-op
+// without touching the clock, so the common case costs one atomic
+// tick instead of two time.Now reads.
+func (s *Store) timeOp(h *metrics.Histogram) func() {
+	if !h.ShouldSample() {
+		return nopTimer
+	}
+	start := time.Now()
+	return func() { h.Observe(time.Since(start).Nanoseconds()) }
+}
+
+func nopTimer() {}
 
 func (s *Store) putLocked(key string, val []byte) error {
 	voff, err := s.writeRecord(recPut, key, val)
@@ -233,6 +276,7 @@ func (s *Store) PutIfAbsent(key string, val []byte) (bool, error) {
 
 // Get returns a copy of the value stored under key.
 func (s *Store) Get(key string) ([]byte, bool, error) {
+	defer s.timeOp(s.getLat)()
 	s.mu.RLock()
 	e, ok := s.m[key]
 	if !ok {
@@ -275,6 +319,7 @@ func (s *Store) loadEvicted(e *entry) error {
 	}
 	e.val = buf
 	s.resident++
+	s.evictedLoads.Inc()
 	return nil
 }
 
@@ -304,6 +349,7 @@ func (s *Store) Remove(key string) (bool, error) {
 // key when absent. This is the operation FusionFS uses for lock-free
 // concurrent directory updates: only this store's local lock is held.
 func (s *Store) Append(key string, val []byte) error {
+	defer s.timeOp(s.appendLat)()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -487,6 +533,7 @@ func (s *Store) evictLocked(n int) error {
 		}
 		e.val = nil
 		s.resident--
+		s.evictions.Inc()
 		n--
 	}
 	return nil
@@ -578,6 +625,7 @@ func (s *Store) compactLocked() error {
 	s.logSize = newSize
 	s.deadBytes = 0
 	s.mutations = 0
+	s.compactions.Inc()
 	return nil
 }
 

@@ -4,6 +4,8 @@ import (
 	"container/heap"
 	"errors"
 	"math/rand"
+
+	"zht/internal/metrics"
 )
 
 // Discrete-event engine: walks every request through client
@@ -61,6 +63,13 @@ type desState struct {
 	completed int
 	latSum    float64
 	warmup    float64
+
+	// Instruments shared with real deployments: the simulator reports
+	// into the same metric names a live client does, so zht-figures
+	// and zht-sim snapshots line up with zht-bench and /metrics
+	// output. Nil when no registry is attached.
+	ops    *metrics.Counter   // zht.client.ops
+	allLat *metrics.Histogram // zht.client.op.all.latency_ns
 }
 
 // DiscreteEvent simulates the deployment for simSeconds of virtual
@@ -69,6 +78,16 @@ type desState struct {
 // replica leg nests a full round trip before the acknowledgment;
 // otherwise all legs are asynchronous and contribute only load.
 func DiscreteEvent(p Params, simSeconds float64, seed int64) (Result, error) {
+	return DiscreteEventObserved(p, simSeconds, seed, nil)
+}
+
+// DiscreteEventObserved is DiscreteEvent with a metrics registry
+// attached: every steady-state operation completion is recorded under
+// the same names a real client emits (zht.client.ops and
+// zht.client.op.all.latency_ns, with simulated latencies converted to
+// nanoseconds) so simulated and measured distributions are directly
+// comparable. A nil registry records nothing.
+func DiscreteEventObserved(p Params, simSeconds float64, seed int64, reg *metrics.Registry) (Result, error) {
 	if err := validate(p); err != nil {
 		return Result{}, err
 	}
@@ -86,6 +105,10 @@ func DiscreteEvent(p Params, simSeconds float64, seed int64) (Result, error) {
 		warmup:  simSeconds * 0.2,
 	}
 	s.rackDims = torusDims(s.racks)
+	if reg != nil {
+		s.ops = reg.Counter("zht.client.ops")
+		s.allLat = reg.Histogram("zht.client.op.all.latency_ns")
+	}
 	end := simSeconds * 1.2
 
 	for c := 0; c < nInst; c++ {
@@ -160,6 +183,8 @@ func (s *desState) afterServer(c int, t0 float64, srcNode, dst, dstNode int, pro
 				if at > s.warmup {
 					s.completed++
 					s.latSum += at - t0
+					s.ops.Inc()
+					s.allLat.Observe(int64((at - t0) * 1e9))
 				}
 				s.issue(c, at) // closed loop
 			})

@@ -1,0 +1,243 @@
+// Command docscheck is the `make docs-check` gate: it keeps the prose
+// honest against the code. It fails when
+//
+//   - any package under internal/ or cmd/ lacks a package comment,
+//   - a shell code block in README.md or OBSERVABILITY.md passes a
+//     flag to a zht-* binary that the binary does not define, or
+//   - a metric name registered anywhere in the source ("zht.*" string
+//     literal) is missing from the OBSERVABILITY.md catalogue.
+//
+// Run from the repository root: go run ./internal/tools/docscheck
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	var problems []string
+	fail := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	checkPackageComments(fail)
+	cmdFlags := collectCmdFlags(fail)
+	for _, doc := range []string{"README.md", "OBSERVABILITY.md"} {
+		checkDocFlags(doc, cmdFlags, fail)
+	}
+	checkMetricCatalogue(fail)
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "docs-check:", p)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("docs-check: ok")
+}
+
+// goSourceDirs yields every directory under the given roots that
+// contains at least one non-test .go file.
+func goSourceDirs(roots ...string) []string {
+	seen := map[string]bool{}
+	for _, root := range roots {
+		filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") ||
+				strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			seen[filepath.Dir(path)] = true
+			return nil
+		})
+	}
+	dirs := make([]string, 0, len(seen))
+	for d := range seen {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	return dirs
+}
+
+// checkPackageComments requires a godoc package comment on every
+// package under internal/ and cmd/ (on any one of its files).
+func checkPackageComments(fail func(string, ...any)) {
+	for _, dir := range goSourceDirs("internal", "cmd") {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			fail("%s: %v", dir, err)
+			continue
+		}
+		for name, pkg := range pkgs {
+			documented := false
+			for _, f := range pkg.Files {
+				if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+					documented = true
+					break
+				}
+			}
+			if !documented {
+				fail("package %s (%s) has no package comment", name, dir)
+			}
+		}
+	}
+}
+
+var flagDefRe = regexp.MustCompile(`flag\.(?:Bool|Int64|Int|String|Float64|Duration)\("([^"]+)"`)
+
+// collectCmdFlags parses every cmd/<name>/*.go for flag definitions,
+// returning command name → defined flag set.
+func collectCmdFlags(fail func(string, ...any)) map[string]map[string]bool {
+	out := map[string]map[string]bool{}
+	entries, err := os.ReadDir("cmd")
+	if err != nil {
+		fail("reading cmd/: %v", err)
+		return out
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		flags := map[string]bool{}
+		files, _ := filepath.Glob(filepath.Join("cmd", e.Name(), "*.go"))
+		for _, f := range files {
+			src, err := os.ReadFile(f)
+			if err != nil {
+				fail("%s: %v", f, err)
+				continue
+			}
+			for _, m := range flagDefRe.FindAllStringSubmatch(string(src), -1) {
+				flags[m[1]] = true
+			}
+		}
+		out[e.Name()] = flags
+	}
+	return out
+}
+
+// checkDocFlags scans fenced code blocks in one markdown file; any
+// line invoking a zht-* binary may only pass flags that binary
+// defines.
+func checkDocFlags(doc string, cmdFlags map[string]map[string]bool, fail func(string, ...any)) {
+	src, err := os.ReadFile(doc)
+	if err != nil {
+		fail("%s: %v", doc, err)
+		return
+	}
+	inBlock := false
+	for i, line := range strings.Split(string(src), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inBlock = !inBlock
+			continue
+		}
+		if !inBlock {
+			continue
+		}
+		cmd := invokedCommand(line, cmdFlags)
+		if cmd == "" {
+			continue
+		}
+		for _, flagName := range flagTokens(line) {
+			if !cmdFlags[cmd][flagName] {
+				fail("%s:%d: %s has no flag -%s", doc, i+1, cmd, flagName)
+			}
+		}
+	}
+}
+
+// invokedCommand returns which cmd/ binary a shell line runs, if any.
+// Matching the longest name first keeps zht-server from matching a
+// hypothetical zht-serve.
+func invokedCommand(line string, cmdFlags map[string]map[string]bool) string {
+	names := make([]string, 0, len(cmdFlags))
+	for name := range cmdFlags {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool { return len(names[i]) > len(names[j]) })
+	for _, name := range names {
+		for _, pat := range []string{name + " ", "/" + name, name + " -"} {
+			if strings.Contains(line, pat) {
+				return name
+			}
+		}
+	}
+	return ""
+}
+
+var flagNameRe = regexp.MustCompile(`^[a-z][a-z0-9-]*$`)
+
+// flagTokens extracts -flag names from a shell line, dropping values
+// (-nodes 8, -fig=fig16) and anything not flag-shaped (prose like
+// "-mix/-dist", digits, lone dashes).
+func flagTokens(line string) []string {
+	var out []string
+	for _, tok := range strings.Fields(line) {
+		if !strings.HasPrefix(tok, "-") || strings.HasPrefix(tok, "--") {
+			continue
+		}
+		name := strings.TrimPrefix(tok, "-")
+		if i := strings.IndexByte(name, '='); i >= 0 {
+			name = name[:i]
+		}
+		if !flagNameRe.MatchString(name) {
+			continue
+		}
+		out = append(out, name)
+	}
+	return out
+}
+
+var metricNameRe = regexp.MustCompile(`"(zht\.[a-z0-9_.]+)"`)
+
+// checkMetricCatalogue requires every metric name registered in
+// non-test source to appear in OBSERVABILITY.md.
+func checkMetricCatalogue(fail func(string, ...any)) {
+	catalogue, err := os.ReadFile("OBSERVABILITY.md")
+	if err != nil {
+		fail("OBSERVABILITY.md: %v", err)
+		return
+	}
+	names := map[string][]string{} // metric → files registering it
+	for _, root := range []string{"internal", "cmd"} {
+		filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") ||
+				strings.HasSuffix(path, "_test.go") ||
+				strings.HasPrefix(path, filepath.Join("internal", "tools")) {
+				return nil
+			}
+			src, err := os.ReadFile(path)
+			if err != nil {
+				return nil
+			}
+			for _, m := range metricNameRe.FindAllStringSubmatch(string(src), -1) {
+				names[m[1]] = append(names[m[1]], path)
+			}
+			return nil
+		})
+	}
+	for _, name := range sortedKeys(names) {
+		if !strings.Contains(string(catalogue), name) {
+			fail("metric %q (registered in %s) is not catalogued in OBSERVABILITY.md",
+				name, names[name][0])
+		}
+	}
+}
+
+func sortedKeys(m map[string][]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

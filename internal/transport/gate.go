@@ -5,6 +5,7 @@ import (
 	"net"
 	"time"
 
+	"zht/internal/metrics"
 	"zht/internal/wire"
 )
 
@@ -29,6 +30,10 @@ type ServerOptions struct {
 	// RetryAfter is the backoff hint sent with StatusBusy.
 	// 0 means DefaultRetryAfter.
 	RetryAfter time.Duration
+	// Metrics, when non-nil, receives the server-side instruments
+	// (zht.server.* — requests, in-flight gauge, sheds, bytes,
+	// connection counts). Nil disables them.
+	Metrics *metrics.Registry
 }
 
 // ServerOption mutates ServerOptions (variadic-option pattern so the
@@ -45,18 +50,75 @@ func WithRetryAfter(d time.Duration) ServerOption {
 	return func(o *ServerOptions) { o.RetryAfter = d }
 }
 
+// WithServerMetrics points the server's instruments at reg.
+func WithServerMetrics(reg *metrics.Registry) ServerOption {
+	return func(o *ServerOptions) { o.Metrics = reg }
+}
+
+// resolveOptions applies an option list to the zero ServerOptions.
+func resolveOptions(opts []ServerOption) ServerOptions {
+	var o ServerOptions
+	for _, f := range opts {
+		f(&o)
+	}
+	return o
+}
+
+// srvMetrics is the per-server instrument set, shared by the TCP,
+// UDP, and in-process servers. All fields are nil (no-op) when
+// metrics are disabled; servers on one registry aggregate.
+type srvMetrics struct {
+	requests *metrics.Counter // zht.server.requests
+	inflight *metrics.Gauge   // zht.server.inflight
+	sheds    *metrics.Counter // zht.server.sheds
+	bytesIn  *metrics.Counter // zht.server.bytes_in
+	bytesOut *metrics.Counter // zht.server.bytes_out
+	conns    *metrics.Gauge   // zht.server.conns
+}
+
+func newSrvMetrics(reg *metrics.Registry) srvMetrics {
+	return srvMetrics{
+		requests: reg.Counter("zht.server.requests"),
+		inflight: reg.Gauge("zht.server.inflight"),
+		sheds:    reg.Counter("zht.server.sheds"),
+		bytesIn:  reg.Counter("zht.server.bytes_in"),
+		bytesOut: reg.Counter("zht.server.bytes_out"),
+		conns:    reg.Gauge("zht.server.conns"),
+	}
+}
+
+// cliMetrics is the caller-side instrument set shared by the TCP,
+// UDP, and in-process clients. All fields are nil (no-op) when
+// metrics are disabled.
+type cliMetrics struct {
+	calls       *metrics.Counter // zht.transport.calls
+	dials       *metrics.Counter // zht.transport.dials
+	cachedHits  *metrics.Counter // zht.transport.cached_conns
+	retransmits *metrics.Counter // zht.transport.retransmits
+	bytesIn     *metrics.Counter // zht.transport.bytes_in
+	bytesOut    *metrics.Counter // zht.transport.bytes_out
+}
+
+func newCliMetrics(reg *metrics.Registry) cliMetrics {
+	return cliMetrics{
+		calls:       reg.Counter("zht.transport.calls"),
+		dials:       reg.Counter("zht.transport.dials"),
+		cachedHits:  reg.Counter("zht.transport.cached_conns"),
+		retransmits: reg.Counter("zht.transport.retransmits"),
+		bytesIn:     reg.Counter("zht.transport.bytes_in"),
+		bytesOut:    reg.Counter("zht.transport.bytes_out"),
+	}
+}
+
 // gate is the admission counter. A nil *gate admits everything.
 type gate struct {
 	slots      chan struct{}
 	retryAfter time.Duration
 }
 
-// newGate builds a gate from options; nil when no limit is set.
-func newGate(opts []ServerOption) *gate {
-	var o ServerOptions
-	for _, f := range opts {
-		f(&o)
-	}
+// newGate builds a gate from resolved options; nil when no limit is
+// set.
+func newGate(o ServerOptions) *gate {
 	if o.MaxInflight <= 0 {
 		return nil
 	}

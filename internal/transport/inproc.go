@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"zht/internal/metrics"
 	"zht/internal/wire"
 )
 
@@ -25,6 +26,7 @@ type Registry struct {
 	// delay between src (may be empty) and dst.
 	latency func(dst string) time.Duration
 	calls   atomic.Int64
+	cmet    cliMetrics
 }
 
 // NewRegistry creates an empty in-process network.
@@ -33,6 +35,13 @@ func NewRegistry() *Registry {
 		endpoints: make(map[string]*InprocServer),
 		down:      make(map[string]bool),
 	}
+}
+
+// SetMetrics points the registry's caller-side instruments
+// (zht.transport.calls, bytes) at reg. Call before issuing traffic;
+// it is not synchronized with concurrent Calls.
+func (r *Registry) SetMetrics(reg *metrics.Registry) {
+	r.cmet = newCliMetrics(reg)
 }
 
 // SetLatency installs a synthetic per-call latency function (nil to
@@ -61,6 +70,7 @@ type InprocServer struct {
 	addr    string
 	handler Handler
 	gate    *gate
+	met     srvMetrics
 	closed  atomic.Bool
 	// inflight tracks handler executions so Close can drain.
 	inflight sync.WaitGroup
@@ -73,7 +83,8 @@ func (r *Registry) Listen(addr string, h Handler, opts ...ServerOption) (*Inproc
 	if _, ok := r.endpoints[addr]; ok {
 		return nil, fmt.Errorf("transport: inproc address %q already bound", addr)
 	}
-	s := &InprocServer{reg: r, addr: addr, handler: h, gate: newGate(opts)}
+	o := resolveOptions(opts)
+	s := &InprocServer{reg: r, addr: addr, handler: h, gate: newGate(o), met: newSrvMetrics(o.Metrics)}
 	r.endpoints[addr] = s
 	return s, nil
 }
@@ -135,6 +146,7 @@ func (c *InprocClient) Call(addr string, req *wire.Request) (*wire.Response, err
 		}
 	}
 	c.reg.calls.Add(1)
+	c.reg.cmet.calls.Inc()
 	// Register as in-flight under the registry lock: Close deletes
 	// the endpoint under the same lock before waiting, so this Add
 	// either strictly precedes the Wait or the endpoint is gone —
@@ -148,7 +160,9 @@ func (c *InprocClient) Call(addr string, req *wire.Request) (*wire.Response, err
 	if !live {
 		return nil, fmt.Errorf("%w: inproc %q", ErrUnreachable, addr)
 	}
+	srv.met.requests.Inc()
 	if !srv.gate.tryAcquire() {
+		srv.met.sheds.Inc()
 		srv.inflight.Done()
 		return srv.gate.busy(req.Seq), nil
 	}
@@ -156,6 +170,8 @@ func (c *InprocClient) Call(addr string, req *wire.Request) (*wire.Response, err
 	// byte-identical to the real transports (copy semantics, field
 	// normalization) at modest cost.
 	enc := wire.EncodeRequest(nil, req)
+	srv.met.bytesIn.Add(int64(len(enc)))
+	c.reg.cmet.bytesOut.Add(int64(len(enc)))
 	dreq, err := wire.DecodeRequest(enc)
 	if err != nil {
 		srv.gate.release()
@@ -163,14 +179,18 @@ func (c *InprocClient) Call(addr string, req *wire.Request) (*wire.Response, err
 		return nil, err
 	}
 	if deadline.IsZero() {
+		srv.met.inflight.Inc()
 		resp := srv.handler(dreq)
+		srv.met.inflight.Dec()
 		srv.gate.release()
 		srv.inflight.Done()
-		return copyResponse(resp, req.Seq)
+		return c.copyResponse(srv, resp, req.Seq)
 	}
 	done := make(chan *wire.Response, 1)
 	go func() {
+		srv.met.inflight.Inc()
 		resp := srv.handler(dreq)
+		srv.met.inflight.Dec()
 		srv.gate.release()
 		srv.inflight.Done()
 		done <- resp
@@ -179,16 +199,19 @@ func (c *InprocClient) Call(addr string, req *wire.Request) (*wire.Response, err
 	defer timer.Stop()
 	select {
 	case resp := <-done:
-		return copyResponse(resp, req.Seq)
+		return c.copyResponse(srv, resp, req.Seq)
 	case <-timer.C:
 		return nil, fmt.Errorf("%w: inproc %q: handler exceeded budget", ErrTimeout, addr)
 	}
 }
 
-// copyResponse deep-copies a handler response through the wire codec
-// and stamps the caller's sequence number.
-func copyResponse(resp *wire.Response, seq uint64) (*wire.Response, error) {
+// copyResponse deep-copies a handler response through the wire codec,
+// stamps the caller's sequence number, and accounts the response
+// bytes to both sides.
+func (c *InprocClient) copyResponse(srv *InprocServer, resp *wire.Response, seq uint64) (*wire.Response, error) {
 	rEnc := wire.EncodeResponse(nil, resp)
+	srv.met.bytesOut.Add(int64(len(rEnc)))
+	c.reg.cmet.bytesIn.Add(int64(len(rEnc)))
 	dresp, err := wire.DecodeResponse(rEnc)
 	if err != nil {
 		return nil, err

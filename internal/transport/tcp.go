@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"zht/internal/metrics"
 	"zht/internal/wire"
 )
 
@@ -52,6 +53,7 @@ type TCPServer struct {
 	handler Handler
 	mode    ServerMode
 	gate    *gate
+	met     srvMetrics
 	wg      sync.WaitGroup
 	mu      sync.Mutex
 	conns   map[net.Conn]struct{}
@@ -67,7 +69,13 @@ func ListenTCP(addr string, h Handler, mode ServerMode, opts ...ServerOption) (*
 	if err != nil {
 		return nil, err
 	}
-	s := &TCPServer{ln: ln, handler: h, mode: mode, gate: newGate(opts), conns: make(map[net.Conn]struct{})}
+	o := resolveOptions(opts)
+	s := &TCPServer{
+		ln: ln, handler: h, mode: mode,
+		gate:  newGate(o),
+		met:   newSrvMetrics(o.Metrics),
+		conns: make(map[net.Conn]struct{}),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -98,7 +106,9 @@ func (s *TCPServer) acceptLoop() {
 
 func (s *TCPServer) serveConn(c net.Conn) {
 	defer s.wg.Done()
+	s.met.conns.Inc()
 	defer func() {
+		s.met.conns.Dec()
 		s.mu.Lock()
 		delete(s.conns, c)
 		s.mu.Unlock()
@@ -117,14 +127,18 @@ func (s *TCPServer) serveConn(c net.Conn) {
 			return
 		}
 		rbuf = frame
+		s.met.bytesIn.Add(int64(len(frame)))
 		req, err := wire.DecodeRequest(frame)
 		if err != nil {
 			return // protocol violation: drop the connection
 		}
+		s.met.requests.Inc()
 		if !s.gate.tryAcquire() {
 			// Saturated: shed without touching the handler so the
 			// reader loop stays responsive under overload.
+			s.met.sheds.Inc()
 			wbuf = wire.EncodeResponse(wbuf[:0], s.gate.busy(req.Seq))
+			s.met.bytesOut.Add(int64(len(wbuf)))
 			wmu.Lock()
 			err := writeFrame(bw, wbuf)
 			wmu.Unlock()
@@ -135,10 +149,13 @@ func (s *TCPServer) serveConn(c net.Conn) {
 		}
 		switch s.mode {
 		case EventDriven:
+			s.met.inflight.Inc()
 			resp := s.handler(req)
+			s.met.inflight.Dec()
 			s.gate.release()
 			resp.Seq = req.Seq
 			wbuf = wire.EncodeResponse(wbuf[:0], resp)
+			s.met.bytesOut.Add(int64(len(wbuf)))
 			if err := writeFrame(bw, wbuf); err != nil {
 				return
 			}
@@ -152,7 +169,9 @@ func (s *TCPServer) serveConn(c net.Conn) {
 			reqCopy.Aux = append([]byte(nil), req.Aux...)
 			done := make(chan *wire.Response, 1)
 			go func() {
+				s.met.inflight.Inc()
 				r := s.handler(&reqCopy)
+				s.met.inflight.Dec()
 				s.gate.release()
 				done <- r
 			}()
@@ -160,6 +179,7 @@ func (s *TCPServer) serveConn(c net.Conn) {
 			resp.Seq = req.Seq
 			wmu.Lock()
 			out := wire.EncodeResponse(nil, resp)
+			s.met.bytesOut.Add(int64(len(out)))
 			err := writeFrame(bw, out)
 			wmu.Unlock()
 			if err != nil {
@@ -200,6 +220,9 @@ type TCPClientOptions struct {
 	// Timeout bounds dial + round trip per call. 0 means
 	// DefaultTimeout.
 	Timeout time.Duration
+	// Metrics, when non-nil, receives the caller-side instruments
+	// (zht.transport.* — calls, dials, cache hits, bytes).
+	Metrics *metrics.Registry
 }
 
 // Defaults for TCPClientOptions zero values.
@@ -212,6 +235,7 @@ const (
 // in an LRU pool keyed by destination address (§III.F).
 type TCPClient struct {
 	opts TCPClientOptions
+	met  cliMetrics
 
 	mu     sync.Mutex
 	lru    *list.List                 // of *cachedConn, front = most recent
@@ -237,6 +261,7 @@ func NewTCPClient(opts TCPClientOptions) *TCPClient {
 	}
 	return &TCPClient{
 		opts:   opts,
+		met:    newCliMetrics(opts.Metrics),
 		lru:    list.New(),
 		byAddr: make(map[string][]*list.Element),
 	}
@@ -247,6 +272,7 @@ func NewTCPClient(opts TCPClientOptions) *TCPClient {
 // (wire.Request.Budget), so one over-deadline call can never block
 // past the operation's end-to-end deadline.
 func (c *TCPClient) Call(addr string, req *wire.Request) (*wire.Response, error) {
+	c.met.calls.Inc()
 	deadline := callDeadline(req, c.opts.Timeout)
 	if !time.Now().Before(deadline) {
 		return nil, fmt.Errorf("%w: budget exhausted before dial", ErrTimeout)
@@ -280,6 +306,7 @@ func (c *TCPClient) Call(addr string, req *wire.Request) (*wire.Response, error)
 
 func (c *TCPClient) roundTrip(cc *cachedConn, req *wire.Request) (*wire.Response, error) {
 	out := wire.EncodeRequest(nil, req)
+	c.met.bytesOut.Add(int64(len(out)))
 	if err := writeFrame(cc.bw, out); err != nil {
 		return nil, err
 	}
@@ -287,6 +314,7 @@ func (c *TCPClient) roundTrip(cc *cachedConn, req *wire.Request) (*wire.Response
 	if err != nil {
 		return nil, err
 	}
+	c.met.bytesIn.Add(int64(len(frame)))
 	resp, err := wire.DecodeResponse(frame)
 	if err != nil {
 		return nil, err
@@ -305,6 +333,7 @@ func (c *TCPClient) get(addr string, deadline time.Time) (*cachedConn, error) {
 			c.lru.Remove(el)
 			c.size--
 			c.mu.Unlock()
+			c.met.cachedHits.Inc()
 			return cc, nil
 		}
 		c.mu.Unlock()
@@ -313,6 +342,7 @@ func (c *TCPClient) get(addr string, deadline time.Time) (*cachedConn, error) {
 }
 
 func (c *TCPClient) dial(addr string, deadline time.Time) (*cachedConn, error) {
+	c.met.dials.Inc()
 	d := net.Dialer{Deadline: deadline}
 	conn, err := d.Dial("tcp", addr)
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"zht/internal/metrics"
 	"zht/internal/wire"
 )
 
@@ -26,6 +27,7 @@ type UDPServer struct {
 	pc      *net.UDPConn
 	handler Handler
 	gate    *gate
+	met     srvMetrics
 	wg      sync.WaitGroup
 	closed  atomic.Bool
 }
@@ -42,7 +44,8 @@ func ListenUDP(addr string, h Handler, opts ...ServerOption) (*UDPServer, error)
 	if err != nil {
 		return nil, err
 	}
-	s := &UDPServer{pc: pc, handler: h, gate: newGate(opts)}
+	o := resolveOptions(opts)
+	s := &UDPServer{pc: pc, handler: h, gate: newGate(o), met: newSrvMetrics(o.Metrics)}
 	s.wg.Add(1)
 	go s.loop()
 	return s, nil
@@ -68,10 +71,12 @@ func (s *UDPServer) loop() {
 		if err != nil {
 			return // socket closed
 		}
+		s.met.bytesIn.Add(int64(n))
 		req, err := wire.DecodeRequest(buf[:n])
 		if err != nil {
 			continue // drop malformed datagrams
 		}
+		s.met.requests.Inc()
 		// DecodeRequest aliases buf; copy before handing off.
 		r := *req
 		r.Value = append([]byte(nil), req.Value...)
@@ -86,7 +91,9 @@ func (s *UDPServer) loop() {
 		if !s.gate.tryAcquire() {
 			// Admission gate saturated: shed from the read loop with
 			// StatusBusy instead of queueing behind the worker pool.
+			s.met.sheds.Inc()
 			out := wire.EncodeResponse(nil, s.gate.busy(r.Seq))
+			s.met.bytesOut.Add(int64(len(out)))
 			s.pc.WriteToUDP(out, &dst)
 			continue
 		}
@@ -96,7 +103,9 @@ func (s *UDPServer) loop() {
 			defer s.wg.Done()
 			defer func() { <-sem }()
 			defer s.gate.release()
+			s.met.inflight.Inc()
 			resp := s.handler(&r)
+			s.met.inflight.Dec()
 			resp.Seq = r.Seq
 			out := wire.EncodeResponse(nil, resp)
 			if len(out) > maxDatagram {
@@ -105,6 +114,7 @@ func (s *UDPServer) loop() {
 					Err: "transport: response exceeds datagram limit",
 				})
 			}
+			s.met.bytesOut.Add(int64(len(out)))
 			s.pc.WriteToUDP(out, &dst)
 		}()
 	}
@@ -128,6 +138,9 @@ type UDPClientOptions struct {
 	// Retries is the number of retransmissions after the first
 	// attempt. 0 means DefaultUDPRetries; negative means none.
 	Retries int
+	// Metrics, when non-nil, receives the caller-side instruments
+	// (zht.transport.* — calls, retransmits, bytes).
+	Metrics *metrics.Registry
 }
 
 // Defaults for UDPClientOptions zero values.
@@ -139,6 +152,7 @@ const (
 // UDPClient issues acknowledge-based UDP requests.
 type UDPClient struct {
 	opts UDPClientOptions
+	met  cliMetrics
 	seq  atomic.Uint64
 
 	mu     sync.Mutex
@@ -154,13 +168,14 @@ func NewUDPClient(opts UDPClientOptions) *UDPClient {
 	if opts.Retries == 0 {
 		opts.Retries = DefaultUDPRetries
 	}
-	return &UDPClient{opts: opts, socks: make(map[string][]*net.UDPConn)}
+	return &UDPClient{opts: opts, met: newCliMetrics(opts.Metrics), socks: make(map[string][]*net.UDPConn)}
 }
 
 // Call implements Caller: send, await the matching ack, retransmit on
 // timeout. Retransmission stops at the request's remaining budget
 // (wire.Request.Budget) even when attempts remain.
 func (c *UDPClient) Call(addr string, req *wire.Request) (*wire.Response, error) {
+	c.met.calls.Inc()
 	r := *req
 	r.Seq = c.seq.Add(1)
 	out := wire.EncodeRequest(nil, &r)
@@ -185,6 +200,10 @@ func (c *UDPClient) Call(addr string, req *wire.Request) (*wire.Response, error)
 			c.putSock(addr, conn)
 			return nil, ErrTimeout
 		}
+		if a > 0 {
+			c.met.retransmits.Inc()
+		}
+		c.met.bytesOut.Add(int64(len(out)))
 		if _, err := conn.Write(out); err != nil {
 			conn.Close()
 			return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
@@ -203,6 +222,7 @@ func (c *UDPClient) Call(addr string, req *wire.Request) (*wire.Response, error)
 				conn.Close()
 				return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
 			}
+			c.met.bytesIn.Add(int64(n))
 			resp, derr := wire.DecodeResponse(buf[:n])
 			if derr != nil || resp.Seq != r.Seq {
 				continue // stray or stale datagram; keep waiting
