@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test verify bench clean docs-check
+.PHONY: build test verify bench clean docs-check fmt-check bench-smoke
 
 build:
 	$(GO) build ./...
@@ -11,17 +11,30 @@ build:
 test:
 	$(GO) test ./...
 
+# fmt-check fails (and lists the offenders) if any file is not gofmt'd.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 # docs-check keeps the prose honest: every package has a godoc
 # comment, doc code blocks only reference real CLI flags, and every
 # registered metric name is catalogued in OBSERVABILITY.md.
 docs-check:
 	$(GO) run ./internal/tools/docscheck
 
-# verify is the pre-merge gate: static checks plus the full test
-# suite (including the chaos soak) under the race detector.
-verify: docs-check
+# bench-smoke is the batching regression gate: a 30s-capped loopback
+# TCP run that fails unless `-batch` beats lockstep by the required
+# ratio (see cmd/zht-bench -smoke).
+bench-smoke:
+	timeout 30 $(GO) run ./cmd/zht-bench -smoke
+
+# verify is the pre-merge gate: formatting and docs checks, static
+# analysis, the full test suite (including the chaos soak) under the
+# race detector, and the batching smoke run.
+verify: fmt-check docs-check
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) bench-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -4,6 +4,8 @@
 //
 //	zht-bench -nodes 16 -ops 2000 -replicas 2
 //	zht-bench -nodes 4 -transport tcp-cache   # real loopback TCP
+//	zht-bench -transport tcp-cache -batch 64  # batched envelopes
+//	zht-bench -smoke                          # lockstep vs batch ratio check
 package main
 
 import (
@@ -11,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,6 +23,7 @@ import (
 	"zht/internal/loadgen"
 	"zht/internal/metrics"
 	"zht/internal/transport"
+	"zht/internal/wire"
 )
 
 func main() {
@@ -33,11 +37,22 @@ func main() {
 		mix        = flag.String("mix", "paper", "op mix: paper (insert/lookup/remove) or metadata (lookup-heavy with appends)")
 		dist       = flag.String("dist", "uniform", "key distribution: uniform or zipf")
 		keys       = flag.Int("keys", 100000, "keyspace size per client for -mix/-dist workloads")
+		batch      = flag.Int("batch", 1, "group ops into Batch calls of this size (1 = lockstep)")
+		smoke      = flag.Bool("smoke", false, "run the batching smoke check: lockstep vs -batch over loopback TCP, exit 1 if speedup < -smoke-min")
+		smokeMin   = flag.Float64("smoke-min", 3.0, "minimum batch/lockstep throughput ratio for -smoke")
 		chaosSeed  = flag.Int64("chaos", 0, "fault-injection seed: run client traffic through a lossy, slow, ack-dropping network (0 = off)")
 		metricsOn  = flag.Bool("metrics", false, "record into the metrics registry and print p50/p90/p99/p999 latency plus subsystem counters")
 		debugAddr  = flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address during the run (implies -metrics)")
 	)
 	flag.Parse()
+	if *smoke {
+		b := *batch
+		if b <= 1 {
+			b = 64
+		}
+		runSmoke(b, *smokeMin)
+		return
+	}
 	var reg *metrics.Registry
 	if *metricsOn || *debugAddr != "" {
 		reg = metrics.NewRegistry()
@@ -120,36 +135,15 @@ func main() {
 				return
 			}
 			if *mix != "paper" || *dist != "uniform" {
-				if err := runGenerated(c, ci, *ops*3, *mix, *dist, *keys, tolerate); err != nil {
+				if err := runGenerated(c, ci, *ops*3, *batch, *mix, *dist, *keys, tolerate); err != nil {
 					errCh <- err
 					return
 				}
 				attempted.Add(int64(*ops * 3))
 				return
 			}
-			for i := 0; i < *ops; i++ {
-				k := fmt.Sprintf("c%04dk%09d", ci, i)[:15]
-				attempted.Add(1)
-				if err := c.Insert(k, val); err != nil {
-					if tolerate(err) {
-						continue
-					}
-					errCh <- err
-					return
-				}
-				attempted.Add(1)
-				if _, err := c.Lookup(k); err != nil {
-					if tolerate(err) {
-						continue
-					}
-					errCh <- err
-					return
-				}
-				attempted.Add(1)
-				if err := c.Remove(k); err != nil && !tolerate(err) {
-					errCh <- err
-					return
-				}
+			if err := runPaper(c, ci, *ops, *batch, &attempted, tolerate, val); err != nil {
+				errCh <- err
 			}
 		}(ci)
 	}
@@ -174,6 +168,123 @@ func main() {
 	}
 }
 
+// runPaper drives the paper's insert/lookup/remove sequence. With
+// batch ≤ 1 each op is a lockstep round trip; otherwise ops are
+// grouped into Batch calls of `batch` keys per phase, so each phase
+// costs one envelope round trip per destination instead of one per
+// key.
+func runPaper(c *core.Client, ci, ops, batch int, attempted *atomic.Int64, tolerate func(error) bool, val []byte) error {
+	if batch <= 1 {
+		for i := 0; i < ops; i++ {
+			k := fmt.Sprintf("c%04dk%09d", ci, i)[:15]
+			attempted.Add(1)
+			if err := c.Insert(k, val); err != nil && !tolerate(err) {
+				return err
+			} else if err != nil {
+				continue
+			}
+			attempted.Add(1)
+			if _, err := c.Lookup(k); err != nil && !tolerate(err) {
+				return err
+			} else if err != nil {
+				continue
+			}
+			attempted.Add(1)
+			if err := c.Remove(k); err != nil && !tolerate(err) {
+				return err
+			}
+		}
+		return nil
+	}
+	for i := 0; i < ops; i += batch {
+		n := batch
+		if ops-i < n {
+			n = ops - i
+		}
+		keys := make([]string, n)
+		for j := range keys {
+			keys[j] = fmt.Sprintf("c%04dk%09d", ci, i+j)[:15]
+		}
+		build := func(op wire.Op, v []byte) []core.BatchOp {
+			bs := make([]core.BatchOp, n)
+			for j, k := range keys {
+				bs[j] = core.BatchOp{Op: op, Key: k, Value: v}
+			}
+			return bs
+		}
+		for _, phase := range [][]core.BatchOp{
+			build(wire.OpInsert, val),
+			build(wire.OpLookup, nil),
+			build(wire.OpRemove, nil),
+		} {
+			attempted.Add(int64(n))
+			rs, err := c.Batch(phase)
+			if err != nil {
+				return err
+			}
+			for _, r := range rs {
+				if r.Err != nil && !tolerate(r.Err) {
+					return r.Err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// runSmoke is the CI batching check: boot a loopback-TCP deployment,
+// measure lockstep and batched throughput at equal client count, and
+// fail unless batching wins by at least minRatio.
+func runSmoke(batch int, minRatio float64) {
+	cfg := core.Config{NumPartitions: 256, RetryBase: time.Millisecond}
+	const clients, rounds = 4, 400
+	d, cleanup, _, err := bootNet(clients, cfg, "tcp-cache", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cleanup()
+	tolerate := func(error) bool { return false }
+	val := make([]byte, 132)
+	run := func(b, gen int) float64 {
+		var attempted atomic.Int64
+		var wg sync.WaitGroup
+		errCh := make(chan error, clients)
+		start := time.Now()
+		for ci := 0; ci < clients; ci++ {
+			wg.Add(1)
+			go func(ci int) {
+				defer wg.Done()
+				c, err := d.NewClient()
+				if err != nil {
+					errCh <- err
+					return
+				}
+				// gen offsets client IDs so the two runs touch
+				// disjoint keys.
+				if err := runPaper(c, gen*clients+ci, rounds, b, &attempted, tolerate, val); err != nil {
+					errCh <- err
+				}
+			}(ci)
+		}
+		wg.Wait()
+		el := time.Since(start)
+		close(errCh)
+		for err := range errCh {
+			log.Fatal(err)
+		}
+		return float64(attempted.Load()) / el.Seconds()
+	}
+	lockstep := run(1, 0)
+	batched := run(batch, 1)
+	ratio := batched / lockstep
+	fmt.Printf("smoke: lockstep %.0f ops/s, batch=%d %.0f ops/s, speedup %.2fx (min %.1fx)\n",
+		lockstep, batch, batched, ratio, minRatio)
+	if ratio < minRatio {
+		fmt.Println("smoke: FAIL — batching speedup below threshold")
+		os.Exit(1)
+	}
+}
+
 // degradedScenario is the default -chaos schedule: a persistently bad
 // network — loss on the request leg, lost acks, and jittery slow
 // links — rather than a staged outage, so throughput numbers describe
@@ -190,8 +301,9 @@ func degradedScenario() *chaos.Scenario {
 }
 
 // runGenerated drives a loadgen workload: op mixes and key
-// distributions beyond the paper's fixed sequence.
-func runGenerated(c *core.Client, clientID, nOps int, mixName, distName string, keys int, tolerate func(error) bool) error {
+// distributions beyond the paper's fixed sequence. With batch > 1 the
+// generated stream is chunked into mixed-op Batch calls.
+func runGenerated(c *core.Client, clientID, nOps, batch int, mixName, distName string, keys int, tolerate func(error) bool) error {
 	var m loadgen.Mix
 	switch mixName {
 	case "paper":
@@ -216,6 +328,9 @@ func runGenerated(c *core.Client, clientID, nOps int, mixName, distName string, 
 	})
 	if err != nil {
 		return err
+	}
+	if batch > 1 {
+		return runGeneratedBatched(c, g, nOps, batch, tolerate)
 	}
 	for i := 0; i < nOps; i++ {
 		op := g.Next()
@@ -242,6 +357,56 @@ func runGenerated(c *core.Client, clientID, nOps int, mixName, distName string, 
 		}
 	}
 	return nil
+}
+
+// runGeneratedBatched chunks the generated op stream into mixed
+// Batch calls — the realistic shape for -batch with non-paper mixes,
+// where inserts, lookups, and appends share an envelope.
+func runGeneratedBatched(c *core.Client, g *loadgen.Generator, nOps, batch int, tolerate func(error) bool) error {
+	buf := make([]core.BatchOp, 0, batch)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		rs, err := c.Batch(buf)
+		if err != nil {
+			return err
+		}
+		for i, r := range rs {
+			if r.Err == nil {
+				continue
+			}
+			readMiss := (buf[i].Op == wire.OpLookup || buf[i].Op == wire.OpRemove) &&
+				errors.Is(r.Err, core.ErrNotFound)
+			if readMiss || tolerate(r.Err) {
+				continue
+			}
+			return fmt.Errorf("%s %s: %w", buf[i].Op, buf[i].Key, r.Err)
+		}
+		buf = buf[:0]
+		return nil
+	}
+	for i := 0; i < nOps; i++ {
+		op := g.Next()
+		b := core.BatchOp{Key: op.Key}
+		switch op.Kind {
+		case loadgen.OpInsert:
+			b.Op, b.Value = wire.OpInsert, op.Value
+		case loadgen.OpLookup:
+			b.Op = wire.OpLookup
+		case loadgen.OpRemove:
+			b.Op = wire.OpRemove
+		case loadgen.OpAppend:
+			b.Op, b.Value = wire.OpAppend, op.Value
+		}
+		buf = append(buf, b)
+		if len(buf) == batch {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
 }
 
 // bootNet mirrors the figures harness: n instances over real loopback

@@ -21,6 +21,7 @@ func main() {
 		nodes     = flag.Int("nodes", 8192, "physical nodes")
 		inst      = flag.Int("instances", 1, "ZHT instances per node")
 		replicas  = flag.Int("replicas", 0, "replicas per partition")
+		batch     = flag.Int("batch", 1, "ops per message (batching-amortization model)")
 		syncRep   = flag.Bool("sync", false, "synchronous replication (ablation)")
 		des       = flag.Bool("des", false, "use the discrete-event engine (≤ ~32K instances)")
 		seconds   = flag.Float64("seconds", 0.3, "virtual seconds to simulate (DES)")
@@ -51,6 +52,7 @@ func main() {
 	p := sim.DefaultParams(*nodes, *inst)
 	p.Replicas = *replicas
 	p.SyncReplication = *syncRep
+	p.BatchSize = *batch
 	var reg *metrics.Registry
 	if *metricsOn {
 		if !*des {

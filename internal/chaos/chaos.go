@@ -339,9 +339,14 @@ func (c *Caller) sleepLost(deadline time.Time) error {
 	return fmt.Errorf("%w: injected loss", transport.ErrTimeout)
 }
 
-// Call implements transport.Caller with fault injection around the
-// wrapped caller.
-func (c *Caller) Call(addr string, req *wire.Request) (*wire.Response, error) {
+// perturbed runs one message send through the fault pipeline: it
+// resolves the active rules for this call, applies request-leg faults
+// and latency, shrinks the forwarded budget by the time chaos
+// consumed, invokes send (and sendDup on duplication), then applies
+// reply-leg faults. Call and CallBatch share this pipeline — a batch
+// envelope is one message on the wire, so one verdict covers every
+// sub-operation in it.
+func (c *Caller) perturbed(addr string, budget uint64, send func(fwdBudget uint64) error, sendDup func(fwdBudget uint64)) error {
 	elapsed := time.Since(c.start)
 	rules := c.sc.active(elapsed)
 
@@ -352,17 +357,17 @@ func (c *Caller) Call(addr string, req *wire.Request) (*wire.Response, error) {
 
 	if len(rules) == 0 {
 		c.record(addr, n, VerdictOK, 0)
-		return c.inner.Call(addr, req)
+		return send(0)
 	}
 	reqFx, replyFx := c.resolve(rules, addr, n)
 
 	var deadline time.Time
-	if req.Budget > 0 {
-		deadline = time.Now().Add(time.Duration(req.Budget))
+	if budget > 0 {
+		deadline = time.Now().Add(time.Duration(budget))
 	}
 	if reqFx.down {
 		c.record(addr, n, VerdictDown, 0)
-		return nil, fmt.Errorf("%w: injected crash of %q", transport.ErrUnreachable, addr)
+		return fmt.Errorf("%w: injected crash of %q", transport.ErrUnreachable, addr)
 	}
 	if reqFx.cut || reqFx.drop {
 		v := VerdictCut
@@ -370,7 +375,7 @@ func (c *Caller) Call(addr string, req *wire.Request) (*wire.Response, error) {
 			v = VerdictDrop
 		}
 		c.record(addr, n, v, 0)
-		return nil, c.sleepLost(deadline)
+		return c.sleepLost(deadline)
 	}
 
 	// Request-leg latency: the message arrives late; if it lands past
@@ -378,27 +383,26 @@ func (c *Caller) Call(addr string, req *wire.Request) (*wire.Response, error) {
 	if reqFx.delay > 0 {
 		if !deadline.IsZero() && reqFx.delay >= time.Until(deadline) {
 			c.record(addr, n, VerdictCut, reqFx.delay)
-			return nil, c.sleepLost(deadline)
+			return c.sleepLost(deadline)
 		}
 		time.Sleep(reqFx.delay)
 	}
 
 	// Shrink the forwarded budget by the time chaos consumed so the
 	// wrapped transport still honors the end-to-end deadline.
-	fwd := *req
+	fwdBudget := uint64(0)
 	if !deadline.IsZero() {
 		rem := time.Until(deadline)
 		if rem <= 0 {
-			return nil, c.sleepLost(deadline)
+			return c.sleepLost(deadline)
 		}
-		fwd.Budget = uint64(rem)
+		fwdBudget = uint64(rem)
 	}
-	resp, err := c.inner.Call(addr, &fwd)
+	err := send(fwdBudget)
 	if reqFx.dup {
 		// At-least-once delivery: the retransmitted duplicate lands
 		// after the original; its response is discarded.
-		dup := fwd
-		c.inner.Call(addr, &dup)
+		sendDup(fwdBudget)
 	}
 
 	if err == nil && (replyFx.cut || replyFx.replyLost) {
@@ -406,12 +410,12 @@ func (c *Caller) Call(addr string, req *wire.Request) (*wire.Response, error) {
 		// reaches us: indistinguishable from a lost request to the
 		// caller, which is exactly the ambiguity worth testing.
 		c.record(addr, n, VerdictReplyLost, reqFx.delay)
-		return nil, c.sleepLost(deadline)
+		return c.sleepLost(deadline)
 	}
 	if replyFx.delay > 0 && err == nil {
 		if !deadline.IsZero() && replyFx.delay >= time.Until(deadline) {
 			c.record(addr, n, VerdictReplyLost, reqFx.delay+replyFx.delay)
-			return nil, c.sleepLost(deadline)
+			return c.sleepLost(deadline)
 		}
 		time.Sleep(replyFx.delay)
 	}
@@ -420,7 +424,77 @@ func (c *Caller) Call(addr string, req *wire.Request) (*wire.Response, error) {
 		v = VerdictDup
 	}
 	c.record(addr, n, v, reqFx.delay+replyFx.delay)
-	return resp, err
+	return err
+}
+
+// Call implements transport.Caller with fault injection around the
+// wrapped caller.
+func (c *Caller) Call(addr string, req *wire.Request) (*wire.Response, error) {
+	var out *wire.Response
+	err := c.perturbed(addr, req.Budget,
+		func(b uint64) error {
+			fwd := *req
+			if b > 0 {
+				fwd.Budget = b
+			}
+			var e error
+			out, e = c.inner.Call(addr, &fwd)
+			return e
+		},
+		func(b uint64) {
+			dup := *req
+			if b > 0 {
+				dup.Budget = b
+			}
+			c.inner.Call(addr, &dup)
+		})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CallBatch implements transport.Caller. The batch travels as one
+// message, so the whole envelope shares a single fault verdict: a
+// dropped batch loses every sub-operation, a duplicated one re-applies
+// them all — the same blast-radius a real batched datagram or frame
+// would have.
+func (c *Caller) CallBatch(addr string, reqs []*wire.Request) ([]*wire.Response, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	budget := uint64(0)
+	for _, r := range reqs {
+		if r.Budget > budget {
+			budget = r.Budget
+		}
+	}
+	shrunk := func(b uint64) []*wire.Request {
+		if b == 0 {
+			return reqs
+		}
+		fwd := make([]*wire.Request, len(reqs))
+		for i, r := range reqs {
+			cp := *r
+			cp.Budget = b
+			fwd[i] = &cp
+		}
+		return fwd
+	}
+	var out []*wire.Response
+	err := c.perturbed(addr, budget,
+		func(b uint64) error {
+			var e error
+			out, e = c.inner.CallBatch(addr, shrunk(b))
+			return e
+		},
+		func(b uint64) {
+			c.inner.CallBatch(addr, shrunk(b))
+		})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Close implements transport.Caller.

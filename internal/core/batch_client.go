@@ -1,0 +1,213 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"zht/internal/ring"
+	"zht/internal/transport"
+	"zht/internal/wire"
+)
+
+// Client side of the batched request path. Batch keeps the zero-hop
+// property of single ops — every sub-op is routed from the local
+// membership table with no forwarding — while amortizing per-message
+// cost: sub-ops for one destination travel as a single OpBatch
+// envelope, and envelopes for different destinations fly concurrently
+// over the multiplexed transport.
+
+// BatchOp is one operation in a Client.Batch call.
+type BatchOp struct {
+	// Op must be OpInsert, OpLookup, OpRemove, or OpAppend.
+	Op    wire.Op
+	Key   string
+	Value []byte // payload for Insert/Append; ignored for Lookup/Remove
+}
+
+// BatchResult is the outcome of the BatchOp at the same index.
+type BatchResult struct {
+	// Value is the looked-up value (Lookup only).
+	Value []byte
+	// Err is nil on success, or the same error vocabulary single ops
+	// use (ErrNotFound, ErrUnavailable, ...).
+	Err error
+}
+
+// Batch executes a mixed set of operations, returning one result per
+// op in input order. Sub-ops are grouped by owning instance from the
+// local table (zero hops) and each group is issued as one batched
+// envelope, all groups concurrently; the whole batch shares one
+// OpDeadline budget under the existing breaker/backoff machinery.
+// Sub-ops the fast path could not settle — WrongOwner after a
+// membership change, an in-flight migration, an unreachable
+// destination — are re-routed individually through the same routing
+// loop single ops use, after adopting any fresher table the servers
+// answered with.
+//
+// Ops on the same key preserve their input order (same key, same
+// partition, same envelope, applied in order server-side), so per-key
+// results are identical to issuing the ops sequentially. Ordering
+// across different keys is not defined, exactly as it is not for
+// concurrent single ops.
+func (c *Client) Batch(ops []BatchOp) ([]BatchResult, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	reqs := make([]*wire.Request, len(ops))
+	for i, op := range ops {
+		switch op.Op {
+		case wire.OpInsert, wire.OpLookup, wire.OpRemove, wire.OpAppend:
+		default:
+			return nil, fmt.Errorf("zht: batch: unsupported op %s", op.Op)
+		}
+		reqs[i] = &wire.Request{Op: op.Op, Key: op.Key, Value: op.Value}
+	}
+	c.metrics.batches.Inc()
+	c.metrics.batchSize.Observe(int64(len(ops)))
+	c.metrics.ops.Add(int64(len(ops)))
+
+	var deadline time.Time
+	if c.cfg.OpDeadline > 0 {
+		deadline = time.Now().Add(c.cfg.OpDeadline)
+	}
+
+	results := make([]BatchResult, len(ops))
+	settled := make([]bool, len(ops))
+
+	// Group sub-op indices by destination address: the partition's
+	// owner, or its first alive replica when the owner is marked
+	// failed. Keys with no route from this snapshot fall through to
+	// the per-op path, which owns failover reporting.
+	table := c.snapshot()
+	groups := make(map[string][]int)
+	for i, r := range reqs {
+		p := table.Partition(c.hashf(r.Key))
+		idx := table.Owner[p]
+		target := table.Instances[idx]
+		if table.Status[idx] != ring.Alive {
+			reps := table.ReplicasOf(p, maxInt(c.cfg.Replicas, 1))
+			if len(reps) == 0 {
+				continue
+			}
+			target = reps[0]
+		}
+		groups[target.Addr] = append(groups[target.Addr], i)
+	}
+
+	// One envelope per destination, all destinations concurrently.
+	// Each goroutine writes only its own disjoint result slots.
+	var wg sync.WaitGroup
+	for addr, idxs := range groups {
+		wg.Add(1)
+		go func(addr string, idxs []int) {
+			defer wg.Done()
+			sub := make([]*wire.Request, len(idxs))
+			for j, i := range idxs {
+				r := *reqs[i]
+				r.Epoch = table.Epoch
+				sub[j] = &r
+			}
+			rs, err := c.callBatchWithBackoff(addr, sub, deadline)
+			if err != nil {
+				return // destination down: stragglers re-route below
+			}
+			for j, resp := range rs {
+				i := idxs[j]
+				switch resp.Status {
+				case wire.StatusWrongOwner:
+					c.metrics.wrongOwner.Inc()
+					if t, terr := ring.DecodeTable(resp.Table); terr == nil {
+						c.adoptTable(t)
+					}
+				case wire.StatusMigrating, wire.StatusBusy:
+					// Straggler path follows the redirect / backs off.
+				default:
+					err, _ := statusToErr(reqs[i].Op, resp)
+					results[i] = BatchResult{Value: resp.Value, Err: err}
+					settled[i] = true
+				}
+			}
+		}(addr, idxs)
+	}
+	wg.Wait()
+
+	// Re-route whatever the fast path left unsettled, one op at a
+	// time in input order, under the batch's remaining budget. The
+	// per-op loop handles table refresh, migration redirects, replica
+	// failover, and failure reporting.
+	for i := range reqs {
+		if settled[i] {
+			continue
+		}
+		resp, err := c.doRoutedDeadline(reqs[i], deadline)
+		if errors.Is(err, ErrUnavailable) {
+			c.metrics.unavailable.Inc()
+		}
+		r := BatchResult{Err: err}
+		if resp != nil {
+			r.Value = resp.Value
+		}
+		results[i] = r
+	}
+	return results, nil
+}
+
+// callBatchWithBackoff is callWithBackoff for a batched envelope: the
+// same per-endpoint circuit breaker, full-jitter retries for
+// unreachable destinations, and busy-retry handling, with the
+// remaining deadline budget restamped on every sub-request each
+// attempt. A shed envelope comes back as StatusBusy fanned out to
+// every sub-slot, so "all sub-responses busy" is the batch analogue of
+// a single busy response and is retried here without tripping the
+// breaker.
+func (c *Client) callBatchWithBackoff(addr string, reqs []*wire.Request, deadline time.Time) ([]*wire.Response, error) {
+	var lastErr error
+	for i := 0; ; i++ {
+		if !deadline.IsZero() {
+			rem := time.Until(deadline)
+			if rem <= 0 {
+				if lastErr == nil {
+					lastErr = transport.ErrTimeout
+				}
+				return nil, lastErr
+			}
+			for _, r := range reqs {
+				r.Budget = uint64(rem)
+			}
+		}
+		if !c.breaker.allow(addr) {
+			c.metrics.fastfails.Inc()
+			return nil, fmt.Errorf("%w: %s", ErrCircuitOpen, addr)
+		}
+		rs, err := c.caller.CallBatch(addr, reqs)
+		if err == nil {
+			c.breaker.success(addr)
+			allBusy := len(rs) > 0
+			for _, r := range rs {
+				if r.Status != wire.StatusBusy {
+					allBusy = false
+					break
+				}
+			}
+			if !allBusy || i >= c.cfg.OpRetries {
+				return rs, nil
+			}
+			c.metrics.busyRetries.Inc()
+			d := c.backoff(i)
+			if hint := time.Duration(rs[0].RetryAfter); hint > d {
+				d = hint
+			}
+			c.sleepBounded(d, deadline)
+			continue
+		}
+		c.breaker.failure(addr)
+		lastErr = err
+		if i >= c.cfg.OpRetries {
+			return nil, lastErr
+		}
+		c.metrics.retries.Inc()
+		c.sleepBounded(c.backoff(i), deadline)
+	}
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"zht/internal/ring"
+	"zht/internal/wire"
+)
+
+// Server side of the batched request path: one OpBatch envelope
+// carries N sub-operations, and the instance amortizes the per-request
+// cost — migration gate, ownership check, partition locks, replication
+// round trips — across every sub-op that lands on the same partition.
+// This is the apply-loop half of the pipeline the paper's
+// connection-caching ablation (§III.F) motivates at the transport
+// level: once messages are cheap to carry, the next win is making each
+// message carry more work.
+
+// handleBatch serves an OpBatch envelope: decode the sub-requests,
+// group them by partition, apply each partition's group under a single
+// lock acquisition, and pack the sub-responses (input order) into the
+// envelope response.
+func (in *Instance) handleBatch(req *wire.Request) *wire.Response {
+	subs, err := wire.DecodeOps(req.Aux)
+	if err != nil {
+		return &wire.Response{Status: wire.StatusError, Err: "core: bad batch: " + err.Error()}
+	}
+	resps := make([]*wire.Response, len(subs))
+
+	// Group sub-op indices by partition, preserving input order within
+	// each group (same key → same partition → same group, so per-key
+	// ordering matches sequential execution). Partitions are visited in
+	// first-appearance order; non-partition ops dispatch immediately so
+	// their position relative to same-batch KV ops is irrelevant.
+	groups := make(map[int][]int)
+	var order []int
+	for i, s := range subs {
+		var p int
+		switch s.Op {
+		case wire.OpInsert, wire.OpLookup, wire.OpRemove, wire.OpAppend, wire.OpCas:
+			in.mu.RLock()
+			p = in.table.Partition(in.hashf(s.Key))
+			in.mu.RUnlock()
+		case wire.OpReplicate:
+			// Batched replication legs apply in input order — the order
+			// the primary applied them — via the ordinary replicate
+			// handler; grouping would buy nothing (no locks, no fan-out).
+			resps[i] = in.handleReplicate(s)
+			continue
+		default:
+			resps[i] = in.Handle(s)
+			continue
+		}
+		if _, ok := groups[p]; !ok {
+			order = append(order, p)
+		}
+		groups[p] = append(groups[p], i)
+	}
+	for _, p := range order {
+		in.applyBatchPartition(p, subs, groups[p], resps)
+	}
+	return wire.NewBatchResponse(resps)
+}
+
+// applyBatchPartition runs one partition's sub-ops through the same
+// admission sequence as handleKV — migration gate, post-gate ownership
+// check, store resolution — but pays it once for the whole group.
+// Routing verdicts (WrongOwner, Migrating, errors) are fanned out to
+// every sub-op in the group: ops for one partition route all-or-
+// nothing, so the client re-routes them together. Mutations hold the
+// partition's mutation lock once across the group, and replication of
+// the successful mutations is coalesced into one batched OpReplicate
+// per replica.
+func (in *Instance) applyBatchPartition(p int, subs []*wire.Request, idxs []int, resps []*wire.Response) {
+	fan := func(r *wire.Response) {
+		for _, i := range idxs {
+			resps[i] = r
+		}
+	}
+
+	// Migration gate + op lock, exactly as handleKV.
+	lock := in.opLock(p)
+	for {
+		if resp := in.migrationGate(p); resp != nil {
+			fan(resp)
+			return
+		}
+		lock.RLock()
+		if in.isMigrating(p) {
+			lock.RUnlock()
+			continue
+		}
+		break
+	}
+	defer lock.RUnlock()
+
+	// Ownership on a post-gate snapshot (see handleKV for why).
+	in.mu.RLock()
+	table := in.table
+	ownerIdx := table.Owner[p]
+	owner := table.Instances[ownerIdx]
+	ownerFailed := table.Status[ownerIdx] != ring.Alive
+	in.mu.RUnlock()
+	if owner.ID != in.self.ID {
+		if !(ownerFailed && in.firstAliveReplica(table, p) == in.self.ID) {
+			fan(&wire.Response{Status: wire.StatusWrongOwner, Table: ring.EncodeTable(table)})
+			return
+		}
+	}
+
+	s, err := in.store(p)
+	if err != nil {
+		fan(&wire.Response{Status: wire.StatusError, Err: err.Error()})
+		return
+	}
+
+	anyMutation := false
+	for _, i := range idxs {
+		if in.mutates(subs[i]) {
+			anyMutation = true
+			break
+		}
+	}
+	if anyMutation {
+		ml := &in.mutLocks[p%len(in.mutLocks)]
+		ml.Lock()
+		defer ml.Unlock()
+	}
+	// applied collects the sub-ops whose mutation succeeded, in apply
+	// order — the order replicas must see them in.
+	var applied []int
+	for _, i := range idxs {
+		r := applyKV(s, subs[i])
+		resps[i] = r
+		if r.Status == wire.StatusOK && in.mutates(subs[i]) {
+			applied = append(applied, i)
+		}
+	}
+	if len(applied) > 0 {
+		in.replicateBatch(table, p, subs, applied)
+	}
+}
+
+// replicateBatch pushes a partition's successful mutations along the
+// replica chain as one batched OpReplicate envelope per replica
+// instead of one round trip per mutation: the first replica (or every
+// replica under SyncReplication) synchronously via CallBatch, the rest
+// through the per-destination async FIFO — a single envelope enqueued
+// there preserves the queue's per-key ordering guarantee unchanged.
+func (in *Instance) replicateBatch(table *ring.Table, p int, subs []*wire.Request, applied []int) {
+	reps := table.ReplicasOf(p, in.cfg.Replicas)
+	if len(reps) == 0 {
+		return
+	}
+	fwds := make([]wire.Request, len(applied))
+	for j, i := range applied {
+		fwds[j] = replicaFwd(p, subs[i])
+	}
+	for ri, r := range reps {
+		if r.ID == in.self.ID {
+			continue
+		}
+		legs := make([]*wire.Request, len(fwds))
+		if ri == 0 || in.cfg.SyncReplication {
+			for j := range fwds {
+				f := fwds[j]
+				f.Flags |= wire.FlagSyncReplica
+				legs[j] = &f
+			}
+			rs, err := in.caller.CallBatch(r.Addr, legs)
+			if err != nil {
+				// The whole envelope failed: every leg is a consistency
+				// gap until the next replica rebuild.
+				in.met.syncErrors.Add(int64(len(legs)))
+				continue
+			}
+			for _, resp := range rs {
+				if resp.Status != wire.StatusOK {
+					in.met.syncErrors.Inc()
+				}
+			}
+			continue
+		}
+		for j := range fwds {
+			f := fwds[j]
+			f.Value = append([]byte(nil), f.Value...)
+			f.Aux = append([]byte(nil), f.Aux...)
+			legs[j] = &f
+		}
+		in.enqueueAsync(r.Addr, wire.NewBatchRequest(legs))
+	}
+}

@@ -267,11 +267,18 @@ func (c *Client) do(req *wire.Request) (*wire.Response, error) {
 // or fails with ErrUnavailable within its deadline instead of
 // compounding per-layer timeouts.
 func (c *Client) doRouted(req *wire.Request) (*wire.Response, error) {
-	h := c.hashf(req.Key)
 	var deadline time.Time
 	if c.cfg.OpDeadline > 0 {
 		deadline = time.Now().Add(c.cfg.OpDeadline)
 	}
+	return c.doRoutedDeadline(req, deadline)
+}
+
+// doRoutedDeadline is doRouted under an externally supplied deadline,
+// so a batch's stragglers can re-route individually while still
+// sharing the batch's overall budget.
+func (c *Client) doRoutedDeadline(req *wire.Request, deadline time.Time) (*wire.Response, error) {
+	h := c.hashf(req.Key)
 	var lastErr error
 	for attempt := 0; attempt < routeAttempts; attempt++ {
 		if expired(deadline) {

@@ -53,6 +53,7 @@ type Instance struct {
 	bcast map[string][]byte
 
 	caller  transport.Caller
+	met     instanceMetrics
 	asyncWG sync.WaitGroup
 	closed  chan struct{}
 	closeMu sync.Mutex
@@ -94,6 +95,7 @@ func NewInstance(cfg Config, self ring.Instance, table *ring.Table, caller trans
 		parts:  make(map[int]*partState),
 		bcast:  make(map[string][]byte),
 		caller: caller,
+		met:    newInstanceMetrics(cfg.Metrics),
 		closed: make(chan struct{}),
 		asyncQ: make(map[string]chan *wire.Request),
 	}, nil
@@ -188,6 +190,8 @@ func (in *Instance) Handle(req *wire.Request) *wire.Response {
 	switch req.Op {
 	case wire.OpInsert, wire.OpLookup, wire.OpRemove, wire.OpAppend, wire.OpCas:
 		return in.handleKV(req)
+	case wire.OpBatch:
+		return in.handleBatch(req)
 	case wire.OpReplicate:
 		return in.handleReplicate(req)
 	case wire.OpMembership:
@@ -259,7 +263,7 @@ func (in *Instance) handleKV(req *wire.Request) *wire.Response {
 	if err != nil {
 		return &wire.Response{Status: wire.StatusError, Err: err.Error()}
 	}
-	mutation := req.Op != wire.OpLookup && req.Flags&wire.FlagNoReplicate == 0 && in.cfg.Replicas > 0
+	mutation := in.mutates(req)
 	if mutation {
 		ml := &in.mutLocks[p%len(in.mutLocks)]
 		ml.Lock()
@@ -273,6 +277,12 @@ func (in *Instance) handleKV(req *wire.Request) *wire.Response {
 }
 
 func (in *Instance) opLock(p int) *sync.RWMutex { return &in.opLocks[p%len(in.opLocks)] }
+
+// mutates reports whether req is a mutation this instance must push
+// along the replica chain.
+func (in *Instance) mutates(req *wire.Request) bool {
+	return req.Op != wire.OpLookup && req.Flags&wire.FlagNoReplicate == 0 && in.cfg.Replicas > 0
+}
 
 func (in *Instance) isMigrating(p int) bool {
 	in.pmu.Lock()
@@ -369,21 +379,7 @@ func applyKV(s *novoht.Store, req *wire.Request) *wire.Response {
 // makes every leg synchronous for the ablation benchmark.
 func (in *Instance) replicate(table *ring.Table, p int, req *wire.Request) {
 	reps := table.ReplicasOf(p, in.cfg.Replicas)
-	fwd := *req
-	fwd.Op = wire.OpReplicate
-	// A successful CAS is replicated as a plain insert of the new
-	// value: the decision was already made at the primary, and
-	// re-running the comparison on a replica whose async state lags
-	// could diverge.
-	innerOp, innerAux := req.Op, req.Aux
-	if req.Op == wire.OpCas {
-		innerOp, innerAux = wire.OpInsert, nil
-	}
-	// Conditional inserts likewise: the primary already decided.
-	fwd.Flags &^= wire.FlagIfAbsent
-	fwd.Aux = encodeReplicaAux(innerOp, innerAux)
-	fwd.Partition = int64(p)
-	fwd.Flags |= wire.FlagNoReplicate
+	fwd := replicaFwd(p, req)
 	for i, r := range reps {
 		if r.ID == in.self.ID {
 			continue
@@ -391,7 +387,12 @@ func (in *Instance) replicate(table *ring.Table, p int, req *wire.Request) {
 		if i == 0 || in.cfg.SyncReplication {
 			f := fwd
 			f.Flags |= wire.FlagSyncReplica
-			in.caller.Call(r.Addr, &f) // best effort: replica loss is repaired on failure
+			// Best effort: replica loss is repaired on failure, but a
+			// failed sync leg is a consistency gap until then — count
+			// it so the gap is visible instead of silent.
+			if resp, err := in.caller.Call(r.Addr, &f); err != nil || resp.Status != wire.StatusOK {
+				in.met.syncErrors.Inc()
+			}
 			continue
 		}
 		f := fwd
@@ -399,6 +400,26 @@ func (in *Instance) replicate(table *ring.Table, p int, req *wire.Request) {
 		f.Aux = append([]byte(nil), fwd.Aux...)
 		in.enqueueAsync(r.Addr, &f)
 	}
+}
+
+// replicaFwd rewrites a successful primary mutation into the
+// OpReplicate message pushed to the partition's replicas. A successful
+// CAS is replicated as a plain insert of the new value: the decision
+// was already made at the primary, and re-running the comparison on a
+// replica whose async state lags could diverge. Conditional inserts
+// likewise — the primary already decided.
+func replicaFwd(p int, req *wire.Request) wire.Request {
+	fwd := *req
+	fwd.Op = wire.OpReplicate
+	innerOp, innerAux := req.Op, req.Aux
+	if req.Op == wire.OpCas {
+		innerOp, innerAux = wire.OpInsert, nil
+	}
+	fwd.Flags &^= wire.FlagIfAbsent
+	fwd.Aux = encodeReplicaAux(innerOp, innerAux)
+	fwd.Partition = int64(p)
+	fwd.Flags |= wire.FlagNoReplicate
+	return fwd
 }
 
 // encodeReplicaAux packs the original op (and CAS expectation) into
@@ -693,13 +714,23 @@ func (in *Instance) ownsNow(p int) bool {
 }
 
 // firstAliveReplica returns the instance ID of partition p's first
-// alive replica, or empty.
+// Alive replica, or empty. The replica count is floored at 1 — the
+// same floor the client's failover routing and handleReport's
+// PlanFailure use — so a Replicas=0 deployment can still elect a
+// failover target instead of rejecting every request for a dead
+// owner's partitions. The explicit Status scan guards against table
+// snapshots where a listed replica has since been marked failed:
+// electing a dead replica would both reject this node's valid
+// failover serve and point clients at a node that cannot answer.
 func (in *Instance) firstAliveReplica(table *ring.Table, p int) ring.InstanceID {
-	reps := table.ReplicasOf(p, in.cfg.Replicas)
-	if len(reps) == 0 {
-		return ""
+	reps := table.ReplicasOf(p, maxInt(in.cfg.Replicas, 1))
+	for _, r := range reps {
+		idx := table.IndexOf(r.ID)
+		if idx >= 0 && table.Status[idx] == ring.Alive {
+			return r.ID
+		}
 	}
-	return reps[0].ID
+	return ""
 }
 
 // handleReport processes a failure report: verify the accused is

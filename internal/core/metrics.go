@@ -12,12 +12,14 @@ import (
 // (one op in metrics.SampleEvery) and skipped entirely when allLat
 // is nil, so untimed ops never read the clock.
 type clientMetrics struct {
-	ops         *metrics.Counter // zht.client.ops
-	retries     *metrics.Counter // zht.client.retries
-	busyRetries *metrics.Counter // zht.client.busy_retries
-	wrongOwner  *metrics.Counter // zht.client.wrong_owner
-	unavailable *metrics.Counter // zht.client.unavailable
-	fastfails   *metrics.Counter // zht.client.breaker.fastfails
+	ops         *metrics.Counter   // zht.client.ops
+	retries     *metrics.Counter   // zht.client.retries
+	busyRetries *metrics.Counter   // zht.client.busy_retries
+	wrongOwner  *metrics.Counter   // zht.client.wrong_owner
+	unavailable *metrics.Counter   // zht.client.unavailable
+	fastfails   *metrics.Counter   // zht.client.breaker.fastfails
+	batches     *metrics.Counter   // zht.client.batches
+	batchSize   *metrics.Histogram // zht.client.batch.size
 	allLat      *metrics.Histogram
 	opLat       map[wire.Op]*metrics.Histogram
 }
@@ -30,6 +32,8 @@ func newClientMetrics(reg *metrics.Registry) clientMetrics {
 		wrongOwner:  reg.Counter("zht.client.wrong_owner"),
 		unavailable: reg.Counter("zht.client.unavailable"),
 		fastfails:   reg.Counter("zht.client.breaker.fastfails"),
+		batches:     reg.Counter("zht.client.batches"),
+		batchSize:   reg.Histogram("zht.client.batch.size"),
 		allLat:      reg.Histogram("zht.client.op.all.latency_ns"),
 	}
 	if reg != nil {
@@ -42,4 +46,22 @@ func newClientMetrics(reg *metrics.Registry) clientMetrics {
 		}
 	}
 	return m
+}
+
+// instanceMetrics holds the server-side core instruments. Nil fields
+// (metrics disabled) degrade to no-ops.
+type instanceMetrics struct {
+	// syncErrors counts synchronous replication legs that failed —
+	// transport errors or non-OK statuses from the first replica (or
+	// any replica under SyncReplication). Each failed leg is a window
+	// where primary and secondary have diverged until the next replica
+	// rebuild repairs it; a non-zero rate means reads served by a
+	// failover replica may be stale.
+	syncErrors *metrics.Counter // zht.core.replica.sync_errors
+}
+
+func newInstanceMetrics(reg *metrics.Registry) instanceMetrics {
+	return instanceMetrics{
+		syncErrors: reg.Counter("zht.core.replica.sync_errors"),
+	}
 }

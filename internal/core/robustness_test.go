@@ -107,6 +107,10 @@ func (b *busyFirst) Call(addr string, req *wire.Request) (*wire.Response, error)
 	return b.inner.Call(addr, req)
 }
 
+func (b *busyFirst) CallBatch(addr string, reqs []*wire.Request) ([]*wire.Response, error) {
+	return transport.EnvelopeCallBatch(b, addr, reqs)
+}
+
 func (b *busyFirst) Close() error { return b.inner.Close() }
 
 func TestClientRetriesThroughBusy(t *testing.T) {
@@ -197,6 +201,9 @@ type callerFunc func(addr string, req *wire.Request) (*wire.Response, error)
 
 func (f callerFunc) Call(addr string, req *wire.Request) (*wire.Response, error) {
 	return f(addr, req)
+}
+func (f callerFunc) CallBatch(addr string, reqs []*wire.Request) ([]*wire.Response, error) {
+	return transport.EnvelopeCallBatch(f, addr, reqs)
 }
 func (f callerFunc) Close() error { return nil }
 

@@ -60,7 +60,15 @@ type desState struct {
 	rackDims [3]int
 	racks    int
 
-	completed int
+	// Batching: every round trip is one MESSAGE carrying b ops; NIC
+	// and propagation costs are per message, client/server service is
+	// b per-op costs plus one per-message overhead.
+	b      int
+	cliMsg float64
+	srvMsg float64
+
+	completed int // ops completed in steady state (messages × b)
+	msgs      int // messages completed in steady state
 	latSum    float64
 	warmup    float64
 
@@ -105,6 +113,8 @@ func DiscreteEventObserved(p Params, simSeconds float64, seed int64, reg *metric
 		warmup:  simSeconds * 0.2,
 	}
 	s.rackDims = torusDims(s.racks)
+	s.b = batchSize(p)
+	s.cliMsg, s.srvMsg = msgTimes(p)
 	if reg != nil {
 		s.ops = reg.Counter("zht.client.ops")
 		s.allLat = reg.Histogram("zht.client.op.all.latency_ns")
@@ -114,7 +124,7 @@ func DiscreteEventObserved(p Params, simSeconds float64, seed int64, reg *metric
 	for c := 0; c < nInst; c++ {
 		c := c
 		// Stagger client starts to avoid a synchronized burst.
-		start := s.rng.Float64() * p.ClientTime
+		start := s.rng.Float64() * s.cliMsg
 		s.schedule(start, func(at float64) { s.issue(c, at) })
 	}
 	for len(s.events) > 0 {
@@ -124,10 +134,10 @@ func DiscreteEventObserved(p Params, simSeconds float64, seed int64, reg *metric
 		}
 		e.fn(e.at)
 	}
-	if s.completed == 0 {
+	if s.msgs == 0 {
 		return Result{}, errors.New("sim: no operations completed; simSeconds too short")
 	}
-	meanLat := s.latSum / float64(s.completed)
+	meanLat := s.latSum / float64(s.msgs)
 	measured := end - s.warmup
 	var nicBusy float64
 	for i := range s.nics {
@@ -146,19 +156,20 @@ func (s *desState) schedule(at float64, fn func(float64)) {
 	heap.Push(&s.events, event{at, fn})
 }
 
-// issue starts one operation from client c (instance index c).
+// issue starts one batched message (b ops) from client c (instance
+// index c).
 func (s *desState) issue(c int, t0 float64) {
 	srcNode := c / s.p.InstancesPerNode
 	dst := s.rng.Intn(len(s.servers))
 	dstNode := dst / s.p.InstancesPerNode
 
-	afterClient := t0 + s.p.ClientTime
+	afterClient := t0 + s.cliMsg
 	out := s.nics[srcNode].admit(afterClient, s.p.NICTime)
 	prop := s.propagation(srcNode, dstNode)
 	s.schedule(out+prop, func(at float64) {
 		in := s.nics[dstNode].admit(at, s.p.NICTime)
 		s.schedule(in, func(at float64) {
-			done := s.servers[dst].admit(at, s.p.ServerTime)
+			done := s.servers[dst].admit(at, s.srvMsg)
 			s.schedule(done, func(at float64) {
 				s.afterServer(c, t0, srcNode, dst, dstNode, prop, at)
 			})
@@ -181,9 +192,10 @@ func (s *desState) afterServer(c int, t0 float64, srcNode, dst, dstNode int, pro
 			rin := s.nics[srcNode].admit(at, s.p.NICTime)
 			s.schedule(rin, func(at float64) {
 				if at > s.warmup {
-					s.completed++
+					s.completed += s.b
+					s.msgs++
 					s.latSum += at - t0
-					s.ops.Inc()
+					s.ops.Add(int64(s.b))
 					s.allLat.Observe(int64((at - t0) * 1e9))
 				}
 				s.issue(c, at) // closed loop
@@ -220,7 +232,7 @@ func (s *desState) replicaLeg(primary, primaryNode int, at float64, done func(fl
 	s.schedule(out+prop, func(at float64) {
 		in := s.nics[replicaNode].admit(at, s.p.NICTime)
 		s.schedule(in, func(at float64) {
-			applied := s.servers[replica].admit(at, s.p.ServerTime)
+			applied := s.servers[replica].admit(at, s.srvMsg)
 			s.schedule(applied, func(at float64) {
 				back := s.nics[replicaNode].admit(at, s.p.NICTime)
 				s.schedule(back+prop, func(at float64) {

@@ -256,6 +256,112 @@ func TestDiscreteEventReplication(t *testing.T) {
 	}
 }
 
+func TestBatchSizeOneMatchesLegacyCalibration(t *testing.T) {
+	// The per-op/per-message split must be invisible at BatchSize 1:
+	// a Params with the pre-split lumped costs (ServerTime 180 µs,
+	// ClientTime 120 µs, no Msg terms) and the split DefaultParams
+	// must produce identical analytic results.
+	split := DefaultParams(8192, 1)
+	lumped := split
+	lumped.ServerTime, lumped.ServerMsgTime = 180e-6, 0
+	lumped.ClientTime, lumped.ClientMsgTime = 120e-6, 0
+	rs, err := Analytic(split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := Analytic(lumped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tolerance covers only float summation order (70µs+50µs vs
+	// 120µs), not model differences.
+	if math.Abs(rs.Latency/rl.Latency-1) > 1e-9 || math.Abs(rs.Throughput/rl.Throughput-1) > 1e-9 {
+		t.Errorf("split defaults diverge from lumped at B=1: %.6f vs %.6f ms",
+			rs.Latency*1e3, rl.Latency*1e3)
+	}
+	// BatchSize 0 and 1 are the same (unbatched) protocol.
+	b1 := split
+	b1.BatchSize = 1
+	rb1, _ := Analytic(b1)
+	if rb1.Latency != rs.Latency {
+		t.Error("BatchSize 1 differs from BatchSize 0")
+	}
+}
+
+func TestBatchingAmortizationCurve(t *testing.T) {
+	// The point of the per-message/per-op split: per-op cost is
+	// ClientTime + ServerTime + (msg overheads + NIC + prop)/B, so
+	// aggregate throughput grows monotonically with B and saturates
+	// toward the per-op-cost bound; per-op latency (batch latency / B)
+	// falls even as batch latency rises.
+	prevTput, prevPerOp := 0.0, math.MaxFloat64
+	for _, b := range []int{1, 2, 4, 8, 16, 32, 64} {
+		p := DefaultParams(64, 1)
+		p.BatchSize = b
+		r, err := Analytic(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Throughput <= prevTput {
+			t.Errorf("throughput not increasing at B=%d: %.0f <= %.0f", b, r.Throughput, prevTput)
+		}
+		perOp := r.Latency / float64(b)
+		if perOp >= prevPerOp {
+			t.Errorf("amortized per-op latency not decreasing at B=%d: %.1f µs", b, perOp*1e6)
+		}
+		prevTput, prevPerOp = r.Throughput, perOp
+	}
+	// Diminishing returns: 1→8 must gain much more than 8→64.
+	tput := func(b int) float64 {
+		p := DefaultParams(64, 1)
+		p.BatchSize = b
+		r, _ := Analytic(p)
+		return r.Throughput
+	}
+	if g1, g2 := tput(8)/tput(1), tput(64)/tput(8); g2 >= g1 {
+		t.Errorf("batching gains should diminish: 1→8 %.2fx, 8→64 %.2fx", g1, g2)
+	}
+}
+
+func TestDiscreteEventMatchesAnalyticBatched(t *testing.T) {
+	// Cross-validate the two engines on batched configurations too.
+	for _, b := range []int{4, 16} {
+		p := DefaultParams(16, 1)
+		p.BatchSize = b
+		a, err := Analytic(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := DiscreteEvent(p, 0.5, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ratio := d.Latency / a.Latency; ratio < 0.6 || ratio > 1.6 {
+			t.Errorf("B=%d: DES latency %.3f ms vs analytic %.3f ms (ratio %.2f)",
+				b, d.Latency*1e3, a.Latency*1e3, ratio)
+		}
+		if ratio := d.Throughput / a.Throughput; ratio < 0.6 || ratio > 1.6 {
+			t.Errorf("B=%d: DES throughput %.0f vs analytic %.0f (ratio %.2f)",
+				b, d.Throughput, a.Throughput, ratio)
+		}
+	}
+	// DES throughput must also rise with batch size.
+	p1 := DefaultParams(16, 1)
+	d1, err := DiscreteEvent(p1, 0.5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p16 := p1
+	p16.BatchSize = 16
+	d16, err := DiscreteEvent(p16, 0.5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d16.Throughput < 2*d1.Throughput {
+		t.Errorf("DES B=16 throughput %.0f not clearly above B=1 %.0f", d16.Throughput, d1.Throughput)
+	}
+}
+
 func TestAnalyticRejectsBadInput(t *testing.T) {
 	p := DefaultParams(4, 1)
 	p.Replicas = -1
@@ -266,6 +372,11 @@ func TestAnalyticRejectsBadInput(t *testing.T) {
 	p2.RackSize = 0
 	if _, err := Analytic(p2); err == nil {
 		t.Error("zero rack size accepted")
+	}
+	p3 := DefaultParams(4, 1)
+	p3.BatchSize = -2
+	if _, err := Analytic(p3); err == nil {
+		t.Error("negative batch size accepted")
 	}
 }
 

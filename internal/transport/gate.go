@@ -91,12 +91,15 @@ func newSrvMetrics(reg *metrics.Registry) srvMetrics {
 // UDP, and in-process clients. All fields are nil (no-op) when
 // metrics are disabled.
 type cliMetrics struct {
-	calls       *metrics.Counter // zht.transport.calls
-	dials       *metrics.Counter // zht.transport.dials
-	cachedHits  *metrics.Counter // zht.transport.cached_conns
-	retransmits *metrics.Counter // zht.transport.retransmits
-	bytesIn     *metrics.Counter // zht.transport.bytes_in
-	bytesOut    *metrics.Counter // zht.transport.bytes_out
+	calls       *metrics.Counter   // zht.transport.calls
+	dials       *metrics.Counter   // zht.transport.dials
+	cachedHits  *metrics.Counter   // zht.transport.cached_conns
+	retransmits *metrics.Counter   // zht.transport.retransmits
+	bytesIn     *metrics.Counter   // zht.transport.bytes_in
+	bytesOut    *metrics.Counter   // zht.transport.bytes_out
+	muxInflight *metrics.Gauge     // zht.transport.mux.inflight
+	batches     *metrics.Counter   // zht.transport.batches
+	batchSubs   *metrics.Histogram // zht.transport.batch.subs
 }
 
 func newCliMetrics(reg *metrics.Registry) cliMetrics {
@@ -107,6 +110,9 @@ func newCliMetrics(reg *metrics.Registry) cliMetrics {
 		retransmits: reg.Counter("zht.transport.retransmits"),
 		bytesIn:     reg.Counter("zht.transport.bytes_in"),
 		bytesOut:    reg.Counter("zht.transport.bytes_out"),
+		muxInflight: reg.Gauge("zht.transport.mux.inflight"),
+		batches:     reg.Counter("zht.transport.batches"),
+		batchSubs:   reg.Histogram("zht.transport.batch.subs"),
 	}
 }
 

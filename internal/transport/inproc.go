@@ -220,5 +220,18 @@ func (c *InprocClient) copyResponse(srv *InprocServer, resp *wire.Response, seq 
 	return dresp, nil
 }
 
+// CallBatch implements Caller by dispatching one OpBatch envelope; the
+// serialize-through-the-codec semantics of Call apply to the whole
+// envelope, so sub-requests and sub-responses are copied exactly as a
+// real transport would.
+func (c *InprocClient) CallBatch(addr string, reqs []*wire.Request) ([]*wire.Response, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	c.reg.cmet.batches.Inc()
+	c.reg.cmet.batchSubs.Observe(int64(len(reqs)))
+	return EnvelopeCallBatch(c, addr, reqs)
+}
+
 // Close implements Caller.
 func (c *InprocClient) Close() error { return nil }

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"container/list"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -18,15 +19,23 @@ import (
 const maxFrame = 128 << 20
 
 func writeFrame(w *bufio.Writer, payload []byte) error {
+	if err := writeFrameNoFlush(w, payload); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// writeFrameNoFlush stages a frame into the buffered writer without
+// flushing, letting writer loops amortize one flush across a burst of
+// frames.
+func writeFrameNoFlush(w *bufio.Writer, payload []byte) error {
 	var hdr [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(hdr[:], uint64(len(payload)))
 	if _, err := w.Write(hdr[:n]); err != nil {
 		return err
 	}
-	if _, err := w.Write(payload); err != nil {
-		return err
-	}
-	return w.Flush()
+	_, err := w.Write(payload)
+	return err
 }
 
 func readFrame(r *bufio.Reader, buf []byte) ([]byte, error) {
@@ -104,6 +113,16 @@ func (s *TCPServer) acceptLoop() {
 	}
 }
 
+// serveConn pipelines one connection: the reader loop never blocks on
+// a handler, so a multiplexing peer can keep many requests in flight
+// on a single cached connection. Handlers complete out of order and a
+// dedicated writer goroutine serializes their responses back onto the
+// wire (the client demultiplexes by sequence ID). Never blocking the
+// reader on handler execution also breaks the distributed deadlock
+// that inline handling would create when two servers hold nested RPCs
+// to each other over one shared connection each (sync replication,
+// delta broadcast, failure-report pings). The admission gate remains
+// the concurrency bound.
 func (s *TCPServer) serveConn(c net.Conn) {
 	defer s.wg.Done()
 	s.met.conns.Inc()
@@ -118,52 +137,48 @@ func (s *TCPServer) serveConn(c net.Conn) {
 		tc.SetNoDelay(true)
 	}
 	br := bufio.NewReaderSize(c, 64<<10)
-	bw := bufio.NewWriterSize(c, 64<<10)
-	var rbuf, wbuf []byte
-	var wmu sync.Mutex // SpawnPerRequest writers race on bw
+	out := make(chan *wire.Response, 128)
+	writerDone := make(chan struct{})
+	go s.writeLoop(c, out, writerDone)
+	var hwg sync.WaitGroup
 	for {
-		frame, err := readFrame(br, rbuf)
+		// Fresh buffer per frame: the decoded request aliases it and
+		// handlers run concurrently with subsequent reads.
+		frame, err := readFrame(br, nil)
 		if err != nil {
-			return
+			break
 		}
-		rbuf = frame
 		s.met.bytesIn.Add(int64(len(frame)))
 		req, err := wire.DecodeRequest(frame)
 		if err != nil {
-			return // protocol violation: drop the connection
+			break // protocol violation: drop the connection
 		}
 		s.met.requests.Inc()
 		if !s.gate.tryAcquire() {
 			// Saturated: shed without touching the handler so the
 			// reader loop stays responsive under overload.
 			s.met.sheds.Inc()
-			wbuf = wire.EncodeResponse(wbuf[:0], s.gate.busy(req.Seq))
-			s.met.bytesOut.Add(int64(len(wbuf)))
-			wmu.Lock()
-			err := writeFrame(bw, wbuf)
-			wmu.Unlock()
-			if err != nil {
-				return
-			}
+			out <- s.gate.busy(req.Seq)
 			continue
 		}
+		hwg.Add(1)
 		switch s.mode {
 		case EventDriven:
-			s.met.inflight.Inc()
-			resp := s.handler(req)
-			s.met.inflight.Dec()
-			s.gate.release()
-			resp.Seq = req.Seq
-			wbuf = wire.EncodeResponse(wbuf[:0], resp)
-			s.met.bytesOut.Add(int64(len(wbuf)))
-			if err := writeFrame(bw, wbuf); err != nil {
-				return
-			}
+			go func(req *wire.Request) {
+				defer hwg.Done()
+				s.met.inflight.Inc()
+				resp := s.handler(req)
+				s.met.inflight.Dec()
+				s.gate.release()
+				resp.Seq = req.Seq
+				out <- resp
+			}(req)
 		case SpawnPerRequest:
 			// The multithreaded prototype spun up a thread per
-			// request; its costs were thread creation and handoff
-			// synchronization. DecodeRequest aliases the read
-			// buffer, so the spawned goroutine needs its own copy.
+			// request and paid a synchronized handoff on top;
+			// reproduce that cost profile: copy the request, spawn a
+			// worker, and rendezvous through a channel before the
+			// response reaches the writer.
 			reqCopy := *req
 			reqCopy.Value = append([]byte(nil), req.Value...)
 			reqCopy.Aux = append([]byte(nil), req.Aux...)
@@ -175,15 +190,42 @@ func (s *TCPServer) serveConn(c net.Conn) {
 				s.gate.release()
 				done <- r
 			}()
-			resp := <-done
-			resp.Seq = req.Seq
-			wmu.Lock()
-			out := wire.EncodeResponse(nil, resp)
-			s.met.bytesOut.Add(int64(len(out)))
-			err := writeFrame(bw, out)
-			wmu.Unlock()
-			if err != nil {
-				return
+			go func(seq uint64) {
+				defer hwg.Done()
+				resp := <-done
+				resp.Seq = seq
+				out <- resp
+			}(req.Seq)
+		}
+	}
+	hwg.Wait()
+	close(out)
+	<-writerDone
+}
+
+// writeLoop drains completed responses onto the connection, flushing
+// only when the queue momentarily empties. After a write error it
+// keeps draining so no handler ever blocks on a dead connection.
+func (s *TCPServer) writeLoop(c net.Conn, out <-chan *wire.Response, done chan<- struct{}) {
+	defer close(done)
+	bw := bufio.NewWriterSize(c, 64<<10)
+	var wbuf []byte
+	dead := false
+	for resp := range out {
+		if dead {
+			continue
+		}
+		wbuf = wire.EncodeResponse(wbuf[:0], resp)
+		s.met.bytesOut.Add(int64(len(wbuf)))
+		if err := writeFrameNoFlush(bw, wbuf); err != nil {
+			dead = true
+			c.Close()
+			continue
+		}
+		if len(out) == 0 {
+			if err := bw.Flush(); err != nil {
+				dead = true
+				c.Close()
 			}
 		}
 	}
@@ -209,13 +251,15 @@ func (s *TCPServer) Close() error {
 
 // TCPClientOptions configures a TCP client.
 type TCPClientOptions struct {
-	// ConnCache enables the LRU connection cache. Without it every
-	// Call dials a fresh connection (the paper's "TCP without
-	// connection caching" configuration).
+	// ConnCache enables the multiplexed connection cache: one
+	// full-duplex connection per destination shared by all concurrent
+	// calls. Without it every Call dials a fresh connection and runs
+	// in lockstep (the paper's "TCP without connection caching"
+	// configuration).
 	ConnCache bool
-	// MaxCached bounds the total number of cached idle connections
-	// across all destinations; the least recently used is evicted.
-	// 0 means DefaultMaxCached.
+	// MaxCached bounds the number of cached connections across all
+	// destinations; the least recently used is evicted (idle ones
+	// first). 0 means DefaultMaxCached.
 	MaxCached int
 	// Timeout bounds dial + round trip per call. 0 means
 	// DefaultTimeout.
@@ -231,19 +275,50 @@ const (
 	DefaultTimeout   = 10 * time.Second
 )
 
-// TCPClient issues requests over TCP, optionally caching connections
-// in an LRU pool keyed by destination address (§III.F).
+var (
+	errClientClosed = errors.New("transport: client closed")
+	errConnEvicted  = errors.New("transport: connection evicted from cache")
+	errDialRace     = errors.New("transport: lost dial race")
+)
+
+// TCPClient issues requests over TCP. With ConnCache enabled each
+// destination gets one full-duplex multiplexed connection (§III.F):
+// a writer goroutine pipelines encoded requests onto the wire and a
+// demux reader matches responses back to callers by sequence ID, so
+// any number of concurrent calls share the connection. When a
+// connection fails, every call in flight on it fails with a retriable
+// error (ErrUnreachable taxonomy) — the caller does not know whether
+// its request executed.
 type TCPClient struct {
 	opts TCPClientOptions
 	met  cliMetrics
 
 	mu     sync.Mutex
-	lru    *list.List                 // of *cachedConn, front = most recent
-	byAddr map[string][]*list.Element // idle conns per destination
-	size   int
+	lru    *list.List // of *muxConn, front = most recently used
+	byAddr map[string]*list.Element
 	closed bool
 }
 
+// muxConn is one multiplexed connection: callers register a sequence
+// ID and parking channel, push the encoded frame to the writer, and
+// wait for the demux reader to deliver their response.
+type muxConn struct {
+	addr    string
+	c       net.Conn
+	wch     chan []byte
+	closed  chan struct{}
+	timeout time.Duration
+	met     *cliMetrics
+
+	mu       sync.Mutex
+	seq      uint64
+	inflight map[uint64]chan *wire.Response
+	failed   bool
+	err      error
+}
+
+// cachedConn is a non-multiplexed connection used by the lockstep
+// (ConnCache=false) path and as the raw dial result.
 type cachedConn struct {
 	addr string
 	c    net.Conn
@@ -263,44 +338,67 @@ func NewTCPClient(opts TCPClientOptions) *TCPClient {
 		opts:   opts,
 		met:    newCliMetrics(opts.Metrics),
 		lru:    list.New(),
-		byAddr: make(map[string][]*list.Element),
+		byAddr: make(map[string]*list.Element),
 	}
 }
 
-// Call implements Caller. The connection deadline is the client's
-// configured timeout bounded by the request's remaining budget
+// Call implements Caller. The call deadline is the client's configured
+// timeout bounded by the request's remaining budget
 // (wire.Request.Budget), so one over-deadline call can never block
 // past the operation's end-to-end deadline.
 func (c *TCPClient) Call(addr string, req *wire.Request) (*wire.Response, error) {
 	c.met.calls.Inc()
 	deadline := callDeadline(req, c.opts.Timeout)
-	if !time.Now().Before(deadline) {
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
 		return nil, fmt.Errorf("%w: budget exhausted before dial", ErrTimeout)
 	}
-	cc, err := c.get(addr, deadline)
+	if !c.opts.ConnCache {
+		return c.callLockstep(addr, req, deadline)
+	}
+	mc, err := c.muxFor(addr, deadline)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", classify(err), err)
 	}
+	resp, err := mc.roundTrip(req, deadline)
+	if err == nil {
+		return resp, nil
+	}
+	if errors.Is(err, ErrTimeout) {
+		return nil, err
+	}
+	// The multiplexed connection failed (stale cache entry, server
+	// restart, mid-flight reset): retry exactly once on a fresh dial.
+	c.drop(mc)
+	mc, derr := c.muxFor(addr, deadline)
+	if derr != nil {
+		return nil, fmt.Errorf("%w: %v", classify(derr), derr)
+	}
+	return mc.roundTrip(req, deadline)
+}
+
+// CallBatch implements Caller by packing the sub-requests into one
+// OpBatch envelope: a batch is a single message on the (multiplexed)
+// connection, amortizing framing, syscalls, and scheduling across its
+// sub-operations.
+func (c *TCPClient) CallBatch(addr string, reqs []*wire.Request) ([]*wire.Response, error) {
+	c.met.batches.Inc()
+	c.met.batchSubs.Observe(int64(len(reqs)))
+	return EnvelopeCallBatch(c, addr, reqs)
+}
+
+// callLockstep is the uncached configuration: dial, one round trip,
+// close.
+func (c *TCPClient) callLockstep(addr string, req *wire.Request, deadline time.Time) (*wire.Response, error) {
+	cc, err := c.dial(addr, deadline)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", classify(err), err)
+	}
+	defer cc.c.Close()
 	cc.c.SetDeadline(deadline)
 	resp, err := c.roundTrip(cc, req)
 	if err != nil {
-		cc.c.Close()
-		// A cached connection may have gone stale (server restart,
-		// idle timeout): retry exactly once on a fresh dial.
-		cc, derr := c.dial(addr, deadline)
-		if derr != nil {
-			return nil, fmt.Errorf("%w: %v", classify(derr), derr)
-		}
-		cc.c.SetDeadline(deadline)
-		resp, err = c.roundTrip(cc, req)
-		if err != nil {
-			cc.c.Close()
-			return nil, fmt.Errorf("%w: %v", classify(err), err)
-		}
-		c.put(cc)
-		return resp, nil
+		return nil, fmt.Errorf("%w: %v", classify(err), err)
 	}
-	c.put(cc)
 	return resp, nil
 }
 
@@ -315,30 +413,93 @@ func (c *TCPClient) roundTrip(cc *cachedConn, req *wire.Request) (*wire.Response
 		return nil, err
 	}
 	c.met.bytesIn.Add(int64(len(frame)))
-	resp, err := wire.DecodeResponse(frame)
+	return wire.DecodeResponse(frame)
+}
+
+// muxFor returns the destination's multiplexed connection, dialing
+// one if absent. Concurrent dials to the same address are resolved by
+// keeping the first registered connection.
+func (c *TCPClient) muxFor(addr string, deadline time.Time) (*muxConn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errClientClosed
+	}
+	if el, ok := c.byAddr[addr]; ok {
+		c.lru.MoveToFront(el)
+		mc := el.Value.(*muxConn)
+		c.mu.Unlock()
+		c.met.cachedHits.Inc()
+		return mc, nil
+	}
+	c.mu.Unlock()
+	mc, err := c.dialMux(addr, deadline)
 	if err != nil {
 		return nil, err
 	}
-	return resp, nil
+	var evicted []*muxConn
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		mc.fail(errClientClosed)
+		return nil, errClientClosed
+	}
+	if el, ok := c.byAddr[addr]; ok {
+		c.lru.MoveToFront(el)
+		winner := el.Value.(*muxConn)
+		c.mu.Unlock()
+		mc.fail(errDialRace)
+		return winner, nil
+	}
+	c.byAddr[addr] = c.lru.PushFront(mc)
+	for c.lru.Len() > c.opts.MaxCached {
+		el := c.evictable()
+		if el == nil {
+			break
+		}
+		victim := el.Value.(*muxConn)
+		c.lru.Remove(el)
+		delete(c.byAddr, victim.addr)
+		evicted = append(evicted, victim)
+	}
+	c.mu.Unlock()
+	for _, v := range evicted {
+		v.fail(errConnEvicted)
+	}
+	return mc, nil
 }
 
-// get returns a cached idle connection for addr or dials a new one.
-func (c *TCPClient) get(addr string, deadline time.Time) (*cachedConn, error) {
-	if c.opts.ConnCache {
-		c.mu.Lock()
-		if els := c.byAddr[addr]; len(els) > 0 {
-			el := els[len(els)-1]
-			c.byAddr[addr] = els[:len(els)-1]
-			cc := el.Value.(*cachedConn)
-			c.lru.Remove(el)
-			c.size--
-			c.mu.Unlock()
-			c.met.cachedHits.Inc()
-			return cc, nil
+// evictable picks the LRU victim, preferring connections with no
+// calls in flight; the front (most recent) element is never evicted.
+func (c *TCPClient) evictable() *list.Element {
+	for el := c.lru.Back(); el != nil && el != c.lru.Front(); el = el.Prev() {
+		if el.Value.(*muxConn).idle() {
+			return el
 		}
-		c.mu.Unlock()
 	}
-	return c.dial(addr, deadline)
+	if el := c.lru.Back(); el != nil && el != c.lru.Front() {
+		return el
+	}
+	return nil
+}
+
+func (c *TCPClient) dialMux(addr string, deadline time.Time) (*muxConn, error) {
+	cc, err := c.dial(addr, deadline)
+	if err != nil {
+		return nil, err
+	}
+	mc := &muxConn{
+		addr:     addr,
+		c:        cc.c,
+		wch:      make(chan []byte, 128),
+		closed:   make(chan struct{}),
+		timeout:  c.opts.Timeout,
+		met:      &c.met,
+		inflight: make(map[uint64]chan *wire.Response),
+	}
+	go mc.writeLoop(cc.bw)
+	go c.readLoop(mc, cc.br)
+	return mc, nil
 }
 
 func (c *TCPClient) dial(addr string, deadline time.Time) (*cachedConn, error) {
@@ -359,66 +520,200 @@ func (c *TCPClient) dial(addr string, deadline time.Time) (*cachedConn, error) {
 	}, nil
 }
 
-// put returns a connection to the cache (or closes it when caching is
-// off or the cache is full, evicting the LRU entry).
-func (c *TCPClient) put(cc *cachedConn) {
-	if !c.opts.ConnCache {
-		cc.c.Close()
-		return
-	}
+// drop removes mc from the cache if it is still the registered
+// connection for its address (a replacement may already be in place).
+func (c *TCPClient) drop(mc *muxConn) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		cc.c.Close()
+	if el, ok := c.byAddr[mc.addr]; ok && el.Value.(*muxConn) == mc {
+		c.lru.Remove(el)
+		delete(c.byAddr, mc.addr)
+	}
+	c.mu.Unlock()
+}
+
+// readLoop demultiplexes responses to their registered callers by
+// sequence ID. Any read or decode error fails the connection and
+// every call in flight on it.
+func (c *TCPClient) readLoop(mc *muxConn, br *bufio.Reader) {
+	for {
+		frame, err := readFrame(br, nil)
+		if err != nil {
+			c.drop(mc)
+			mc.fail(err)
+			return
+		}
+		c.met.bytesIn.Add(int64(len(frame)))
+		resp, err := wire.DecodeResponse(frame)
+		if err != nil {
+			c.drop(mc)
+			mc.fail(err)
+			return
+		}
+		mc.mu.Lock()
+		ch := mc.inflight[resp.Seq]
+		delete(mc.inflight, resp.Seq)
+		mc.mu.Unlock()
+		if ch != nil {
+			ch <- resp
+		}
+	}
+}
+
+// writeLoop pushes encoded frames onto the wire, flushing only when
+// the queue momentarily empties so bursts of pipelined requests share
+// one flush.
+func (mc *muxConn) writeLoop(bw *bufio.Writer) {
+	for {
+		var buf []byte
+		select {
+		case buf = <-mc.wch:
+		case <-mc.closed:
+			return
+		}
+		if mc.timeout > 0 {
+			mc.c.SetWriteDeadline(time.Now().Add(mc.timeout))
+		}
+		if err := writeFrameNoFlush(bw, buf); err != nil {
+			mc.fail(err)
+			return
+		}
+	drain:
+		for {
+			select {
+			case buf = <-mc.wch:
+				if err := writeFrameNoFlush(bw, buf); err != nil {
+					mc.fail(err)
+					return
+				}
+			default:
+				break drain
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			mc.fail(err)
+			return
+		}
+	}
+}
+
+// roundTrip issues one request over the multiplexed connection and
+// waits for its demultiplexed response or the deadline.
+func (mc *muxConn) roundTrip(req *wire.Request, deadline time.Time) (*wire.Response, error) {
+	mc.mu.Lock()
+	if mc.failed {
+		err := mc.err
+		mc.mu.Unlock()
+		return nil, fmt.Errorf("%w: %v", classify(err), err)
+	}
+	mc.seq++
+	seq := mc.seq
+	ch := make(chan *wire.Response, 1)
+	mc.inflight[seq] = ch
+	mc.mu.Unlock()
+	mc.met.muxInflight.Inc()
+	defer mc.met.muxInflight.Dec()
+
+	r := *req // callers may reuse req concurrently; never mutate it
+	r.Seq = seq
+	buf := wire.EncodeRequest(nil, &r)
+	mc.met.bytesOut.Add(int64(len(buf)))
+
+	var expire <-chan time.Time
+	if !deadline.IsZero() {
+		timer := time.NewTimer(time.Until(deadline))
+		defer timer.Stop()
+		expire = timer.C
+	}
+	select {
+	case mc.wch <- buf:
+	case <-mc.closed:
+		mc.deregister(seq)
+		err := mc.failure()
+		return nil, fmt.Errorf("%w: %v", classify(err), err)
+	case <-expire:
+		mc.deregister(seq)
+		return nil, fmt.Errorf("%w: no response within deadline", ErrTimeout)
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			// The connection failed with this call in flight. The
+			// error is retriable, but the request may or may not have
+			// executed on the server.
+			err := mc.failure()
+			return nil, fmt.Errorf("%w: in-flight call failed: %v", classify(err), err)
+		}
+		return resp, nil
+	case <-expire:
+		mc.deregister(seq)
+		return nil, fmt.Errorf("%w: no response within deadline", ErrTimeout)
+	}
+}
+
+func (mc *muxConn) deregister(seq uint64) {
+	mc.mu.Lock()
+	delete(mc.inflight, seq)
+	mc.mu.Unlock()
+}
+
+func (mc *muxConn) failure() error {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	if mc.err == nil {
+		return errors.New("transport: connection closed")
+	}
+	return mc.err
+}
+
+func (mc *muxConn) idle() bool {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return len(mc.inflight) == 0
+}
+
+// fail marks the connection dead exactly once: it closes the socket
+// (stopping both loops) and closes every in-flight caller's channel so
+// all of them fail promptly with a retriable error.
+func (mc *muxConn) fail(err error) {
+	mc.mu.Lock()
+	if mc.failed {
+		mc.mu.Unlock()
 		return
 	}
-	for c.size >= c.opts.MaxCached {
-		el := c.lru.Back()
-		if el == nil {
-			break
-		}
-		victim := el.Value.(*cachedConn)
-		c.removeLocked(el, victim)
-		victim.c.Close()
+	mc.failed = true
+	mc.err = err
+	pending := mc.inflight
+	mc.inflight = make(map[uint64]chan *wire.Response)
+	mc.mu.Unlock()
+	close(mc.closed)
+	mc.c.Close()
+	for _, ch := range pending {
+		close(ch)
 	}
-	el := c.lru.PushFront(cc)
-	c.byAddr[cc.addr] = append(c.byAddr[cc.addr], el)
-	c.size++
 }
 
-func (c *TCPClient) removeLocked(el *list.Element, cc *cachedConn) {
-	c.lru.Remove(el)
-	els := c.byAddr[cc.addr]
-	for i, e := range els {
-		if e == el {
-			c.byAddr[cc.addr] = append(els[:i], els[i+1:]...)
-			break
-		}
-	}
-	if len(c.byAddr[cc.addr]) == 0 {
-		delete(c.byAddr, cc.addr)
-	}
-	c.size--
-}
-
-// CachedConns reports the number of idle cached connections (for
-// tests and monitoring).
+// CachedConns reports the number of cached multiplexed connections
+// (for tests and monitoring).
 func (c *TCPClient) CachedConns() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.size
+	return c.lru.Len()
 }
 
-// Close drops all cached connections.
+// Close drops all cached connections, failing any calls in flight on
+// them.
 func (c *TCPClient) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.closed = true
+	var conns []*muxConn
 	for el := c.lru.Front(); el != nil; el = el.Next() {
-		el.Value.(*cachedConn).c.Close()
+		conns = append(conns, el.Value.(*muxConn))
 	}
 	c.lru.Init()
-	c.byAddr = make(map[string][]*list.Element)
-	c.size = 0
+	c.byAddr = make(map[string]*list.Element)
+	c.mu.Unlock()
+	for _, mc := range conns {
+		mc.fail(errClientClosed)
+	}
 	return nil
 }

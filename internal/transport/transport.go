@@ -36,8 +36,32 @@ type Handler func(req *wire.Request) *wire.Response
 type Caller interface {
 	// Call sends req to addr and returns the response.
 	Call(addr string, req *wire.Request) (*wire.Response, error)
+	// CallBatch sends reqs to addr as one batched message (or as few
+	// as the transport's message size budget allows) and returns
+	// exactly len(reqs) sub-responses in request order. When the
+	// server answers with a message-level verdict instead of a batch
+	// payload (StatusBusy shed, batch-unaware handler), that verdict
+	// is fanned out to every sub-response. An error means the whole
+	// batch failed in transit and is retriable like a failed Call.
+	CallBatch(addr string, reqs []*wire.Request) ([]*wire.Response, error)
 	// Close releases client resources (cached connections).
 	Close() error
+}
+
+// EnvelopeCallBatch implements CallBatch for any transport whose
+// message size is unconstrained: it packs the sub-requests into one
+// wire.OpBatch envelope, issues it as a single Call, and unpacks the
+// sub-responses. Transports with a message size budget (UDP) split
+// batches themselves instead.
+func EnvelopeCallBatch(c Caller, addr string, reqs []*wire.Request) ([]*wire.Response, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	resp, err := c.Call(addr, wire.NewBatchRequest(reqs))
+	if err != nil {
+		return nil, err
+	}
+	return wire.UnpackBatchResponses(resp, len(reqs))
 }
 
 // Listener is a running server endpoint.

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"encoding/binary"
 	"fmt"
 	"net"
 	"sync"
@@ -242,6 +243,57 @@ func (c *UDPClient) Call(addr string, req *wire.Request) (*wire.Response, error)
 	}
 	c.putSock(addr, conn)
 	return nil, ErrTimeout
+}
+
+// CallBatch implements Caller by packing sub-requests into OpBatch
+// envelopes, splitting at the datagram budget: each chunk is sized so
+// its encoded envelope fits in maxDatagram. Chunks are issued
+// sequentially; an error fails the remainder of the batch (retriable,
+// like Call — earlier chunks may have executed).
+func (c *UDPClient) CallBatch(addr string, reqs []*wire.Request) ([]*wire.Response, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	c.met.batches.Inc()
+	c.met.batchSubs.Observe(int64(len(reqs)))
+	// Reserve headroom for the envelope header and the per-item count
+	// and length prefixes.
+	const slack = 64
+	out := make([]*wire.Response, 0, len(reqs))
+	var chunk []*wire.Request
+	size := 0
+	flush := func() error {
+		if len(chunk) == 0 {
+			return nil
+		}
+		rs, err := EnvelopeCallBatch(c, addr, chunk)
+		if err != nil {
+			return err
+		}
+		out = append(out, rs...)
+		chunk = nil
+		size = 0
+		return nil
+	}
+	var scratch []byte
+	for _, r := range reqs {
+		scratch = wire.EncodeRequest(scratch[:0], r)
+		n := len(scratch) + binary.MaxVarintLen64
+		if n+slack > maxDatagram {
+			return nil, fmt.Errorf("transport: batched request of %d bytes exceeds datagram limit", len(scratch))
+		}
+		if size+n+slack > maxDatagram {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+		chunk = append(chunk, r)
+		size += n
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 func (c *UDPClient) getSock(addr string) (*net.UDPConn, error) {

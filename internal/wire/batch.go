@@ -1,0 +1,156 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Batch envelope codec. A batch is an ordinary Request with Op ==
+// OpBatch whose Aux carries N encoded sub-requests; its response is an
+// ordinary Response whose Value carries the N sub-responses in the
+// same order. Reusing the single-message framing means every
+// transport, admission gate, and fault-injection layer handles batches
+// with no special cases: a batch is one message on the wire, and the
+// amortization of per-message overhead across its sub-operations is
+// exactly the win the paper's connection-caching ablation (§III.F)
+// chases at the connection level.
+
+// MaxBatchOps bounds the sub-operations one envelope may carry,
+// guarding the decoder against corrupt counts allocating unbounded
+// memory.
+const MaxBatchOps = 1 << 16
+
+// EncodeOps appends count + length-prefixed encoded sub-requests to
+// dst and returns it.
+func EncodeOps(dst []byte, reqs []*Request) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(reqs)))
+	var item []byte
+	for _, r := range reqs {
+		item = EncodeRequest(item[:0], r)
+		dst = binary.AppendUvarint(dst, uint64(len(item)))
+		dst = append(dst, item...)
+	}
+	return dst
+}
+
+// DecodeOps parses the sub-requests of a batch envelope. Nested
+// batches are rejected: an envelope inside an envelope has no valid
+// meaning and would let a hostile peer build decoding bombs. Decoded
+// requests alias b (see DecodeRequest).
+func DecodeOps(b []byte) ([]*Request, error) {
+	n, b, err := uvar(b)
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxBatchOps {
+		return nil, fmt.Errorf("%w: batch of %d ops exceeds limit", errMalformed, n)
+	}
+	reqs := make([]*Request, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var item []byte
+		if item, b, err = bytesField(b); err != nil {
+			return nil, err
+		}
+		r, err := DecodeRequest(item)
+		if err != nil {
+			return nil, err
+		}
+		if r.Op == OpBatch {
+			return nil, fmt.Errorf("%w: nested batch", errMalformed)
+		}
+		reqs = append(reqs, r)
+	}
+	if len(b) != 0 {
+		return nil, errMalformed
+	}
+	return reqs, nil
+}
+
+// EncodeResponses appends count + length-prefixed encoded
+// sub-responses to dst and returns it.
+func EncodeResponses(dst []byte, rs []*Response) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(rs)))
+	var item []byte
+	for _, r := range rs {
+		item = EncodeResponse(item[:0], r)
+		dst = binary.AppendUvarint(dst, uint64(len(item)))
+		dst = append(dst, item...)
+	}
+	return dst
+}
+
+// DecodeResponses parses the sub-responses of a batch envelope's
+// response. Decoded responses alias b (see DecodeResponse).
+func DecodeResponses(b []byte) ([]*Response, error) {
+	n, b, err := uvar(b)
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxBatchOps {
+		return nil, fmt.Errorf("%w: batch of %d responses exceeds limit", errMalformed, n)
+	}
+	rs := make([]*Response, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var item []byte
+		if item, b, err = bytesField(b); err != nil {
+			return nil, err
+		}
+		r, err := DecodeResponse(item)
+		if err != nil {
+			return nil, err
+		}
+		rs = append(rs, r)
+	}
+	if len(b) != 0 {
+		return nil, errMalformed
+	}
+	return rs, nil
+}
+
+// NewBatchRequest packs sub-requests into an OpBatch envelope. The
+// envelope inherits the largest Epoch and Budget among its
+// sub-requests so stale-table detection and deadline propagation keep
+// working at the message level.
+func NewBatchRequest(reqs []*Request) *Request {
+	env := &Request{Op: OpBatch, Aux: EncodeOps(nil, reqs)}
+	for _, r := range reqs {
+		if r.Epoch > env.Epoch {
+			env.Epoch = r.Epoch
+		}
+		if r.Budget > env.Budget {
+			env.Budget = r.Budget
+		}
+	}
+	return env
+}
+
+// NewBatchResponse packs sub-responses into a batch envelope's
+// response.
+func NewBatchResponse(rs []*Response) *Response {
+	return &Response{Status: StatusOK, Value: EncodeResponses(nil, rs)}
+}
+
+// UnpackBatchResponses extracts n sub-responses from an envelope's
+// response. When the server answered with a message-level verdict
+// instead of a batch payload — shed with StatusBusy, rejected by a
+// batch-unaware handler, or any top-level error — that verdict is
+// fanned out to every sub-slot so callers can treat each sub-response
+// uniformly.
+func UnpackBatchResponses(resp *Response, n int) ([]*Response, error) {
+	if resp.Status == StatusOK {
+		rs, err := DecodeResponses(resp.Value)
+		if err == nil && len(rs) == n {
+			return rs, nil
+		}
+		if err == nil {
+			return nil, fmt.Errorf("%w: batch answered %d of %d sub-responses", errMalformed, len(rs), n)
+		}
+		return nil, err
+	}
+	rs := make([]*Response, n)
+	for i := range rs {
+		cp := *resp
+		rs[i] = &cp
+	}
+	return rs, nil
+}

@@ -1,0 +1,171 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func sampleOps() []*Request {
+	return []*Request{
+		{Op: OpInsert, Key: "alpha", Value: []byte("v1"), Epoch: 3, Budget: 1000},
+		{Op: OpLookup, Key: "beta", Epoch: 3},
+		{Op: OpRemove, Key: "gamma", Epoch: 7},
+		{Op: OpAppend, Key: "alpha", Value: []byte("+more"), Aux: []byte("aux")},
+		{Op: OpReplicate, Partition: 42, Key: "delta", Value: []byte("rv"), Flags: FlagNoReplicate},
+	}
+}
+
+func TestBatchOpsRoundTrip(t *testing.T) {
+	in := sampleOps()
+	enc := EncodeOps(nil, in)
+	out, err := DecodeOps(enc)
+	if err != nil {
+		t.Fatalf("DecodeOps: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d ops, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Op != in[i].Op || out[i].Key != in[i].Key ||
+			!bytes.Equal(out[i].Value, in[i].Value) || !bytes.Equal(out[i].Aux, in[i].Aux) ||
+			out[i].Epoch != in[i].Epoch || out[i].Budget != in[i].Budget ||
+			out[i].Partition != in[i].Partition || out[i].Flags != in[i].Flags {
+			t.Fatalf("op %d does not round-trip: got %+v want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestBatchResponsesRoundTrip(t *testing.T) {
+	in := []*Response{
+		{Status: StatusOK, Value: []byte("hit")},
+		{Status: StatusNotFound},
+		{Status: StatusWrongOwner, Table: []byte("tbl")},
+		{Status: StatusError, Err: "boom"},
+		{Status: StatusBusy, RetryAfter: 12345},
+	}
+	enc := EncodeResponses(nil, in)
+	out, err := DecodeResponses(enc)
+	if err != nil {
+		t.Fatalf("DecodeResponses: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d responses, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Status != in[i].Status || !bytes.Equal(out[i].Value, in[i].Value) ||
+			!bytes.Equal(out[i].Table, in[i].Table) || out[i].Err != in[i].Err ||
+			out[i].RetryAfter != in[i].RetryAfter {
+			t.Fatalf("response %d does not round-trip: got %+v want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestBatchEnvelopeThroughMessageCodec(t *testing.T) {
+	subs := sampleOps()
+	env := NewBatchRequest(subs)
+	if env.Op != OpBatch {
+		t.Fatalf("envelope op = %v", env.Op)
+	}
+	if env.Epoch != 7 || env.Budget != 1000 {
+		t.Fatalf("envelope should inherit max epoch/budget, got epoch=%d budget=%d", env.Epoch, env.Budget)
+	}
+	dec, err := DecodeRequest(EncodeRequest(nil, env))
+	if err != nil {
+		t.Fatalf("envelope through message codec: %v", err)
+	}
+	got, err := DecodeOps(dec.Aux)
+	if err != nil || len(got) != len(subs) {
+		t.Fatalf("sub-ops after transit: %d, %v", len(got), err)
+	}
+}
+
+func TestDecodeOpsRejectsNestedBatch(t *testing.T) {
+	inner := NewBatchRequest([]*Request{{Op: OpLookup, Key: "k"}})
+	enc := EncodeOps(nil, []*Request{inner})
+	if _, err := DecodeOps(enc); err == nil {
+		t.Fatal("nested batch accepted")
+	}
+}
+
+func TestUnpackBatchResponses(t *testing.T) {
+	subs := []*Response{{Status: StatusOK, Value: []byte("a")}, {Status: StatusNotFound}}
+	env := NewBatchResponse(subs)
+	got, err := UnpackBatchResponses(env, 2)
+	if err != nil || len(got) != 2 || got[0].Status != StatusOK || got[1].Status != StatusNotFound {
+		t.Fatalf("unpack: %v %+v", err, got)
+	}
+	// Count mismatch is a protocol violation, not silently tolerated.
+	if _, err := UnpackBatchResponses(env, 3); err == nil {
+		t.Fatal("count mismatch accepted")
+	}
+	// A message-level verdict (busy shed) fans out to every sub-slot.
+	busy := &Response{Status: StatusBusy, RetryAfter: 99}
+	got, err = UnpackBatchResponses(busy, 2)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("fan-out: %v", err)
+	}
+	for _, r := range got {
+		if r.Status != StatusBusy || r.RetryAfter != 99 {
+			t.Fatalf("fan-out response = %+v", r)
+		}
+	}
+}
+
+// TestBatchDecodeNeverPanics is the batch codec's fuzzer, mirroring
+// TestDecodeNeverPanics: random soup and bit-flipped valid payloads
+// must error or round-trip, never panic.
+func TestBatchDecodeNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	validOps := EncodeOps(nil, sampleOps())
+	validResps := EncodeResponses(nil, []*Response{
+		{Status: StatusOK, Value: []byte("v")},
+		{Status: StatusWrongOwner, Table: []byte("t")},
+	})
+	for i := 0; i < 5000; i++ {
+		var b []byte
+		switch i % 3 {
+		case 0: // pure noise
+			b = make([]byte, rng.Intn(128))
+			rng.Read(b)
+		case 1: // mutated valid op batch
+			b = append([]byte(nil), validOps...)
+			b[rng.Intn(len(b))] ^= byte(1 << rng.Intn(8))
+		case 2: // mutated valid response batch
+			b = append([]byte(nil), validResps...)
+			b[rng.Intn(len(b))] ^= byte(1 << rng.Intn(8))
+		}
+		if ops, err := DecodeOps(b); err == nil {
+			re := EncodeOps(nil, ops)
+			if rt, err2 := DecodeOps(re); err2 != nil || len(rt) != len(ops) {
+				t.Fatalf("accepted op batch does not round-trip: %v", err2)
+			}
+		}
+		if rs, err := DecodeResponses(b); err == nil {
+			re := EncodeResponses(nil, rs)
+			if rt, err2 := DecodeResponses(re); err2 != nil || len(rt) != len(rs) {
+				t.Fatalf("accepted response batch does not round-trip: %v", err2)
+			}
+		}
+	}
+}
+
+// FuzzBatchDecode is the native fuzz entry point for the batch codec;
+// `go test` runs it over the seed corpus, `go test -fuzz` explores.
+func FuzzBatchDecode(f *testing.F) {
+	f.Add(EncodeOps(nil, sampleOps()))
+	f.Add(EncodeResponses(nil, []*Response{{Status: StatusOK}}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if ops, err := DecodeOps(b); err == nil {
+			if _, err2 := DecodeOps(EncodeOps(nil, ops)); err2 != nil {
+				t.Fatalf("accepted op batch does not round-trip: %v", err2)
+			}
+		}
+		if rs, err := DecodeResponses(b); err == nil {
+			if _, err2 := DecodeResponses(EncodeResponses(nil, rs)); err2 != nil {
+				t.Fatalf("accepted response batch does not round-trip: %v", err2)
+			}
+		}
+	})
+}

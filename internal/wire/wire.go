@@ -50,6 +50,11 @@ const (
 	// manager verifies, fails the node over, and broadcasts the
 	// membership change (§III.C unplanned departures).
 	OpReport
+	// OpBatch is an envelope carrying N encoded sub-requests in Aux;
+	// the response carries the N sub-responses in Value (see batch.go).
+	// Batching amortizes per-message cost across operations the same
+	// way connection caching (§III.F) amortizes per-connection cost.
+	OpBatch
 	opMax
 )
 
@@ -81,6 +86,8 @@ func (o Op) String() string {
 		return "ping"
 	case OpReport:
 		return "report"
+	case OpBatch:
+		return "batch"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
