@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test verify bench clean docs-check fmt-check bench-smoke
+.PHONY: build test verify bench clean docs-check fmt-check bench-smoke storage-smoke
 
 build:
 	$(GO) build ./...
@@ -28,13 +28,22 @@ docs-check:
 bench-smoke:
 	timeout 30 $(GO) run ./cmd/zht-bench -smoke
 
+# storage-smoke is the crash-recovery gate: a randomized loop that
+# tears the write-ahead log mid-commit via the chaos fault hooks,
+# reopens the store, and checks that every acknowledged mutation
+# survived (see internal/tools/storagesmoke). Seeds are printed, so a
+# failure is replayable with -seed.
+storage-smoke:
+	timeout 60 $(GO) run ./internal/tools/storagesmoke
+
 # verify is the pre-merge gate: formatting and docs checks, static
 # analysis, the full test suite (including the chaos soak) under the
-# race detector, and the batching smoke run.
+# race detector, and the batching + crash-recovery smoke runs.
 verify: fmt-check docs-check
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) bench-smoke
+	$(MAKE) storage-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

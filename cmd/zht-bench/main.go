@@ -22,6 +22,7 @@ import (
 	"zht/internal/core"
 	"zht/internal/loadgen"
 	"zht/internal/metrics"
+	"zht/internal/storage"
 	"zht/internal/transport"
 	"zht/internal/wire"
 )
@@ -43,8 +44,18 @@ func main() {
 		chaosSeed  = flag.Int64("chaos", 0, "fault-injection seed: run client traffic through a lossy, slow, ack-dropping network (0 = off)")
 		metricsOn  = flag.Bool("metrics", false, "record into the metrics registry and print p50/p90/p99/p999 latency plus subsystem counters")
 		debugAddr  = flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address during the run (implies -metrics)")
+		durability = flag.String("durability", "async", "WAL acknowledgement mode: none, async, group, or sync (needs -data to matter)")
+		durSweep   = flag.Bool("durability-sweep", false, "measure throughput per durability mode over loopback TCP and print the group-commit win")
 	)
 	flag.Parse()
+	dur, err := storage.ParseDurability(*durability)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *durSweep {
+		runDurabilitySweep(*ops)
+		return
+	}
 	if *smoke {
 		b := *batch
 		if b <= 1 {
@@ -59,8 +70,9 @@ func main() {
 	}
 	cfg := core.Config{
 		NumPartitions: *partitions, Replicas: *replicas,
-		DataDir: *dataDir, RetryBase: time.Millisecond,
-		Metrics: reg,
+		DataDir: *dataDir, Durability: dur,
+		RetryBase: time.Millisecond,
+		Metrics:   reg,
 	}
 	if *debugAddr != "" {
 		ln, stop, err := metrics.ServeDebug(*debugAddr, reg)
@@ -283,6 +295,85 @@ func runSmoke(batch int, minRatio float64) {
 		fmt.Println("smoke: FAIL — batching speedup below threshold")
 		os.Exit(1)
 	}
+}
+
+// runDurabilitySweep measures a mutation-only insert workload over
+// loopback TCP once per durability mode — same client count, disjoint
+// data directories — and prints per-mode throughput. The group/sync
+// ratio is the group-commit win: both modes fsync before
+// acknowledging, but group amortizes each fsync across the whole
+// commit batch. The workload is all mutations because that is what a
+// durability mode prices: lookups never touch the WAL, so mixing them
+// in only dilutes the thing being measured.
+func runDurabilitySweep(rounds int) {
+	// Few partitions on few servers so concurrent mutations actually
+	// share a WAL — group commit amortizes fsyncs only across records
+	// that are in flight on the same log. One partition per server is
+	// the per-store worst case for sync and the best case for group.
+	const clients, servers, partitions = 64, 1, 1
+	if rounds > 400 {
+		rounds = 400 // per-op fsyncs make sync mode slow; keep the sweep short
+	}
+	modes := []storage.Durability{
+		storage.DurabilityNone, storage.DurabilityAsync,
+		storage.DurabilityGroup, storage.DurabilitySync,
+	}
+	val := make([]byte, 132)
+
+	tput := make(map[storage.Durability]float64)
+	for _, mode := range modes {
+		dir, err := os.MkdirTemp("", "zht-dur")
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := core.Config{
+			NumPartitions: partitions, RetryBase: time.Millisecond,
+			DataDir: dir, Durability: mode,
+		}
+		d, cleanup, _, err := bootNet(servers, cfg, "tcp-cache", nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var attempted atomic.Int64
+		var wg sync.WaitGroup
+		errCh := make(chan error, clients)
+		start := time.Now()
+		for ci := 0; ci < clients; ci++ {
+			wg.Add(1)
+			go func(ci int) {
+				defer wg.Done()
+				own := transport.NewTCPClient(transport.TCPClientOptions{ConnCache: true})
+				defer own.Close()
+				c, err := core.NewClient(cfg, d.Instance(0).Table(), own)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for i := 0; i < rounds; i++ {
+					k := fmt.Sprintf("c%04dk%09d", ci, i)[:15]
+					attempted.Add(1)
+					if err := c.Insert(k, val); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}(ci)
+		}
+		wg.Wait()
+		el := time.Since(start)
+		close(errCh)
+		for err := range errCh {
+			log.Fatal(err)
+		}
+		cleanup()
+		os.RemoveAll(dir)
+		tput[mode] = float64(attempted.Load()) / el.Seconds()
+		fmt.Printf("durability=%-5s  %8.0f ops/s  (%d clients, %d rounds, loopback TCP)\n",
+			mode, tput[mode], clients, rounds)
+	}
+	fmt.Printf("group-commit win: group/sync = %.2fx; async/none = %.2fx\n",
+		tput[storage.DurabilityGroup]/tput[storage.DurabilitySync],
+		tput[storage.DurabilityAsync]/tput[storage.DurabilityNone])
 }
 
 // degradedScenario is the default -chaos schedule: a persistently bad

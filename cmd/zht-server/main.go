@@ -22,6 +22,7 @@ import (
 	"zht/internal/core"
 	"zht/internal/metrics"
 	"zht/internal/ring"
+	"zht/internal/storage"
 	"zht/internal/transport"
 )
 
@@ -37,8 +38,13 @@ func main() {
 		proto      = flag.String("proto", "tcp", "transport: tcp or udp")
 		hashName   = flag.String("hash", "", "ring hash function (default lookup3)")
 		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+		durability = flag.String("durability", "async", "WAL acknowledgement mode: none, async, group, or sync")
 	)
 	flag.Parse()
+	dur, err := storage.ParseDurability(*durability)
+	if err != nil {
+		log.Fatal(err)
+	}
 	var reg *metrics.Registry
 	if *debugAddr != "" {
 		reg = metrics.NewRegistry()
@@ -53,6 +59,7 @@ func main() {
 		NumPartitions: *partitions,
 		Replicas:      *replicas,
 		DataDir:       *dataDir,
+		Durability:    dur,
 		HashName:      *hashName,
 		Metrics:       reg,
 	}

@@ -14,6 +14,7 @@ import (
 
 	"zht/internal/metrics"
 	"zht/internal/sim"
+	"zht/internal/storage"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "DES random seed")
 		sweep     = flag.Bool("sweep", false, "print the efficiency sweep to 1M nodes")
 		metricsOn = flag.Bool("metrics", false, "record DES completions into a metrics registry and print the zht.client.* snapshot (requires -des)")
+		durMode   = flag.String("durability", "async", "modeled WAL mode: none, async, group, or sync (group amortizes one fsync per batch)")
 	)
 	flag.Parse()
 
@@ -53,6 +55,11 @@ func main() {
 	p.Replicas = *replicas
 	p.SyncReplication = *syncRep
 	p.BatchSize = *batch
+	dur, err2 := storage.ParseDurability(*durMode)
+	if err2 != nil {
+		log.Fatal(err2)
+	}
+	p.Durability = dur
 	var reg *metrics.Registry
 	if *metricsOn {
 		if !*des {

@@ -31,6 +31,7 @@ import (
 
 	"zht/internal/hashing"
 	"zht/internal/novoht"
+	"zht/internal/storage"
 	"zht/internal/transport"
 	"zht/internal/wire"
 )
@@ -49,7 +50,7 @@ const maxHops = 64
 type Node struct {
 	token    uint64 // position on the ring
 	addr     string
-	store    *novoht.Store
+	store    storage.KV
 	caller   transport.Caller
 	hashf    hashing.Func
 	replicas int

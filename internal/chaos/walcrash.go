@@ -1,0 +1,82 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrWALCrash is the error a WALCrash injects once its byte budget
+// runs out. The storage layer wraps it in storage.ErrBroken, so
+// callers match it with errors.Is on either sentinel.
+var ErrWALCrash = errors.New("chaos: injected WAL crash")
+
+// WALCrash is a storage.Fault that kills a write-ahead log after a
+// seeded pseudo-random number of appended bytes, tearing the record
+// in flight at a pseudo-random interior offset — the on-disk state a
+// power loss mid-write leaves behind. Everything before the crash
+// point reaches the file untouched; everything after it (including
+// every later fsync) fails, which is exactly the contract a real
+// dead disk presents. The crash point derives only from the seed, so
+// a failing run is replayable byte for byte.
+type WALCrash struct {
+	mu      sync.Mutex
+	budget  int64 // appended bytes remaining before the crash
+	crashed bool
+}
+
+// NewWALCrash arms a crash after budget bytes in [minBytes,
+// maxBytes), chosen deterministically from seed.
+func NewWALCrash(seed int64, minBytes, maxBytes int) *WALCrash {
+	if maxBytes <= minBytes {
+		maxBytes = minBytes + 1
+	}
+	span := uint64(maxBytes - minBytes)
+	return &WALCrash{budget: int64(minBytes) + int64(splitmix(uint64(seed))%span)}
+}
+
+// splitmix is SplitMix64: one multiply-xor-shift chain turns a seed
+// into a well-mixed value without dragging in a shared RNG stream,
+// matching how the rest of the package derives faults.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// BeforeWrite implements storage.Fault: it passes records through
+// until the budget crosses zero inside one, then delivers only the
+// bytes up to the crash point and the injected error.
+func (w *WALCrash) BeforeWrite(n int) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.crashed {
+		return 0, fmt.Errorf("%w (post-crash write)", ErrWALCrash)
+	}
+	if int64(n) <= w.budget {
+		w.budget -= int64(n)
+		return n, nil
+	}
+	keep := int(w.budget)
+	w.crashed = true
+	return keep, fmt.Errorf("%w (torn at byte %d of %d)", ErrWALCrash, keep, n)
+}
+
+// BeforeSync implements storage.Fault: fsync fails once the crash
+// has fired.
+func (w *WALCrash) BeforeSync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.crashed {
+		return fmt.Errorf("%w (post-crash fsync)", ErrWALCrash)
+	}
+	return nil
+}
+
+// Crashed reports whether the injected crash has fired yet.
+func (w *WALCrash) Crashed() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.crashed
+}

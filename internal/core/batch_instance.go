@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"zht/internal/ring"
 	"zht/internal/wire"
 )
@@ -65,8 +67,8 @@ func (in *Instance) handleBatch(req *wire.Request) *wire.Response {
 // check, store resolution — but pays it once for the whole group.
 // Routing verdicts (WrongOwner, Migrating, errors) are fanned out to
 // every sub-op in the group: ops for one partition route all-or-
-// nothing, so the client re-routes them together. Mutations hold the
-// partition's mutation lock once across the group, and replication of
+// nothing, so the client re-routes them together. Mutations hold their
+// keys' mutation stripes once across the group, and replication of
 // the successful mutations is coalesced into one batched OpReplicate
 // per replica.
 func (in *Instance) applyBatchPartition(p int, subs []*wire.Request, idxs []int, resps []*wire.Response) {
@@ -112,17 +114,27 @@ func (in *Instance) applyBatchPartition(p int, subs []*wire.Request, idxs []int,
 		return
 	}
 
-	anyMutation := false
+	// Lock the mutation stripes of every key the group mutates, in
+	// ascending stripe order (concurrent envelopes acquire in the same
+	// order, so they cannot deadlock), and hold them across apply +
+	// replication: same key → same stripe, so per-key replica order
+	// still matches apply order, while groups touching disjoint keys
+	// overlap — feeding the store's group-commit WAL whole batches.
+	var stripes []int
+	seen := make(map[int]bool)
 	for _, i := range idxs {
 		if in.mutates(subs[i]) {
-			anyMutation = true
-			break
+			st := int(in.hashf(subs[i].Key) % uint64(len(in.mutLocks)))
+			if !seen[st] {
+				seen[st] = true
+				stripes = append(stripes, st)
+			}
 		}
 	}
-	if anyMutation {
-		ml := &in.mutLocks[p%len(in.mutLocks)]
-		ml.Lock()
-		defer ml.Unlock()
+	sort.Ints(stripes)
+	for _, st := range stripes {
+		in.mutLocks[st].Lock()
+		defer in.mutLocks[st].Unlock()
 	}
 	// applied collects the sub-ops whose mutation succeeded, in apply
 	// order — the order replicas must see them in.

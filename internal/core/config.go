@@ -16,6 +16,7 @@ import (
 
 	"zht/internal/hashing"
 	"zht/internal/metrics"
+	"zht/internal/storage"
 )
 
 // Config holds deployment-wide parameters shared by every instance
@@ -42,6 +43,12 @@ type Config struct {
 	// MaxMemValuesPerPartition bounds resident values per partition
 	// store (NoVoHT's memory-footprint control). 0 = unbounded.
 	MaxMemValuesPerPartition int
+	// Durability selects the write-ahead-log acknowledgement level
+	// for every partition store (see storage.Durability). The zero
+	// value is async — buffered writes, the seed behavior;
+	// storage.DurabilityNone makes every partition volatile even
+	// when DataDir is set.
+	Durability storage.Durability
 	// OpRetries is how many times a client retries an unreachable
 	// instance (with exponential backoff) before declaring it failed.
 	// 0 means DefaultOpRetries.

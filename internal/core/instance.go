@@ -10,6 +10,7 @@ import (
 	"zht/internal/hashing"
 	"zht/internal/novoht"
 	"zht/internal/ring"
+	"zht/internal/storage"
 	"zht/internal/transport"
 	"zht/internal/wire"
 )
@@ -33,7 +34,7 @@ type Instance struct {
 	table *ring.Table
 
 	smu    sync.Mutex // guards stores
-	stores map[int]*novoht.Store
+	stores map[int]storage.KV
 
 	pmu   sync.Mutex // guards parts
 	parts map[int]*partState
@@ -42,11 +43,14 @@ type Instance struct {
 	// marking the partition migrating, draining appliers so the
 	// exported image includes every acknowledged write).
 	opLocks [64]sync.RWMutex
-	// mutLocks serialize each partition's mutation+replication pair
-	// (striped): without it, two concurrent writes to one key could
-	// reach the secondary replica in the opposite order from the
-	// primary's apply order and diverge permanently. Lookups bypass
-	// these locks entirely.
+	// mutLocks serialize each KEY's mutation+replication pair
+	// (striped by key hash): without it, two concurrent writes to one
+	// key could reach the secondary replica in the opposite order
+	// from the primary's apply order and diverge permanently.
+	// Striping by key rather than by partition lets mutations of
+	// different keys overlap inside one partition store, which is
+	// what feeds the store's group-commit WAL more than one record
+	// per fsync. Lookups bypass these locks entirely.
 	mutLocks [64]sync.Mutex
 
 	bmu   sync.Mutex // guards bcast
@@ -91,7 +95,7 @@ func NewInstance(cfg Config, self ring.Instance, table *ring.Table, caller trans
 		self:   self,
 		hashf:  cfg.hash(),
 		table:  table.Clone(),
-		stores: make(map[int]*novoht.Store),
+		stores: make(map[int]storage.KV),
 		parts:  make(map[int]*partState),
 		bcast:  make(map[string][]byte),
 		caller: caller,
@@ -161,7 +165,7 @@ func (in *Instance) Epoch() uint64 {
 
 // store returns (creating on demand) the NoVoHT store backing
 // partition p on this instance.
-func (in *Instance) store(p int) (*novoht.Store, error) {
+func (in *Instance) store(p int) (storage.KV, error) {
 	in.smu.Lock()
 	defer in.smu.Unlock()
 	if s, ok := in.stores[p]; ok {
@@ -169,12 +173,14 @@ func (in *Instance) store(p int) (*novoht.Store, error) {
 	}
 	opts := novoht.Options{
 		MaxMemValues: in.cfg.MaxMemValuesPerPartition,
+		Durability:   in.cfg.Durability,
 		Metrics:      in.cfg.Metrics,
 	}
 	if in.cfg.DataDir != "" {
 		opts.Path = filepath.Join(in.cfg.DataDir, fmt.Sprintf("%s-p%06d.log", in.self.ID, p))
-	} else {
-		opts.MaxMemValues = 0 // memory bound requires a log
+	}
+	if opts.Path == "" || opts.Durability == storage.DurabilityNone {
+		opts.MaxMemValues = 0 // memory bound requires a persistent log
 	}
 	s, err := novoht.Open(opts)
 	if err != nil {
@@ -265,7 +271,7 @@ func (in *Instance) handleKV(req *wire.Request) *wire.Response {
 	}
 	mutation := in.mutates(req)
 	if mutation {
-		ml := &in.mutLocks[p%len(in.mutLocks)]
+		ml := &in.mutLocks[h%uint64(len(in.mutLocks))]
 		ml.Lock()
 		defer ml.Unlock()
 	}
@@ -302,7 +308,7 @@ func (in *Instance) exportPartition(p int) ([]byte, error) {
 	lock.Lock()
 	defer lock.Unlock()
 	var img bytes.Buffer
-	if err := s.Export(&img); err != nil {
+	if err := storage.Export(&img, s); err != nil {
 		return nil, err
 	}
 	return img.Bytes(), nil
@@ -310,7 +316,7 @@ func (in *Instance) exportPartition(p int) ([]byte, error) {
 
 // applyKV executes one KV op against a store. Shared by the primary
 // path and the replica path so both stay byte-identical.
-func applyKV(s *novoht.Store, req *wire.Request) *wire.Response {
+func applyKV(s storage.KV, req *wire.Request) *wire.Response {
 	switch req.Op {
 	case wire.OpInsert:
 		if req.Flags&wire.FlagIfAbsent != 0 {
@@ -544,7 +550,7 @@ func (in *Instance) rebuildReplicas(table *ring.Table, p int) {
 			return
 		}
 		var img bytes.Buffer
-		if err := s.Export(&img); err != nil {
+		if err := storage.Export(&img, s); err != nil {
 			return
 		}
 		for _, r := range table.ReplicasOf(p, in.cfg.Replicas) {
@@ -580,7 +586,7 @@ func (in *Instance) handleMigrate(req *wire.Request) *wire.Response {
 		if err != nil {
 			return &wire.Response{Status: wire.StatusError, Err: err.Error()}
 		}
-		if _, err := s.Import(bytes.NewReader(req.Aux)); err != nil {
+		if _, err := storage.Import(bytes.NewReader(req.Aux), s); err != nil {
 			return &wire.Response{Status: wire.StatusError, Err: err.Error()}
 		}
 		return &wire.Response{Status: wire.StatusOK}

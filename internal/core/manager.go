@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"zht/internal/ring"
+	"zht/internal/storage"
 	"zht/internal/transport"
 	"zht/internal/wire"
 )
@@ -94,7 +95,7 @@ func joinOnce(cfg Config, newcomer ring.Instance, seedAddr string, caller transp
 			return nil, err
 		}
 		if len(mresp.Value) > 0 {
-			if _, err := s.Import(bytes.NewReader(mresp.Value)); err != nil {
+			if _, err := storage.Import(bytes.NewReader(mresp.Value), s); err != nil {
 				abort()
 				return nil, fmt.Errorf("import partition %d: %w", p, err)
 			}

@@ -6,7 +6,7 @@ import (
 
 	"zht/internal/baselines/bdb"
 	"zht/internal/baselines/kyoto"
-	"zht/internal/novoht"
+	"zht/internal/storage"
 )
 
 // Small adapters giving the Figure 6 stores one interface.
@@ -14,7 +14,7 @@ import (
 func mkTempDir() (string, error) { return os.MkdirTemp("", "zht-fig") }
 func rmTempDir(dir string)       { os.RemoveAll(dir) }
 
-type novohtKV struct{ s *novoht.Store }
+type novohtKV struct{ s storage.KV }
 
 func (k novohtKV) set(key string, v []byte) error { return k.s.Put(key, v) }
 func (k novohtKV) get(key string) error {

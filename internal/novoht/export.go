@@ -1,74 +1,26 @@
 package novoht
 
 import (
-	"bufio"
-	"errors"
-	"fmt"
 	"io"
+
+	"zht/internal/storage"
 )
 
-// Export and Import move a whole store image between nodes. ZHT's
-// partition migration (paper §III.C "Data Migration") moves entire
-// partitions — "as easy as moving a file" — instead of rehashing
-// key/value pairs; each partition is backed by one NoVoHT store, and
-// these functions produce/consume the file image that travels.
-
-// exportMagic precedes every export stream.
-var exportMagic = []byte("NOVOEXP1")
+// Export and Import move a whole store image between nodes using the
+// engine-agnostic stream format defined in internal/storage (ZHT's
+// partition migration, paper §III.C, moves entire partitions — "as
+// easy as moving a file" — instead of rehashing key/value pairs).
+// These methods remain for convenience; new code should call
+// storage.Export and storage.Import directly on any storage.KV.
 
 // Export writes a self-contained snapshot of the store to w.
 func (s *Store) Export(w io.Writer) error {
-	bw := bufio.NewWriterSize(w, 1<<20)
-	if _, err := bw.Write(exportMagic); err != nil {
-		return err
-	}
-	var off int64
-	err := s.ForEach(func(key string, val []byte) error {
-		n, _, err := writeRecordTo(bw, off, recPut, key, val)
-		off += n
-		return err
-	})
-	if err != nil {
-		return err
-	}
-	// Terminator: a zero type byte marks a clean end of stream.
-	if err := bw.WriteByte(0); err != nil {
-		return err
-	}
-	return bw.Flush()
+	return storage.Export(w, s)
 }
 
 // Import loads pairs from an Export stream into the store, replacing
 // values for keys that already exist. It returns the number of pairs
 // imported.
 func (s *Store) Import(r io.Reader) (int, error) {
-	br := bufio.NewReaderSize(r, 1<<20)
-	magic := make([]byte, len(exportMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return 0, fmt.Errorf("novoht: import: %w", err)
-	}
-	if string(magic) != string(exportMagic) {
-		return 0, errors.New("novoht: import: bad magic")
-	}
-	count := 0
-	for {
-		if b, err := br.ReadByte(); err != nil {
-			return count, fmt.Errorf("novoht: import: missing terminator: %w", err)
-		} else if b == 0 {
-			return count, nil
-		} else if err := br.UnreadByte(); err != nil {
-			return count, err
-		}
-		typ, key, val, _, err := readRecord(br)
-		if err != nil {
-			return count, fmt.Errorf("novoht: import: %w", err)
-		}
-		if typ != recPut {
-			return count, errors.New("novoht: import: unexpected record type")
-		}
-		if err := s.Put(key, val); err != nil {
-			return count, err
-		}
-		count++
-	}
+	return storage.Import(r, s)
 }

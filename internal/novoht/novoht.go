@@ -1,5 +1,6 @@
 // Package novoht implements NoVoHT, ZHT's Non-Volatile Hash Table
-// (paper §III.I and reference [49]).
+// (paper §III.I and reference [49]) — the flagship implementation of
+// the storage.KV interface.
 //
 // NoVoHT keeps every key/value pair in memory for constant-time
 // lookups and appends each mutation to an on-disk log so the full
@@ -18,6 +19,15 @@
 //     existing value under a local lock, enabling ZHT's lock-free
 //     concurrent key/value modification.
 //
+// Two structural choices serve concurrency. The in-memory table is
+// split into power-of-two lock shards, so operations on different
+// keys — including the disk read that faults an evicted value back
+// in — proceed in parallel instead of serializing on one store-wide
+// RWMutex. And the log is a group-commit write-ahead log (wal.go): a
+// single writer coalesces concurrently submitted records into one
+// write and, per storage.Durability mode, one fsync, acknowledging
+// each mutation only once its record's durability level is met.
+//
 // A Store is safe for concurrent use by multiple goroutines.
 package novoht
 
@@ -30,9 +40,11 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"zht/internal/metrics"
+	"zht/internal/storage"
 )
 
 // Options configures a Store.
@@ -40,6 +52,21 @@ type Options struct {
 	// Path is the log file. Empty means a volatile, memory-only
 	// store (the paper's "NoVoHT no persistence" configuration).
 	Path string
+	// Durability selects how much WAL durability a mutation must
+	// reach before it is acknowledged. The zero value is
+	// storage.DurabilityAsync (the seed store's behavior);
+	// storage.DurabilityNone makes the store volatile, ignoring
+	// Path.
+	Durability storage.Durability
+	// Shards is the lock-shard count for the in-memory table,
+	// rounded up to a power of two (0 = DefaultShards).
+	Shards int
+	// GroupWindow is how long a group-mode commit waits after its
+	// first record for more to arrive before fsyncing, so callers
+	// staggered by scheduling or network round trips still share one
+	// fsync (0 = DefaultGroupWindow; negative = commit immediately).
+	// Ignored outside group mode.
+	GroupWindow time.Duration
 	// CompactEvery triggers log compaction after this many mutations
 	// (0 = use DefaultCompactEvery; negative = never auto-compact).
 	CompactEvery int
@@ -47,16 +74,24 @@ type Options struct {
 	// fraction of the log (0 = use DefaultGCRatio).
 	GCRatio float64
 	// MaxMemValues bounds how many values stay resident in memory;
-	// 0 means unbounded. Keys always stay resident. Requires Path.
+	// 0 means unbounded. Keys always stay resident. Requires
+	// persistence (a Path and a Durability other than None).
 	MaxMemValues int
 	// SyncOnCompact fsyncs the rewritten log during compaction.
+	// Group and sync durability modes always do.
 	SyncOnCompact bool
+	// Fault, when non-nil, injects storage-level crash faults into
+	// the WAL (see storage.Fault and internal/chaos); production
+	// stores leave it nil.
+	Fault storage.Fault
 	// Metrics, when non-nil, receives per-operation latency
-	// histograms (zht.novoht.{get,put,append}.latency_ns) and
-	// eviction/compaction counters. Stores sharing a registry (e.g.
-	// all partitions of one instance) aggregate into the same
-	// instruments. Nil disables measurement entirely — the hot paths
-	// skip even their time.Now calls.
+	// histograms (zht.novoht.{get,put,append}.latency_ns),
+	// eviction/compaction counters, and the WAL's
+	// zht.storage.wal.{commits,batch.size,fsync_ns} instruments.
+	// Stores sharing a registry (e.g. all partitions of one
+	// instance) aggregate into the same instruments. Nil disables
+	// measurement entirely — the hot paths skip even their time.Now
+	// calls.
 	Metrics *metrics.Registry
 }
 
@@ -64,26 +99,33 @@ type Options struct {
 const (
 	DefaultCompactEvery = 1 << 20
 	DefaultGCRatio      = 0.5
+	DefaultShards       = 16
+	// DefaultGroupWindow trades ~0.5ms of commit latency for batching:
+	// wide enough for a closed loop of clients to resubmit after an
+	// ack (a scheduler pass plus a loopback round trip), narrow
+	// enough to stay well under a typical storage fsync budget.
+	DefaultGroupWindow = 500 * time.Microsecond
 )
 
-// Store is a NoVoHT hash table.
+// Store is a NoVoHT hash table. It implements storage.KV.
 type Store struct {
-	mu   sync.RWMutex
-	m    map[string]*entry
-	opts Options
+	opts   Options
+	shards []*shard
+	mask   uint32
+	wal    *wal // nil for a volatile store
 
-	f         *os.File
-	w         *bufio.Writer
-	logSize   int64 // bytes written to the log
-	deadBytes int64 // bytes belonging to superseded records
-	mutations int   // mutations since last compaction
-	resident  int   // values currently held in memory
-	closed    bool
+	resident  atomic.Int64 // values currently held in memory
+	deadBytes atomic.Int64 // log bytes belonging to superseded records
+	mutations atomic.Int64 // mutations since last compaction
+	closed    atomic.Bool
 
-	// clock hand for eviction (iteration order is fine: eviction is
-	// best-effort cache management, not a correctness property).
-	evictKeys []string
-	evictPos  int
+	// compactMu serializes compaction and Sync against each other
+	// (both touch the log file as a whole) and lets auto-compaction
+	// be single-flight.
+	compactMu sync.Mutex
+	// evictCursor rotates the shard eviction starts so no shard's
+	// values are systematically the first to be spilled.
+	evictCursor atomic.Uint32
 
 	// Instruments resolved once at Open; all nil when metrics are
 	// disabled.
@@ -93,6 +135,17 @@ type Store struct {
 	evictions    *metrics.Counter   // zht.novoht.evictions
 	evictedLoads *metrics.Counter   // zht.novoht.evicted_loads
 	compactions  *metrics.Counter   // zht.novoht.compactions
+}
+
+// shard is one lock stripe of the in-memory table.
+type shard struct {
+	mu sync.RWMutex
+	m  map[string]*entry
+
+	// clock hand for eviction (iteration order is fine: eviction is
+	// best-effort cache management, not a correctness property).
+	evictKeys []string
+	evictPos  int
 }
 
 // entry is one key's state. If val is nil and onDisk is true, the
@@ -119,6 +172,11 @@ var (
 	ErrNoPersistence = errors.New("novoht: store has no persistence")
 )
 
+// testSlowLoad, when non-nil, runs inside loadEvicted with the owning
+// shard's lock held; the eviction-isolation regression test uses it
+// to make one shard's disk read observably slow.
+var testSlowLoad func()
+
 // Open creates or recovers a store. If opts.Path exists, its log is
 // replayed; a torn final record (from a crash mid-write) is truncated
 // away, recovering the longest consistent prefix.
@@ -129,10 +187,28 @@ func Open(opts Options) (*Store, error) {
 	if opts.GCRatio == 0 {
 		opts.GCRatio = DefaultGCRatio
 	}
-	if opts.MaxMemValues > 0 && opts.Path == "" {
-		return nil, errors.New("novoht: MaxMemValues requires a log path")
+	if opts.GroupWindow == 0 {
+		opts.GroupWindow = DefaultGroupWindow
+	} else if opts.GroupWindow < 0 {
+		opts.GroupWindow = 0
 	}
-	s := &Store{m: make(map[string]*entry), opts: opts}
+	if opts.Durability == storage.DurabilityNone {
+		opts.Path = "" // volatile: the log path is ignored
+	}
+	if opts.MaxMemValues > 0 && opts.Path == "" {
+		return nil, errors.New("novoht: MaxMemValues requires a persistent log")
+	}
+	nShards := opts.Shards
+	if nShards <= 0 {
+		nShards = DefaultShards
+	}
+	for nShards&(nShards-1) != 0 {
+		nShards++
+	}
+	s := &Store{opts: opts, shards: make([]*shard, nShards), mask: uint32(nShards - 1)}
+	for i := range s.shards {
+		s.shards[i] = &shard{m: make(map[string]*entry)}
+	}
 	if reg := opts.Metrics; reg != nil {
 		s.getLat = reg.Histogram("zht.novoht.get.latency_ns")
 		s.putLat = reg.Histogram("zht.novoht.put.latency_ns")
@@ -148,27 +224,37 @@ func Open(opts Options) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("novoht: open log: %w", err)
 	}
-	s.f = f
-	if err := s.replay(); err != nil {
+	logSize, err := s.replay(f)
+	if err != nil {
 		f.Close()
 		return nil, err
 	}
-	if _, err := f.Seek(s.logSize, io.SeekStart); err != nil {
+	if _, err := f.Seek(logSize, io.SeekStart); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("novoht: seek log end: %w", err)
 	}
-	if err := f.Truncate(s.logSize); err != nil {
+	if err := f.Truncate(logSize); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("novoht: truncate torn tail: %w", err)
 	}
-	s.w = bufio.NewWriterSize(f, 64<<10)
+	s.wal = newWAL(f, logSize, opts.Durability, opts.GroupWindow, opts.Fault, opts.Metrics)
 	return s, nil
 }
 
-// replay loads the log into memory, stopping at the first corrupt or
-// torn record.
-func (s *Store) replay() error {
-	r := bufio.NewReaderSize(s.f, 1<<20)
+// shardOf returns the lock shard owning key (FNV-1a).
+func (s *Store) shardOf(key string) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return s.shards[h&s.mask]
+}
+
+// replay loads the log into the shards, stopping at the first corrupt
+// or torn record; it returns the consistent prefix length.
+func (s *Store) replay(f *os.File) (int64, error) {
+	r := bufio.NewReaderSize(f, 1<<20)
 	var off int64
 	for {
 		rec, key, val, n, err := readRecord(r)
@@ -176,30 +262,31 @@ func (s *Store) replay() error {
 			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, errBadRecord) {
 				break // torn tail: keep the consistent prefix
 			}
-			return err
+			return 0, err
 		}
+		sh := s.shardOf(key)
 		switch rec {
 		case recPut:
-			if old, ok := s.m[key]; ok {
-				s.deadBytes += recordSize(key, old.vlen)
+			if old, ok := sh.m[key]; ok {
+				s.deadBytes.Add(recordSize(key, old.vlen))
 			}
 			voff := off + int64(n) - int64(len(val)) - 4
-			s.m[key] = &entry{val: val, off: voff, vlen: int64(len(val)), onDisk: true}
+			sh.m[key] = &entry{val: val, off: voff, vlen: int64(len(val)), onDisk: true}
 		case recRemove:
-			if old, ok := s.m[key]; ok {
-				s.deadBytes += recordSize(key, old.vlen) + recordSize(key, 0)
-				delete(s.m, key)
+			if old, ok := sh.m[key]; ok {
+				s.deadBytes.Add(recordSize(key, old.vlen) + recordSize(key, 0))
+				delete(sh.m, key)
 			}
 		case recAppend:
-			e, ok := s.m[key]
+			e, ok := sh.m[key]
 			if !ok {
 				e = &entry{}
-				s.m[key] = e
+				sh.m[key] = e
 			}
 			if e.onDisk && e.val == nil {
 				// Shouldn't happen during replay (values are loaded),
 				// but guard anyway.
-				return errors.New("novoht: replay: append to evicted entry")
+				return 0, errors.New("novoht: replay: append to evicted entry")
 			}
 			e.val = append(e.val, val...)
 			e.vlen = int64(len(e.val))
@@ -207,20 +294,29 @@ func (s *Store) replay() error {
 		}
 		off += int64(n)
 	}
-	s.logSize = off
-	s.resident = len(s.m)
-	return nil
+	keys := 0
+	for _, sh := range s.shards {
+		keys += len(sh.m)
+	}
+	s.resident.Store(int64(keys))
+	return off, nil
 }
 
 // Put stores val under key, replacing any existing value.
 func (s *Store) Put(key string, val []byte) error {
 	defer s.timeOp(s.putLat)()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	if s.closed.Load() {
+		sh.mu.Unlock()
 		return ErrClosed
 	}
-	return s.putLocked(key, val)
+	end, err := s.putShardLocked(sh, key, val)
+	sh.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return s.finishMutation(end)
 }
 
 // timeOp starts timing an operation against h, returning the function
@@ -238,65 +334,125 @@ func (s *Store) timeOp(h *metrics.Histogram) func() {
 
 func nopTimer() {}
 
-func (s *Store) putLocked(key string, val []byte) error {
-	voff, err := s.writeRecord(recPut, key, val)
+// putShardLocked applies a Put under sh's lock: the record is
+// submitted to the WAL (offsets assigned in submission order, which
+// the shard lock makes per-key order) and the in-memory entry
+// updated. It returns the log offset the caller must wait durable.
+func (s *Store) putShardLocked(sh *shard, key string, val []byte) (int64, error) {
+	voff, end, err := s.appendRecord(recPut, key, val)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	if old, ok := s.m[key]; ok {
-		s.deadBytes += recordSize(key, old.vlen)
+	if old, ok := sh.m[key]; ok {
+		s.deadBytes.Add(recordSize(key, old.vlen))
 		if old.val == nil && old.onDisk {
-			s.resident++ // evicted entry becomes resident again
+			s.resident.Add(1) // evicted entry becomes resident again
 		}
 		old.val = append(old.val[:0], val...)
-		old.off, old.vlen, old.onDisk = voff, int64(len(val)), s.f != nil
+		old.off, old.vlen, old.onDisk = voff, int64(len(val)), s.wal != nil
 	} else {
-		s.m[key] = &entry{
+		sh.m[key] = &entry{
 			val: append([]byte(nil), val...), off: voff,
-			vlen: int64(len(val)), onDisk: s.f != nil,
+			vlen: int64(len(val)), onDisk: s.wal != nil,
 		}
-		s.resident++
+		s.resident.Add(1)
 	}
-	return s.afterMutation()
+	s.mutations.Add(1)
+	return end, nil
+}
+
+// appendRecord encodes and submits one log record, returning the
+// in-log offset of its value bytes and the offset its last byte will
+// occupy (the durability target).
+func (s *Store) appendRecord(typ byte, key string, val []byte) (voff, end int64, err error) {
+	if s.wal == nil {
+		return 0, 0, nil
+	}
+	var hdr [1 + 2*binary.MaxVarintLen64]byte
+	hdr[0] = typ
+	n := 1
+	n += binary.PutUvarint(hdr[n:], uint64(len(key)))
+	n += binary.PutUvarint(hdr[n:], uint64(len(val)))
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[:n])
+	crc.Write([]byte(key))
+	crc.Write(val)
+	rec := make([]byte, 0, n+len(key)+len(val)+4)
+	rec = append(rec, hdr[:n]...)
+	rec = append(rec, key...)
+	rec = append(rec, val...)
+	rec = binary.LittleEndian.AppendUint32(rec, crc.Sum32())
+	off, err := s.wal.append(rec)
+	if err != nil {
+		return 0, 0, err
+	}
+	return off + int64(n) + int64(len(key)), off + int64(len(rec)), nil
+}
+
+// finishMutation runs the post-apply policy with no shard lock held:
+// enforce the memory bound, wait for the record's durability level,
+// and trigger auto-compaction.
+func (s *Store) finishMutation(end int64) error {
+	if s.opts.MaxMemValues > 0 && s.resident.Load() > int64(s.opts.MaxMemValues) {
+		if err := s.evictToBound(); err != nil {
+			return err
+		}
+	}
+	if s.wal == nil {
+		return nil
+	}
+	if err := s.wal.waitDurable(end); err != nil {
+		return err
+	}
+	return s.maybeCompact()
 }
 
 // PutIfAbsent stores val only when key is not present; it reports
 // whether the store was modified.
 func (s *Store) PutIfAbsent(key string, val []byte) (bool, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	if s.closed.Load() {
+		sh.mu.Unlock()
 		return false, ErrClosed
 	}
-	if _, ok := s.m[key]; ok {
+	if _, ok := sh.m[key]; ok {
+		sh.mu.Unlock()
 		return false, nil
 	}
-	return true, s.putLocked(key, val)
+	end, err := s.putShardLocked(sh, key, val)
+	sh.mu.Unlock()
+	if err != nil {
+		return false, err
+	}
+	return true, s.finishMutation(end)
 }
 
 // Get returns a copy of the value stored under key.
 func (s *Store) Get(key string) ([]byte, bool, error) {
 	defer s.timeOp(s.getLat)()
-	s.mu.RLock()
-	e, ok := s.m[key]
+	sh := s.shardOf(key)
+	sh.mu.RLock()
+	e, ok := sh.m[key]
 	if !ok {
-		s.mu.RUnlock()
+		sh.mu.RUnlock()
 		return nil, false, nil
 	}
 	if e.val != nil || e.vlen == 0 {
 		v := append([]byte(nil), e.val...)
-		s.mu.RUnlock()
+		sh.mu.RUnlock()
 		return v, true, nil
 	}
-	s.mu.RUnlock()
-	// Evicted: fetch from the log under the write lock (the value
-	// may be re-resident or compacted concurrently).
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	sh.mu.RUnlock()
+	// Evicted: fault the value in while holding only this shard's
+	// write lock — a slow disk read stalls this shard's keys, never
+	// the other shards'.
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s.closed.Load() {
 		return nil, false, ErrClosed
 	}
-	e, ok = s.m[key]
+	e, ok = sh.m[key]
 	if !ok {
 		return nil, false, nil
 	}
@@ -308,221 +464,224 @@ func (s *Store) Get(key string) ([]byte, bool, error) {
 	return append([]byte(nil), e.val...), true, nil
 }
 
-// loadEvicted reads an evicted entry's value back from the log.
+// loadEvicted reads an evicted entry's value back from the log; the
+// owning shard's lock must be held.
 func (s *Store) loadEvicted(e *entry) error {
-	if err := s.w.Flush(); err != nil {
-		return fmt.Errorf("novoht: flush before read: %w", err)
+	if testSlowLoad != nil {
+		testSlowLoad()
 	}
 	buf := make([]byte, e.vlen)
-	if _, err := s.f.ReadAt(buf, e.off); err != nil {
-		return fmt.Errorf("novoht: read evicted value: %w", err)
+	if err := s.wal.readAt(buf, e.off); err != nil {
+		return err
 	}
 	e.val = buf
-	s.resident++
+	s.resident.Add(1)
 	s.evictedLoads.Inc()
 	return nil
 }
 
 // Remove deletes key, reporting whether it was present.
 func (s *Store) Remove(key string) (bool, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	if s.closed.Load() {
+		sh.mu.Unlock()
 		return false, ErrClosed
 	}
-	e, ok := s.m[key]
+	e, ok := sh.m[key]
 	if !ok {
+		sh.mu.Unlock()
 		return false, nil
 	}
-	if _, err := s.writeRecord(recRemove, key, nil); err != nil {
+	_, end, err := s.appendRecord(recRemove, key, nil)
+	if err != nil {
+		sh.mu.Unlock()
 		return false, err
 	}
-	s.deadBytes += recordSize(key, e.vlen) + recordSize(key, 0)
+	s.deadBytes.Add(recordSize(key, e.vlen) + recordSize(key, 0))
 	if e.val != nil || e.vlen == 0 {
-		s.resident--
+		s.resident.Add(-1)
 	}
-	delete(s.m, key)
-	return true, s.afterMutation()
+	delete(sh.m, key)
+	s.mutations.Add(1)
+	sh.mu.Unlock()
+	return true, s.finishMutation(end)
 }
 
 // Append concatenates val to the value stored under key, creating the
 // key when absent. This is the operation FusionFS uses for lock-free
-// concurrent directory updates: only this store's local lock is held.
+// concurrent directory updates: only the key's shard lock is held.
 func (s *Store) Append(key string, val []byte) error {
 	defer s.timeOp(s.appendLat)()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	if s.closed.Load() {
+		sh.mu.Unlock()
 		return ErrClosed
 	}
-	e, ok := s.m[key]
+	e, ok := sh.m[key]
 	if ok && e.val == nil && e.vlen > 0 {
 		if err := s.loadEvicted(e); err != nil {
+			sh.mu.Unlock()
 			return err
 		}
 	}
-	if _, err := s.writeRecord(recAppend, key, val); err != nil {
+	_, end, err := s.appendRecord(recAppend, key, val)
+	if err != nil {
+		sh.mu.Unlock()
 		return err
 	}
 	if !ok {
 		e = &entry{}
-		s.m[key] = e
-		s.resident++
+		sh.m[key] = e
+		s.resident.Add(1)
 	}
 	// Append records never supersede earlier log bytes (replay needs
 	// the whole chain), so deadBytes is unchanged until compaction.
 	e.val = append(e.val, val...)
 	e.vlen = int64(len(e.val))
 	e.onDisk = false
-	return s.afterMutation()
+	s.mutations.Add(1)
+	sh.mu.Unlock()
+	return s.finishMutation(end)
 }
 
 // Cas atomically replaces the value under key with newVal when the
 // current value equals oldVal. A nil oldVal means "expect absent".
 // It returns the value observed when the swap fails.
 func (s *Store) Cas(key string, oldVal, newVal []byte) (bool, []byte, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	if s.closed.Load() {
+		sh.mu.Unlock()
 		return false, nil, ErrClosed
 	}
-	e, ok := s.m[key]
+	e, ok := sh.m[key]
 	if ok && e.val == nil && e.vlen > 0 {
 		if err := s.loadEvicted(e); err != nil {
+			sh.mu.Unlock()
 			return false, nil, err
 		}
 	}
 	switch {
 	case !ok && oldVal != nil:
+		sh.mu.Unlock()
 		return false, nil, nil
 	case ok && oldVal == nil:
-		return false, append([]byte(nil), e.val...), nil
+		v := append([]byte(nil), e.val...)
+		sh.mu.Unlock()
+		return false, v, nil
 	case ok && string(e.val) != string(oldVal):
-		return false, append([]byte(nil), e.val...), nil
+		v := append([]byte(nil), e.val...)
+		sh.mu.Unlock()
+		return false, v, nil
 	}
-	if err := s.putLocked(key, newVal); err != nil {
+	end, err := s.putShardLocked(sh, key, newVal)
+	sh.mu.Unlock()
+	if err != nil {
 		return false, nil, err
 	}
-	return true, nil, nil
+	return true, nil, s.finishMutation(end)
 }
 
 // Len reports the number of keys stored.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.m)
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// lockAll acquires every shard lock in index order (the store-wide
+// stop-the-world used by ForEach, compaction, and Close).
+func (s *Store) lockAll() {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+	}
+}
+
+func (s *Store) unlockAll() {
+	for _, sh := range s.shards {
+		sh.mu.Unlock()
+	}
 }
 
 // ForEach calls fn for every pair; fn must not mutate the store. The
-// value passed to fn for evicted entries is loaded from disk.
+// value passed to fn for evicted entries is loaded from disk. The
+// whole store is locked for the duration, so the iteration is a
+// consistent snapshot (partition export depends on this).
 func (s *Store) ForEach(fn func(key string, val []byte) error) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	s.lockAll()
+	defer s.unlockAll()
+	if s.closed.Load() {
 		return ErrClosed
 	}
-	for k, e := range s.m {
-		v := e.val
-		if v == nil && e.vlen > 0 {
-			if err := s.loadEvicted(e); err != nil {
+	for _, sh := range s.shards {
+		for k, e := range sh.m {
+			v := e.val
+			if v == nil && e.vlen > 0 {
+				if err := s.loadEvicted(e); err != nil {
+					return err
+				}
+				v = e.val
+			}
+			if err := fn(k, v); err != nil {
 				return err
 			}
-			v = e.val
 		}
-		if err := fn(k, v); err != nil {
+	}
+	return nil
+}
+
+// evictToBound spills resident values until the memory bound is met,
+// visiting each shard at most once per call (a shard whose remaining
+// values are unevictable — empty values keep their slot — is skipped
+// rather than rescanned forever). The rotating cursor spreads the
+// spill across shards.
+func (s *Store) evictToBound() error {
+	n := uint32(len(s.shards))
+	start := s.evictCursor.Add(1)
+	bound := int64(s.opts.MaxMemValues)
+	for i := uint32(0); i < n && s.resident.Load() > bound; i++ {
+		sh := s.shards[(start+i)&s.mask]
+		sh.mu.Lock()
+		if s.closed.Load() {
+			sh.mu.Unlock()
+			return ErrClosed
+		}
+		err := s.evictShardLocked(sh, bound)
+		sh.mu.Unlock()
+		if err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// writeRecord appends one record to the log and returns the file
-// offset of the value bytes within the record (for eviction).
-func (s *Store) writeRecord(typ byte, key string, val []byte) (int64, error) {
-	if s.f == nil {
-		return 0, nil
-	}
-	var hdr [1 + 2*binary.MaxVarintLen64]byte
-	hdr[0] = typ
-	n := 1
-	n += binary.PutUvarint(hdr[n:], uint64(len(key)))
-	n += binary.PutUvarint(hdr[n:], uint64(len(val)))
-	crc := crc32.NewIEEE()
-	crc.Write(hdr[:n])
-	crc.Write([]byte(key))
-	crc.Write(val)
-	var sum [4]byte
-	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
-
-	if _, err := s.w.Write(hdr[:n]); err != nil {
-		return 0, fmt.Errorf("novoht: write log: %w", err)
-	}
-	if _, err := s.w.WriteString(key); err != nil {
-		return 0, fmt.Errorf("novoht: write log: %w", err)
-	}
-	if _, err := s.w.Write(val); err != nil {
-		return 0, fmt.Errorf("novoht: write log: %w", err)
-	}
-	if _, err := s.w.Write(sum[:]); err != nil {
-		return 0, fmt.Errorf("novoht: write log: %w", err)
-	}
-	voff := s.logSize + int64(n) + int64(len(key))
-	s.logSize += int64(n) + int64(len(key)) + int64(len(val)) + 4
-	// Flush per mutation: data reaches the page cache so persistence
-	// costs only a write syscall (the paper measured ~3µs extra per
-	// op for persistence). Durability against power loss would need
-	// fsync, which the paper also does not pay per-op.
-	if err := s.w.Flush(); err != nil {
-		return 0, fmt.Errorf("novoht: flush log: %w", err)
-	}
-	return voff, nil
-}
-
-// afterMutation enforces the memory bound and auto-compaction policy.
-func (s *Store) afterMutation() error {
-	s.mutations++
-	if s.opts.MaxMemValues > 0 && s.resident > s.opts.MaxMemValues {
-		if err := s.evictLocked(s.resident - s.opts.MaxMemValues); err != nil {
-			return err
+// evictShardLocked advances sh's clock hand, spilling values whose
+// latest image is contiguous on disk; values mutated by Append since
+// their last full write are first rewritten so an image exists.
+func (s *Store) evictShardLocked(sh *shard, bound int64) error {
+	if len(sh.evictKeys) == 0 || sh.evictPos >= len(sh.evictKeys) {
+		sh.evictKeys = sh.evictKeys[:0]
+		for k := range sh.m {
+			sh.evictKeys = append(sh.evictKeys, k)
 		}
+		sh.evictPos = 0
 	}
-	if s.f == nil {
-		return nil
-	}
-	need := false
-	if s.opts.CompactEvery > 0 && s.mutations >= s.opts.CompactEvery {
-		need = true
-	}
-	if s.logSize > 0 && float64(s.deadBytes)/float64(s.logSize) > s.opts.GCRatio && s.deadBytes > 1<<16 {
-		need = true
-	}
-	if need {
-		return s.compactLocked()
-	}
-	return nil
-}
-
-// evictLocked drops up to n resident values whose latest image is
-// contiguous on disk; values mutated by Append since their last full
-// write are first rewritten so an image exists.
-func (s *Store) evictLocked(n int) error {
-	if len(s.evictKeys) == 0 || s.evictPos >= len(s.evictKeys) {
-		s.evictKeys = s.evictKeys[:0]
-		for k := range s.m {
-			s.evictKeys = append(s.evictKeys, k)
-		}
-		s.evictPos = 0
-	}
-	for n > 0 && s.evictPos < len(s.evictKeys) {
-		k := s.evictKeys[s.evictPos]
-		s.evictPos++
-		e, ok := s.m[k]
+	for s.resident.Load() > bound && sh.evictPos < len(sh.evictKeys) {
+		k := sh.evictKeys[sh.evictPos]
+		sh.evictPos++
+		e, ok := sh.m[k]
 		if !ok || e.val == nil {
 			continue
 		}
 		if !e.onDisk {
 			// Rewrite the full value so a contiguous image exists.
-			voff, err := s.writeRecord(recPut, k, e.val)
+			voff, _, err := s.appendRecord(recPut, k, e.val)
 			if err != nil {
 				return err
 			}
@@ -532,30 +691,58 @@ func (s *Store) evictLocked(n int) error {
 			continue // nothing to reclaim; keep resident
 		}
 		e.val = nil
-		s.resident--
+		s.resident.Add(-1)
 		s.evictions.Inc()
-		n--
 	}
 	return nil
 }
 
+// maybeCompact runs auto-compaction when the mutation count or
+// dead-byte ratio policy asks for it. Single-flight: concurrent
+// mutations that all cross the threshold compact once.
+func (s *Store) maybeCompact() error {
+	if s.wal == nil {
+		return nil
+	}
+	need := false
+	if s.opts.CompactEvery > 0 && s.mutations.Load() >= int64(s.opts.CompactEvery) {
+		need = true
+	}
+	size := s.wal.logicalSize()
+	if dead := s.deadBytes.Load(); size > 0 && float64(dead)/float64(size) > s.opts.GCRatio && dead > 1<<16 {
+		need = true
+	}
+	if !need {
+		return nil
+	}
+	return s.Compact()
+}
+
 // Compact rewrites the log to contain exactly one Put record per live
 // key, reclaiming dead space; this is the periodic checkpoint + GC the
-// paper describes.
+// paper describes. The WAL is quiesced (drained, no appender can run)
+// for the duration: compaction holds every shard lock.
 func (s *Store) Compact() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return ErrClosed
-	}
-	if s.f == nil {
+	if s.wal == nil {
+		if s.closed.Load() {
+			return ErrClosed
+		}
 		return ErrNoPersistence
+	}
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
+	if s.closed.Load() {
+		return ErrClosed
 	}
 	return s.compactLocked()
 }
 
 func (s *Store) compactLocked() error {
-	if err := s.w.Flush(); err != nil {
+	// Quiesce: every shard lock is held, so no new record can be
+	// submitted; drain what is already in flight.
+	if err := s.wal.flushTo(s.wal.logicalSize()); err != nil {
 		return err
 	}
 	tmpPath := s.opts.Path + ".compact"
@@ -572,29 +759,33 @@ func (s *Store) compactLocked() error {
 	}
 	var relocs []relocation
 	var newSize int64
-	for k, e := range s.m {
-		v := e.val
-		if v == nil && e.vlen > 0 {
-			buf := make([]byte, e.vlen)
-			if _, err := s.f.ReadAt(buf, e.off); err != nil {
-				tmp.Close()
-				return fmt.Errorf("novoht: compact read: %w", err)
+	for _, sh := range s.shards {
+		for k, e := range sh.m {
+			v := e.val
+			if v == nil && e.vlen > 0 {
+				buf := make([]byte, e.vlen)
+				if err := s.wal.readAt(buf, e.off); err != nil {
+					tmp.Close()
+					return fmt.Errorf("novoht: compact read: %w", err)
+				}
+				v = buf
 			}
-			v = buf
+			n, voff, err := writeRecordTo(bw, newSize, recPut, k, v)
+			if err != nil {
+				tmp.Close()
+				return err
+			}
+			relocs = append(relocs, relocation{e, voff})
+			newSize += n
 		}
-		n, voff, err := writeRecordTo(bw, newSize, recPut, k, v)
-		if err != nil {
-			tmp.Close()
-			return err
-		}
-		relocs = append(relocs, relocation{e, voff})
-		newSize += n
 	}
 	if err := bw.Flush(); err != nil {
 		tmp.Close()
 		return err
 	}
-	if s.opts.SyncOnCompact {
+	if s.opts.SyncOnCompact || s.opts.Durability == storage.DurabilityGroup || s.opts.Durability == storage.DurabilitySync {
+		// The crash-recovery contract: records acknowledged durable
+		// must stay durable across the checkpoint rewrite.
 		if err := tmp.Sync(); err != nil {
 			tmp.Close()
 			return err
@@ -606,7 +797,7 @@ func (s *Store) compactLocked() error {
 	if err := os.Rename(tmpPath, s.opts.Path); err != nil {
 		return fmt.Errorf("novoht: compact rename: %w", err)
 	}
-	old := s.f
+	old := s.wal.f
 	f, err := os.OpenFile(s.opts.Path, os.O_RDWR, 0o644)
 	if err != nil {
 		return fmt.Errorf("novoht: reopen after compact: %w", err)
@@ -616,71 +807,67 @@ func (s *Store) compactLocked() error {
 		f.Close()
 		return err
 	}
-	s.f = f
-	s.w = bufio.NewWriterSize(f, 64<<10)
+	s.wal.swapFile(f, newSize)
 	for _, r := range relocs {
 		r.e.off = r.off
 		r.e.onDisk = true
 	}
-	s.logSize = newSize
-	s.deadBytes = 0
-	s.mutations = 0
+	s.deadBytes.Store(0)
+	s.mutations.Store(0)
 	s.compactions.Inc()
 	return nil
 }
 
 // Sync flushes buffered log data and fsyncs the file.
 func (s *Store) Sync() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return ErrClosed
 	}
-	if s.f == nil {
+	if s.wal == nil {
 		return nil
 	}
-	if err := s.w.Flush(); err != nil {
-		return err
-	}
-	return s.f.Sync()
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	return s.wal.syncAll()
 }
 
-// Close flushes and closes the store. The store is unusable afterwards.
+// Close drains and fsyncs the WAL, then closes the store: a clean
+// shutdown never loses an acknowledged write of any durability mode.
+// The store is unusable afterwards.
 func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
+	if s.closed.Swap(true) {
 		return nil
 	}
-	s.closed = true
-	if s.f == nil {
+	if s.wal == nil {
 		return nil
 	}
-	if err := s.w.Flush(); err != nil {
-		s.f.Close()
-		return err
-	}
-	return s.f.Close()
+	return s.wal.close()
 }
 
-// Stats reports store internals for monitoring and tests.
-type Stats struct {
-	Keys       int
-	Resident   int
-	LogBytes   int64
-	DeadBytes  int64
-	Mutations  int
-	Persistent bool
-}
-
-// Stats returns a snapshot of store statistics.
-func (s *Store) Stats() Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return Stats{
-		Keys: len(s.m), Resident: s.resident, LogBytes: s.logSize,
-		DeadBytes: s.deadBytes, Mutations: s.mutations, Persistent: s.f != nil,
+// Stats returns a snapshot of store statistics (storage.Stats).
+func (s *Store) Stats() storage.Stats {
+	keys := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		keys += len(sh.m)
+		sh.mu.RUnlock()
 	}
+	st := storage.Stats{
+		Keys:       keys,
+		Resident:   int(s.resident.Load()),
+		DeadBytes:  s.deadBytes.Load(),
+		Mutations:  int(s.mutations.Load()),
+		Persistent: s.wal != nil,
+		Shards:     len(s.shards),
+	}
+	if s.wal != nil {
+		st.LogBytes = s.wal.logicalSize()
+	}
+	return st
 }
 
 var errBadRecord = errors.New("novoht: bad record checksum")

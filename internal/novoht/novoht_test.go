@@ -8,6 +8,8 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+
+	"zht/internal/storage"
 )
 
 func openTemp(t *testing.T, opts Options) *Store {
@@ -485,7 +487,7 @@ func TestImportRejectsGarbage(t *testing.T) {
 		t.Error("empty import accepted")
 	}
 	// Truncated stream (magic but no terminator).
-	if _, err := s.Import(bytes.NewReader(exportMagic)); err == nil {
+	if _, err := s.Import(bytes.NewReader(storage.ExportMagic)); err == nil {
 		t.Error("unterminated import accepted")
 	}
 }

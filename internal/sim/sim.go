@@ -26,6 +26,8 @@ package sim
 import (
 	"errors"
 	"math"
+
+	"zht/internal/storage"
 )
 
 // Params describes one simulated deployment.
@@ -78,6 +80,17 @@ type Params struct {
 	// N^(2/3)), which is what drags efficiency to ~8% at 1M nodes
 	// (Figure 11).
 	RackLinkTime float64
+
+	// FsyncTime is the cost of one fsync on the partition store's
+	// write-ahead log. How often it is paid depends on Durability:
+	// sync mode fsyncs every operation (B fsyncs per message), group
+	// mode fsyncs once per commit batch — the model assumes the
+	// group-commit batch coalesces to the message batch, amortizing
+	// one FsyncTime across B ops — and none/async modes never fsync.
+	FsyncTime float64
+	// Durability is the storage acknowledgement mode the servers run
+	// with (storage.Durability semantics: the zero value is async).
+	Durability storage.Durability
 }
 
 // DefaultParams returns parameters calibrated so that the 2-node
@@ -103,6 +116,7 @@ func DefaultParams(nodes, instancesPerNode int) Params {
 		RackSize:         1024,
 		RackHopTime:      55e-6,
 		RackLinkTime:     0.5e-6,
+		FsyncTime:        100e-6,
 	}
 }
 
@@ -119,7 +133,14 @@ func batchSize(p Params) int {
 // amortized per-op cost, which is what batching improves.
 func msgTimes(p Params) (cliMsg, srvMsg float64) {
 	b := float64(batchSize(p))
-	return b*p.ClientTime + p.ClientMsgTime, b*p.ServerTime + p.ServerMsgTime
+	srvMsg = b*p.ServerTime + p.ServerMsgTime
+	switch p.Durability {
+	case storage.DurabilitySync:
+		srvMsg += b * p.FsyncTime // one fsync per op
+	case storage.DurabilityGroup:
+		srvMsg += p.FsyncTime // one fsync per commit batch
+	}
+	return b*p.ClientTime + p.ClientMsgTime, srvMsg
 }
 
 // Result reports one simulated configuration.

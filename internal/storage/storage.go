@@ -1,0 +1,154 @@
+// Package storage defines the pluggable storage-engine boundary of a
+// ZHT instance: the KV interface every partition store implements,
+// the durability modes a write-ahead log can offer, and the
+// engine-agnostic partition snapshot format used by data migration.
+//
+// The paper treats the per-partition store as a swappable component —
+// NoVoHT is "the default storage", with BerkeleyDB and KyotoCabinet
+// evaluated as alternatives (§III.I, Figure 6) — but the seed
+// implementation hard-wired consumers to the concrete NoVoHT type.
+// This package is the seam: internal/core, internal/figures, and the
+// baselines consume only KV, so replication and durability policy can
+// change without touching the routing layer.
+//
+// Durability levels follow the classic group-commit design: a single
+// WAL writer coalesces concurrently submitted records into one
+// buffered write and (per mode) one fsync, acknowledging each caller
+// only once its record's durability level is satisfied.
+package storage
+
+import (
+	"errors"
+	"fmt"
+)
+
+// KV is one partition store. Implementations must be safe for
+// concurrent use by multiple goroutines.
+type KV interface {
+	// Put stores val under key, replacing any existing value.
+	Put(key string, val []byte) error
+	// PutIfAbsent stores val only when key is not present; it
+	// reports whether the store was modified.
+	PutIfAbsent(key string, val []byte) (bool, error)
+	// Get returns a copy of the value stored under key.
+	Get(key string) ([]byte, bool, error)
+	// Remove deletes key, reporting whether it was present.
+	Remove(key string) (bool, error)
+	// Append concatenates val to the value under key, creating the
+	// key when absent (ZHT's fourth basic operation).
+	Append(key string, val []byte) error
+	// Cas atomically replaces the value under key with newVal when
+	// the current value equals oldVal (nil oldVal = "expect absent").
+	// It returns the value observed when the swap fails.
+	Cas(key string, oldVal, newVal []byte) (bool, []byte, error)
+	// Len reports the number of keys stored.
+	Len() int
+	// ForEach calls fn for every pair; fn must not mutate the store.
+	ForEach(fn func(key string, val []byte) error) error
+	// Sync flushes buffered state and fsyncs backing storage.
+	Sync() error
+	// Stats returns a snapshot of store statistics.
+	Stats() Stats
+	// Close flushes durable state and closes the store.
+	Close() error
+}
+
+// Stats is a point-in-time snapshot of a store's internals.
+type Stats struct {
+	// Keys is the number of live keys.
+	Keys int
+	// Resident is how many values are held in memory (the rest are
+	// evicted to their on-disk image).
+	Resident int
+	// LogBytes is the current log length, including superseded
+	// records not yet compacted away.
+	LogBytes int64
+	// DeadBytes is the portion of LogBytes owned by superseded
+	// records (reclaimed by the next compaction).
+	DeadBytes int64
+	// Mutations counts mutations since the last compaction.
+	Mutations int
+	// Persistent reports whether the store is backed by a log file.
+	Persistent bool
+	// Shards is the store's internal lock-shard count (1 for
+	// unsharded engines).
+	Shards int
+}
+
+// Durability selects how much of the write-ahead log's durability a
+// mutation must reach before it is acknowledged. The zero value is
+// Async — the seed store's behavior — so existing configurations are
+// unchanged.
+type Durability int
+
+const (
+	// DurabilityAsync hands the record to the WAL writer and returns
+	// immediately: data reaches the OS promptly (surviving process
+	// crashes) but no fsync is issued, so power loss can lose the
+	// tail. This matches the paper's measured ~3µs persistence cost.
+	DurabilityAsync Durability = iota
+	// DurabilityNone disables persistence entirely: the store is
+	// volatile and any configured log path is ignored (the paper's
+	// "NoVoHT no persistence" configuration).
+	DurabilityNone
+	// DurabilityGroup acknowledges a mutation only after its record
+	// is fsynced, amortizing each fsync across every record the
+	// group-commit batch coalesced.
+	DurabilityGroup
+	// DurabilitySync acknowledges a mutation only after its record
+	// got its own fsync — one fsync per operation, the mode group
+	// commit exists to beat.
+	DurabilitySync
+)
+
+// String returns the flag spelling of d.
+func (d Durability) String() string {
+	switch d {
+	case DurabilityNone:
+		return "none"
+	case DurabilityAsync:
+		return "async"
+	case DurabilityGroup:
+		return "group"
+	case DurabilitySync:
+		return "sync"
+	}
+	return fmt.Sprintf("Durability(%d)", int(d))
+}
+
+// ParseDurability parses a -durability flag value.
+func ParseDurability(s string) (Durability, error) {
+	switch s {
+	case "none":
+		return DurabilityNone, nil
+	case "", "async":
+		return DurabilityAsync, nil
+	case "group":
+		return DurabilityGroup, nil
+	case "sync":
+		return DurabilitySync, nil
+	}
+	return 0, fmt.Errorf("storage: unknown durability mode %q (want none, async, group, or sync)", s)
+}
+
+// Fault injects storage-level failures for crash-recovery testing
+// (see internal/chaos for scripted implementations). A WAL consults
+// the hook before touching the file; a returned error marks the WAL
+// broken — exactly as if the process died mid-commit — and every
+// subsequent or waiting operation fails.
+type Fault interface {
+	// BeforeWrite is consulted before appending n bytes to the log.
+	// It returns how many of those bytes actually reach the file
+	// (keep < n models a torn write) and the error to inject; a nil
+	// error must return keep == n.
+	BeforeWrite(n int) (keep int, err error)
+	// BeforeSync is consulted before an fsync; a non-nil error makes
+	// the fsync fail (the records it would have hardened stay
+	// unacknowledged).
+	BeforeSync() error
+}
+
+// ErrBroken reports an operation on a store whose WAL failed (a
+// crash-injection fault or a real I/O error); the store is read-only
+// garbage at that point and must be reopened from its log.
+var ErrBroken = errors.New("storage: write-ahead log is broken")

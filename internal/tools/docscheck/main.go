@@ -5,7 +5,12 @@
 //   - a shell code block in README.md or OBSERVABILITY.md passes a
 //     flag to a zht-* binary that the binary does not define, or
 //   - a metric name registered anywhere in the source ("zht.*" string
-//     literal) is missing from the OBSERVABILITY.md catalogue.
+//     literal) is missing from the OBSERVABILITY.md catalogue, or
+//   - code outside internal/novoht names the concrete novoht.Store
+//     type — consumers must hold stores as the storage.KV interface,
+//     so the engine stays swappable (constructing one via
+//     novoht.Open/novoht.Options is fine; depending on the concrete
+//     type is not).
 //
 // Run from the repository root: go run ./internal/tools/docscheck
 package main
@@ -34,6 +39,7 @@ func main() {
 		checkDocFlags(doc, cmdFlags, fail)
 	}
 	checkMetricCatalogue(fail)
+	checkStorageBoundary(fail)
 
 	if len(problems) > 0 {
 		for _, p := range problems {
@@ -230,6 +236,34 @@ func checkMetricCatalogue(fail func(string, ...any)) {
 			fail("metric %q (registered in %s) is not catalogued in OBSERVABILITY.md",
 				name, names[name][0])
 		}
+	}
+}
+
+var storeLeakRe = regexp.MustCompile(`novoht\.Store`)
+
+// checkStorageBoundary enforces the storage.KV seam: no file outside
+// internal/novoht may name the concrete novoht.Store type. Callers
+// construct stores with novoht.Open and hold them as storage.KV, so
+// the engine can be swapped without touching its consumers.
+func checkStorageBoundary(fail func(string, ...any)) {
+	for _, root := range []string{"internal", "cmd"} {
+		filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") ||
+				strings.HasPrefix(path, filepath.Join("internal", "novoht")) ||
+				strings.HasPrefix(path, filepath.Join("internal", "tools")) {
+				return nil
+			}
+			src, err := os.ReadFile(path)
+			if err != nil {
+				return nil
+			}
+			for i, line := range strings.Split(string(src), "\n") {
+				if storeLeakRe.MatchString(line) {
+					fail("%s:%d: names concrete type novoht.Store; hold stores as storage.KV", path, i+1)
+				}
+			}
+			return nil
+		})
 	}
 }
 
