@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test verify bench clean docs-check fmt-check bench-smoke storage-smoke
+.PHONY: build test verify bench clean docs-check fmt-check bench-smoke storage-smoke repair-smoke
 
 build:
 	$(GO) build ./...
@@ -36,14 +36,24 @@ bench-smoke:
 storage-smoke:
 	timeout 60 $(GO) run ./internal/tools/storagesmoke
 
+# repair-smoke is the replica-convergence gate: a randomized loop
+# that partitions a replica away mid-load, heals it, and requires
+# digest equality across replicas plus zero lost acked writes (see
+# internal/tools/repairsmoke). Seeds are printed, so a failure is
+# replayable with -seed.
+repair-smoke:
+	timeout 60 $(GO) run ./internal/tools/repairsmoke
+
 # verify is the pre-merge gate: formatting and docs checks, static
 # analysis, the full test suite (including the chaos soak) under the
-# race detector, and the batching + crash-recovery smoke runs.
+# race detector, and the batching + crash-recovery + replica-repair
+# smoke runs.
 verify: fmt-check docs-check
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) bench-smoke
 	$(MAKE) storage-smoke
+	$(MAKE) repair-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

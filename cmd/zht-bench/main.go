@@ -46,6 +46,8 @@ func main() {
 		debugAddr  = flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address during the run (implies -metrics)")
 		durability = flag.String("durability", "async", "WAL acknowledgement mode: none, async, group, or sync (needs -data to matter)")
 		durSweep   = flag.Bool("durability-sweep", false, "measure throughput per durability mode over loopback TCP and print the group-commit win")
+		antiEnt    = flag.Duration("anti-entropy", 0, "anti-entropy period: replicas diff partition digests against their authority and pull divergent ranges this often (0 = off)")
+		repSweep   = flag.Bool("repair-sweep", false, "measure the anti-entropy loop's throughput overhead at 0/1/2 replicas and print per-replica-count cost")
 	)
 	flag.Parse()
 	dur, err := storage.ParseDurability(*durability)
@@ -54,6 +56,10 @@ func main() {
 	}
 	if *durSweep {
 		runDurabilitySweep(*ops)
+		return
+	}
+	if *repSweep {
+		runRepairSweep(*ops, *antiEnt)
 		return
 	}
 	if *smoke {
@@ -71,8 +77,9 @@ func main() {
 	cfg := core.Config{
 		NumPartitions: *partitions, Replicas: *replicas,
 		DataDir: *dataDir, Durability: dur,
-		RetryBase: time.Millisecond,
-		Metrics:   reg,
+		AntiEntropy: *antiEnt,
+		RetryBase:   time.Millisecond,
+		Metrics:     reg,
 	}
 	if *debugAddr != "" {
 		ln, stop, err := metrics.ServeDebug(*debugAddr, reg)
@@ -374,6 +381,73 @@ func runDurabilitySweep(rounds int) {
 	fmt.Printf("group-commit win: group/sync = %.2fx; async/none = %.2fx\n",
 		tput[storage.DurabilityGroup]/tput[storage.DurabilitySync],
 		tput[storage.DurabilityAsync]/tput[storage.DurabilityNone])
+}
+
+// runRepairSweep prices the anti-entropy loop: the same insert
+// workload runs at 0, 1, and 2 replicas per partition, each twice —
+// with the loop off (seed behavior) and with a fast period — and the
+// throughput ratio is the repair overhead. In the steady state every
+// digest probe finds equal trees, so the cost measured here is the
+// background digest traffic itself, the analytic model's RepairRate
+// term (internal/sim). Replica counts beyond 0 also pay for
+// replication itself; comparing off vs on within one replica count
+// isolates the repair share.
+func runRepairSweep(rounds int, period time.Duration) {
+	const clients, servers, partitions = 16, 4, 64
+	if period <= 0 {
+		period = 10 * time.Millisecond // aggressive on purpose: make the overhead visible
+	}
+	if rounds > 5000 {
+		rounds = 5000
+	}
+	val := make([]byte, 132)
+	for _, reps := range []int{0, 1, 2} {
+		var tput [2]float64
+		for mode, ae := range []time.Duration{0, period} {
+			cfg := core.Config{
+				NumPartitions: partitions, Replicas: reps,
+				AntiEntropy: ae, RetryBase: time.Millisecond,
+			}
+			d, _, err := core.BootstrapInproc(cfg, servers)
+			if err != nil {
+				log.Fatal(err)
+			}
+			var attempted atomic.Int64
+			var wg sync.WaitGroup
+			errCh := make(chan error, clients)
+			start := time.Now()
+			for ci := 0; ci < clients; ci++ {
+				wg.Add(1)
+				go func(ci int) {
+					defer wg.Done()
+					c, err := d.NewClient()
+					if err != nil {
+						errCh <- err
+						return
+					}
+					for i := 0; i < rounds; i++ {
+						k := fmt.Sprintf("r%dc%03dk%09d", reps, ci, i)
+						attempted.Add(1)
+						if err := c.Insert(k, val); err != nil {
+							errCh <- err
+							return
+						}
+					}
+				}(ci)
+			}
+			wg.Wait()
+			el := time.Since(start)
+			close(errCh)
+			for err := range errCh {
+				log.Fatal(err)
+			}
+			d.Close()
+			tput[mode] = float64(attempted.Load()) / el.Seconds()
+		}
+		overhead := (1 - tput[1]/tput[0]) * 100
+		fmt.Printf("replicas=%d  off %9.0f ops/s  anti-entropy(%v) %9.0f ops/s  overhead %+5.1f%%\n",
+			reps, tput[0], period, tput[1], overhead)
+	}
 }
 
 // degradedScenario is the default -chaos schedule: a persistently bad

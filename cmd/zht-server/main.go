@@ -39,6 +39,8 @@ func main() {
 		hashName   = flag.String("hash", "", "ring hash function (default lookup3)")
 		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 		durability = flag.String("durability", "async", "WAL acknowledgement mode: none, async, group, or sync")
+		antiEnt    = flag.Duration("anti-entropy", 0, "anti-entropy period: diff partition digests against each partition's authority and pull divergent ranges this often (0 = off)")
+		handoffCap = flag.Int("handoff-cap", 0, "per-destination hinted-handoff queue bound (0 = default 1024, negative disables handoff)")
 	)
 	flag.Parse()
 	dur, err := storage.ParseDurability(*durability)
@@ -61,6 +63,8 @@ func main() {
 		DataDir:       *dataDir,
 		Durability:    dur,
 		HashName:      *hashName,
+		AntiEntropy:   *antiEnt,
+		HandoffCap:    *handoffCap,
 		Metrics:       reg,
 	}
 	if *joinSeed != "" {

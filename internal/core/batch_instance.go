@@ -177,16 +177,32 @@ func (in *Instance) replicateBatch(table *ring.Table, p int, subs []*wire.Reques
 				f.Flags |= wire.FlagSyncReplica
 				legs[j] = &f
 			}
-			rs, err := in.caller.CallBatch(r.Addr, legs)
-			if err != nil {
-				// The whole envelope failed: every leg is a consistency
-				// gap until the next replica rebuild.
+			// As in replicate(): failed legs are counted and handed to
+			// hinted handoff for replay; an open breaker skips the
+			// transport attempt for a peer already known dead.
+			if !in.rbrk.allow(r.Addr) {
 				in.met.syncErrors.Add(int64(len(legs)))
+				for _, l := range legs {
+					in.hintLeg(r.Addr, l)
+				}
 				continue
 			}
-			for _, resp := range rs {
+			rs, err := in.caller.CallBatch(r.Addr, legs)
+			if err != nil {
+				in.rbrk.failure(r.Addr)
+				in.met.syncErrors.Add(int64(len(legs)))
+				for _, l := range legs {
+					in.hintLeg(r.Addr, l)
+				}
+				continue
+			}
+			in.rbrk.success(r.Addr)
+			for j, resp := range rs {
 				if resp.Status != wire.StatusOK {
 					in.met.syncErrors.Inc()
+					if j < len(legs) {
+						in.hintLeg(r.Addr, legs[j])
+					}
 				}
 			}
 			continue

@@ -77,6 +77,21 @@ type Config struct {
 	// BreakerCooldown is how long an open circuit waits before
 	// admitting a half-open probe. 0 means DefaultBreakerCooldown.
 	BreakerCooldown time.Duration
+	// AntiEntropy is the period of the instance's replica anti-entropy
+	// loop: each tick, every partition this instance replicates is
+	// digest-synced against the partition's authority (owner, or first
+	// alive replica when the owner is down) and divergent leaf ranges
+	// are pulled (DESIGN.md §9). It also gates read-repair on failover
+	// reads. 0 disables the loop entirely (the seed behavior):
+	// replicas then converge only through write-time legs, hinted
+	// handoff, and failure-triggered rebuilds.
+	AntiEntropy time.Duration
+	// HandoffCap bounds each destination's hinted-handoff queue of
+	// undeliverable replication legs; at the bound further legs are
+	// dropped (counted by zht.repair.handoff.dropped) and left for
+	// anti-entropy to repair. 0 means DefaultHandoffCap; negative
+	// disables handoff (failed legs are discarded immediately).
+	HandoffCap int
 	// Metrics, when non-nil, receives every client-, instance-, and
 	// store-level measurement (latency histograms, retry/shed/breaker
 	// counters — see OBSERVABILITY.md for the catalogue). Nil disables
@@ -98,6 +113,7 @@ const (
 	DefaultOpDeadline       = 10 * time.Second
 	DefaultBreakerThreshold = 5
 	DefaultBreakerCooldown  = 250 * time.Millisecond
+	DefaultHandoffCap       = 1024
 )
 
 func (c *Config) fill() error {
@@ -130,6 +146,12 @@ func (c *Config) fill() error {
 	}
 	if c.BreakerCooldown == 0 {
 		c.BreakerCooldown = DefaultBreakerCooldown
+	}
+	if c.HandoffCap == 0 {
+		c.HandoffCap = DefaultHandoffCap
+	}
+	if c.AntiEntropy < 0 {
+		c.AntiEntropy = 0
 	}
 	return nil
 }

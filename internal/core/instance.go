@@ -9,6 +9,7 @@ import (
 
 	"zht/internal/hashing"
 	"zht/internal/novoht"
+	"zht/internal/repair"
 	"zht/internal/ring"
 	"zht/internal/storage"
 	"zht/internal/transport"
@@ -69,6 +70,24 @@ type Instance struct {
 	// append that followed it).
 	aqMu   sync.Mutex
 	asyncQ map[string]chan *wire.Request
+
+	// rbrk is the replication-side circuit breaker: once a replica
+	// peer stops answering, further legs to it skip the transport
+	// attempt and go straight to hinted handoff, so a dead peer costs
+	// the primary nothing per mutation. Handoff replay shares the same
+	// breaker state — a successful replay closes the circuit.
+	rbrk *breaker
+	// handoff buffers undeliverable replication legs for replay
+	// (DESIGN.md §9); nil when Config.HandoffCap is negative.
+	handoff *repair.Handoff
+	// loopWG tracks the anti-entropy loop and read-repair goroutines;
+	// Close waits for it after closing `closed` so no repair work
+	// races store shutdown.
+	loopWG sync.WaitGroup
+	// rrLast rate-limits read-repair to one scheduled round per
+	// partition per anti-entropy period.
+	rrMu   sync.Mutex
+	rrLast map[int]time.Time
 }
 
 // partState tracks a partition's migration lifecycle on the node
@@ -90,7 +109,7 @@ func NewInstance(cfg Config, self ring.Instance, table *ring.Table, caller trans
 	if table.IndexOf(self.ID) < 0 {
 		return nil, fmt.Errorf("core: instance %q not in membership table", self.ID)
 	}
-	return &Instance{
+	in := &Instance{
 		cfg:    cfg,
 		self:   self,
 		hashf:  cfg.hash(),
@@ -102,7 +121,26 @@ func NewInstance(cfg Config, self ring.Instance, table *ring.Table, caller trans
 		met:    newInstanceMetrics(cfg.Metrics),
 		closed: make(chan struct{}),
 		asyncQ: make(map[string]chan *wire.Request),
-	}, nil
+		rrLast: make(map[int]time.Time),
+	}
+	in.rbrk = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown,
+		in.met.repBreakerTrips, in.met.repBreakerOpen)
+	if cfg.HandoffCap > 0 {
+		in.handoff = repair.NewHandoff(repair.HandoffOptions{
+			Cap:      cfg.HandoffCap,
+			Base:     cfg.RetryBase,
+			Max:      maxDuration(cfg.RetryMax, time.Second),
+			Send:     in.replaySend,
+			Queued:   in.met.handoffQueued,
+			Replayed: in.met.handoffReplayed,
+			Dropped:  in.met.handoffDropped,
+		})
+	}
+	if cfg.AntiEntropy > 0 {
+		in.loopWG.Add(1)
+		go in.antiEntropyLoop()
+	}
+	return in, nil
 }
 
 // enqueueAsync appends an async replication leg to the destination's
@@ -121,7 +159,22 @@ func (in *Instance) enqueueAsync(addr string, req *wire.Request) {
 		in.asyncQ[addr] = q
 		go func() {
 			for r := range q {
-				in.caller.Call(addr, r)
+				// An undeliverable async leg moves to hinted handoff
+				// instead of being dropped; an open breaker routes it
+				// there without paying the transport timeout, which
+				// also keeps this FIFO from backing up behind a dead
+				// peer.
+				if !in.rbrk.allow(addr) {
+					in.hintLeg(addr, r)
+					in.asyncWG.Done()
+					continue
+				}
+				if _, err := in.caller.Call(addr, r); err != nil {
+					in.rbrk.failure(addr)
+					in.hintLeg(addr, r)
+				} else {
+					in.rbrk.success(addr)
+				}
 				in.asyncWG.Done()
 			}
 		}()
@@ -186,8 +239,17 @@ func (in *Instance) store(p int) (storage.KV, error) {
 	if err != nil {
 		return nil, err
 	}
-	in.stores[p] = s
-	return s, nil
+	// Every partition store is wrapped in a repair.Tracked digest
+	// maintainer: primary applies, replica applies, and migration
+	// imports all flow through the same KV value, so the Merkle digest
+	// stays current on every path (rebuilt from ForEach on open).
+	tr, err := repair.Track(s)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	in.stores[p] = tr
+	return tr, nil
 }
 
 // Handle implements transport.Handler: the single entry point for
@@ -212,6 +274,10 @@ func (in *Instance) Handle(req *wire.Request) *wire.Response {
 		return in.handleReport(req)
 	case wire.OpBroadcast:
 		return in.handleBroadcast(req)
+	case wire.OpDigest:
+		return in.handleDigest(req)
+	case wire.OpRepairPull:
+		return in.handleRepairPull(req)
 	}
 	return &wire.Response{Status: wire.StatusError, Err: "core: unsupported op " + req.Op.String()}
 }
@@ -262,6 +328,13 @@ func (in *Instance) handleKV(req *wire.Request) *wire.Response {
 		// by the replicas).
 		if !(ownerFailed && in.firstAliveReplica(table, p) == in.self.ID) {
 			return &wire.Response{Status: wire.StatusWrongOwner, Table: ring.EncodeTable(table)}
+		}
+		if req.Op == wire.OpLookup {
+			// Read-repair: a failover read means this replica is the
+			// partition's acting authority; schedule a digest compare
+			// against the other replicas so stale ranges heal without
+			// waiting for the next anti-entropy tick.
+			in.scheduleReadRepair(table, p)
 		}
 	}
 
@@ -393,11 +466,28 @@ func (in *Instance) replicate(table *ring.Table, p int, req *wire.Request) {
 		if i == 0 || in.cfg.SyncReplication {
 			f := fwd
 			f.Flags |= wire.FlagSyncReplica
-			// Best effort: replica loss is repaired on failure, but a
-			// failed sync leg is a consistency gap until then — count
-			// it so the gap is visible instead of silent.
-			if resp, err := in.caller.Call(r.Addr, &f); err != nil || resp.Status != wire.StatusOK {
+			// A failed sync leg is a consistency gap until repaired —
+			// count it, then hand the leg to hinted handoff so the gap
+			// closes when the peer answers again instead of persisting
+			// until the next full rebuild. An open replication breaker
+			// (peer already known dead) skips the transport attempt
+			// entirely: the dead peer costs nothing per mutation.
+			if !in.rbrk.allow(r.Addr) {
 				in.met.syncErrors.Inc()
+				in.hintLeg(r.Addr, &f)
+				continue
+			}
+			resp, err := in.caller.Call(r.Addr, &f)
+			if err != nil {
+				in.rbrk.failure(r.Addr)
+				in.met.syncErrors.Inc()
+				in.hintLeg(r.Addr, &f)
+				continue
+			}
+			in.rbrk.success(r.Addr)
+			if resp.Status != wire.StatusOK {
+				in.met.syncErrors.Inc()
+				in.hintLeg(r.Addr, &f)
 			}
 			continue
 		}
@@ -455,8 +545,12 @@ func (in *Instance) handleReplicate(req *wire.Request) *wire.Response {
 	}
 	resp := applyKV(s, &inner)
 	// Replicas tolerate NotFound (a remove may race ahead of the
-	// insert it follows on the async path).
+	// insert it follows on the async path) — but each tolerated race
+	// is a pair whose replica state disagreed with the primary's apply
+	// order, so count it: silent drift should be observable even with
+	// the repair loop disabled.
 	if resp.Status == wire.StatusNotFound || resp.Status == wire.StatusCasMismatch || resp.Status == wire.StatusExists {
+		in.met.divergence.Inc()
 		resp.Status = wire.StatusOK
 	}
 	return resp
@@ -876,6 +970,8 @@ func (in *Instance) Close() error {
 	}
 	in.closeMu.Unlock()
 	in.asyncWG.Wait()
+	in.loopWG.Wait()   // anti-entropy + read-repair exit on closed
+	in.handoff.Close() // after asyncWG: async workers enqueue here
 	in.aqMu.Lock()
 	for _, q := range in.asyncQ {
 		close(q) // workers exit after draining (queues are empty post-Wait)

@@ -58,10 +58,41 @@ type instanceMetrics struct {
 	// rebuild repairs it; a non-zero rate means reads served by a
 	// failover replica may be stale.
 	syncErrors *metrics.Counter // zht.core.replica.sync_errors
+	// divergence counts replica applies whose outcome disagreed with
+	// the primary's (NotFound/CasMismatch/Exists tolerated and
+	// normalized to OK): each one is a pair where this replica's state
+	// had drifted from the apply order the primary saw. Non-zero with
+	// repair disabled means silent drift; with repair enabled the
+	// anti-entropy loop re-converges it.
+	divergence *metrics.Counter // zht.core.replica.divergence
+	// repBreakerTrips / repBreakerOpen mirror the client breaker
+	// instruments for the instance's replication breaker: an open
+	// circuit short-circuits replication legs to a dead peer straight
+	// into hinted handoff instead of paying a transport timeout per
+	// mutation.
+	repBreakerTrips *metrics.Counter // zht.core.replica.breaker.trips
+	repBreakerOpen  *metrics.Gauge   // zht.core.replica.breaker.open
+
+	// Anti-entropy instruments (see OBSERVABILITY.md "Repair").
+	digestSyncs     *metrics.Counter // zht.repair.digest_syncs
+	rangesPulled    *metrics.Counter // zht.repair.ranges_pulled
+	readRepairs     *metrics.Counter // zht.repair.read_repairs
+	handoffQueued   *metrics.Counter // zht.repair.handoff.queued
+	handoffReplayed *metrics.Counter // zht.repair.handoff.replayed
+	handoffDropped  *metrics.Counter // zht.repair.handoff.dropped
 }
 
 func newInstanceMetrics(reg *metrics.Registry) instanceMetrics {
 	return instanceMetrics{
-		syncErrors: reg.Counter("zht.core.replica.sync_errors"),
+		syncErrors:      reg.Counter("zht.core.replica.sync_errors"),
+		divergence:      reg.Counter("zht.core.replica.divergence"),
+		repBreakerTrips: reg.Counter("zht.core.replica.breaker.trips"),
+		repBreakerOpen:  reg.Gauge("zht.core.replica.breaker.open"),
+		digestSyncs:     reg.Counter("zht.repair.digest_syncs"),
+		rangesPulled:    reg.Counter("zht.repair.ranges_pulled"),
+		readRepairs:     reg.Counter("zht.repair.read_repairs"),
+		handoffQueued:   reg.Counter("zht.repair.handoff.queued"),
+		handoffReplayed: reg.Counter("zht.repair.handoff.replayed"),
+		handoffDropped:  reg.Counter("zht.repair.handoff.dropped"),
 	}
 }

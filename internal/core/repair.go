@@ -1,0 +1,421 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"time"
+
+	"zht/internal/repair"
+	"zht/internal/ring"
+	"zht/internal/wire"
+)
+
+// Instance-side half of the replica anti-entropy subsystem
+// (DESIGN.md §9). internal/repair owns the mechanisms — digests, the
+// handoff queue, payload codecs — and this file owns the policy:
+// which peer is a partition's authority, when to digest-sync, what a
+// failover read schedules, and how a divergent leaf's contents are
+// replaced.
+
+// hintLeg queues one undeliverable replication leg for hinted-handoff
+// replay. The leg is cloned (its Value/Aux may alias a transport
+// decode buffer that dies with the request) and its propagated
+// deadline budget is cleared: the budget belonged to the client
+// operation that spawned the leg, which was acknowledged long before
+// the replay will run.
+func (in *Instance) hintLeg(addr string, req *wire.Request) {
+	if in.handoff == nil {
+		return
+	}
+	c := *req
+	c.Value = append([]byte(nil), req.Value...)
+	c.Aux = append([]byte(nil), req.Aux...)
+	c.Budget = 0
+	in.handoff.Enqueue(addr, &c)
+}
+
+// errReplayBusy keeps a StatusBusy replay leg queued: the peer is
+// alive but shedding, so back off and try again.
+var errReplayBusy = errors.New("core: handoff replay shed by peer")
+
+// replaySend delivers one handoff leg. Transport errors feed the
+// replication breaker (the replay goroutine doubles as the circuit's
+// half-open probe); any decoded response consumes the leg except
+// StatusBusy — an answering peer has applied (or durably rejected)
+// the mutation, and anti-entropy covers rejects.
+func (in *Instance) replaySend(addr string, req *wire.Request) error {
+	resp, err := in.caller.Call(addr, req)
+	if err != nil {
+		in.rbrk.failure(addr)
+		return err
+	}
+	in.rbrk.success(addr)
+	if resp.Status == wire.StatusBusy {
+		return errReplayBusy
+	}
+	return nil
+}
+
+// digestFor returns partition p's maintained digest, creating the
+// (empty) store when absent.
+func (in *Instance) digestFor(p int) (*repair.Digest, error) {
+	s, err := in.store(p)
+	if err != nil {
+		return nil, err
+	}
+	return s.(*repair.Tracked).Digest(), nil
+}
+
+// digestIfPresent returns p's digest without creating a store: peers
+// probing partitions this instance holds nothing for get the empty
+// digest rather than forcing an allocation.
+func (in *Instance) digestIfPresent(p int) *repair.Digest {
+	in.smu.Lock()
+	defer in.smu.Unlock()
+	if s, ok := in.stores[p]; ok {
+		return s.(*repair.Tracked).Digest()
+	}
+	return nil
+}
+
+// PartitionDigest returns the repair digest leaves for partition p's
+// local store (all zeros when no store exists). Tests and the
+// repair-smoke gate compare these across replicas to assert
+// convergence.
+func (in *Instance) PartitionDigest(p int) []uint64 {
+	if d := in.digestIfPresent(p); d != nil {
+		return d.Snapshot()
+	}
+	return make([]uint64, repair.Leaves)
+}
+
+// handleDigest serves wire.OpDigest: the partition's digest snapshot.
+func (in *Instance) handleDigest(req *wire.Request) *wire.Response {
+	p := int(req.Partition)
+	if p < 0 || p >= in.cfg.NumPartitions {
+		return &wire.Response{Status: wire.StatusError, Err: "core: bad partition"}
+	}
+	var leaves []uint64
+	if d := in.digestIfPresent(p); d != nil {
+		leaves = d.Snapshot()
+	} else {
+		leaves = make([]uint64, repair.Leaves)
+	}
+	return &wire.Response{Status: wire.StatusOK, Value: repair.EncodeDigest(leaves)}
+}
+
+// handleRepairPull serves wire.OpRepairPull in both directions:
+//
+//   - pull (Value empty): answer with this store's pairs in the
+//     requested leaves — the authority side of an anti-entropy sync.
+//   - push (Value = encoded pairs): replace the requested leaves'
+//     local contents with the authoritative set — the replica side of
+//     read-repair.
+func (in *Instance) handleRepairPull(req *wire.Request) *wire.Response {
+	p := int(req.Partition)
+	if p < 0 || p >= in.cfg.NumPartitions {
+		return &wire.Response{Status: wire.StatusError, Err: "core: bad partition"}
+	}
+	leaves, err := repair.DecodeLeafSet(req.Aux)
+	if err != nil {
+		return &wire.Response{Status: wire.StatusError, Err: err.Error()}
+	}
+	if len(req.Value) > 0 {
+		pairs, err := repair.DecodePairs(req.Value)
+		if err != nil {
+			return &wire.Response{Status: wire.StatusError, Err: err.Error()}
+		}
+		if err := in.applyLeafContent(p, leaves, pairs); err != nil {
+			return &wire.Response{Status: wire.StatusError, Err: err.Error()}
+		}
+		return &wire.Response{Status: wire.StatusOK}
+	}
+	pairs, err := in.collectLeafPairs(p, leaves)
+	if err != nil {
+		return &wire.Response{Status: wire.StatusError, Err: err.Error()}
+	}
+	return &wire.Response{Status: wire.StatusOK, Value: repair.EncodePairs(pairs)}
+}
+
+// collectLeafPairs snapshots the local pairs falling in the given
+// leaves of partition p.
+func (in *Instance) collectLeafPairs(p int, leaves []int) ([]repair.Pair, error) {
+	s, err := in.store(p)
+	if err != nil {
+		return nil, err
+	}
+	want := make(map[int]bool, len(leaves))
+	for _, l := range leaves {
+		want[l] = true
+	}
+	var pairs []repair.Pair
+	err = s.ForEach(func(k string, v []byte) error {
+		if want[repair.LeafOf(k)] {
+			pairs = append(pairs, repair.Pair{Key: k, Value: append([]byte(nil), v...)})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pairs, nil
+}
+
+// applyLeafContent makes the given leaves of partition p byte-equal
+// to the authoritative pair set: local keys in those leaves that the
+// authority lacks are removed (repair handles deletes without
+// tombstones — the leaf is replaced wholesale), and every
+// authoritative pair is upserted unless already identical.
+func (in *Instance) applyLeafContent(p int, leaves []int, pairs []repair.Pair) error {
+	s, err := in.store(p)
+	if err != nil {
+		return err
+	}
+	want := make(map[int]bool, len(leaves))
+	for _, l := range leaves {
+		want[l] = true
+	}
+	auth := make(map[string][]byte, len(pairs))
+	for _, pr := range pairs {
+		if want[repair.LeafOf(pr.Key)] {
+			auth[pr.Key] = pr.Value
+		}
+	}
+	var stale []string
+	if err := s.ForEach(func(k string, _ []byte) error {
+		if want[repair.LeafOf(k)] {
+			if _, ok := auth[k]; !ok {
+				stale = append(stale, k)
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	for _, k := range stale {
+		if _, err := s.Remove(k); err != nil {
+			return err
+		}
+	}
+	for k, v := range auth {
+		cur, ok, err := s.Get(k)
+		if err != nil {
+			return err
+		}
+		if ok && bytes.Equal(cur, v) {
+			continue
+		}
+		if err := s.Put(k, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// repairAuthority returns the instance whose copy of partition p is
+// authoritative for repair: the owner while it is alive, else the
+// first alive replica (the same election handleKV's failover serve
+// and the client's failover routing use, so reads and repair agree on
+// who is canonical). Returns nil when nobody alive holds p.
+func (in *Instance) repairAuthority(table *ring.Table, p int) (ring.Instance, bool) {
+	idx := table.Owner[p]
+	if table.Status[idx] == ring.Alive {
+		return table.Instances[idx], true
+	}
+	id := in.firstAliveReplica(table, p)
+	if id == "" {
+		return ring.Instance{}, false
+	}
+	i := table.IndexOf(id)
+	if i < 0 {
+		return ring.Instance{}, false
+	}
+	return table.Instances[i], true
+}
+
+// holdsReplica reports whether this instance is in partition p's
+// replica set.
+func (in *Instance) holdsReplica(table *ring.Table, p int) bool {
+	for _, r := range table.ReplicasOf(p, in.cfg.Replicas) {
+		if r.ID == in.self.ID {
+			return true
+		}
+	}
+	return false
+}
+
+// antiEntropyLoop periodically digest-syncs every partition this
+// instance replicates against the partition's authority, bounding how
+// long any divergence — dropped legs past the handoff cap, races the
+// divergence counter records, faults internal/chaos injects — can
+// persist.
+func (in *Instance) antiEntropyLoop() {
+	defer in.loopWG.Done()
+	tick := time.NewTicker(in.cfg.AntiEntropy)
+	defer tick.Stop()
+	for {
+		select {
+		case <-in.closed:
+			return
+		case <-tick.C:
+		}
+		in.antiEntropyRound()
+	}
+}
+
+// antiEntropyRound runs one sweep: partitions are grouped by
+// authority address and each group's digest probes ride one batched
+// envelope (CallBatch), so a sweep costs one round trip per peer plus
+// one pull per divergent partition.
+func (in *Instance) antiEntropyRound() {
+	if in.cfg.Replicas <= 0 {
+		return
+	}
+	table := in.tableRef()
+	if myIdx := table.IndexOf(in.self.ID); myIdx < 0 || table.Status[myIdx] != ring.Alive {
+		return
+	}
+	targets := make(map[string][]int)
+	for p := 0; p < table.NumPartitions; p++ {
+		auth, ok := in.repairAuthority(table, p)
+		if !ok || auth.ID == in.self.ID {
+			continue
+		}
+		if !in.holdsReplica(table, p) {
+			continue
+		}
+		targets[auth.Addr] = append(targets[auth.Addr], p)
+	}
+	for addr, ps := range targets {
+		in.digestSync(addr, ps)
+	}
+}
+
+// digestSync compares local digests for ps against the authority at
+// addr and pulls divergent leaves. Errors are dropped: the next tick
+// retries, and an unreachable authority is the failure detector's
+// problem, not this loop's.
+func (in *Instance) digestSync(addr string, ps []int) {
+	reqs := make([]*wire.Request, len(ps))
+	for i, p := range ps {
+		reqs[i] = &wire.Request{Op: wire.OpDigest, Partition: int64(p)}
+	}
+	resps, err := in.caller.CallBatch(addr, reqs)
+	if err != nil || len(resps) != len(ps) {
+		return
+	}
+	for i, p := range ps {
+		if resps[i].Status != wire.StatusOK {
+			continue
+		}
+		remote, err := repair.DecodeDigest(resps[i].Value)
+		if err != nil {
+			continue
+		}
+		local, err := in.digestFor(p)
+		if err != nil {
+			continue
+		}
+		in.met.digestSyncs.Inc()
+		diff := repair.DiffLeaves(local.Snapshot(), remote)
+		if len(diff) == 0 {
+			continue
+		}
+		in.pullLeaves(addr, p, diff)
+	}
+}
+
+// pullLeaves fetches the authoritative contents of the given leaves
+// and replaces the local ranges with them.
+func (in *Instance) pullLeaves(addr string, p int, leaves []int) {
+	resp, err := in.caller.Call(addr, &wire.Request{
+		Op: wire.OpRepairPull, Partition: int64(p),
+		Aux: repair.EncodeLeafSet(leaves),
+	})
+	if err != nil || resp.Status != wire.StatusOK {
+		return
+	}
+	pairs, err := repair.DecodePairs(resp.Value)
+	if err != nil {
+		return
+	}
+	if err := in.applyLeafContent(p, leaves, pairs); err == nil {
+		in.met.rangesPulled.Add(int64(len(leaves)))
+	}
+}
+
+// scheduleReadRepair asynchronously repairs partition p's other
+// replicas from this instance — the acting authority serving a
+// failover read — at most once per anti-entropy period per partition.
+// Disabled (like the loop) when AntiEntropy is zero, so failover
+// reads in repair-less deployments behave exactly as before.
+func (in *Instance) scheduleReadRepair(table *ring.Table, p int) {
+	if in.cfg.AntiEntropy <= 0 || in.cfg.Replicas <= 0 {
+		return
+	}
+	now := time.Now()
+	in.rrMu.Lock()
+	if now.Sub(in.rrLast[p]) < in.cfg.AntiEntropy {
+		in.rrMu.Unlock()
+		return
+	}
+	in.rrLast[p] = now
+	in.rrMu.Unlock()
+	select {
+	case <-in.closed:
+		return
+	default:
+	}
+	in.loopWG.Add(1)
+	go func() {
+		defer in.loopWG.Done()
+		in.readRepair(table, p)
+	}()
+}
+
+// readRepair pushes this instance's (authoritative) divergent leaf
+// contents of partition p to every other alive replica: compare
+// digests behind the response, then OpRepairPull-push only what
+// differs.
+func (in *Instance) readRepair(table *ring.Table, p int) {
+	in.met.readRepairs.Inc()
+	local, err := in.digestFor(p)
+	if err != nil {
+		return
+	}
+	for _, r := range table.ReplicasOf(p, in.cfg.Replicas) {
+		if r.ID == in.self.ID {
+			continue
+		}
+		if idx := table.IndexOf(r.ID); idx < 0 || table.Status[idx] != ring.Alive {
+			continue
+		}
+		resp, err := in.caller.Call(r.Addr, &wire.Request{Op: wire.OpDigest, Partition: int64(p)})
+		if err != nil || resp.Status != wire.StatusOK {
+			continue
+		}
+		remote, err := repair.DecodeDigest(resp.Value)
+		if err != nil {
+			continue
+		}
+		diff := repair.DiffLeaves(local.Snapshot(), remote)
+		if len(diff) == 0 {
+			continue
+		}
+		pairs, err := in.collectLeafPairs(p, diff)
+		if err != nil {
+			continue
+		}
+		in.caller.Call(r.Addr, &wire.Request{
+			Op: wire.OpRepairPull, Partition: int64(p),
+			Aux: repair.EncodeLeafSet(diff), Value: repair.EncodePairs(pairs),
+		})
+	}
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"zht/internal/metrics"
+	"zht/internal/repair"
+	"zht/internal/wire"
+)
+
+// TestHandoffReplaysDroppedSyncLeg is the hinted-handoff regression
+// test: a replication leg that fails while the replica peer is down
+// must be queued and replayed — not dropped — so the replica converges
+// once the peer is reachable again, without any anti-entropy loop.
+func TestHandoffReplaysDroppedSyncLeg(t *testing.T) {
+	mreg := metrics.NewRegistry()
+	cfg := Config{
+		NumPartitions: 16, Replicas: 1,
+		RetryBase: time.Millisecond, RetryMax: 4 * time.Millisecond,
+		BreakerCooldown: 10 * time.Millisecond,
+		Metrics:         mreg,
+	}
+	d, reg, c := startDeployment(t, cfg, 3)
+
+	// A key whose owner is alive and whose sole replica is the victim.
+	table := d.Instance(0).Table()
+	victim := d.Instance(1)
+	var key string
+	var p int
+	for i := 0; ; i++ {
+		key = fmt.Sprintf("handoff-%d", i)
+		p = table.Partition(d.Instance(0).hashf(key))
+		reps := table.ReplicasOf(p, 1)
+		if table.OwnerOf(p).ID != victim.ID() && len(reps) == 1 && reps[0].ID == victim.ID() {
+			break
+		}
+	}
+	var owner *Instance
+	for _, in := range d.Instances() {
+		if in.ID() == table.OwnerOf(p).ID {
+			owner = in
+		}
+	}
+
+	reg.SetDown(victim.Addr(), true)
+	if err := c.Insert(key, []byte("survives-outage")); err != nil {
+		t.Fatalf("insert with replica down must still ack via primary: %v", err)
+	}
+	if got := mreg.Counter("zht.repair.handoff.queued").Value(); got < 1 {
+		t.Fatalf("handoff.queued = %d after failed sync leg, want >= 1", got)
+	}
+	if reflect.DeepEqual(owner.PartitionDigest(p), victim.PartitionDigest(p)) {
+		t.Fatal("replica digest already equals primary while the leg is undelivered")
+	}
+
+	reg.SetDown(victim.Addr(), false)
+	deadline := time.Now().Add(5 * time.Second)
+	for !reflect.DeepEqual(owner.PartitionDigest(p), victim.PartitionDigest(p)) {
+		if time.Now().After(deadline) {
+			t.Fatalf("dropped leg never replayed: owner %v, replica %v",
+				owner.PartitionDigest(p), victim.PartitionDigest(p))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if v, ok, err := storeGet(victim, p, key); err != nil || !ok || string(v) != "survives-outage" {
+		t.Fatalf("replica store after replay: %q %v %v", v, ok, err)
+	}
+	if got := mreg.Counter("zht.repair.handoff.replayed").Value(); got < 1 {
+		t.Fatalf("handoff.replayed = %d after recovery, want >= 1", got)
+	}
+}
+
+// storeGet reads a key straight out of an instance's partition store.
+func storeGet(in *Instance, p int, key string) ([]byte, bool, error) {
+	s, err := in.store(p)
+	if err != nil {
+		return nil, false, err
+	}
+	return s.Get(key)
+}
+
+// TestReplicaDivergenceCounted covers the satellite fix: a replica
+// apply whose outcome disagrees with the primary's (here: a remove
+// for a key the replica never got) is still normalized to OK, but the
+// race must now bump zht.core.replica.divergence instead of passing
+// silently.
+func TestReplicaDivergenceCounted(t *testing.T) {
+	mreg := metrics.NewRegistry()
+	cfg := Config{NumPartitions: 4, Replicas: 1, Metrics: mreg}
+	d, _, _ := startDeployment(t, cfg, 2)
+
+	in := d.Instance(0)
+	resp := in.Handle(&wire.Request{
+		Op: wire.OpReplicate, Partition: 0, Key: "never-inserted",
+		Aux:   []byte{byte(wire.OpRemove)},
+		Flags: wire.FlagNoReplicate,
+	})
+	if resp.Status != wire.StatusOK {
+		t.Fatalf("replica remove race must normalize to OK, got %v %s", resp.Status, resp.Err)
+	}
+	if got := mreg.Counter("zht.core.replica.divergence").Value(); got != 1 {
+		t.Fatalf("divergence = %d, want 1", got)
+	}
+}
+
+// TestAntiEntropyRepairsOverflowedHandoff drives more failed legs than
+// the handoff cap can hold: the overflow is counted as dropped, and
+// the anti-entropy loop — not handoff replay — closes the remaining
+// gap after the peer heals.
+func TestAntiEntropyRepairsOverflowedHandoff(t *testing.T) {
+	mreg := metrics.NewRegistry()
+	cfg := Config{
+		NumPartitions: 8, Replicas: 1,
+		HandoffCap:  4, // overflow after 4 queued legs per destination
+		AntiEntropy: 25 * time.Millisecond,
+		RetryBase:   time.Millisecond, RetryMax: 4 * time.Millisecond,
+		BreakerCooldown: 5 * time.Millisecond,
+		Metrics:         mreg,
+	}
+	d, reg, c := startDeployment(t, cfg, 2)
+
+	// With two nodes every partition's sole replica is the other node;
+	// down node 1 and write enough keys owned by node 0 to overflow
+	// its handoff queue.
+	victim := d.Instance(1)
+	reg.SetDown(victim.Addr(), true)
+	table := d.Instance(0).Table()
+	keys := 0
+	for i := 0; keys < 20 && i < 10000; i++ {
+		key := fmt.Sprintf("overflow-%d", i)
+		p := table.Partition(d.Instance(0).hashf(key))
+		if table.OwnerOf(p).ID != d.Instance(0).ID() {
+			continue
+		}
+		if err := c.Insert(key, []byte("v")); err != nil {
+			t.Fatalf("insert %s: %v", key, err)
+		}
+		keys++
+	}
+	if got := mreg.Counter("zht.repair.handoff.dropped").Value(); got < 1 {
+		t.Fatalf("handoff.dropped = %d after %d legs with cap 4, want >= 1", got, keys)
+	}
+
+	reg.SetDown(victim.Addr(), false)
+	converged := func() bool {
+		for p := 0; p < cfg.NumPartitions; p++ {
+			if !reflect.DeepEqual(d.Instance(0).PartitionDigest(p), victim.PartitionDigest(p)) {
+				return false
+			}
+		}
+		return true
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for !converged() {
+		if time.Now().After(deadline) {
+			t.Fatal("replica never converged after handoff overflow + heal")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := mreg.Counter("zht.repair.digest_syncs").Value(); got < 1 {
+		t.Fatalf("digest_syncs = %d after anti-entropy convergence, want >= 1", got)
+	}
+	if got := mreg.Counter("zht.repair.ranges_pulled").Value(); got < 1 {
+		t.Fatalf("ranges_pulled = %d after anti-entropy convergence, want >= 1", got)
+	}
+}
+
+// TestRepairOpsOverWire exercises OpDigest and OpRepairPull as a peer
+// would: digest fetch, divergent-leaf pull, and push-apply.
+func TestRepairOpsOverWire(t *testing.T) {
+	cfg := Config{NumPartitions: 4, Replicas: 1}
+	d, _, _ := startDeployment(t, cfg, 2)
+	a, b := d.Instance(0), d.Instance(1)
+
+	// Seed partition 2 of a directly (bypassing routing).
+	sa, err := a.store(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sa.Put("alpha", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+
+	resp := a.Handle(&wire.Request{Op: wire.OpDigest, Partition: 2})
+	if resp.Status != wire.StatusOK {
+		t.Fatalf("digest: %v %s", resp.Status, resp.Err)
+	}
+	if resp2 := a.Handle(&wire.Request{Op: wire.OpDigest, Partition: 99}); resp2.Status != wire.StatusError {
+		t.Fatal("out-of-range partition digest must error")
+	}
+
+	// b pulls every leaf from a and applies: contents converge.
+	all := make([]int, 0, repair.Leaves)
+	for l := 0; l < repair.Leaves; l++ {
+		all = append(all, l)
+	}
+	pull := a.Handle(&wire.Request{Op: wire.OpRepairPull, Partition: 2, Aux: repair.EncodeLeafSet(all)})
+	if pull.Status != wire.StatusOK {
+		t.Fatalf("pull: %v %s", pull.Status, pull.Err)
+	}
+	push := b.Handle(&wire.Request{Op: wire.OpRepairPull, Partition: 2, Aux: repair.EncodeLeafSet(all), Value: pull.Value})
+	if push.Status != wire.StatusOK {
+		t.Fatalf("push-apply: %v %s", push.Status, push.Err)
+	}
+	if v, ok, err := storeGet(b, 2, "alpha"); err != nil || !ok || string(v) != "1" {
+		t.Fatalf("pair did not transfer: %q %v %v", v, ok, err)
+	}
+	if !reflect.DeepEqual(a.PartitionDigest(2), b.PartitionDigest(2)) {
+		t.Fatal("digests differ after full-leaf transfer")
+	}
+
+	// Push-apply also deletes stale keys absent from the authority.
+	sb, err := b.store(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.Put("stale", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	push = b.Handle(&wire.Request{Op: wire.OpRepairPull, Partition: 2, Aux: repair.EncodeLeafSet(all), Value: pull.Value})
+	if push.Status != wire.StatusOK {
+		t.Fatalf("second push-apply: %v %s", push.Status, push.Err)
+	}
+	if _, ok, _ := storeGet(b, 2, "stale"); ok {
+		t.Fatal("stale key survived leaf replacement")
+	}
+}

@@ -1,0 +1,169 @@
+package repair
+
+import (
+	"sync"
+	"time"
+
+	"zht/internal/metrics"
+	"zht/internal/wire"
+)
+
+// HandoffOptions configures a Handoff queue. All metric fields are
+// nil-safe (nil counters no-op).
+type HandoffOptions struct {
+	// Cap bounds each destination's queue; at the bound new legs are
+	// dropped (and counted) rather than evicting older ones — the
+	// anti-entropy loop is the backstop for what overflows.
+	Cap int
+	// Base and Max bound the exponential replay backoff per
+	// destination: the delay doubles from Base after each failed
+	// attempt and caps at Max, resetting on success.
+	Base, Max time.Duration
+	// Send delivers one queued request; a nil error consumes the leg,
+	// an error leaves it queued for the next backoff attempt.
+	Send func(addr string, req *wire.Request) error
+	// Queued, Replayed, Dropped count legs entering the queue, legs
+	// successfully re-sent, and legs rejected by the Cap bound.
+	Queued, Replayed, Dropped *metrics.Counter
+}
+
+// Handoff is the hinted-handoff buffer: per-destination FIFOs of
+// replication legs that could not be delivered, each drained by its
+// own replay goroutine with exponential backoff. Order within a
+// destination is preserved — the same guarantee the async replication
+// FIFO gives — so replayed legs cannot overtake each other.
+//
+// A nil *Handoff (handoff disabled) rejects every Enqueue.
+type Handoff struct {
+	opts HandoffOptions
+
+	mu     sync.Mutex
+	queues map[string][]*wire.Request
+	active map[string]bool
+	closed chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewHandoff builds a handoff buffer; Cap must be positive.
+func NewHandoff(opts HandoffOptions) *Handoff {
+	if opts.Base <= 0 {
+		opts.Base = 10 * time.Millisecond
+	}
+	if opts.Max < opts.Base {
+		opts.Max = opts.Base
+	}
+	return &Handoff{
+		opts:   opts,
+		queues: make(map[string][]*wire.Request),
+		active: make(map[string]bool),
+		closed: make(chan struct{}),
+	}
+}
+
+// Enqueue queues one failed leg for addr, reporting false when the
+// handoff is nil, closed, or the destination's queue is full. The
+// request must be owned by the caller (no aliasing of transport
+// buffers).
+func (h *Handoff) Enqueue(addr string, req *wire.Request) bool {
+	if h == nil {
+		return false
+	}
+	select {
+	case <-h.closed:
+		return false
+	default:
+	}
+	h.mu.Lock()
+	if len(h.queues[addr]) >= h.opts.Cap {
+		h.mu.Unlock()
+		h.opts.Dropped.Inc()
+		return false
+	}
+	h.queues[addr] = append(h.queues[addr], req)
+	start := !h.active[addr]
+	if start {
+		h.active[addr] = true
+		h.wg.Add(1)
+	}
+	h.mu.Unlock()
+	h.opts.Queued.Inc()
+	if start {
+		go h.drain(addr)
+	}
+	return true
+}
+
+// Pending reports how many legs are queued across all destinations.
+func (h *Handoff) Pending() int {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for _, q := range h.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// drain replays addr's queue in order until it is empty or the
+// handoff closes, sleeping the backoff between failed attempts.
+func (h *Handoff) drain(addr string) {
+	defer h.wg.Done()
+	backoff := h.opts.Base
+	for {
+		h.mu.Lock()
+		q := h.queues[addr]
+		if len(q) == 0 {
+			h.active[addr] = false
+			delete(h.queues, addr)
+			h.mu.Unlock()
+			return
+		}
+		req := q[0]
+		h.mu.Unlock()
+
+		if err := h.opts.Send(addr, req); err != nil {
+			select {
+			case <-h.closed:
+				return
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+			if backoff > h.opts.Max {
+				backoff = h.opts.Max
+			}
+			continue
+		}
+		backoff = h.opts.Base
+		h.opts.Replayed.Inc()
+		h.mu.Lock()
+		h.queues[addr] = h.queues[addr][1:]
+		h.mu.Unlock()
+		select {
+		case <-h.closed:
+			return
+		default:
+		}
+	}
+}
+
+// Close stops accepting legs and waits for replay goroutines to exit;
+// still-queued legs are discarded (the instance is shutting down).
+func (h *Handoff) Close() {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	select {
+	case <-h.closed:
+		h.mu.Unlock()
+		h.wg.Wait()
+		return
+	default:
+		close(h.closed)
+	}
+	h.mu.Unlock()
+	h.wg.Wait()
+}

@@ -1,0 +1,277 @@
+// Package repair implements the replica anti-entropy subsystem: the
+// machinery that turns ZHT's write-time replication fan-out
+// (paper §III.J) into eventual byte-identical replicas even after the
+// faults internal/chaos injects.
+//
+// Three cooperating mechanisms live here (DESIGN.md §9):
+//
+//   - Partition digests: an incremental Merkle tree over a partition
+//     store's contents. Every key hashes into one of Leaves leaf
+//     buckets, and each leaf is the XOR of the hashes of the pairs it
+//     covers. XOR is commutative and self-inverse, so a mutation
+//     updates its leaf in O(1) — toggle out the old pair, toggle in
+//     the new one — and the maintained tree is bit-identical to one
+//     rebuilt from scratch. Two replicas compare digests leaf by leaf
+//     and transfer only divergent leaves' contents.
+//   - Hinted handoff: replication legs that fail because the peer is
+//     unreachable are queued per destination (bounded, overflow
+//     counted) and replayed with backoff once the peer answers again.
+//   - Payload codecs for the wire.OpDigest / wire.OpRepairPull
+//     messages: digest snapshots, leaf sets, and pair sets.
+//
+// The package deliberately depends only on internal/storage (the KV
+// seam it instruments), internal/wire (the requests handoff replays),
+// and internal/metrics; the anti-entropy loop and read-repair policy
+// that drive it live in internal/core.
+package repair
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+)
+
+// Leaves is the number of leaf buckets in a partition digest. Each
+// leaf covers 1/Leaves of the key space, so after a fault a replica
+// transfers only the divergent fraction instead of the whole
+// partition.
+const Leaves = 64
+
+// leafBits is log2(Leaves): the top bits of the mixed key hash select
+// the leaf, so leaf membership is uniform and value-independent.
+const leafBits = 6
+
+// fnv1a64 is the FNV-1a hash over s (dependency-free, stable across
+// processes — replicas must compute identical digests).
+func fnv1a64(h uint64, s []byte) uint64 {
+	for _, b := range s {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+const fnvOffset = 14695981039346656037
+
+// mix64 is the splitmix64 finalizer: FNV alone has weak high bits and
+// the leaf index comes from the top of the hash.
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// LeafOf returns the digest leaf covering key.
+func LeafOf(key string) int {
+	return int(mix64(fnv1a64(fnvOffset, []byte(key))) >> (64 - leafBits))
+}
+
+// PairHash hashes one key/value pair. The 0xff separator cannot occur
+// inside FNV's input-length ambiguity window for UTF-8 keys produced
+// by the client API, and even for arbitrary binary keys the key
+// length prefix keeps ("ab","c") distinct from ("a","bc").
+func PairHash(key string, val []byte) uint64 {
+	var lenBuf [8]byte
+	binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(key)))
+	h := fnv1a64(fnvOffset, lenBuf[:])
+	h = fnv1a64(h, []byte(key))
+	h = fnv1a64(h, val)
+	return mix64(h)
+}
+
+// Digest is one partition's incremental Merkle digest. The zero value
+// is not usable; call NewDigest. All methods are safe for concurrent
+// use.
+type Digest struct {
+	mu   sync.RWMutex
+	leaf [Leaves]uint64
+}
+
+// NewDigest returns the digest of an empty partition.
+func NewDigest() *Digest { return &Digest{} }
+
+// Toggle XORs the pair's hash into its leaf: called once to add a
+// pair and once more (with the same arguments) to remove it.
+func (d *Digest) Toggle(key string, val []byte) {
+	h := PairHash(key, val)
+	l := LeafOf(key)
+	d.mu.Lock()
+	d.leaf[l] ^= h
+	d.mu.Unlock()
+}
+
+// Snapshot returns a copy of the leaf hashes.
+func (d *Digest) Snapshot() []uint64 {
+	out := make([]uint64, Leaves)
+	d.mu.RLock()
+	copy(out, d.leaf[:])
+	d.mu.RUnlock()
+	return out
+}
+
+// Root folds the leaves into a single value: equal roots mean equal
+// leaves (up to hash collisions), so replicas compare roots first and
+// diff leaves only on mismatch.
+func (d *Digest) Root() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	h := uint64(fnvOffset)
+	var buf [8]byte
+	for _, l := range d.leaf {
+		binary.LittleEndian.PutUint64(buf[:], l)
+		h = fnv1a64(h, buf[:])
+	}
+	return mix64(h)
+}
+
+// DiffLeaves returns the indices where two digest snapshots disagree.
+// Snapshots of unequal length diff as fully divergent.
+func DiffLeaves(a, b []uint64) []int {
+	if len(a) != len(b) {
+		all := make([]int, Leaves)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	var out []int
+	for i := range a {
+		if a[i] != b[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Pair is one key/value pair in a repair-pull payload.
+type Pair struct {
+	Key   string
+	Value []byte
+}
+
+// Codec limits: a repair payload decoded off the wire may be
+// attacker-shaped, so counts and lengths are bounded before any
+// allocation.
+const (
+	maxPairs   = 1 << 20
+	maxPairLen = 64 << 20
+)
+
+var errBadPayload = errors.New("repair: malformed payload")
+
+// EncodeDigest encodes a digest snapshot for an OpDigest response.
+func EncodeDigest(leaves []uint64) []byte {
+	out := make([]byte, 0, 2+8*len(leaves))
+	out = binary.AppendUvarint(out, uint64(len(leaves)))
+	var buf [8]byte
+	for _, l := range leaves {
+		binary.LittleEndian.PutUint64(buf[:], l)
+		out = append(out, buf[:]...)
+	}
+	return out
+}
+
+// DecodeDigest decodes an OpDigest response payload.
+func DecodeDigest(b []byte) ([]uint64, error) {
+	n, k := binary.Uvarint(b)
+	if k <= 0 || n != Leaves || len(b[k:]) != 8*Leaves {
+		return nil, errBadPayload
+	}
+	b = b[k:]
+	out := make([]uint64, Leaves)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(b[8*i:])
+	}
+	return out, nil
+}
+
+// EncodeLeafSet encodes the divergent-leaf list of an OpRepairPull
+// request.
+func EncodeLeafSet(leaves []int) []byte {
+	out := binary.AppendUvarint(nil, uint64(len(leaves)))
+	for _, l := range leaves {
+		out = binary.AppendUvarint(out, uint64(l))
+	}
+	return out
+}
+
+// DecodeLeafSet decodes an OpRepairPull leaf list.
+func DecodeLeafSet(b []byte) ([]int, error) {
+	n, k := binary.Uvarint(b)
+	if k <= 0 || n > Leaves {
+		return nil, errBadPayload
+	}
+	b = b[k:]
+	out := make([]int, 0, n)
+	for i := uint64(0); i < n; i++ {
+		l, k := binary.Uvarint(b)
+		if k <= 0 || l >= Leaves {
+			return nil, errBadPayload
+		}
+		b = b[k:]
+		out = append(out, int(l))
+	}
+	if len(b) != 0 {
+		return nil, errBadPayload
+	}
+	return out, nil
+}
+
+// EncodePairs encodes a pair set. The encoding is never empty (the
+// count prefix is always present), which is what lets OpRepairPull
+// distinguish a push (Value = encoded pairs, possibly zero of them)
+// from a pull (Value absent).
+func EncodePairs(pairs []Pair) []byte {
+	out := binary.AppendUvarint(nil, uint64(len(pairs)))
+	for _, p := range pairs {
+		out = binary.AppendUvarint(out, uint64(len(p.Key)))
+		out = append(out, p.Key...)
+		out = binary.AppendUvarint(out, uint64(len(p.Value)))
+		out = append(out, p.Value...)
+	}
+	return out
+}
+
+// DecodePairs decodes a pair set.
+func DecodePairs(b []byte) ([]Pair, error) {
+	n, k := binary.Uvarint(b)
+	if k <= 0 || n > maxPairs {
+		return nil, errBadPayload
+	}
+	b = b[k:]
+	out := make([]Pair, 0, minInt(int(n), 1024))
+	readBlob := func() ([]byte, bool) {
+		l, k := binary.Uvarint(b)
+		if k <= 0 || l > maxPairLen || uint64(len(b[k:])) < l {
+			return nil, false
+		}
+		blob := b[k : k+int(l)]
+		b = b[k+int(l):]
+		return blob, true
+	}
+	for i := uint64(0); i < n; i++ {
+		kb, ok := readBlob()
+		if !ok {
+			return nil, errBadPayload
+		}
+		vb, ok := readBlob()
+		if !ok {
+			return nil, errBadPayload
+		}
+		out = append(out, Pair{Key: string(kb), Value: append([]byte(nil), vb...)})
+	}
+	if len(b) != 0 {
+		return nil, errBadPayload
+	}
+	return out, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

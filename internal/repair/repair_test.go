@@ -1,0 +1,266 @@
+package repair
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"zht/internal/novoht"
+	"zht/internal/storage"
+	"zht/internal/wire"
+)
+
+func openMem(t *testing.T) storage.KV {
+	t.Helper()
+	s, err := novoht.Open(novoht.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// The core incrementality property: a digest maintained mutation by
+// mutation is bit-identical to one rebuilt from scratch over the
+// store's final contents. XOR leaves make this hold regardless of
+// mutation order.
+func TestDigestIncrementality(t *testing.T) {
+	inner := openMem(t)
+	tr, err := Track(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 5000; i++ {
+		k := fmt.Sprintf("key-%03d", rng.Intn(200))
+		switch rng.Intn(6) {
+		case 0:
+			if _, err := tr.Remove(k); err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			if err := tr.Append(k, []byte(fmt.Sprintf("+%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		case 2:
+			if _, err := tr.PutIfAbsent(k, []byte("first")); err != nil {
+				t.Fatal(err)
+			}
+		case 3:
+			cur, ok, err := tr.Get(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var old []byte
+			if ok {
+				old = cur
+			}
+			if _, _, err := tr.Cas(k, old, []byte(fmt.Sprintf("cas-%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			if err := tr.Put(k, []byte(fmt.Sprintf("v-%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	rebuilt, err := Track(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := tr.Digest().Snapshot(), rebuilt.Digest().Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("maintained digest != rebuilt digest\n got %v\nwant %v", got, want)
+	}
+	if tr.Digest().Root() != rebuilt.Digest().Root() {
+		t.Fatal("maintained root != rebuilt root")
+	}
+}
+
+// Concurrent mutations must keep the digest exact: the per-leaf locks
+// serialize each pair's read-modify-toggle.
+func TestDigestIncrementalityConcurrent(t *testing.T) {
+	inner := openMem(t)
+	tr, err := Track(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 2000; i++ {
+				k := fmt.Sprintf("key-%03d", rng.Intn(100))
+				switch rng.Intn(4) {
+				case 0:
+					tr.Remove(k)
+				case 1:
+					tr.Append(k, []byte("x"))
+				default:
+					tr.Put(k, []byte(fmt.Sprintf("w%d-%d", w, i)))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	rebuilt, err := Track(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr.Digest().Snapshot(), rebuilt.Digest().Snapshot()) {
+		t.Fatal("digest diverged from store contents under concurrent mutations")
+	}
+}
+
+func TestDigestDetectsDifference(t *testing.T) {
+	a, _ := Track(openMem(t))
+	b, _ := Track(openMem(t))
+	a.Put("k", []byte("v1"))
+	b.Put("k", []byte("v2"))
+	diff := DiffLeaves(a.Digest().Snapshot(), b.Digest().Snapshot())
+	if len(diff) != 1 || diff[0] != LeafOf("k") {
+		t.Fatalf("diff = %v, want exactly leaf %d", diff, LeafOf("k"))
+	}
+	b.Put("k", []byte("v1"))
+	if d := DiffLeaves(a.Digest().Snapshot(), b.Digest().Snapshot()); len(d) != 0 {
+		t.Fatalf("equal stores diff = %v", d)
+	}
+	if a.Digest().Root() != b.Digest().Root() {
+		t.Fatal("equal stores, unequal roots")
+	}
+}
+
+func TestCodecRoundTrips(t *testing.T) {
+	leaves := make([]uint64, Leaves)
+	for i := range leaves {
+		leaves[i] = rand.Uint64()
+	}
+	got, err := DecodeDigest(EncodeDigest(leaves))
+	if err != nil || !reflect.DeepEqual(got, leaves) {
+		t.Fatalf("digest round trip: %v %v", got, err)
+	}
+	if _, err := DecodeDigest([]byte{1, 2, 3}); err == nil {
+		t.Fatal("truncated digest decoded")
+	}
+
+	ls := []int{0, 5, 63}
+	gotLS, err := DecodeLeafSet(EncodeLeafSet(ls))
+	if err != nil || !reflect.DeepEqual(gotLS, ls) {
+		t.Fatalf("leaf set round trip: %v %v", gotLS, err)
+	}
+	if _, err := DecodeLeafSet(EncodeLeafSet([]int{64})); err == nil {
+		t.Fatal("out-of-range leaf decoded")
+	}
+
+	pairs := []Pair{{Key: "a", Value: []byte("1")}, {Key: "", Value: nil}, {Key: "c", Value: []byte("xyz")}}
+	gotP, err := DecodePairs(EncodePairs(pairs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotP) != len(pairs) {
+		t.Fatalf("pair count %d != %d", len(gotP), len(pairs))
+	}
+	for i := range pairs {
+		if gotP[i].Key != pairs[i].Key || string(gotP[i].Value) != string(pairs[i].Value) {
+			t.Fatalf("pair %d: %+v != %+v", i, gotP[i], pairs[i])
+		}
+	}
+	// Zero pairs still encode non-empty: OpRepairPull uses "Value
+	// present" to mean push.
+	if enc := EncodePairs(nil); len(enc) == 0 {
+		t.Fatal("empty pair set encoded to zero bytes")
+	}
+	if _, err := DecodePairs([]byte{0xff, 0xff}); err == nil {
+		t.Fatal("garbage pairs decoded")
+	}
+}
+
+func TestHandoffReplaysInOrder(t *testing.T) {
+	var mu sync.Mutex
+	var delivered []string
+	down := true
+	h := NewHandoff(HandoffOptions{
+		Cap:  16,
+		Base: time.Millisecond,
+		Max:  4 * time.Millisecond,
+		Send: func(addr string, req *wire.Request) error {
+			mu.Lock()
+			defer mu.Unlock()
+			if down {
+				return fmt.Errorf("peer %s down", addr)
+			}
+			delivered = append(delivered, req.Key)
+			return nil
+		},
+	})
+	defer h.Close()
+
+	for i := 0; i < 5; i++ {
+		if !h.Enqueue("peer1", &wire.Request{Op: wire.OpReplicate, Key: fmt.Sprintf("k%d", i)}) {
+			t.Fatalf("enqueue %d rejected", i)
+		}
+	}
+	time.Sleep(10 * time.Millisecond) // several failed attempts
+	mu.Lock()
+	down = false
+	mu.Unlock()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if h.Pending() == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("handoff never drained; pending=%d", h.Pending())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"k0", "k1", "k2", "k3", "k4"}
+	if !reflect.DeepEqual(delivered, want) {
+		t.Fatalf("delivered %v, want %v (order must be preserved)", delivered, want)
+	}
+}
+
+func TestHandoffBoundsAndClose(t *testing.T) {
+	h := NewHandoff(HandoffOptions{
+		Cap:  2,
+		Base: time.Millisecond,
+		Max:  time.Millisecond,
+		Send: func(string, *wire.Request) error { return fmt.Errorf("always down") },
+	})
+	ok := 0
+	for i := 0; i < 5; i++ {
+		if h.Enqueue("p", &wire.Request{Key: fmt.Sprintf("k%d", i)}) {
+			ok++
+		}
+	}
+	if ok != 2 {
+		t.Fatalf("accepted %d legs with cap 2", ok)
+	}
+	done := make(chan struct{})
+	go func() { h.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close hung with a permanently failing destination")
+	}
+	if h.Enqueue("p", &wire.Request{}) {
+		t.Fatal("enqueue accepted after Close")
+	}
+	var nilH *Handoff
+	if nilH.Enqueue("p", &wire.Request{}) || nilH.Pending() != 0 {
+		t.Fatal("nil handoff must reject everything")
+	}
+	nilH.Close()
+}

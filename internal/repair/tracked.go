@@ -1,0 +1,145 @@
+package repair
+
+import (
+	"sync"
+
+	"zht/internal/storage"
+)
+
+// Tracked wraps a partition store and maintains its Merkle digest on
+// every mutation, so a digest snapshot is always available without an
+// O(n) scan. It implements storage.KV, which is what makes the digest
+// hook sit on the storage seam: every write path through the instance
+// — primary applies, replica applies, migration imports — updates the
+// digest for free.
+//
+// Mutations of keys in the same leaf are serialized by a per-leaf
+// lock: the read-modify (fetch the old value, apply, toggle old out
+// and new in) must be atomic per pair or a racing pair of writers
+// could toggle the same old value twice and corrupt the leaf forever.
+// Keys in different leaves proceed in parallel, preserving the
+// concurrency the sharded store underneath provides.
+type Tracked struct {
+	inner storage.KV
+	d     *Digest
+	locks [Leaves]sync.Mutex
+}
+
+// Track wraps inner, rebuilding the digest from the store's current
+// contents via ForEach (the "rebuilt on open" path: after a restart
+// the incremental state is gone, so it is recomputed once).
+func Track(inner storage.KV) (*Tracked, error) {
+	t := &Tracked{inner: inner, d: NewDigest()}
+	if err := inner.ForEach(func(key string, val []byte) error {
+		t.d.Toggle(key, val)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Digest returns the maintained digest.
+func (t *Tracked) Digest() *Digest { return t.d }
+
+func (t *Tracked) lock(key string) func() {
+	l := &t.locks[LeafOf(key)]
+	l.Lock()
+	return l.Unlock
+}
+
+// Put stores val under key, replacing any existing value.
+func (t *Tracked) Put(key string, val []byte) error {
+	defer t.lock(key)()
+	old, had, err := t.inner.Get(key)
+	if err != nil {
+		return err
+	}
+	if err := t.inner.Put(key, val); err != nil {
+		return err
+	}
+	if had {
+		t.d.Toggle(key, old)
+	}
+	t.d.Toggle(key, val)
+	return nil
+}
+
+// PutIfAbsent stores val only when key is not present.
+func (t *Tracked) PutIfAbsent(key string, val []byte) (bool, error) {
+	defer t.lock(key)()
+	ok, err := t.inner.PutIfAbsent(key, val)
+	if err == nil && ok {
+		t.d.Toggle(key, val)
+	}
+	return ok, err
+}
+
+// Get returns a copy of the value stored under key.
+func (t *Tracked) Get(key string) ([]byte, bool, error) { return t.inner.Get(key) }
+
+// Remove deletes key, reporting whether it was present.
+func (t *Tracked) Remove(key string) (bool, error) {
+	defer t.lock(key)()
+	old, had, err := t.inner.Get(key)
+	if err != nil {
+		return false, err
+	}
+	ok, err := t.inner.Remove(key)
+	if err == nil && ok && had {
+		t.d.Toggle(key, old)
+	}
+	return ok, err
+}
+
+// Append concatenates val to the value under key, creating the key
+// when absent.
+func (t *Tracked) Append(key string, val []byte) error {
+	defer t.lock(key)()
+	old, had, err := t.inner.Get(key)
+	if err != nil {
+		return err
+	}
+	if err := t.inner.Append(key, val); err != nil {
+		return err
+	}
+	if had {
+		t.d.Toggle(key, old)
+	}
+	next := make([]byte, 0, len(old)+len(val))
+	next = append(next, old...)
+	next = append(next, val...)
+	t.d.Toggle(key, next)
+	return nil
+}
+
+// Cas atomically replaces the value under key when it equals oldVal
+// (nil oldVal = "expect absent").
+func (t *Tracked) Cas(key string, oldVal, newVal []byte) (bool, []byte, error) {
+	defer t.lock(key)()
+	swapped, cur, err := t.inner.Cas(key, oldVal, newVal)
+	if err == nil && swapped {
+		if oldVal != nil {
+			t.d.Toggle(key, oldVal)
+		}
+		t.d.Toggle(key, newVal)
+	}
+	return swapped, cur, err
+}
+
+// Len reports the number of keys stored.
+func (t *Tracked) Len() int { return t.inner.Len() }
+
+// ForEach calls fn for every pair; fn must not mutate the store.
+func (t *Tracked) ForEach(fn func(key string, val []byte) error) error {
+	return t.inner.ForEach(fn)
+}
+
+// Sync flushes buffered state and fsyncs backing storage.
+func (t *Tracked) Sync() error { return t.inner.Sync() }
+
+// Stats returns a snapshot of store statistics.
+func (t *Tracked) Stats() storage.Stats { return t.inner.Stats() }
+
+// Close flushes durable state and closes the store.
+func (t *Tracked) Close() error { return t.inner.Close() }

@@ -81,6 +81,18 @@ type Params struct {
 	// (Figure 11).
 	RackLinkTime float64
 
+	// RepairRate is the per-instance anti-entropy message rate: digest
+	// round trips per second each instance issues against partition
+	// authorities (an instance replicating k partitions with period T
+	// issues ≈ k/T, plus pulls when divergence is found). Repair is
+	// background traffic — it never extends the acknowledged op path,
+	// but it occupies the server, NIC, and rack-link queues both at
+	// the issuing replica and at the serving authority, which is the
+	// throughput overhead zht-bench's -repair-sweep measures. 0 (the
+	// default) disables the term, leaving the calibrated anchor
+	// points untouched.
+	RepairRate float64
+
 	// FsyncTime is the cost of one fsync on the partition store's
 	// write-ahead log. How often it is paid depends on Durability:
 	// sync mode fsyncs every operation (B fsyncs per message), group
@@ -287,26 +299,37 @@ func Analytic(p Params) (Result, error) {
 	passesPerNode := 2.0 * (1 + legs)
 	i := float64(p.InstancesPerNode)
 
+	// Repair traffic: each of an instance's RepairRate digest round
+	// trips costs 2 NIC passes at both ends (request out/in, response
+	// out/in), a per-message server cost at the authority answering
+	// it, and a per-message client cost at the replica issuing it. In
+	// the uniform all-to-all picture every instance plays both roles
+	// at the same rate.
+	rr := p.RepairRate
+	repairPasses := 4 * rr // per instance per second, both roles
+	repairSrv := rr * (p.ServerMsgTime + p.ClientMsgTime)
+
 	cap95 := func(x float64) float64 { return math.Min(0.95, x) }
 	lat := cliMsg + srvMsg + 2*t.intraProp + 4*p.NICTime
 	var rhoNIC, rhoSrv, rhoRack float64
 	for iter := 0; iter < 500; iter++ {
 		lambda := 1 / lat // messages/s per instance
 		// NIC queue: i instances per node, passesPerNode messages
-		// per batch round trip each.
-		rhoNIC = cap95(i * lambda * passesPerNode * p.NICTime)
+		// per batch round trip each, plus repair background passes.
+		rhoNIC = cap95(i * (lambda*passesPerNode + repairPasses) * p.NICTime)
 		nicDelay := p.NICTime / (1 - rhoNIC)
 		// Server queue: each instance serves its own batches plus
 		// replica batches from `legs` peers, each costing B per-op
-		// applications plus one envelope decode.
-		rhoSrv = cap95(lambda * (1 + legs) * srvMsg)
+		// applications plus one envelope decode; repair digest
+		// serving and issuing is additional background occupancy.
+		rhoSrv = cap95(lambda*(1+legs)*srvMsg + repairSrv)
 		srvDelay := srvMsg * (1 + rhoSrv/(1-rhoSrv))
 		// Inter-rack links: all-to-all traffic over a bundle count
 		// that grows only as the rack torus, so utilization grows
 		// with scale.
 		rackDelay := 0.0
 		if t.interFrac > 0 {
-			msgRateNode := i * lambda * passesPerNode
+			msgRateNode := i * (lambda*passesPerNode + repairPasses)
 			rhoRack = cap95(msgRateNode * float64(p.RackSize) * t.rackHops / 3 * p.RackLinkTime)
 			rackDelay = t.interFrac * t.rackHops * p.RackHopTime / (1 - rhoRack)
 		}
@@ -342,6 +365,9 @@ func validate(p Params) error {
 	}
 	if p.BatchSize < 0 {
 		return errors.New("sim: BatchSize must be non-negative")
+	}
+	if p.RepairRate < 0 {
+		return errors.New("sim: RepairRate must be non-negative")
 	}
 	return nil
 }

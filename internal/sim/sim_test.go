@@ -418,3 +418,58 @@ func BenchmarkDiscreteEvent1K(b *testing.B) {
 		}
 	}
 }
+
+func TestRepairRateOverheadShape(t *testing.T) {
+	// Anti-entropy digest traffic is background load: throughput must
+	// degrade monotonically as RepairRate grows, and RepairRate=0 must
+	// be bit-identical to the calibrated baseline.
+	base := DefaultParams(1024, 1)
+	r0, err := Analytic(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withRR := base
+	withRR.RepairRate = 0
+	rz, err := Analytic(withRR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rz != r0 {
+		t.Fatalf("RepairRate=0 perturbed the baseline: %+v vs %+v", rz, r0)
+	}
+
+	prevTput := r0.Throughput
+	prevLat := r0.Latency
+	for _, rr := range []float64{100, 1000, 5000} {
+		p := base
+		p.RepairRate = rr
+		r, err := Analytic(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Throughput > prevTput {
+			t.Errorf("throughput rose with repair rate %v: %.0f > %.0f", rr, r.Throughput, prevTput)
+		}
+		if r.Latency < prevLat {
+			t.Errorf("latency fell with repair rate %v: %v < %v", rr, r.Latency, prevLat)
+		}
+		prevTput, prevLat = r.Throughput, r.Latency
+	}
+	// A heavy repair load must cost something measurable, not just
+	// round-trip through the fixed point unchanged.
+	heavy := base
+	heavy.RepairRate = 5000
+	rh, err := Analytic(heavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rh.Throughput >= r0.Throughput {
+		t.Errorf("5k repair msgs/s cost nothing: %.0f >= %.0f ops/s", rh.Throughput, r0.Throughput)
+	}
+
+	neg := base
+	neg.RepairRate = -1
+	if _, err := Analytic(neg); err == nil {
+		t.Error("negative repair rate accepted")
+	}
+}

@@ -10,7 +10,13 @@
 //     type — consumers must hold stores as the storage.KV interface,
 //     so the engine stays swappable (constructing one via
 //     novoht.Open/novoht.Options is fine; depending on the concrete
-//     type is not).
+//     type is not), or
+//   - the replica repair contract is broken: the canonical
+//     zht.repair.* metrics (digest syncs, ranges pulled, handoff
+//     queued/replayed/dropped) must both be registered in
+//     internal/repair or internal/core source AND be catalogued in
+//     OBSERVABILITY.md — convergence debugging depends on them, so
+//     neither side may silently drop one.
 //
 // Run from the repository root: go run ./internal/tools/docscheck
 package main
@@ -40,6 +46,7 @@ func main() {
 	}
 	checkMetricCatalogue(fail)
 	checkStorageBoundary(fail)
+	checkRepairContract(fail)
 
 	if len(problems) > 0 {
 		for _, p := range problems {
@@ -264,6 +271,56 @@ func checkStorageBoundary(fail func(string, ...any)) {
 			}
 			return nil
 		})
+	}
+}
+
+// repairMetrics is the canonical metric set of the replica repair
+// subsystem (DESIGN.md §9). checkMetricCatalogue only verifies
+// registered → catalogued; this check pins both directions for these
+// names, so deleting either the registration or the catalogue row
+// fails the gate.
+var repairMetrics = []string{
+	"zht.repair.digest_syncs",
+	"zht.repair.ranges_pulled",
+	"zht.repair.handoff.queued",
+	"zht.repair.handoff.replayed",
+	"zht.repair.handoff.dropped",
+}
+
+// checkRepairContract requires every canonical repair metric to be
+// registered in internal/{repair,core} non-test source and catalogued
+// in OBSERVABILITY.md, and internal/repair itself to exist (its
+// package comment is enforced by checkPackageComments).
+func checkRepairContract(fail func(string, ...any)) {
+	if fi, err := os.Stat(filepath.Join("internal", "repair")); err != nil || !fi.IsDir() {
+		fail("internal/repair is missing; the replica repair subsystem is mandatory")
+		return
+	}
+	var src strings.Builder
+	for _, root := range []string{filepath.Join("internal", "repair"), filepath.Join("internal", "core")} {
+		filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") ||
+				strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			if b, err := os.ReadFile(path); err == nil {
+				src.Write(b)
+			}
+			return nil
+		})
+	}
+	catalogue, err := os.ReadFile("OBSERVABILITY.md")
+	if err != nil {
+		fail("OBSERVABILITY.md: %v", err)
+		return
+	}
+	for _, name := range repairMetrics {
+		if !strings.Contains(src.String(), `"`+name+`"`) {
+			fail("repair metric %q is not registered in internal/repair or internal/core", name)
+		}
+		if !strings.Contains(string(catalogue), name) {
+			fail("repair metric %q is not catalogued in OBSERVABILITY.md", name)
+		}
 	}
 }
 

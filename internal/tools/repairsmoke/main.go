@@ -1,0 +1,204 @@
+// Command repairsmoke is the `make repair-smoke` gate: a short
+// randomized convergence check for the replica repair subsystem
+// (internal/repair). Each iteration bootstraps an in-process
+// deployment with replication and a fast anti-entropy period,
+// partitions one replica away mid-load (the membership table keeps it
+// Alive, so primaries keep acking while their replication legs fail
+// into hinted handoff), keeps mutating, heals the partition, and then
+// requires the repair contract:
+//
+//   - every replica's partition digest converges to its primary's
+//     within the deadline — through handoff replay plus the
+//     anti-entropy loop's digest diff and range pulls, and
+//   - zero acknowledged writes are lost: every key's final acked
+//     state reads back afterwards.
+//
+// A deliberately small handoff cap forces overflow, so the
+// anti-entropy backstop — not just replay — is exercised every run.
+// Seeds are randomized per run but printed, so any failure is
+// replayable with -seed. Run from the repository root:
+// go run ./internal/tools/repairsmoke
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"reflect"
+	"time"
+
+	"zht/internal/core"
+	"zht/internal/hashing"
+	"zht/internal/metrics"
+	"zht/internal/ring"
+)
+
+func main() {
+	iters := flag.Int("iters", 3, "partition-heal-converge iterations")
+	ops := flag.Int("ops", 3000, "mutations per iteration")
+	seed := flag.Int64("seed", 0, "base seed (0 = derive from time, printed for replay)")
+	flag.Parse()
+
+	base := *seed
+	if base == 0 {
+		base = time.Now().UnixNano()
+	}
+	fmt.Printf("repairsmoke: %d iters, %d ops each, base seed %d\n", *iters, *ops, base)
+
+	for i := 0; i < *iters; i++ {
+		if err := runOnce(base+int64(i), *ops); err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL iter %d (seed %d): %v\n", i, base+int64(i), err)
+			os.Exit(1)
+		}
+		fmt.Printf("iter %d ok\n", i)
+	}
+	fmt.Println("repairsmoke PASS")
+}
+
+func runOnce(seed int64, ops int) error {
+	mreg := metrics.NewRegistry()
+	cfg := core.Config{
+		NumPartitions: 32,
+		Replicas:      1,
+		AntiEntropy:   50 * time.Millisecond,
+		HandoffCap:    64, // small on purpose: overflow exercises the loop
+		OpRetries:     2,
+		RetryBase:     time.Millisecond,
+		RetryMax:      8 * time.Millisecond,
+		OpDeadline:    2 * time.Second,
+		Metrics:       mreg,
+	}
+	const n = 4
+	d, reg, err := core.BootstrapInproc(cfg, n)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	client, err := d.NewClient()
+	if err != nil {
+		return err
+	}
+
+	table := d.Instance(0).Table()
+	victim := d.Instance(1)
+	byID := make(map[ring.InstanceID]*core.Instance)
+	for _, in := range d.Instances() {
+		byID[in.ID()] = in
+	}
+	hashf := hashing.ByName("")
+
+	// Keys owned by reachable primaries: acks must not depend on the
+	// victim being up, only the replica legs do.
+	rng := rand.New(rand.NewSource(seed))
+	var pool []string
+	for i := 0; len(pool) < 500; i++ {
+		key := fmt.Sprintf("smoke-%d-%04d", seed, i)
+		if table.OwnerOf(table.Partition(hashf(key))).ID == victim.ID() {
+			continue
+		}
+		pool = append(pool, key)
+	}
+
+	expected := make(map[string][]byte)
+	mutate := func(count int) error {
+		for i := 0; i < count; i++ {
+			key := pool[rng.Intn(len(pool))]
+			switch r := rng.Float64(); {
+			case r < 0.15 && expected[key] != nil:
+				if err := client.Remove(key); err != nil {
+					return fmt.Errorf("remove %s: %w", key, err)
+				}
+				delete(expected, key)
+			case r < 0.35:
+				chunk := []byte(fmt.Sprintf("+%d", i))
+				if err := client.Append(key, chunk); err != nil {
+					return fmt.Errorf("append %s: %w", key, err)
+				}
+				expected[key] = append(expected[key], chunk...)
+			default:
+				val := []byte(fmt.Sprintf("v%d", i))
+				if err := client.Insert(key, val); err != nil {
+					return fmt.Errorf("insert %s: %w", key, err)
+				}
+				expected[key] = append([]byte(nil), val...)
+			}
+		}
+		return nil
+	}
+
+	// Warm load, partition, load under the fault, heal.
+	if err := mutate(ops / 4); err != nil {
+		return err
+	}
+	reg.SetDown(victim.Addr(), true)
+	if err := mutate(ops / 2); err != nil {
+		return err
+	}
+	if q := mreg.Counter("zht.repair.handoff.queued").Value(); q < 1 {
+		return fmt.Errorf("no legs entered hinted handoff during the partition")
+	}
+	reg.SetDown(victim.Addr(), false)
+	if err := mutate(ops / 4); err != nil {
+		return err
+	}
+
+	// Converge: every partition, every replica vs its primary.
+	converged := func() (bool, string) {
+		for p := 0; p < cfg.NumPartitions; p++ {
+			owner := byID[table.OwnerOf(p).ID]
+			od := owner.PartitionDigest(p)
+			for _, r := range table.ReplicasOf(p, cfg.Replicas) {
+				if r.ID == owner.ID() {
+					continue
+				}
+				if !reflect.DeepEqual(od, byID[r.ID].PartitionDigest(p)) {
+					return false, fmt.Sprintf("partition %d replica %s", p, r.ID)
+				}
+			}
+		}
+		return true, ""
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		ok, where := converged()
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("replicas never reached digest equality (stuck at %s; syncs=%d pulls=%d queued=%d replayed=%d dropped=%d)",
+				where,
+				mreg.Counter("zht.repair.digest_syncs").Value(),
+				mreg.Counter("zht.repair.ranges_pulled").Value(),
+				mreg.Counter("zht.repair.handoff.queued").Value(),
+				mreg.Counter("zht.repair.handoff.replayed").Value(),
+				mreg.Counter("zht.repair.handoff.dropped").Value())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if mreg.Counter("zht.repair.digest_syncs").Value() < 1 {
+		return fmt.Errorf("converged without a single digest sync")
+	}
+
+	// Zero lost acked writes.
+	verifier, err := d.NewClient()
+	if err != nil {
+		return err
+	}
+	for _, key := range pool {
+		want, present := expected[key]
+		v, err := verifier.Lookup(key)
+		switch {
+		case present && err != nil:
+			return fmt.Errorf("acked key %s unreadable: %w", key, err)
+		case present && string(v) != string(want):
+			return fmt.Errorf("acked state of %s lost: got %q want %q", key, v, want)
+		case !present && err == nil:
+			return fmt.Errorf("removed key %s resurfaced as %q", key, v)
+		case !present && !errors.Is(err, core.ErrNotFound):
+			return fmt.Errorf("removed key %s: unexpected error %w", key, err)
+		}
+	}
+	return nil
+}

@@ -55,6 +55,18 @@ const (
 	// Batching amortizes per-message cost across operations the same
 	// way connection caching (§III.F) amortizes per-connection cost.
 	OpBatch
+	// OpDigest asks a peer for its Merkle digest of one partition
+	// (Partition names it); the response Value carries the encoded
+	// leaf hashes (internal/repair). Replicas diff digests against
+	// the partition's authority to find divergence cheaply.
+	OpDigest
+	// OpRepairPull moves divergent leaf contents between replicas.
+	// Aux always carries the leaf set. With Value empty it is a pull:
+	// the receiver answers with its pairs in those leaves. With Value
+	// set (encoded pairs, never empty — the count prefix is always
+	// present) it is a push: the receiver replaces its leaf contents
+	// with the authoritative set.
+	OpRepairPull
 	opMax
 )
 
@@ -88,6 +100,10 @@ func (o Op) String() string {
 		return "report"
 	case OpBatch:
 		return "batch"
+	case OpDigest:
+		return "digest"
+	case OpRepairPull:
+		return "repair-pull"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
