@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test verify bench clean docs-check fmt-check bench-smoke storage-smoke repair-smoke
+.PHONY: build test verify bench clean docs-check fmt-check bench-smoke storage-smoke repair-smoke churn-smoke
 
 build:
 	$(GO) build ./...
@@ -44,16 +44,27 @@ storage-smoke:
 repair-smoke:
 	timeout 60 $(GO) run ./internal/tools/repairsmoke
 
+# churn-smoke is the elastic-membership gate: a randomized loop that
+# scales a loaded deployment up and back down (one iteration with the
+# manager's delta broadcast suppressed, so gossip alone must converge
+# the ring), and requires zero lost acked writes, epoch agreement,
+# digest convergence, and evidence that data moved through the
+# throttled migration engine (see internal/tools/churnsmoke). Seeds
+# are printed, so a failure is replayable with -seed.
+churn-smoke:
+	timeout 90 $(GO) run ./internal/tools/churnsmoke
+
 # verify is the pre-merge gate: formatting and docs checks, static
-# analysis, the full test suite (including the chaos soak) under the
-# race detector, and the batching + crash-recovery + replica-repair
-# smoke runs.
+# analysis, the full test suite (including the chaos soaks) under the
+# race detector, and the batching + crash-recovery + replica-repair +
+# elastic-membership smoke runs.
 verify: fmt-check docs-check
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) bench-smoke
 	$(MAKE) storage-smoke
 	$(MAKE) repair-smoke
+	$(MAKE) churn-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

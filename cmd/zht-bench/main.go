@@ -48,6 +48,8 @@ func main() {
 		durSweep   = flag.Bool("durability-sweep", false, "measure throughput per durability mode over loopback TCP and print the group-commit win")
 		antiEnt    = flag.Duration("anti-entropy", 0, "anti-entropy period: replicas diff partition digests against their authority and pull divergent ranges this often (0 = off)")
 		repSweep   = flag.Bool("repair-sweep", false, "measure the anti-entropy loop's throughput overhead at 0/1/2 replicas and print per-replica-count cost")
+		churn      = flag.Bool("churn", false, "alternate joining and departing one instance in the background for the whole run (inproc only; implies -metrics) and report membership churn plus migration counters")
+		churnEvery = flag.Duration("churn-every", 250*time.Millisecond, "pause between membership changes in -churn mode")
 	)
 	flag.Parse()
 	dur, err := storage.ParseDurability(*durability)
@@ -69,6 +71,12 @@ func main() {
 		}
 		runSmoke(b, *smokeMin)
 		return
+	}
+	if *churn {
+		if *trans != "inproc" {
+			log.Fatal("zht-bench: -churn requires -transport inproc")
+		}
+		*metricsOn = true // the membership/migration counters are the point
 	}
 	var reg *metrics.Registry
 	if *metricsOn || *debugAddr != "" {
@@ -93,6 +101,12 @@ func main() {
 		// Degraded mode: bound each op so the run measures throughput
 		// under faults instead of hanging on them.
 		cfg.OpDeadline = 800 * time.Millisecond
+	}
+	if *churn && cfg.OpDeadline == 0 {
+		// Ops that land in a cutover window retry through redirects
+		// and table refreshes; bound them so the run cannot hang on a
+		// mid-migration stall.
+		cfg.OpDeadline = 2 * time.Second
 	}
 	var d *core.Deployment
 	var cleanup func()
@@ -140,6 +154,47 @@ func main() {
 		}
 	}
 
+	// -churn: one background goroutine alternates growing the ring by
+	// one instance and shrinking it back, every -churn-every, for the
+	// whole run. The workload tolerates the bounded unavailability a
+	// cutover can surface, and the run reports how much data the
+	// throttled migration engine moved underneath the bench.
+	var joins, departs atomic.Int64
+	churnStop := make(chan struct{})
+	var churnWG sync.WaitGroup
+	if *churn {
+		tolerate = func(err error) bool {
+			if errors.Is(err, core.ErrUnavailable) || errors.Is(err, core.ErrNotFound) {
+				unavail.Add(1)
+				return true
+			}
+			return false
+		}
+		base := d.Size()
+		churnWG.Add(1)
+		go func() {
+			defer churnWG.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-churnStop:
+					return
+				case <-time.After(*churnEvery):
+				}
+				if d.Size() <= base {
+					ep := core.Endpoint{
+						Addr: fmt.Sprintf("zht-churn-%04d", i),
+						Node: fmt.Sprintf("node-churn-%04d", i),
+					}
+					if _, err := d.Join(ep); err == nil {
+						joins.Add(1)
+					}
+				} else if err := d.Depart(d.Size() - 1); err == nil {
+					departs.Add(1)
+				}
+			}
+		}()
+	}
+
 	val := make([]byte, 132)
 	var wg sync.WaitGroup
 	errCh := make(chan error, *nodes)
@@ -168,6 +223,10 @@ func main() {
 	}
 	wg.Wait()
 	el := time.Since(start)
+	if *churn {
+		close(churnStop)
+		churnWG.Wait()
+	}
 	close(errCh)
 	for err := range errCh {
 		log.Fatal(err)
@@ -181,6 +240,10 @@ func main() {
 		failed := int(unavail.Load())
 		fmt.Printf("chaos seed=%d: %d/%d ops unavailable; degraded goodput %.0f ops/s\n",
 			*chaosSeed, failed, total, float64(total-failed)/el.Seconds())
+	}
+	if *churn {
+		fmt.Printf("churn: %d joins, %d departs (every %s); %d/%d ops unavailable during cutovers\n",
+			joins.Load(), departs.Load(), *churnEvery, unavail.Load(), total)
 	}
 	if reg != nil {
 		printRegistryMetrics(reg)

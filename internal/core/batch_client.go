@@ -184,6 +184,7 @@ func (c *Client) callBatchWithBackoff(addr string, reqs []*wire.Request, deadlin
 		rs, err := c.caller.CallBatch(addr, reqs)
 		if err == nil {
 			c.breaker.success(addr)
+			c.observeEpoch(addr, maxRespEpoch(rs))
 			allBusy := len(rs) > 0
 			for _, r := range rs {
 				if r.Status != wire.StatusBusy {

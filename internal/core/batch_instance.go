@@ -59,6 +59,15 @@ func (in *Instance) handleBatch(req *wire.Request) *wire.Response {
 	for _, p := range order {
 		in.applyBatchPartition(p, subs, groups[p], resps)
 	}
+	// Sub-responses carry the epoch piggyback too: batch transports
+	// unpack the envelope, so the envelope's own stamp is not visible
+	// to the batch client.
+	epoch := in.Epoch()
+	for _, r := range resps {
+		if r != nil && r.Epoch == 0 {
+			r.Epoch = epoch
+		}
+	}
 	return wire.NewBatchResponse(resps)
 }
 

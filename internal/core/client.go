@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"zht/internal/gossip"
 	"zht/internal/hashing"
 	"zht/internal/metrics"
 	"zht/internal/ring"
@@ -35,6 +36,10 @@ type Client struct {
 	// this client reads instead of its own copy (§III.C 1:1
 	// deployment).
 	shared *Instance
+	// gossip heals a stale table from piggybacked response epochs
+	// (DESIGN.md §10); nil for shared clients (the instance pulls) and
+	// when Config.GossipCooldown is negative.
+	gossip *gossip.Service
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -67,7 +72,7 @@ func NewClient(cfg Config, table *ring.Table, caller transport.Caller) (*Client,
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
-	return &Client{
+	c := &Client{
 		cfg:    cfg,
 		caller: caller,
 		hashf:  cfg.hash(),
@@ -81,7 +86,17 @@ func NewClient(cfg Config, table *ring.Table, caller transport.Caller) (*Client,
 		// same nanosecond, which would synchronize their retry
 		// jitter and permutation streams.
 		rng: rand.New(rand.NewSource(rand.Int63())),
-	}, nil
+	}
+	if cfg.GossipCooldown >= 0 {
+		c.gossip, _ = gossip.New(gossip.Options{
+			Epoch:    func() uint64 { return c.snapshot().Epoch },
+			Pull:     c.gossipPull,
+			Peers:    c.gossipPeers,
+			Cooldown: cfg.GossipCooldown,
+			Metrics:  cfg.Metrics,
+		})
+	}
+	return c, nil
 }
 
 // NewLocalClient creates a client that shares the membership table of
@@ -99,6 +114,7 @@ func NewLocalClient(in *Instance, caller transport.Caller) (*Client, error) {
 		return nil, err
 	}
 	c.shared = in
+	c.gossip = nil // the instance owns staleness healing for shared clients
 	return c, nil
 }
 
@@ -291,12 +307,21 @@ func (c *Client) doRoutedDeadline(req *wire.Request, deadline time.Time) (*wire.
 		targetAlive := table.Status[idx] == ring.Alive
 
 		if !targetAlive {
-			// Owner known dead: address the first alive replica.
+			// Owner known dead: address the first alive replica — the
+			// same election the serving side applies (firstAliveReplica),
+			// so a replica that has itself failed or departed is skipped
+			// instead of dialed.
 			reps := table.ReplicasOf(p, maxInt(c.cfg.Replicas, 1))
-			if len(reps) == 0 {
+			found := false
+			for _, r := range reps {
+				if i := table.IndexOf(r.ID); i >= 0 && table.Status[i] == ring.Alive {
+					target, found = r, true
+					break
+				}
+			}
+			if !found {
 				return nil, fmt.Errorf("%w: no alive replica for partition %d", ErrUnavailable, p)
 			}
-			target = reps[0]
 		}
 
 		req.Epoch = table.Epoch
@@ -382,6 +407,7 @@ func (c *Client) callWithBackoff(addr string, req *wire.Request, deadline time.T
 		resp, err := c.caller.Call(addr, req)
 		if err == nil {
 			c.breaker.success(addr)
+			c.observeEpoch(addr, resp.Epoch)
 			if resp.Status == wire.StatusBusy {
 				c.metrics.busyRetries.Inc()
 			}

@@ -92,6 +92,28 @@ type Config struct {
 	// anti-entropy to repair. 0 means DefaultHandoffCap; negative
 	// disables handoff (failed legs are discarded immediately).
 	HandoffCap int
+	// GossipCooldown is the minimum interval between gossip catch-up
+	// pulls when piggybacked epochs reveal a stale membership table
+	// (DESIGN.md §10). 0 means DefaultGossipCooldown; negative
+	// disables gossip-driven membership entirely (epochs still ride
+	// the wire, but staleness only heals through broadcasts and
+	// StatusWrongOwner refreshes — the pre-gossip behavior).
+	GossipCooldown time.Duration
+	// GossipOnly suppresses the manager's best-effort delta broadcast
+	// to bystander instances: only instances gaining partitions hear
+	// the commit directly, and everyone else converges through the
+	// epoch piggyback. Used by the chaos suite to prove gossip alone
+	// reaches epoch agreement.
+	GossipOnly bool
+	// MigrateRate caps migration streaming throughput per transfer in
+	// bytes/second, so a join or departure cannot starve foreground
+	// traffic. 0 means DefaultMigrateRate; negative removes the cap.
+	MigrateRate int
+	// MigrateLeavesPerPull is how many Merkle leaves one migration
+	// pull round-trip moves (out of repair.Leaves per partition);
+	// smaller values yield finer-grained throttling. 0 means
+	// DefaultMigrateLeavesPerPull.
+	MigrateLeavesPerPull int
 	// Metrics, when non-nil, receives every client-, instance-, and
 	// store-level measurement (latency histograms, retry/shed/breaker
 	// counters — see OBSERVABILITY.md for the catalogue). Nil disables
@@ -114,6 +136,11 @@ const (
 	DefaultBreakerThreshold = 5
 	DefaultBreakerCooldown  = 250 * time.Millisecond
 	DefaultHandoffCap       = 1024
+	DefaultGossipCooldown   = 25 * time.Millisecond
+	DefaultMigrateRate      = 8 << 20 // 8 MiB/s
+	// DefaultMigrateLeavesPerPull moves an eighth of a partition's
+	// Merkle leaves per round-trip.
+	DefaultMigrateLeavesPerPull = 8
 )
 
 func (c *Config) fill() error {
@@ -152,6 +179,15 @@ func (c *Config) fill() error {
 	}
 	if c.AntiEntropy < 0 {
 		c.AntiEntropy = 0
+	}
+	if c.GossipCooldown == 0 {
+		c.GossipCooldown = DefaultGossipCooldown
+	}
+	if c.MigrateRate == 0 {
+		c.MigrateRate = DefaultMigrateRate
+	}
+	if c.MigrateLeavesPerPull <= 0 {
+		c.MigrateLeavesPerPull = DefaultMigrateLeavesPerPull
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"zht/internal/ring"
 	"zht/internal/transport"
@@ -39,14 +40,21 @@ type HandlerSwitch struct {
 	h  transport.Handler
 }
 
-// Handle dispatches to the installed handler, failing cleanly before
-// installation.
+// Handle dispatches to the installed handler. Before installation it
+// answers Busy, not a terminal error: the window between binding the
+// address and installing the instance is transient (a join in
+// progress), so callers should re-route or retry after a short hint
+// rather than fail the operation.
 func (hs *HandlerSwitch) Handle(req *wire.Request) *wire.Response {
 	hs.mu.RLock()
 	h := hs.h
 	hs.mu.RUnlock()
 	if h == nil {
-		return &wire.Response{Status: wire.StatusError, Err: "core: instance still bootstrapping"}
+		return &wire.Response{
+			Status:     wire.StatusBusy,
+			Err:        "core: instance still bootstrapping",
+			RetryAfter: uint64(2 * time.Millisecond),
+		}
 	}
 	return h(req)
 }

@@ -194,8 +194,13 @@ func keyForPartition(t *testing.T, cfg Config, tab *ring.Table, p int) string {
 func TestHandlerSwitchBeforeBind(t *testing.T) {
 	var hs HandlerSwitch
 	resp := hs.Handle(&wire.Request{Op: wire.OpPing})
-	if resp.Status != wire.StatusError {
+	// Bootstrapping is transient, so the unbound switch must answer
+	// with a retriable Busy (plus a retry hint), not a terminal error.
+	if resp.Status != wire.StatusBusy {
 		t.Errorf("unbound switch served a request: %v", resp.Status)
+	}
+	if resp.RetryAfter == 0 {
+		t.Error("bootstrapping Busy response carries no RetryAfter hint")
 	}
 	hs.Set(func(req *wire.Request) *wire.Response {
 		return &wire.Response{Status: wire.StatusOK}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"zht/internal/gossip"
 	"zht/internal/hashing"
 	"zht/internal/novoht"
 	"zht/internal/repair"
@@ -33,6 +34,12 @@ type Instance struct {
 
 	mu    sync.RWMutex // guards table
 	table *ring.Table
+	// deltaLog retains the trailing membership deltas this instance
+	// applied, serving peers' gossip catch-up pulls (wire.OpDeltaPull).
+	deltaLog *ring.DeltaLog
+	// gossip pulls missing membership state when piggybacked epochs
+	// reveal staleness; nil when Config.GossipCooldown is negative.
+	gossip *gossip.Service
 
 	smu    sync.Mutex // guards stores
 	stores map[int]storage.KV
@@ -110,18 +117,32 @@ func NewInstance(cfg Config, self ring.Instance, table *ring.Table, caller trans
 		return nil, fmt.Errorf("core: instance %q not in membership table", self.ID)
 	}
 	in := &Instance{
-		cfg:    cfg,
-		self:   self,
-		hashf:  cfg.hash(),
-		table:  table.Clone(),
-		stores: make(map[int]storage.KV),
-		parts:  make(map[int]*partState),
-		bcast:  make(map[string][]byte),
-		caller: caller,
-		met:    newInstanceMetrics(cfg.Metrics),
-		closed: make(chan struct{}),
-		asyncQ: make(map[string]chan *wire.Request),
-		rrLast: make(map[int]time.Time),
+		cfg:      cfg,
+		self:     self,
+		hashf:    cfg.hash(),
+		table:    table.Clone(),
+		deltaLog: ring.NewDeltaLog(0),
+		stores:   make(map[int]storage.KV),
+		parts:    make(map[int]*partState),
+		bcast:    make(map[string][]byte),
+		met:      newInstanceMetrics(cfg.Metrics),
+		closed:   make(chan struct{}),
+		asyncQ:   make(map[string]chan *wire.Request),
+		rrLast:   make(map[int]time.Time),
+	}
+	// Every server-to-server call flows through the epoch piggyback
+	// wrapper: outgoing requests carry our epoch, incoming responses
+	// feed the gossip staleness detector.
+	in.caller = &epochCaller{inner: caller, in: in}
+	in.met.epoch.Set(int64(in.table.Epoch))
+	if cfg.GossipCooldown >= 0 {
+		in.gossip, _ = gossip.New(gossip.Options{
+			Epoch:    in.Epoch,
+			Pull:     in.gossipPull,
+			Peers:    in.gossipPeers,
+			Cooldown: cfg.GossipCooldown,
+			Metrics:  cfg.Metrics,
+		})
 	}
 	in.rbrk = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown,
 		in.met.repBreakerTrips, in.met.repBreakerOpen)
@@ -253,8 +274,24 @@ func (in *Instance) store(p int) (storage.KV, error) {
 }
 
 // Handle implements transport.Handler: the single entry point for
-// every request this instance receives.
+// every request this instance receives. It wraps the dispatch with
+// the gossip epoch exchange — a newer epoch on the request triggers a
+// catch-up pull, and every response carries our epoch back.
 func (in *Instance) Handle(req *wire.Request) *wire.Response {
+	if req.Epoch > in.Epoch() {
+		// The sender knows a newer ring than we do; we cannot reach it
+		// by address, so pull from fallback peers.
+		in.gossip.Observe("", req.Epoch)
+	}
+	resp := in.handle(req)
+	if resp.Epoch == 0 {
+		resp.Epoch = in.Epoch()
+	}
+	return resp
+}
+
+// handle dispatches one request to its op handler.
+func (in *Instance) handle(req *wire.Request) *wire.Response {
 	switch req.Op {
 	case wire.OpInsert, wire.OpLookup, wire.OpRemove, wire.OpAppend, wire.OpCas:
 		return in.handleKV(req)
@@ -278,6 +315,8 @@ func (in *Instance) Handle(req *wire.Request) *wire.Response {
 		return in.handleDigest(req)
 	case wire.OpRepairPull:
 		return in.handleRepairPull(req)
+	case wire.OpDeltaPull:
+		return in.handleDeltaPull(req)
 	}
 	return &wire.Response{Status: wire.StatusError, Err: "core: unsupported op " + req.Op.String()}
 }
@@ -570,32 +609,17 @@ func (in *Instance) handleMembership() *wire.Response {
 // its full table.
 func (in *Instance) handleDelta(req *wire.Request) *wire.Response {
 	if d, err := ring.DecodeDelta(req.Aux); err == nil {
-		in.mu.Lock()
-		nt, err := in.table.Apply(d)
-		if err != nil {
-			enc := ring.EncodeTable(in.table)
-			in.mu.Unlock()
-			return &wire.Response{Status: wire.StatusError, Err: err.Error(), Table: enc}
+		if _, err := in.applyDelta(d, req.Aux); err != nil {
+			return &wire.Response{Status: wire.StatusError, Err: err.Error(),
+				Table: ring.EncodeTable(in.tableRef())}
 		}
-		old := in.table
-		in.table = nt
-		in.mu.Unlock()
-		in.afterTableChange(old, nt)
 		return &wire.Response{Status: wire.StatusOK}
 	}
 	t, err := ring.DecodeTable(req.Aux)
 	if err != nil {
 		return &wire.Response{Status: wire.StatusError, Err: "core: delta payload is neither delta nor table"}
 	}
-	in.mu.Lock()
-	if t.Epoch <= in.table.Epoch {
-		in.mu.Unlock()
-		return &wire.Response{Status: wire.StatusOK} // already current
-	}
-	old := in.table
-	in.table = t
-	in.mu.Unlock()
-	in.afterTableChange(old, t)
+	in.adoptTableIfNewer(t) // an older table is a no-op: already current
 	return &wire.Response{Status: wire.StatusOK}
 }
 
@@ -676,6 +700,9 @@ func (in *Instance) handleMigrate(req *wire.Request) *wire.Response {
 			in.completeMigration(p, "", false)
 			return &wire.Response{Status: wire.StatusOK}
 		}
+		if string(req.Aux) == string(migrateLockMarker) {
+			return in.handleMigrateLock(p)
+		}
 		s, err := in.store(p)
 		if err != nil {
 			return &wire.Response{Status: wire.StatusError, Err: err.Error()}
@@ -702,8 +729,41 @@ func (in *Instance) handleMigrate(req *wire.Request) *wire.Response {
 		return &wire.Response{Status: wire.StatusError, Err: err.Error()}
 	}
 	resp := &wire.Response{Status: wire.StatusOK, Value: img}
-	// Watchdog: if the confirming delta never arrives, fail the
-	// migration so queued requests are not stuck forever.
+	in.migrationWatchdog(p)
+	return resp
+}
+
+// handleMigrateLock serves the streaming path's cutover request: the
+// incoming owner has already streamed the partition's content and now
+// asks us to stop serving it. We begin the migration (new requests
+// queue behind the gate), drain in-flight appliers by cycling the op
+// lock, and reply — the requester then runs its locked final sync and
+// commits the delta, which resolves the queued requests with
+// redirects. No image travels; content moved through repair pulls.
+func (in *Instance) handleMigrateLock(p int) *wire.Response {
+	in.mu.RLock()
+	table := in.table
+	ownsIt := table.OwnerOf(p).ID == in.self.ID
+	in.mu.RUnlock()
+	if !ownsIt {
+		return &wire.Response{Status: wire.StatusWrongOwner, Table: ring.EncodeTable(table)}
+	}
+	if !in.beginMigration(p) {
+		return &wire.Response{Status: wire.StatusError, Err: "core: partition already migrating"}
+	}
+	// Drain: anyone holding the op lock in read mode finished applying
+	// (and replicating) once we can take it exclusively.
+	l := in.opLock(p)
+	l.Lock()
+	l.Unlock() //nolint:staticcheck // cycle, not critical section
+	in.migrationWatchdog(p)
+	return &wire.Response{Status: wire.StatusOK}
+}
+
+// migrationWatchdog fails an open migration on partition p if the
+// confirming delta never arrives, so queued requests are not stuck
+// forever.
+func (in *Instance) migrationWatchdog(p int) {
 	go func() {
 		timer := time.NewTimer(migrationTimeout)
 		defer timer.Stop()
@@ -720,7 +780,6 @@ func (in *Instance) handleMigrate(req *wire.Request) *wire.Response {
 		case <-in.closed:
 		}
 	}()
-	return resp
 }
 
 // beginMigration locks partition p for an outgoing move; it reports
@@ -794,17 +853,25 @@ func (in *Instance) migrationGate(p int) *wire.Response {
 		}
 		return &wire.Response{Status: wire.StatusError, Err: "core: migration failed"}
 	}
-	if !in.ownsNow(p) {
-		// Migration complete and our table reflects it: new arrivals
-		// get WrongOwner + the fresh table so zero-hop routing is
-		// restored (redirects serve only the requests that queued
-		// during the move).
+	if in.ownsNow(p) {
+		// ok=true is only ever recorded after the table flipped
+		// ownership away, so owning p again means ownership has since
+		// RETURNED (the receiver itself departed and handed the
+		// partition back before any request arrived here). The
+		// redirect points at the former receiver — likely gone — so
+		// drop the stale record and serve normally.
 		in.pmu.Lock()
 		delete(in.parts, p)
 		in.pmu.Unlock()
 		return nil
 	}
-	return &wire.Response{Status: wire.StatusMigrating, Redirect: redirect}
+	// Migration complete and our table reflects it: new arrivals get
+	// WrongOwner + the fresh table so zero-hop routing is restored
+	// (redirects serve only the requests that queued during the move).
+	in.pmu.Lock()
+	delete(in.parts, p)
+	in.pmu.Unlock()
+	return nil
 }
 
 func (in *Instance) ownsNow(p int) bool {
@@ -871,27 +938,34 @@ func (in *Instance) handleReport(req *wire.Request) *wire.Response {
 // other alive instance, falling back to the full table for instances
 // whose epoch diverged.
 func (in *Instance) applyAndBroadcast(d ring.Delta) (*ring.Table, error) {
-	in.mu.Lock()
-	nt, err := in.table.Apply(d)
+	nt, err := in.applyDelta(d, ring.EncodeDelta(d))
 	if err != nil {
-		in.mu.Unlock()
 		return nil, err
 	}
-	old := in.table
-	in.table = nt
-	in.mu.Unlock()
-	in.afterTableChange(old, nt)
 	in.broadcastDelta(nt, d)
 	return nt, nil
 }
 
 // broadcastDelta sends the delta to all alive peers; on epoch
-// mismatch it retries with the full table.
+// mismatch it retries with the full table. Under GossipOnly the
+// fan-out shrinks to the instances the delta reassigns partitions to
+// (they must hear the commit to release migration state promptly);
+// everyone else converges through the epoch piggyback instead.
 func (in *Instance) broadcastDelta(nt *ring.Table, d ring.Delta) {
 	encD := ring.EncodeDelta(d)
 	encT := ring.EncodeTable(nt)
+	var gaining map[ring.InstanceID]bool
+	if in.cfg.GossipOnly {
+		gaining = make(map[ring.InstanceID]bool, len(d.Reassign))
+		for _, id := range d.Reassign {
+			gaining[id] = true
+		}
+	}
 	for i, peer := range nt.Instances {
 		if peer.ID == in.self.ID || nt.Status[i] != ring.Alive {
+			continue
+		}
+		if in.cfg.GossipOnly && !gaining[peer.ID] {
 			continue
 		}
 		resp, err := in.caller.Call(peer.Addr, &wire.Request{Op: wire.OpDelta, Aux: encD})
@@ -969,6 +1043,7 @@ func (in *Instance) Close() error {
 		close(in.closed)
 	}
 	in.closeMu.Unlock()
+	in.gossip.Close() // before async drain: a pull can spawn async work
 	in.asyncWG.Wait()
 	in.loopWG.Wait()   // anti-entropy + read-repair exit on closed
 	in.handoff.Close() // after asyncWG: async workers enqueue here

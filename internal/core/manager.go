@@ -1,11 +1,12 @@
 package core
 
 import (
-	"bytes"
 	"fmt"
+	"math/rand"
+	"time"
 
+	"zht/internal/repair"
 	"zht/internal/ring"
-	"zht/internal/storage"
 	"zht/internal/transport"
 	"zht/internal/wire"
 )
@@ -20,8 +21,10 @@ import (
 //     node" in the paper),
 //  2. plan the join: relieve the most-loaded instance of half its
 //     partitions,
-//  3. pull those partitions' contents (whole-partition moves, no
-//     rehashing),
+//  3. stream those partitions' contents in throttled leaf chunks
+//     while the relieved instance keeps serving, then lock each
+//     partition for a short final sync (no whole-partition pauses,
+//     no rehashing),
 //  4. broadcast the incremental membership update; the relieved
 //     instance releases its queued requests with redirects when the
 //     delta lands.
@@ -30,13 +33,21 @@ import (
 // before Join is called (use a HandlerSwitch to bind the address
 // first); peers start sending it traffic the moment the delta
 // broadcast lands. Join retries with a fresh table when it loses an
-// epoch race with a concurrent membership change.
+// epoch race with a concurrent membership change, backing off with
+// full jitter between attempts so racing joiners do not re-collide.
 func Join(cfg Config, newcomer ring.Instance, seedAddr string, caller transport.Caller, bind func(*Instance)) (*Instance, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
 	var lastErr error
 	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 {
+			d := cfg.RetryBase << uint(attempt-1)
+			if d <= 0 || d > cfg.RetryMax {
+				d = cfg.RetryMax
+			}
+			time.Sleep(time.Duration(rand.Int63n(int64(d))) + 1)
+		}
 		inst, err := joinOnce(cfg, newcomer, seedAddr, caller, bind)
 		if err == nil {
 			return inst, nil
@@ -69,11 +80,14 @@ func joinOnce(cfg Config, newcomer ring.Instance, seedAddr string, caller transp
 	}
 	bind(inst)
 
-	// Pull each partition from the instance being relieved. The
-	// giver locks the partition and queues requests until the delta
-	// confirms the move.
+	// The instance being relieved. Until the commit below lands, it is
+	// the only peer that knows the newcomer exists, and the newcomer is
+	// in nobody's peer list — so the advanced epoch the newcomer stamps
+	// on its pulls cannot propagate early through gossip.
 	giver := table.OwnerOf(pickFirst(parts, table))
+	thr := repair.NewThrottle(cfg.MigrateRate, inst.met.migThrottleNs)
 	abort := func() {
+		inst.met.migAborts.Inc()
 		for _, p := range parts {
 			caller.Call(giver.Addr, &wire.Request{
 				Op: wire.OpMigrate, Partition: int64(p), Aux: []byte("abort"),
@@ -81,30 +95,40 @@ func joinOnce(cfg Config, newcomer ring.Instance, seedAddr string, caller transp
 		}
 		inst.Close()
 	}
+
+	// Phase 1: stream every partition's contents in throttled leaf
+	// chunks while the giver keeps serving (the dual-read window: the
+	// giver still owns p at its epoch; the newcomer converges toward
+	// the live copy with digest catch-up rounds).
+	for _, p := range parts {
+		if err := inst.migratePull(giver.Addr, p, thr); err != nil {
+			abort()
+			return nil, fmt.Errorf("stream partition %d from %s: %w", p, giver.Addr, err)
+		}
+	}
+
+	// Phase 2: lock each partition on the giver (new requests queue,
+	// in-flight appliers drain), then close the residual divergence
+	// with one unthrottled final sync.
 	for _, p := range parts {
 		mresp, err := caller.Call(giver.Addr, &wire.Request{
-			Op: wire.OpMigrate, Partition: int64(p), Key: newcomer.Addr,
+			Op: wire.OpMigrate, Partition: int64(p), Key: newcomer.Addr, Aux: migrateLockMarker,
 		})
 		if err != nil || mresp.Status != wire.StatusOK {
 			abort()
-			return nil, fmt.Errorf("migrate partition %d from %s: %v %s", p, giver.Addr, err, respErr(mresp))
+			return nil, fmt.Errorf("lock partition %d on %s: %v %s", p, giver.Addr, err, respErr(mresp))
 		}
-		s, err := inst.store(p)
-		if err != nil {
+		if err := inst.migrateFinalPull(giver.Addr, p); err != nil {
 			abort()
-			return nil, err
+			return nil, fmt.Errorf("final sync of partition %d from %s: %w", p, giver.Addr, err)
 		}
-		if len(mresp.Value) > 0 {
-			if _, err := storage.Import(bytes.NewReader(mresp.Value), s); err != nil {
-				abort()
-				return nil, fmt.Errorf("import partition %d: %w", p, err)
-			}
-		}
+		inst.met.migPartitions.Inc()
 	}
 
 	// Commit: the relieved instance must accept the delta (it
 	// releases its queued requests on apply); then broadcast to the
-	// rest.
+	// rest — unless gossip-only, where bystanders converge through
+	// epoch piggybacking instead.
 	encD := ring.EncodeDelta(delta)
 	if len(parts) > 0 {
 		dresp, err := caller.Call(giver.Addr, &wire.Request{Op: wire.OpDelta, Aux: encD})
@@ -113,60 +137,84 @@ func joinOnce(cfg Config, newcomer ring.Instance, seedAddr string, caller transp
 			return nil, fmt.Errorf("giver rejected join delta (epoch race): %v %s", err, respErr(dresp))
 		}
 	}
-	for i, peer := range table.Instances {
-		if peer.ID == giver.ID || table.Status[i] != ring.Alive {
-			continue
-		}
-		if r, err := caller.Call(peer.Addr, &wire.Request{Op: wire.OpDelta, Aux: encD}); err != nil || r.Status != wire.StatusOK {
-			caller.Call(peer.Addr, &wire.Request{Op: wire.OpDelta, Aux: ring.EncodeTable(nt)})
+	if !cfg.GossipOnly {
+		for i, peer := range table.Instances {
+			if peer.ID == giver.ID || table.Status[i] != ring.Alive {
+				continue
+			}
+			if r, err := caller.Call(peer.Addr, &wire.Request{Op: wire.OpDelta, Aux: encD}); err != nil || r.Status != wire.StatusOK {
+				caller.Call(peer.Addr, &wire.Request{Op: wire.OpDelta, Aux: ring.EncodeTable(nt)})
+			}
 		}
 	}
+	inst.met.migCutovers.Add(int64(len(parts)))
 	return inst, nil
 }
 
 // Depart performs a planned departure (§III.C): the departing
-// instance migrates each of its partitions to alive ring neighbours,
-// then broadcasts the membership update marking itself Departing.
-// The caller should Close the instance afterwards.
+// instance streams each of its partitions to alive ring neighbours in
+// throttled leaf chunks while it keeps serving, then locks each
+// partition for a short final sync and broadcasts the membership
+// update marking itself Departing. The caller should Close the
+// instance afterwards.
 func Depart(inst *Instance) error {
 	table := inst.Table()
 	delta, moves, err := table.PlanDeparture(inst.self.ID)
 	if err != nil {
 		return err
 	}
-	// Push every partition image to its receiver while holding the
-	// migration lock; queued requests release when the delta is
-	// applied locally below.
+	thr := repair.NewThrottle(inst.cfg.MigrateRate, inst.met.migThrottleNs)
+
+	// Phase 1: stream while serving. No migration state exists yet, so
+	// a failure here needs no rollback — the receivers just hold a
+	// stale partial copy their replica digests will reconcile.
+	for tgtIdx, parts := range moves {
+		tgt := table.Instances[tgtIdx]
+		for _, p := range parts {
+			if err := inst.migratePush(tgt.Addr, p, thr); err != nil {
+				return fmt.Errorf("core: stream partition %d to %s: %w", p, tgt.Addr, err)
+			}
+		}
+	}
+
+	// Phase 2: lock each partition locally (queueing new requests),
+	// drain in-flight appliers, and push the residual divergence
+	// unthrottled. Queued requests release with redirects when the
+	// delta is applied locally below.
+	var begun []int
+	rollback := func() {
+		inst.met.migAborts.Inc()
+		for _, p := range begun {
+			inst.completeMigration(p, "", false)
+		}
+	}
 	for tgtIdx, parts := range moves {
 		tgt := table.Instances[tgtIdx]
 		for _, p := range parts {
 			if !inst.beginMigration(p) {
+				rollback()
 				return fmt.Errorf("core: partition %d already migrating", p)
 			}
-			img, err := inst.exportPartition(p)
-			if err != nil {
-				inst.completeMigration(p, "", false)
-				return err
+			begun = append(begun, p)
+			l := inst.opLock(p)
+			l.Lock()
+			l.Unlock() //nolint:staticcheck // cycle, not critical section
+			if err := inst.migrateFinalPush(tgt.Addr, p); err != nil {
+				rollback()
+				return fmt.Errorf("core: final sync of partition %d to %s: %w", p, tgt.Addr, err)
 			}
-			resp, err := inst.caller.Call(tgt.Addr, &wire.Request{
-				Op: wire.OpMigrate, Partition: int64(p), Aux: img,
-			})
-			if err != nil || resp.Status != wire.StatusOK {
-				inst.completeMigration(p, "", false)
-				return fmt.Errorf("core: push partition %d to %s: %v %s", p, tgt.Addr, err, respErr(resp))
-			}
+			inst.met.migPartitions.Inc()
 		}
 	}
+
 	// Applying the delta locally flips ownership and releases the
-	// queued requests with redirects; then it is broadcast.
+	// queued requests with redirects; then it is broadcast (gossip-only
+	// deployments notify just the receiving instances).
 	if _, err := inst.applyAndBroadcast(delta); err != nil {
-		for _, parts := range moves {
-			for _, p := range parts {
-				inst.completeMigration(p, "", false)
-			}
-		}
+		rollback()
 		return err
 	}
+	inst.met.migCutovers.Add(int64(len(begun)))
 	return nil
 }
 

@@ -80,6 +80,21 @@ type instanceMetrics struct {
 	handoffQueued   *metrics.Counter // zht.repair.handoff.queued
 	handoffReplayed *metrics.Counter // zht.repair.handoff.replayed
 	handoffDropped  *metrics.Counter // zht.repair.handoff.dropped
+
+	// Membership instruments (DESIGN.md §10; the gossip service
+	// registers the zht.membership.gossip pull/advance counters and
+	// zht.membership.stale_detected itself).
+	epoch            *metrics.Gauge   // zht.membership.epoch
+	gossipFullTables *metrics.Counter // zht.membership.gossip.full_tables
+
+	// Migration engine instruments (throttled streaming rebalance).
+	migPartitions *metrics.Counter // zht.migrate.partitions
+	migPairs      *metrics.Counter // zht.migrate.pairs
+	migBytes      *metrics.Counter // zht.migrate.bytes
+	migRounds     *metrics.Counter // zht.migrate.rounds
+	migCutovers   *metrics.Counter // zht.migrate.cutovers
+	migAborts     *metrics.Counter // zht.migrate.aborts
+	migThrottleNs *metrics.Counter // zht.migrate.throttle_ns
 }
 
 func newInstanceMetrics(reg *metrics.Registry) instanceMetrics {
@@ -94,5 +109,16 @@ func newInstanceMetrics(reg *metrics.Registry) instanceMetrics {
 		handoffQueued:   reg.Counter("zht.repair.handoff.queued"),
 		handoffReplayed: reg.Counter("zht.repair.handoff.replayed"),
 		handoffDropped:  reg.Counter("zht.repair.handoff.dropped"),
+
+		epoch:            reg.Gauge("zht.membership.epoch"),
+		gossipFullTables: reg.Counter("zht.membership.gossip.full_tables"),
+
+		migPartitions: reg.Counter("zht.migrate.partitions"),
+		migPairs:      reg.Counter("zht.migrate.pairs"),
+		migBytes:      reg.Counter("zht.migrate.bytes"),
+		migRounds:     reg.Counter("zht.migrate.rounds"),
+		migCutovers:   reg.Counter("zht.migrate.cutovers"),
+		migAborts:     reg.Counter("zht.migrate.aborts"),
+		migThrottleNs: reg.Counter("zht.migrate.throttle_ns"),
 	}
 }

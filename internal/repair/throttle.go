@@ -1,0 +1,74 @@
+package repair
+
+import (
+	"sync"
+	"time"
+
+	"zht/internal/metrics"
+)
+
+// minThrottleBurst floors the token bucket's burst so tiny rates still
+// admit one reasonable-sized leaf transfer without a pathological
+// first-chunk stall.
+const minThrottleBurst = 64 << 10
+
+// Throttle is a token-bucket byte rate limiter shared by the transfers
+// of one migration: data streams while the old owner keeps serving, so
+// the cap is what keeps a rebalance from starving foreground traffic.
+// A nil *Throttle is valid and admits everything (unlimited).
+type Throttle struct {
+	mu     sync.Mutex
+	rate   float64 // bytes per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	waited *metrics.Counter // total ns spent throttled
+}
+
+// NewThrottle returns a limiter admitting bytesPerSec, or nil
+// (unlimited) when bytesPerSec <= 0. waited, when non-nil, accumulates
+// nanoseconds spent sleeping in Take.
+func NewThrottle(bytesPerSec int, waited *metrics.Counter) *Throttle {
+	if bytesPerSec <= 0 {
+		return nil
+	}
+	burst := float64(bytesPerSec) / 4
+	if burst < minThrottleBurst {
+		burst = minThrottleBurst
+	}
+	return &Throttle{
+		rate:   float64(bytesPerSec),
+		burst:  burst,
+		tokens: burst,
+		waited: waited,
+	}
+}
+
+// Take debits n bytes, sleeping until the bucket covers the debt. The
+// debit is taken immediately (the bucket may go negative), so
+// concurrent takers serialize their debt instead of all passing on the
+// same tokens.
+func (t *Throttle) Take(n int) {
+	if t == nil || n <= 0 {
+		return
+	}
+	t.mu.Lock()
+	now := time.Now()
+	if !t.last.IsZero() {
+		t.tokens += now.Sub(t.last).Seconds() * t.rate
+		if t.tokens > t.burst {
+			t.tokens = t.burst
+		}
+	}
+	t.last = now
+	t.tokens -= float64(n)
+	var wait time.Duration
+	if t.tokens < 0 {
+		wait = time.Duration(-t.tokens / t.rate * float64(time.Second))
+	}
+	t.mu.Unlock()
+	if wait > 0 {
+		t.waited.Add(int64(wait))
+		time.Sleep(wait)
+	}
+}

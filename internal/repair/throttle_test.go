@@ -1,0 +1,59 @@
+package repair
+
+import (
+	"testing"
+	"time"
+
+	"zht/internal/metrics"
+)
+
+func TestThrottleNilUnlimited(t *testing.T) {
+	var thr *Throttle
+	start := time.Now()
+	thr.Take(1 << 30)
+	if time.Since(start) > 50*time.Millisecond {
+		t.Fatal("nil throttle slept")
+	}
+	if NewThrottle(0, nil) != nil || NewThrottle(-1, nil) != nil {
+		t.Fatal("non-positive rate must mean unlimited (nil)")
+	}
+}
+
+func TestThrottleBurstPassesWithoutWait(t *testing.T) {
+	thr := NewThrottle(1<<20, nil) // 1 MiB/s → 256 KiB burst floor applies
+	start := time.Now()
+	thr.Take(32 << 10) // well under the burst
+	if time.Since(start) > 50*time.Millisecond {
+		t.Fatal("take within burst slept")
+	}
+}
+
+func TestThrottleLimitsRate(t *testing.T) {
+	reg := metrics.NewRegistry()
+	waited := reg.Counter("test.throttle.waited_ns")
+	// 1 MiB/s → 256 KiB burst; taking 320 KiB leaves a 64 KiB debt,
+	// which at 1 MiB/s is ~62ms of accumulated sleep.
+	thr := NewThrottle(1<<20, waited)
+	start := time.Now()
+	for i := 0; i < 10; i++ {
+		thr.Take(32 << 10) // 320 KiB total vs 256 KiB burst
+	}
+	elapsed := time.Since(start)
+	if elapsed < 40*time.Millisecond {
+		t.Fatalf("10x32KiB at 1MiB/s took %v; throttle not limiting", elapsed)
+	}
+	if waited.Value() == 0 {
+		t.Fatal("waited counter did not accumulate")
+	}
+}
+
+func TestThrottleRefillsOverTime(t *testing.T) {
+	thr := NewThrottle(8<<20, nil) // 8 MiB/s, 2 MiB burst
+	thr.Take(2 << 20)              // drain the burst
+	time.Sleep(50 * time.Millisecond)
+	start := time.Now()
+	thr.Take(128 << 10) // ~400 KiB refilled in 50ms; no sleep needed
+	if time.Since(start) > 30*time.Millisecond {
+		t.Fatal("refilled tokens not honored")
+	}
+}

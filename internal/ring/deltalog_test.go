@@ -1,0 +1,66 @@
+package ring
+
+import "testing"
+
+func TestDeltaLogSinceAndEviction(t *testing.T) {
+	l := NewDeltaLog(4)
+	for e := uint64(1); e <= 10; e++ {
+		l.Record(e, []byte{byte(e)})
+	}
+	if l.Len() != 4 {
+		t.Fatalf("log retains %d entries, want 4", l.Len())
+	}
+	if _, ok := l.Since(1, 10); ok {
+		t.Fatal("evicted range reported coverable")
+	}
+	frames, ok := l.Since(7, 11)
+	if !ok || len(frames) != 4 {
+		t.Fatalf("Since(7,11) = %d frames, ok=%v; want 4, true", len(frames), ok)
+	}
+	for i, f := range frames {
+		if len(f) != 1 || f[0] != byte(7+i) {
+			t.Fatalf("frame %d = %v, want [%d]", i, f, 7+i)
+		}
+	}
+	if frames, ok := l.Since(9, 9); !ok || len(frames) != 0 {
+		t.Fatal("empty range should be trivially coverable")
+	}
+}
+
+func TestDeltaLogGapFromTableAdoption(t *testing.T) {
+	// A full-table adoption skips epochs without recording deltas; the
+	// resulting hole must make Since report the range uncoverable.
+	l := NewDeltaLog(16)
+	l.Record(1, []byte("a"))
+	l.Record(2, []byte("b"))
+	// Epochs 3..5 skipped (table adoption), then deltas resume.
+	l.Record(6, []byte("c"))
+	if _, ok := l.Since(1, 7); ok {
+		t.Fatal("gap at epochs 3-5 reported coverable")
+	}
+	if _, ok := l.Since(6, 7); !ok {
+		t.Fatal("post-gap run should be coverable")
+	}
+}
+
+func TestDeltaLogCopiesFrames(t *testing.T) {
+	l := NewDeltaLog(4)
+	buf := []byte{1, 2, 3}
+	l.Record(1, buf)
+	buf[0] = 99
+	frames, ok := l.Since(1, 2)
+	if !ok || frames[0][0] != 1 {
+		t.Fatal("Record must copy the frame, not alias the caller's buffer")
+	}
+}
+
+func TestDeltaLogNilSafe(t *testing.T) {
+	var l *DeltaLog
+	l.Record(1, []byte("x"))
+	if _, ok := l.Since(1, 2); ok {
+		t.Fatal("nil log covered a range")
+	}
+	if l.Len() != 0 {
+		t.Fatal("nil log has entries")
+	}
+}

@@ -47,6 +47,7 @@ func main() {
 	checkMetricCatalogue(fail)
 	checkStorageBoundary(fail)
 	checkRepairContract(fail)
+	checkMembershipContract(fail)
 
 	if len(problems) > 0 {
 		for _, p := range problems {
@@ -320,6 +321,62 @@ func checkRepairContract(fail func(string, ...any)) {
 		}
 		if !strings.Contains(string(catalogue), name) {
 			fail("repair metric %q is not catalogued in OBSERVABILITY.md", name)
+		}
+	}
+}
+
+// membershipMetrics is the canonical metric set of the elastic
+// membership subsystem — epoch gossip plus the throttled online
+// migration engine (DESIGN.md §10). As with the repair contract, both
+// directions are pinned: registration in source and a catalogue row.
+var membershipMetrics = []string{
+	"zht.membership.epoch",
+	"zht.membership.stale_detected",
+	"zht.membership.gossip.pulls",
+	"zht.membership.gossip.advanced",
+	"zht.membership.gossip.full_tables",
+	"zht.migrate.partitions",
+	"zht.migrate.pairs",
+	"zht.migrate.bytes",
+	"zht.migrate.rounds",
+	"zht.migrate.cutovers",
+	"zht.migrate.aborts",
+	"zht.migrate.throttle_ns",
+}
+
+// checkMembershipContract requires every canonical membership metric
+// to be registered in internal/{gossip,core} non-test source and
+// catalogued in OBSERVABILITY.md, and internal/gossip itself to
+// exist.
+func checkMembershipContract(fail func(string, ...any)) {
+	if fi, err := os.Stat(filepath.Join("internal", "gossip")); err != nil || !fi.IsDir() {
+		fail("internal/gossip is missing; the membership gossip subsystem is mandatory")
+		return
+	}
+	var src strings.Builder
+	for _, root := range []string{filepath.Join("internal", "gossip"), filepath.Join("internal", "core")} {
+		filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") ||
+				strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			if b, err := os.ReadFile(path); err == nil {
+				src.Write(b)
+			}
+			return nil
+		})
+	}
+	catalogue, err := os.ReadFile("OBSERVABILITY.md")
+	if err != nil {
+		fail("OBSERVABILITY.md: %v", err)
+		return
+	}
+	for _, name := range membershipMetrics {
+		if !strings.Contains(src.String(), `"`+name+`"`) {
+			fail("membership metric %q is not registered in internal/gossip or internal/core", name)
+		}
+		if !strings.Contains(string(catalogue), name) {
+			fail("membership metric %q is not catalogued in OBSERVABILITY.md", name)
 		}
 	}
 }

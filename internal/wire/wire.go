@@ -67,6 +67,15 @@ const (
 	// present) it is a push: the receiver replaces its leaf contents
 	// with the authoritative set.
 	OpRepairPull
+	// OpDeltaPull asks a peer for the membership deltas between the
+	// requester's epoch (Request.Epoch) and the peer's current epoch.
+	// The response Value carries an internal/gossip pull payload:
+	// either the ordered delta frames to replay, or the peer's full
+	// table when its delta log no longer covers the gap
+	// (ring.ErrEpochMismatch territory). This is the anti-entropy
+	// membership pull a stale instance issues after noticing a newer
+	// epoch piggybacked on normal traffic.
+	OpDeltaPull
 	opMax
 )
 
@@ -104,6 +113,8 @@ func (o Op) String() string {
 		return "digest"
 	case OpRepairPull:
 		return "repair-pull"
+	case OpDeltaPull:
+		return "delta-pull"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
@@ -223,6 +234,12 @@ type Response struct {
 	// StatusBusy: the shed client should wait at least this long
 	// (with jitter) before retrying. 0 means no hint.
 	RetryAfter uint64
+	// Epoch is the responder's membership epoch, piggybacked on every
+	// instance response so peers and clients detect staleness from
+	// normal traffic instead of waiting for a manager broadcast
+	// (gossip-driven membership; see internal/gossip). 0 means the
+	// responder does not participate (non-instance handlers).
+	Epoch uint64
 }
 
 // maxString caps any single field to guard against corrupt length
@@ -313,6 +330,7 @@ func EncodeResponse(dst []byte, r *Response) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(r.Err)))
 	dst = append(dst, r.Err...)
 	dst = binary.AppendUvarint(dst, r.RetryAfter)
+	dst = binary.AppendUvarint(dst, r.Epoch)
 	return dst
 }
 
@@ -343,6 +361,9 @@ func DecodeResponse(b []byte) (*Response, error) {
 	}
 	r.Err = string(s)
 	if r.RetryAfter, b, err = uvar(b); err != nil {
+		return nil, err
+	}
+	if r.Epoch, b, err = uvar(b); err != nil {
 		return nil, err
 	}
 	if len(b) != 0 {

@@ -43,6 +43,8 @@ func TestResponseRoundTrip(t *testing.T) {
 		{Status: StatusCasMismatch, Value: []byte("current")},
 		{Status: StatusError, Err: "novoht: disk full"},
 		{Status: StatusBusy, Seq: 3, RetryAfter: 2_000_000},
+		{Status: StatusOK, Seq: 4, Epoch: 17},
+		{Status: StatusWrongOwner, Table: []byte("ZHTT-encoded"), Epoch: 1<<40 + 3},
 	}
 	for i, r := range cases {
 		got, err := DecodeResponse(EncodeResponse(nil, r))
@@ -77,11 +79,11 @@ func TestRequestRoundTripProperty(t *testing.T) {
 }
 
 func TestResponseRoundTripProperty(t *testing.T) {
-	err := quick.Check(func(seq, retryAfter uint64, val, table []byte, redirect, errs string, status uint8) bool {
+	err := quick.Check(func(seq, retryAfter, epoch uint64, val, table []byte, redirect, errs string, status uint8) bool {
 		in := &Response{
 			Status: Status(status % 8), Seq: seq, Value: val,
 			Table: table, Redirect: redirect, Err: errs,
-			RetryAfter: retryAfter,
+			RetryAfter: retryAfter, Epoch: epoch,
 		}
 		if len(in.Value) == 0 {
 			in.Value = nil
