@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test verify bench clean docs-check fmt-check bench-smoke storage-smoke repair-smoke churn-smoke
+.PHONY: build test verify bench clean docs-check fmt-check bench-smoke storage-smoke repair-smoke churn-smoke bench-allocs
 
 build:
 	$(GO) build ./...
@@ -54,13 +54,23 @@ repair-smoke:
 churn-smoke:
 	timeout 90 $(GO) run ./internal/tools/churnsmoke
 
+# bench-allocs is the hot-path allocation gate: it benchmarks the
+# loopback TCP request path in-process and fails if Lookup, Insert, or
+# batched Insert exceeds its allocs/op budget (the budget constants and
+# their analytical derivation live at the top of allocs_test.go). Run
+# without -race: the race detector's instrumentation allocates, so the
+# gate skips itself under it.
+bench-allocs:
+	timeout 120 $(GO) test -run TestHotPathAllocBudget -count=1 -v .
+
 # verify is the pre-merge gate: formatting and docs checks, static
 # analysis, the full test suite (including the chaos soaks) under the
-# race detector, and the batching + crash-recovery + replica-repair +
-# elastic-membership smoke runs.
+# race detector, the hot-path allocation gate, and the batching +
+# crash-recovery + replica-repair + elastic-membership smoke runs.
 verify: fmt-check docs-check
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) bench-allocs
 	$(MAKE) bench-smoke
 	$(MAKE) storage-smoke
 	$(MAKE) repair-smoke

@@ -1,0 +1,188 @@
+package zht_test
+
+import (
+	"fmt"
+	"testing"
+
+	"zht"
+	"zht/internal/core"
+	"zht/internal/transport"
+	"zht/internal/wire"
+)
+
+// Hot-path allocation budgets, enforced by TestHotPathAllocBudget
+// (run via `make bench-allocs`, which `make verify` includes). The
+// budgets are the analytical floor of the pooled request path plus
+// zero slack, so any new per-op allocation on the loopback TCP path
+// fails the gate:
+//
+//   - Lookup = 2 allocs/op: the client's response frame becomes the
+//     application-owned value (one make per op, by design — the value
+//     outlives the transport), and the server materializes the key as
+//     a Go string (decode cannot alias a string into the frame).
+//   - Insert = 2 allocs/op: the server key string as above; mutation
+//     acks carry no payload, so the client reuses its read frame. The
+//     second slot is headroom for the runtime's occasional timer and
+//     channel internals rather than a budgeted allocation.
+//   - Batched insert = 2 allocs per sub-op: the envelope's per-op
+//     decode (key strings, slice headers for the grouped apply)
+//     amortized across the batch.
+//
+// See DESIGN.md §11 for the ownership rules that make the rest of the
+// path allocation-free, and EXPERIMENTS.md for measured numbers.
+const (
+	lookupAllocBudget     = 2
+	insertAllocBudget     = 2
+	batchPerOpAllocBudget = 2
+	allocBenchBatch       = 64 // sub-ops per batched-insert envelope
+	allocBenchKeys        = 512
+	allocBenchValueBytes  = 132 // the paper's micro-benchmark value size
+)
+
+// benchTCPClient boots a single-instance deployment on loopback TCP —
+// the configuration the alloc budgets are defined against — with every
+// background allocator disabled: no replicas, no anti-entropy, no
+// gossip, no op-deadline timers, no metrics. Keys are pre-inserted so
+// insert benchmarks measure the overwrite path (a steady-state store
+// neither grows nor allocates).
+func benchTCPClient(tb testing.TB) (*zht.Client, []string, func()) {
+	tb.Helper()
+	cfg := zht.Config{
+		NumPartitions:  64,
+		Replicas:       0,
+		OpDeadline:     -1, // disable: deadline timers cost allocations
+		GossipCooldown: -1,
+		AntiEntropy:    -1,
+	}
+	caller := zht.NewTCPCaller()
+	hs := &zht.HandlerSwitch{}
+	ln, err := zht.ListenTCP("127.0.0.1:0", hs.Handle)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	eps := []zht.Endpoint{{Addr: ln.Addr(), Node: "n0"}}
+	d, err := zht.Bootstrap(cfg, eps, func(addr string, h transport.Handler) (transport.Listener, error) {
+		hs.Set(h)
+		return nopListener{addr}, nil
+	}, caller)
+	if err != nil {
+		ln.Close()
+		tb.Fatal(err)
+	}
+	c, err := zht.NewClientFromSeed(cfg, eps[0].Addr, caller)
+	if err != nil {
+		d.Close()
+		ln.Close()
+		tb.Fatal(err)
+	}
+	keys := make([]string, allocBenchKeys)
+	val := make([]byte, allocBenchValueBytes)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("alloc-key-%06d", i)
+		if err := c.Insert(keys[i], val); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	cleanup := func() {
+		d.Close()
+		ln.Close()
+		caller.Close()
+	}
+	return c, keys, cleanup
+}
+
+func benchLookupAllocs(c *zht.Client, keys []string) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Lookup(keys[i%len(keys)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func benchInsertAllocs(c *zht.Client, keys []string) func(b *testing.B) {
+	val := make([]byte, allocBenchValueBytes)
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := c.Insert(keys[i%len(keys)], val); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func benchBatchInsertAllocs(c *zht.Client, keys []string) func(b *testing.B) {
+	val := make([]byte, allocBenchValueBytes)
+	ops := make([]core.BatchOp, allocBenchBatch)
+	for i := range ops {
+		ops[i] = core.BatchOp{Op: wire.OpInsert, Key: keys[i%len(keys)], Value: val}
+	}
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rs, err := c.Batch(ops)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j := range rs {
+				if rs[j].Err != nil {
+					b.Fatal(rs[j].Err)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkHotPathAllocs measures the end-to-end loopback TCP path the
+// alloc gate budgets: run with -benchmem to see allocs/op.
+func BenchmarkHotPathAllocs(b *testing.B) {
+	c, keys, cleanup := benchTCPClient(b)
+	defer cleanup()
+	b.Run("lookup", benchLookupAllocs(c, keys))
+	b.Run("insert", benchInsertAllocs(c, keys))
+	b.Run("batch-insert", benchBatchInsertAllocs(c, keys))
+}
+
+// TestHotPathAllocBudget is the allocs/op regression gate (`make
+// bench-allocs`): it benchmarks the loopback hot path in-process and
+// fails if any op exceeds its budget. Skipped under the race detector
+// (instrumentation allocates) and in -short runs.
+func TestHotPathAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc budgets are meaningless under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("alloc gate needs full benchmark iterations")
+	}
+	c, keys, cleanup := benchTCPClient(t)
+	defer cleanup()
+
+	// Warm the pools and the connection cache before measuring: the
+	// first operations populate freelists, grow the demux map, and
+	// dial the mux connection, all of which allocate once.
+	for i := 0; i < 2*allocBenchKeys; i++ {
+		if _, err := c.Lookup(keys[i%len(keys)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	check := func(name string, got, budget float64) {
+		t.Logf("%s: %.2f allocs/op (budget %.0f)", name, got, budget)
+		if got > budget {
+			t.Errorf("%s exceeds alloc budget: %.2f > %.0f allocs/op", name, got, budget)
+		}
+	}
+	r := testing.Benchmark(benchLookupAllocs(c, keys))
+	check("lookup", float64(r.AllocsPerOp()), lookupAllocBudget)
+	r = testing.Benchmark(benchInsertAllocs(c, keys))
+	check("insert", float64(r.AllocsPerOp()), insertAllocBudget)
+	r = testing.Benchmark(benchBatchInsertAllocs(c, keys))
+	perOp := float64(r.AllocsPerOp()) / allocBenchBatch
+	check("batch-insert", perOp, batchPerOpAllocBudget)
+}

@@ -75,7 +75,9 @@ func BenchmarkAblationServerMode(b *testing.B) {
 		mode := mode
 		b.Run(mode.name, func(b *testing.B) {
 			h := func(req *wire.Request) *wire.Response {
-				return &wire.Response{Status: wire.StatusOK, Value: req.Value}
+				// The request (and the frame its Value aliases) is
+				// recycled when this handler returns; echo a copy.
+				return &wire.Response{Status: wire.StatusOK, Value: append([]byte(nil), req.Value...)}
 			}
 			srv, err := transport.ListenTCP("127.0.0.1:0", h, mode.m)
 			if err != nil {

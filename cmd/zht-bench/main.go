@@ -81,6 +81,10 @@ func main() {
 	var reg *metrics.Registry
 	if *metricsOn || *debugAddr != "" {
 		reg = metrics.NewRegistry()
+		// The message/buffer pools are process-global, so their
+		// instruments are registered here rather than per component.
+		wire.EnablePoolMetrics(reg)
+		transport.EnableBufMetrics(reg)
 	}
 	cfg := core.Config{
 		NumPartitions: *partitions, Replicas: *replicas,

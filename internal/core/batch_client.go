@@ -55,15 +55,22 @@ func (c *Client) Batch(ops []BatchOp) ([]BatchResult, error) {
 	if len(ops) == 0 {
 		return nil, nil
 	}
-	reqs := make([]*wire.Request, len(ops))
-	for i, op := range ops {
+	for _, op := range ops {
 		switch op.Op {
 		case wire.OpInsert, wire.OpLookup, wire.OpRemove, wire.OpAppend:
 		default:
 			return nil, fmt.Errorf("zht: batch: unsupported op %s", op.Op)
 		}
-		reqs[i] = &wire.Request{Op: op.Op, Key: op.Key, Value: op.Value}
 	}
+	reqs := make([]*wire.Request, len(ops))
+	for i, op := range ops {
+		r := wire.GetRequest()
+		r.Op, r.Key, r.Value = op.Op, op.Key, op.Value
+		reqs[i] = r
+	}
+	defer func() {
+		wire.ReleaseOps(reqs)
+	}()
 	c.metrics.batches.Inc()
 	c.metrics.batchSize.Observe(int64(len(ops)))
 	c.metrics.ops.Add(int64(len(ops)))
@@ -103,11 +110,13 @@ func (c *Client) Batch(ops []BatchOp) ([]BatchResult, error) {
 		wg.Add(1)
 		go func(addr string, idxs []int) {
 			defer wg.Done()
+			// Groups partition the index space, so stamping the epoch
+			// on the shared sub-requests is race-free: each request
+			// belongs to exactly one group.
 			sub := make([]*wire.Request, len(idxs))
 			for j, i := range idxs {
-				r := *reqs[i]
-				r.Epoch = table.Epoch
-				sub[j] = &r
+				reqs[i].Epoch = table.Epoch
+				sub[j] = reqs[i]
 			}
 			rs, err := c.callBatchWithBackoff(addr, sub, deadline)
 			if err != nil {
@@ -128,6 +137,7 @@ func (c *Client) Batch(ops []BatchOp) ([]BatchResult, error) {
 					results[i] = BatchResult{Value: resp.Value, Err: err}
 					settled[i] = true
 				}
+				wire.PutResponse(resp)
 			}
 		}(addr, idxs)
 	}
@@ -148,6 +158,7 @@ func (c *Client) Batch(ops []BatchOp) ([]BatchResult, error) {
 		r := BatchResult{Err: err}
 		if resp != nil {
 			r.Value = resp.Value
+			wire.PutResponse(resp)
 		}
 		results[i] = r
 	}

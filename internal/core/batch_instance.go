@@ -1,7 +1,9 @@
 package core
 
 import (
+	"slices"
 	"sort"
+	"sync"
 
 	"zht/internal/ring"
 	"zht/internal/wire"
@@ -16,6 +18,15 @@ import (
 // level: once messages are cheap to carry, the next win is making each
 // message carry more work.
 
+// tagPool and groupPool recycle the grouping scratch handleBatch uses
+// per envelope: composite (partition<<32 | index) tags, and the index
+// slice handed to applyBatchPartition (which only iterates it — the
+// slice never outlives the call).
+var (
+	tagPool   = sync.Pool{New: func() any { return new([]int64) }}
+	groupPool = sync.Pool{New: func() any { return new([]int) }}
+)
+
 // handleBatch serves an OpBatch envelope: decode the sub-requests,
 // group them by partition, apply each partition's group under a single
 // lock acquisition, and pack the sub-responses (input order) into the
@@ -29,11 +40,18 @@ func (in *Instance) handleBatch(req *wire.Request) *wire.Response {
 
 	// Group sub-op indices by partition, preserving input order within
 	// each group (same key → same partition → same group, so per-key
-	// ordering matches sequential execution). Partitions are visited in
-	// first-appearance order; non-partition ops dispatch immediately so
+	// ordering matches sequential execution). Each KV sub-op gets a
+	// composite (partition, index) tag; sorting the tags clusters each
+	// partition's ops contiguously, and the index in the low bits keeps
+	// the order within a partition stable. Tag and group scratch come
+	// from pools so grouping allocates nothing — a map of per-partition
+	// slices cost nearly an allocation per sub-op. Partitions are
+	// visited in ascending order (groups hold disjoint locks and
+	// release them before the next group, so visiting order is
+	// correctness-neutral); non-partition ops dispatch immediately so
 	// their position relative to same-batch KV ops is irrelevant.
-	groups := make(map[int][]int)
-	var order []int
+	tp := tagPool.Get().(*[]int64)
+	tags := (*tp)[:0]
 	for i, s := range subs {
 		var p int
 		switch s.Op {
@@ -51,14 +69,23 @@ func (in *Instance) handleBatch(req *wire.Request) *wire.Response {
 			resps[i] = in.Handle(s)
 			continue
 		}
-		if _, ok := groups[p]; !ok {
-			order = append(order, p)
+		tags = append(tags, int64(p)<<32|int64(i))
+	}
+	slices.Sort(tags)
+	gp := groupPool.Get().(*[]int)
+	idxs := (*gp)[:0]
+	for k := 0; k < len(tags); {
+		p := int(tags[k] >> 32)
+		idxs = idxs[:0]
+		for ; k < len(tags) && int(tags[k]>>32) == p; k++ {
+			idxs = append(idxs, int(tags[k]&0xffffffff))
 		}
-		groups[p] = append(groups[p], i)
+		in.applyBatchPartition(p, subs, idxs, resps)
 	}
-	for _, p := range order {
-		in.applyBatchPartition(p, subs, groups[p], resps)
-	}
+	*gp = idxs[:0]
+	groupPool.Put(gp)
+	*tp = tags[:0]
+	tagPool.Put(tp)
 	// Sub-responses carry the epoch piggyback too: batch transports
 	// unpack the envelope, so the envelope's own stamp is not visible
 	// to the batch client.
@@ -68,7 +95,14 @@ func (in *Instance) handleBatch(req *wire.Request) *wire.Response {
 			r.Epoch = epoch
 		}
 	}
-	return wire.NewBatchResponse(resps)
+	env := wire.NewBatchResponse(resps)
+	// The envelope now carries everything; sub-requests and
+	// sub-responses go back to their pools (applyBatchPartition fans
+	// routing verdicts out as per-slot copies, so each slot is
+	// released exactly once).
+	wire.ReleaseOps(subs)
+	wire.ReleaseResponses(resps)
+	return env
 }
 
 // applyBatchPartition runs one partition's sub-ops through the same
@@ -81,9 +115,13 @@ func (in *Instance) handleBatch(req *wire.Request) *wire.Response {
 // the successful mutations is coalesced into one batched OpReplicate
 // per replica.
 func (in *Instance) applyBatchPartition(p int, subs []*wire.Request, idxs []int, resps []*wire.Response) {
+	// fan writes a distinct pooled copy of r to every slot in the
+	// group: handleBatch releases each slot independently, so slots
+	// must never share one *Response. The copies may share r's Table
+	// backing — releasing a Response never frees Table.
 	fan := func(r *wire.Response) {
 		for _, i := range idxs {
-			resps[i] = r
+			resps[i] = r.ShallowCopy()
 		}
 	}
 

@@ -153,30 +153,48 @@ func (c *Client) Table() *ring.Table {
 	return c.snapshot().Clone()
 }
 
+// doOp runs one KV operation through a pooled request, releasing the
+// request once routing settles. The response stays with the caller
+// (its Value may be handed to the application); callers that do not
+// need it release it with wire.PutResponse.
+func (c *Client) doOp(op wire.Op, key string, val, aux []byte, flags uint8) (*wire.Response, error) {
+	req := wire.GetRequest()
+	req.Op, req.Key, req.Value, req.Aux, req.Flags = op, key, val, aux, flags
+	resp, err := c.do(req)
+	wire.PutRequest(req)
+	return resp, err
+}
+
 // Insert stores val under key (unconditional).
 func (c *Client) Insert(key string, val []byte) error {
-	_, err := c.do(&wire.Request{Op: wire.OpInsert, Key: key, Value: val})
+	resp, err := c.doOp(wire.OpInsert, key, val, nil, 0)
+	wire.PutResponse(resp)
 	return err
 }
 
 // InsertIfAbsent stores val only when key is absent.
 func (c *Client) InsertIfAbsent(key string, val []byte) error {
-	_, err := c.do(&wire.Request{Op: wire.OpInsert, Key: key, Value: val, Flags: wire.FlagIfAbsent})
+	resp, err := c.doOp(wire.OpInsert, key, val, nil, wire.FlagIfAbsent)
+	wire.PutResponse(resp)
 	return err
 }
 
 // Lookup returns the value stored under key.
 func (c *Client) Lookup(key string) ([]byte, error) {
-	resp, err := c.do(&wire.Request{Op: wire.OpLookup, Key: key})
+	resp, err := c.doOp(wire.OpLookup, key, nil, nil, 0)
 	if err != nil {
+		wire.PutResponse(resp)
 		return nil, err
 	}
-	return resp.Value, nil
+	v := resp.Value
+	wire.PutResponse(resp)
+	return v, nil
 }
 
 // Remove deletes key.
 func (c *Client) Remove(key string) error {
-	_, err := c.do(&wire.Request{Op: wire.OpRemove, Key: key})
+	resp, err := c.doOp(wire.OpRemove, key, nil, nil, 0)
+	wire.PutResponse(resp)
 	return err
 }
 
@@ -184,7 +202,8 @@ func (c *Client) Remove(key string) error {
 // Appends from concurrent clients interleave without any distributed
 // lock (§III.I).
 func (c *Client) Append(key string, val []byte) error {
-	_, err := c.do(&wire.Request{Op: wire.OpAppend, Key: key, Value: val})
+	resp, err := c.doOp(wire.OpAppend, key, val, nil, 0)
+	wire.PutResponse(resp)
 	return err
 }
 
@@ -192,17 +211,21 @@ func (c *Client) Append(key string, val []byte) error {
 // value equals oldVal; oldVal == nil means "expect absent". On
 // mismatch it returns ErrCasMismatch and the observed value.
 func (c *Client) Cas(key string, oldVal, newVal []byte) ([]byte, error) {
-	req := &wire.Request{Op: wire.OpCas, Key: key, Value: newVal, Aux: oldVal}
+	var flags uint8
 	if oldVal == nil {
-		req.Flags = wire.FlagIfAbsent
+		flags = wire.FlagIfAbsent
 	}
-	resp, err := c.do(req)
+	resp, err := c.doOp(wire.OpCas, key, newVal, oldVal, flags)
 	if err != nil {
 		if errors.Is(err, ErrCasMismatch) && resp != nil {
-			return resp.Value, err
+			cur := resp.Value
+			wire.PutResponse(resp)
+			return cur, err
 		}
+		wire.PutResponse(resp)
 		return nil, err
 	}
+	wire.PutResponse(resp)
 	return nil, nil
 }
 

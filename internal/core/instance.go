@@ -187,6 +187,7 @@ func (in *Instance) enqueueAsync(addr string, req *wire.Request) {
 				// peer.
 				if !in.rbrk.allow(addr) {
 					in.hintLeg(addr, r)
+					in.releaseAsyncLeg(r)
 					in.asyncWG.Done()
 					continue
 				}
@@ -196,6 +197,7 @@ func (in *Instance) enqueueAsync(addr string, req *wire.Request) {
 				} else {
 					in.rbrk.success(addr)
 				}
+				in.releaseAsyncLeg(r)
 				in.asyncWG.Done()
 			}
 		}()
@@ -206,6 +208,16 @@ func (in *Instance) enqueueAsync(addr string, req *wire.Request) {
 	case q <- req:
 	case <-in.closed:
 		in.asyncWG.Done()
+	}
+}
+
+// releaseAsyncLeg recycles a consumed async-queue entry. Only batched
+// envelopes are pooled (replicateBatch builds them with
+// wire.NewBatchRequest); single legs are ordinary heap requests the
+// GC owns.
+func (in *Instance) releaseAsyncLeg(r *wire.Request) {
+	if r.Op == wire.OpBatch {
+		wire.ReleaseBatchRequest(r)
 	}
 }
 
@@ -426,48 +438,89 @@ func (in *Instance) exportPartition(p int) ([]byte, error) {
 	return img.Bytes(), nil
 }
 
+// statusResp draws a pooled response carrying just a status; the
+// transport writer recycles it after encoding (see transport.Handler).
+func statusResp(st wire.Status) *wire.Response {
+	r := wire.GetResponse()
+	r.Status = st
+	return r
+}
+
+// errResp draws a pooled StatusError response.
+func errResp(err error) *wire.Response {
+	r := wire.GetResponse()
+	r.Status = wire.StatusError
+	r.Err = err.Error()
+	return r
+}
+
 // applyKV executes one KV op against a store. Shared by the primary
-// path and the replica path so both stay byte-identical.
+// path and the replica path so both stay byte-identical. Responses
+// are pooled; ownership passes to the caller (ultimately the
+// transport writer, which recycles them after encoding).
 func applyKV(s storage.KV, req *wire.Request) *wire.Response {
 	switch req.Op {
 	case wire.OpInsert:
 		if req.Flags&wire.FlagIfAbsent != 0 {
 			ok, err := s.PutIfAbsent(req.Key, req.Value)
 			if err != nil {
-				return &wire.Response{Status: wire.StatusError, Err: err.Error()}
+				return errResp(err)
 			}
 			if !ok {
-				return &wire.Response{Status: wire.StatusExists}
+				return statusResp(wire.StatusExists)
 			}
-			return &wire.Response{Status: wire.StatusOK}
+			return statusResp(wire.StatusOK)
 		}
 		if err := s.Put(req.Key, req.Value); err != nil {
-			return &wire.Response{Status: wire.StatusError, Err: err.Error()}
+			return errResp(err)
 		}
-		return &wire.Response{Status: wire.StatusOK}
+		return statusResp(wire.StatusOK)
 	case wire.OpLookup:
+		// Copy-reduced read: stores that support scratch-buffer reads
+		// copy the value once, shard to pooled buffer, and the buffer
+		// rides the response back to the pool after encoding.
+		if ag, ok := s.(storage.ScratchGetter); ok {
+			buf := wire.GetBuffer()
+			v, found, err := ag.GetAppend(buf, req.Key)
+			if err != nil {
+				wire.PutBuffer(v)
+				return errResp(err)
+			}
+			if !found || len(v) == 0 {
+				wire.PutBuffer(v)
+				if !found {
+					return statusResp(wire.StatusNotFound)
+				}
+				return statusResp(wire.StatusOK)
+			}
+			resp := statusResp(wire.StatusOK)
+			resp.SetPooledValue(v)
+			return resp
+		}
 		v, ok, err := s.Get(req.Key)
 		if err != nil {
-			return &wire.Response{Status: wire.StatusError, Err: err.Error()}
+			return errResp(err)
 		}
 		if !ok {
-			return &wire.Response{Status: wire.StatusNotFound}
+			return statusResp(wire.StatusNotFound)
 		}
-		return &wire.Response{Status: wire.StatusOK, Value: v}
+		resp := statusResp(wire.StatusOK)
+		resp.Value = v
+		return resp
 	case wire.OpRemove:
 		ok, err := s.Remove(req.Key)
 		if err != nil {
-			return &wire.Response{Status: wire.StatusError, Err: err.Error()}
+			return errResp(err)
 		}
 		if !ok {
-			return &wire.Response{Status: wire.StatusNotFound}
+			return statusResp(wire.StatusNotFound)
 		}
-		return &wire.Response{Status: wire.StatusOK}
+		return statusResp(wire.StatusOK)
 	case wire.OpAppend:
 		if err := s.Append(req.Key, req.Value); err != nil {
-			return &wire.Response{Status: wire.StatusError, Err: err.Error()}
+			return errResp(err)
 		}
-		return &wire.Response{Status: wire.StatusOK}
+		return statusResp(wire.StatusOK)
 	case wire.OpCas:
 		// FlagIfAbsent marks "expect absent"; otherwise Aux is the
 		// expected current value (nil Aux = expect empty value,
@@ -481,14 +534,18 @@ func applyKV(s storage.KV, req *wire.Request) *wire.Response {
 		}
 		swapped, cur, err := s.Cas(req.Key, old, req.Value)
 		if err != nil {
-			return &wire.Response{Status: wire.StatusError, Err: err.Error()}
+			return errResp(err)
 		}
 		if !swapped {
-			return &wire.Response{Status: wire.StatusCasMismatch, Value: cur}
+			resp := statusResp(wire.StatusCasMismatch)
+			resp.Value = cur
+			return resp
 		}
-		return &wire.Response{Status: wire.StatusOK}
+		return statusResp(wire.StatusOK)
 	}
-	return &wire.Response{Status: wire.StatusError, Err: "core: bad kv op"}
+	r := statusResp(wire.StatusError)
+	r.Err = "core: bad kv op"
+	return r
 }
 
 // replicate pushes a mutation along the replica chain: the first

@@ -368,25 +368,50 @@ func (s *Store) appendRecord(typ byte, key string, val []byte) (voff, end int64,
 	if s.wal == nil {
 		return 0, 0, nil
 	}
-	var hdr [1 + 2*binary.MaxVarintLen64]byte
-	hdr[0] = typ
-	n := 1
-	n += binary.PutUvarint(hdr[n:], uint64(len(key)))
-	n += binary.PutUvarint(hdr[n:], uint64(len(val)))
-	crc := crc32.NewIEEE()
-	crc.Write(hdr[:n])
-	crc.Write([]byte(key))
-	crc.Write(val)
-	rec := make([]byte, 0, n+len(key)+len(val)+4)
-	rec = append(rec, hdr[:n]...)
+	// The record is built in a pooled buffer the WAL writer returns
+	// after committing it, and the checksum runs once over the
+	// assembled bytes — no per-record hasher or string conversion.
+	rec := getRec()
+	rec = append(rec, typ)
+	rec = binary.AppendUvarint(rec, uint64(len(key)))
+	rec = binary.AppendUvarint(rec, uint64(len(val)))
+	n := len(rec)
 	rec = append(rec, key...)
 	rec = append(rec, val...)
-	rec = binary.LittleEndian.AppendUint32(rec, crc.Sum32())
+	rec = binary.LittleEndian.AppendUint32(rec, crc32.ChecksumIEEE(rec))
 	off, err := s.wal.append(rec)
 	if err != nil {
+		putRec(rec)
 		return 0, 0, err
 	}
 	return off + int64(n) + int64(len(key)), off + int64(len(rec)), nil
+}
+
+// Pooled WAL record buffers. Ownership is linear: appendRecord fills
+// one, wal.append hands it to the writer goroutine, and commit
+// returns it here once its bytes are on the file (records dropped on
+// a failed WAL simply fall to the GC).
+var recFree = make(chan []byte, 256)
+
+const maxPooledRec = 64 << 10
+
+func getRec() []byte {
+	select {
+	case b := <-recFree:
+		return b
+	default:
+		return make([]byte, 0, 512)
+	}
+}
+
+func putRec(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledRec {
+		return
+	}
+	select {
+	case recFree <- b[:0]:
+	default:
+	}
 }
 
 // finishMutation runs the post-apply policy with no shard lock held:
@@ -462,6 +487,43 @@ func (s *Store) Get(key string) ([]byte, bool, error) {
 		}
 	}
 	return append([]byte(nil), e.val...), true, nil
+}
+
+// GetAppend implements storage.ScratchGetter: it appends the value
+// stored under key to dst while holding the shard's read lock, so a
+// hot read path costs one copy into a caller-owned scratch buffer and
+// zero allocations. On a miss or error dst is returned unmodified.
+func (s *Store) GetAppend(dst []byte, key string) ([]byte, bool, error) {
+	defer s.timeOp(s.getLat)()
+	sh := s.shardOf(key)
+	sh.mu.RLock()
+	e, ok := sh.m[key]
+	if !ok {
+		sh.mu.RUnlock()
+		return dst, false, nil
+	}
+	if e.val != nil || e.vlen == 0 {
+		dst = append(dst, e.val...)
+		sh.mu.RUnlock()
+		return dst, true, nil
+	}
+	sh.mu.RUnlock()
+	// Evicted: fault the value in exactly like Get.
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s.closed.Load() {
+		return dst, false, ErrClosed
+	}
+	e, ok = sh.m[key]
+	if !ok {
+		return dst, false, nil
+	}
+	if e.val == nil && e.vlen > 0 {
+		if err := s.loadEvicted(e); err != nil {
+			return dst, false, err
+		}
+	}
+	return append(dst, e.val...), true, nil
 }
 
 // loadEvicted reads an evicted entry's value back from the log; the

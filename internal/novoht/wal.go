@@ -318,6 +318,11 @@ func (w *wal) commit(batch [][]byte) (written, synced int64, err error) {
 			return written, synced, ferr
 		}
 		written += int64(len(rec))
+		// The record's bytes are on the file and nothing else holds a
+		// reference (reads go through readAt on the file, compaction
+		// rewrites from the in-memory table), so its buffer goes back
+		// to the pool appendRecord draws from.
+		putRec(rec)
 		if w.mode == storage.DurabilitySync {
 			if serr := w.fsync(); serr != nil {
 				return written, synced, serr

@@ -42,16 +42,33 @@ func Track(inner storage.KV) (*Tracked, error) {
 // Digest returns the maintained digest.
 func (t *Tracked) Digest() *Digest { return t.d }
 
-func (t *Tracked) lock(key string) func() {
-	l := &t.locks[LeafOf(key)]
-	l.Lock()
-	return l.Unlock
+// oldPool recycles the scratch buffers mutations read the pre-image
+// into: every overwrite must toggle the old pair out of the digest,
+// and fetching it through Get would copy-allocate per write.
+// Digest.Toggle hashes the value without retaining it, so the scratch
+// is dead as soon as the toggles are done. Buffers that ballooned
+// serving a large value are dropped rather than pooled.
+var oldPool = sync.Pool{New: func() any { return new([]byte) }}
+
+const maxOldScratch = 64 << 10
+
+func putOld(sp *[]byte, old []byte) {
+	if cap(old) > maxOldScratch {
+		*sp = nil
+	} else {
+		*sp = old[:0]
+	}
+	oldPool.Put(sp)
 }
 
 // Put stores val under key, replacing any existing value.
 func (t *Tracked) Put(key string, val []byte) error {
-	defer t.lock(key)()
-	old, had, err := t.inner.Get(key)
+	l := &t.locks[LeafOf(key)]
+	l.Lock()
+	defer l.Unlock()
+	sp := oldPool.Get().(*[]byte)
+	old, had, err := t.GetAppend((*sp)[:0], key)
+	defer putOld(sp, old)
 	if err != nil {
 		return err
 	}
@@ -67,7 +84,9 @@ func (t *Tracked) Put(key string, val []byte) error {
 
 // PutIfAbsent stores val only when key is not present.
 func (t *Tracked) PutIfAbsent(key string, val []byte) (bool, error) {
-	defer t.lock(key)()
+	l := &t.locks[LeafOf(key)]
+	l.Lock()
+	defer l.Unlock()
 	ok, err := t.inner.PutIfAbsent(key, val)
 	if err == nil && ok {
 		t.d.Toggle(key, val)
@@ -78,10 +97,29 @@ func (t *Tracked) PutIfAbsent(key string, val []byte) (bool, error) {
 // Get returns a copy of the value stored under key.
 func (t *Tracked) Get(key string) ([]byte, bool, error) { return t.inner.Get(key) }
 
+// GetAppend appends key's value to dst, preserving the wrapped
+// store's storage.ScratchGetter upgrade: reads do not touch the
+// digest, so the wrapper would otherwise only hide the copy-free
+// path. Falls back to Get when the inner store lacks it.
+func (t *Tracked) GetAppend(dst []byte, key string) ([]byte, bool, error) {
+	if sg, ok := t.inner.(storage.ScratchGetter); ok {
+		return sg.GetAppend(dst, key)
+	}
+	val, found, err := t.inner.Get(key)
+	if err != nil || !found {
+		return dst, found, err
+	}
+	return append(dst, val...), true, nil
+}
+
 // Remove deletes key, reporting whether it was present.
 func (t *Tracked) Remove(key string) (bool, error) {
-	defer t.lock(key)()
-	old, had, err := t.inner.Get(key)
+	l := &t.locks[LeafOf(key)]
+	l.Lock()
+	defer l.Unlock()
+	sp := oldPool.Get().(*[]byte)
+	old, had, err := t.GetAppend((*sp)[:0], key)
+	defer putOld(sp, old)
 	if err != nil {
 		return false, err
 	}
@@ -95,28 +133,36 @@ func (t *Tracked) Remove(key string) (bool, error) {
 // Append concatenates val to the value under key, creating the key
 // when absent.
 func (t *Tracked) Append(key string, val []byte) error {
-	defer t.lock(key)()
-	old, had, err := t.inner.Get(key)
+	l := &t.locks[LeafOf(key)]
+	l.Lock()
+	defer l.Unlock()
+	sp := oldPool.Get().(*[]byte)
+	old, had, err := t.GetAppend((*sp)[:0], key)
 	if err != nil {
+		putOld(sp, old)
 		return err
 	}
 	if err := t.inner.Append(key, val); err != nil {
+		putOld(sp, old)
 		return err
 	}
 	if had {
 		t.d.Toggle(key, old)
 	}
-	next := make([]byte, 0, len(old)+len(val))
-	next = append(next, old...)
-	next = append(next, val...)
+	// The new pair's hash needs the concatenated value contiguously;
+	// build it in the scratch (which already holds old) and recycle.
+	next := append(old, val...)
 	t.d.Toggle(key, next)
+	putOld(sp, next)
 	return nil
 }
 
 // Cas atomically replaces the value under key when it equals oldVal
 // (nil oldVal = "expect absent").
 func (t *Tracked) Cas(key string, oldVal, newVal []byte) (bool, []byte, error) {
-	defer t.lock(key)()
+	l := &t.locks[LeafOf(key)]
+	l.Lock()
+	defer l.Unlock()
 	swapped, cur, err := t.inner.Cas(key, oldVal, newVal)
 	if err == nil && swapped {
 		if oldVal != nil {

@@ -53,6 +53,18 @@ type KV interface {
 	Close() error
 }
 
+// ScratchGetter is an optional KV extension for allocation-free
+// reads: GetAppend appends the value stored under key to dst (a
+// caller-owned scratch buffer) instead of allocating a fresh copy per
+// read. It returns dst — possibly grown — alongside the same
+// presence/error results as Get; on a miss or error dst is returned
+// unmodified. Engines that can copy a value straight out of their
+// shard under its read lock should implement it; consumers
+// type-assert and fall back to Get.
+type ScratchGetter interface {
+	GetAppend(dst []byte, key string) ([]byte, bool, error)
+}
+
 // Stats is a point-in-time snapshot of a store's internals.
 type Stats struct {
 	// Keys is the number of live keys.

@@ -16,7 +16,13 @@
 //     queued/replayed/dropped) must both be registered in
 //     internal/repair or internal/core source AND be catalogued in
 //     OBSERVABILITY.md — convergence debugging depends on them, so
-//     neither side may silently drop one.
+//     neither side may silently drop one, or
+//   - the pool contract is broken: the canonical pool health metrics
+//     (zht.wire.pool.{gets,puts,misses}, zht.transport.buf.reuse)
+//     must both be registered in internal/wire or internal/transport
+//     source AND be catalogued in OBSERVABILITY.md — they are how a
+//     pooled-buffer leak (gets outrunning puts) is diagnosed in the
+//     field.
 //
 // Run from the repository root: go run ./internal/tools/docscheck
 package main
@@ -48,6 +54,7 @@ func main() {
 	checkStorageBoundary(fail)
 	checkRepairContract(fail)
 	checkMembershipContract(fail)
+	checkPoolContract(fail)
 
 	if len(problems) > 0 {
 		for _, p := range problems {
@@ -377,6 +384,51 @@ func checkMembershipContract(fail func(string, ...any)) {
 		}
 		if !strings.Contains(string(catalogue), name) {
 			fail("membership metric %q is not catalogued in OBSERVABILITY.md", name)
+		}
+	}
+}
+
+// poolMetrics is the canonical metric set of the hot-path message and
+// buffer pools (DESIGN.md §11). As with the repair and membership
+// contracts, both directions are pinned: deleting either the
+// registration (internal/wire or internal/transport) or the catalogue
+// row in OBSERVABILITY.md fails the gate, because a pooled-buffer
+// leak is diagnosed by exactly these counters.
+var poolMetrics = []string{
+	"zht.wire.pool.gets",
+	"zht.wire.pool.puts",
+	"zht.wire.pool.misses",
+	"zht.transport.buf.reuse",
+}
+
+// checkPoolContract requires every canonical pool metric to be
+// registered in internal/{wire,transport} non-test source and
+// catalogued in OBSERVABILITY.md.
+func checkPoolContract(fail func(string, ...any)) {
+	var src strings.Builder
+	for _, root := range []string{filepath.Join("internal", "wire"), filepath.Join("internal", "transport")} {
+		filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") ||
+				strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			if b, err := os.ReadFile(path); err == nil {
+				src.Write(b)
+			}
+			return nil
+		})
+	}
+	catalogue, err := os.ReadFile("OBSERVABILITY.md")
+	if err != nil {
+		fail("OBSERVABILITY.md: %v", err)
+		return
+	}
+	for _, name := range poolMetrics {
+		if !strings.Contains(src.String(), `"`+name+`"`) {
+			fail("pool metric %q is not registered in internal/wire or internal/transport", name)
+		}
+		if !strings.Contains(string(catalogue), name) {
+			fail("pool metric %q is not catalogued in OBSERVABILITY.md", name)
 		}
 	}
 }

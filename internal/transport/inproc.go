@@ -168,12 +168,15 @@ func (c *InprocClient) Call(addr string, req *wire.Request) (*wire.Response, err
 	}
 	// Serialize through the wire codec: this keeps in-proc behaviour
 	// byte-identical to the real transports (copy semantics, field
-	// normalization) at modest cost.
-	enc := wire.EncodeRequest(nil, req)
+	// normalization) at modest cost. The decoded request aliases the
+	// pooled encode buffer; both are recycled once the handler
+	// returns, exactly like a TCP frame.
+	enc := wire.EncodeRequest(wire.GetBuffer(), req)
 	srv.met.bytesIn.Add(int64(len(enc)))
 	c.reg.cmet.bytesOut.Add(int64(len(enc)))
-	dreq, err := wire.DecodeRequest(enc)
+	dreq, err := wire.DecodeRequestPooled(enc)
 	if err != nil {
+		wire.PutBuffer(enc)
 		srv.gate.release()
 		srv.inflight.Done()
 		return nil, err
@@ -184,6 +187,8 @@ func (c *InprocClient) Call(addr string, req *wire.Request) (*wire.Response, err
 		srv.met.inflight.Dec()
 		srv.gate.release()
 		srv.inflight.Done()
+		wire.PutRequest(dreq)
+		wire.PutBuffer(enc)
 		return c.copyResponse(srv, resp, req.Seq)
 	}
 	done := make(chan *wire.Response, 1)
@@ -193,10 +198,12 @@ func (c *InprocClient) Call(addr string, req *wire.Request) (*wire.Response, err
 		srv.met.inflight.Dec()
 		srv.gate.release()
 		srv.inflight.Done()
+		wire.PutRequest(dreq)
+		wire.PutBuffer(enc)
 		done <- resp
 	}()
-	timer := time.NewTimer(time.Until(deadline))
-	defer timer.Stop()
+	timer := getTimer(time.Until(deadline))
+	defer putTimer(timer)
 	select {
 	case resp := <-done:
 		return c.copyResponse(srv, resp, req.Seq)
@@ -207,12 +214,15 @@ func (c *InprocClient) Call(addr string, req *wire.Request) (*wire.Response, err
 
 // copyResponse deep-copies a handler response through the wire codec,
 // stamps the caller's sequence number, and accounts the response
-// bytes to both sides.
+// bytes to both sides. The handler's response is recycled after
+// encoding (the transport owns it; see Handler); the caller's copy
+// aliases rEnc, which therefore stays with the GC.
 func (c *InprocClient) copyResponse(srv *InprocServer, resp *wire.Response, seq uint64) (*wire.Response, error) {
 	rEnc := wire.EncodeResponse(nil, resp)
+	wire.PutResponse(resp)
 	srv.met.bytesOut.Add(int64(len(rEnc)))
 	c.reg.cmet.bytesIn.Add(int64(len(rEnc)))
-	dresp, err := wire.DecodeResponse(rEnc)
+	dresp, err := wire.DecodeResponsePooled(rEnc)
 	if err != nil {
 		return nil, err
 	}

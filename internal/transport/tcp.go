@@ -29,9 +29,18 @@ func writeFrame(w *bufio.Writer, payload []byte) error {
 // flushing, letting writer loops amortize one flush across a burst of
 // frames.
 func writeFrameNoFlush(w *bufio.Writer, payload []byte) error {
-	var hdr [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(hdr[:], uint64(len(payload)))
-	if _, err := w.Write(hdr[:n]); err != nil {
+	// The uvarint length goes out byte-by-byte: a local header array
+	// passed to Write escapes to the heap (the writer may hand the
+	// slice to its underlying io.Writer), costing an allocation per
+	// frame on the hot path.
+	n := uint64(len(payload))
+	for n >= 0x80 {
+		if err := w.WriteByte(byte(n) | 0x80); err != nil {
+			return err
+		}
+		n >>= 7
+	}
+	if err := w.WriteByte(byte(n)); err != nil {
 		return err
 	}
 	_, err := w.Write(payload)
@@ -63,10 +72,21 @@ type TCPServer struct {
 	mode    ServerMode
 	gate    *gate
 	met     srvMetrics
+	jobs    chan srvJob
+	quit    chan struct{}
 	wg      sync.WaitGroup
 	mu      sync.Mutex
 	conns   map[net.Conn]struct{}
 	closed  bool
+}
+
+// srvJob is one decoded request plus everything its worker needs to
+// answer it and recycle its buffers.
+type srvJob struct {
+	req   *wire.Request
+	frame []byte
+	out   chan<- *wire.Response
+	hwg   *sync.WaitGroup
 }
 
 // ListenTCP starts a TCP server on addr (use ":0" for an ephemeral
@@ -83,6 +103,8 @@ func ListenTCP(addr string, h Handler, mode ServerMode, opts ...ServerOption) (*
 		ln: ln, handler: h, mode: mode,
 		gate:  newGate(o),
 		met:   newSrvMetrics(o.Metrics),
+		jobs:  make(chan srvJob),
+		quit:  make(chan struct{}),
 		conns: make(map[net.Conn]struct{}),
 	}
 	s.wg.Add(1)
@@ -142,15 +164,17 @@ func (s *TCPServer) serveConn(c net.Conn) {
 	go s.writeLoop(c, out, writerDone)
 	var hwg sync.WaitGroup
 	for {
-		// Fresh buffer per frame: the decoded request aliases it and
-		// handlers run concurrently with subsequent reads.
-		frame, err := readFrame(br, nil)
+		// Pooled buffer per frame: the decoded request aliases it and
+		// handlers run concurrently with subsequent reads, so the
+		// buffer only returns to the pool after its handler finishes.
+		frame, err := readFrame(br, getFrameBuf())
 		if err != nil {
 			break
 		}
 		s.met.bytesIn.Add(int64(len(frame)))
-		req, err := wire.DecodeRequest(frame)
+		req, err := wire.DecodeRequestPooled(frame)
 		if err != nil {
+			putFrameBuf(frame)
 			break // protocol violation: drop the connection
 		}
 		s.met.requests.Inc()
@@ -158,21 +182,26 @@ func (s *TCPServer) serveConn(c net.Conn) {
 			// Saturated: shed without touching the handler so the
 			// reader loop stays responsive under overload.
 			s.met.sheds.Inc()
-			out <- s.gate.busy(req.Seq)
+			seq := req.Seq
+			wire.PutRequest(req)
+			putFrameBuf(frame)
+			out <- s.gate.busy(seq)
 			continue
 		}
 		hwg.Add(1)
 		switch s.mode {
 		case EventDriven:
-			go func(req *wire.Request) {
-				defer hwg.Done()
-				s.met.inflight.Inc()
-				resp := s.handler(req)
-				s.met.inflight.Dec()
-				s.gate.release()
-				resp.Seq = req.Seq
-				out <- resp
-			}(req)
+			// Hand off to a parked worker when one is free; spawn
+			// one otherwise. Workers park on s.jobs after each job,
+			// so a steady request rate reuses a small goroutine set
+			// instead of allocating a closure and stack per request.
+			job := srvJob{req: req, frame: frame, out: out, hwg: &hwg}
+			select {
+			case s.jobs <- job:
+			default:
+				s.wg.Add(1)
+				go s.worker(job)
+			}
 		case SpawnPerRequest:
 			// The multithreaded prototype spun up a thread per
 			// request and paid a synchronized handoff on top;
@@ -182,6 +211,9 @@ func (s *TCPServer) serveConn(c net.Conn) {
 			reqCopy := *req
 			reqCopy.Value = append([]byte(nil), req.Value...)
 			reqCopy.Aux = append([]byte(nil), req.Aux...)
+			seq := req.Seq
+			wire.PutRequest(req)
+			putFrameBuf(frame)
 			done := make(chan *wire.Response, 1)
 			go func() {
 				s.met.inflight.Inc()
@@ -190,17 +222,49 @@ func (s *TCPServer) serveConn(c net.Conn) {
 				s.gate.release()
 				done <- r
 			}()
-			go func(seq uint64) {
+			go func() {
 				defer hwg.Done()
 				resp := <-done
 				resp.Seq = seq
 				out <- resp
-			}(req.Seq)
+			}()
 		}
 	}
 	hwg.Wait()
 	close(out)
 	<-writerDone
+}
+
+// worker runs job, then parks on the shared job channel so subsequent
+// requests reuse this goroutine. Parked workers exit when the server
+// closes.
+func (s *TCPServer) worker(job srvJob) {
+	defer s.wg.Done()
+	for {
+		s.runJob(job)
+		select {
+		case job = <-s.jobs:
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// runJob invokes the handler and recycles the request and its frame.
+// The Handler contract (see Handler) guarantees neither outlives the
+// call: the response may not alias request memory, and the handler
+// may not retain it, so both go back to their pools before the
+// response is queued for the writer.
+func (s *TCPServer) runJob(job srvJob) {
+	s.met.inflight.Inc()
+	resp := s.handler(job.req)
+	s.met.inflight.Dec()
+	s.gate.release()
+	resp.Seq = job.req.Seq
+	wire.PutRequest(job.req)
+	putFrameBuf(job.frame)
+	job.out <- resp
+	job.hwg.Done()
 }
 
 // writeLoop drains completed responses onto the connection, flushing
@@ -209,13 +273,17 @@ func (s *TCPServer) serveConn(c net.Conn) {
 func (s *TCPServer) writeLoop(c net.Conn, out <-chan *wire.Response, done chan<- struct{}) {
 	defer close(done)
 	bw := bufio.NewWriterSize(c, 64<<10)
-	var wbuf []byte
+	wbuf := wire.GetBuffer()
+	defer func() { wire.PutBuffer(wbuf) }()
 	dead := false
 	for resp := range out {
 		if dead {
+			// Still release: the writer owns every queued response.
+			wire.PutResponse(resp)
 			continue
 		}
 		wbuf = wire.EncodeResponse(wbuf[:0], resp)
+		wire.PutResponse(resp)
 		s.met.bytesOut.Add(int64(len(wbuf)))
 		if err := writeFrameNoFlush(bw, wbuf); err != nil {
 			dead = true
@@ -240,6 +308,7 @@ func (s *TCPServer) Close() error {
 		return nil
 	}
 	s.closed = true
+	close(s.quit) // parked workers exit
 	for c := range s.conns {
 		c.Close()
 	}
@@ -403,9 +472,11 @@ func (c *TCPClient) callLockstep(addr string, req *wire.Request, deadline time.T
 }
 
 func (c *TCPClient) roundTrip(cc *cachedConn, req *wire.Request) (*wire.Response, error) {
-	out := wire.EncodeRequest(nil, req)
+	out := wire.EncodeRequest(wire.GetBuffer(), req)
 	c.met.bytesOut.Add(int64(len(out)))
-	if err := writeFrame(cc.bw, out); err != nil {
+	err := writeFrame(cc.bw, out)
+	wire.PutBuffer(out)
+	if err != nil {
 		return nil, err
 	}
 	frame, err := readFrame(cc.br, nil)
@@ -534,27 +605,52 @@ func (c *TCPClient) drop(mc *muxConn) {
 // readLoop demultiplexes responses to their registered callers by
 // sequence ID. Any read or decode error fails the connection and
 // every call in flight on it.
+//
+// The frame buffer is reused across responses whenever the decoded
+// response carries no aliasing payload (no Value, no Table) — the
+// common case for mutation acks. When it does alias, ownership of
+// the frame transfers to the caller along with the response (a
+// Lookup's Value IS the frame) and the loop takes a fresh buffer.
 func (c *TCPClient) readLoop(mc *muxConn, br *bufio.Reader) {
+	var frame []byte
 	for {
-		frame, err := readFrame(br, nil)
+		if frame == nil {
+			frame = getFrameBuf()
+		}
+		f, err := readFrame(br, frame)
 		if err != nil {
 			c.drop(mc)
 			mc.fail(err)
 			return
 		}
-		c.met.bytesIn.Add(int64(len(frame)))
-		resp, err := wire.DecodeResponse(frame)
+		frame = f
+		c.met.bytesIn.Add(int64(len(f)))
+		resp, err := wire.DecodeResponsePooled(f)
 		if err != nil {
 			c.drop(mc)
 			mc.fail(err)
 			return
 		}
+		aliases := resp.Value != nil || resp.Table != nil
+		// Deliver while holding the lock: a send can then never race
+		// deregister, so a caller that gives up on its sequence ID
+		// knows no response will arrive afterwards and may safely
+		// recycle its parking channel.
 		mc.mu.Lock()
 		ch := mc.inflight[resp.Seq]
 		delete(mc.inflight, resp.Seq)
-		mc.mu.Unlock()
 		if ch != nil {
-			ch <- resp
+			ch <- resp // cap 1, one send per seq: never blocks
+		}
+		mc.mu.Unlock()
+		if ch == nil {
+			// No waiter (timed out and deregistered): the response
+			// and its frame stay ours.
+			wire.PutResponse(resp)
+			continue
+		}
+		if aliases {
+			frame = nil
 		}
 	}
 }
@@ -573,7 +669,9 @@ func (mc *muxConn) writeLoop(bw *bufio.Writer) {
 		if mc.timeout > 0 {
 			mc.c.SetWriteDeadline(time.Now().Add(mc.timeout))
 		}
-		if err := writeFrameNoFlush(bw, buf); err != nil {
+		err := writeFrameNoFlush(bw, buf)
+		wire.PutBuffer(buf)
+		if err != nil {
 			mc.fail(err)
 			return
 		}
@@ -581,7 +679,9 @@ func (mc *muxConn) writeLoop(bw *bufio.Writer) {
 		for {
 			select {
 			case buf = <-mc.wch:
-				if err := writeFrameNoFlush(bw, buf); err != nil {
+				err := writeFrameNoFlush(bw, buf)
+				wire.PutBuffer(buf)
+				if err != nil {
 					mc.fail(err)
 					return
 				}
@@ -596,18 +696,66 @@ func (mc *muxConn) writeLoop(bw *bufio.Writer) {
 	}
 }
 
+// respChPool recycles the cap-1 parking channels callers wait on.
+// Safe because a channel only returns to the pool when its owner can
+// prove no further send or close can touch it: after receiving the
+// response (the demux sends at most once per sequence ID), or after
+// deregistering on a healthy connection (sends happen under mc.mu,
+// so deregister ordering is exact). Channels on a failed connection
+// are closed by fail and never pooled.
+var respChPool = sync.Pool{New: func() any { return make(chan *wire.Response, 1) }}
+
+// timerPool recycles deadline timers: time.NewTimer allocates the
+// timer, its runtime state, and its channel, which dominated the
+// hot-path allocation profile at one timer per round trip.
+var timerPool sync.Pool
+
+func getTimer(d time.Duration) *time.Timer {
+	if t, _ := timerPool.Get().(*time.Timer); t != nil {
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+// putTimer stops t, drains a tick that may have fired between the
+// caller's last select and the Stop, and pools it. The caller must be
+// the only receiver on t.C.
+func putTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
+}
+
+// reclaimRespCh drains a possibly-delivered response and pools the
+// channel. Used on abandonment paths where a response may have
+// landed between the send and the caller giving up.
+func reclaimRespCh(ch chan *wire.Response) {
+	select {
+	case resp := <-ch:
+		wire.PutResponse(resp)
+	default:
+	}
+	respChPool.Put(ch)
+}
+
 // roundTrip issues one request over the multiplexed connection and
 // waits for its demultiplexed response or the deadline.
 func (mc *muxConn) roundTrip(req *wire.Request, deadline time.Time) (*wire.Response, error) {
+	ch := respChPool.Get().(chan *wire.Response)
 	mc.mu.Lock()
 	if mc.failed {
 		err := mc.err
 		mc.mu.Unlock()
+		respChPool.Put(ch)
 		return nil, fmt.Errorf("%w: %v", classify(err), err)
 	}
 	mc.seq++
 	seq := mc.seq
-	ch := make(chan *wire.Response, 1)
 	mc.inflight[seq] = ch
 	mc.mu.Unlock()
 	mc.met.muxInflight.Inc()
@@ -615,23 +763,29 @@ func (mc *muxConn) roundTrip(req *wire.Request, deadline time.Time) (*wire.Respo
 
 	r := *req // callers may reuse req concurrently; never mutate it
 	r.Seq = seq
-	buf := wire.EncodeRequest(nil, &r)
+	buf := wire.EncodeRequest(wire.GetBuffer(), &r)
 	mc.met.bytesOut.Add(int64(len(buf)))
 
 	var expire <-chan time.Time
 	if !deadline.IsZero() {
-		timer := time.NewTimer(time.Until(deadline))
-		defer timer.Stop()
+		timer := getTimer(time.Until(deadline))
+		defer putTimer(timer)
 		expire = timer.C
 	}
 	select {
-	case mc.wch <- buf:
+	case mc.wch <- buf: // writer loop now owns buf
 	case <-mc.closed:
-		mc.deregister(seq)
+		wire.PutBuffer(buf)
+		if mc.deregister(seq) {
+			reclaimRespCh(ch)
+		}
 		err := mc.failure()
 		return nil, fmt.Errorf("%w: %v", classify(err), err)
 	case <-expire:
-		mc.deregister(seq)
+		wire.PutBuffer(buf)
+		if mc.deregister(seq) {
+			reclaimRespCh(ch)
+		}
 		return nil, fmt.Errorf("%w: no response within deadline", ErrTimeout)
 	}
 	select {
@@ -639,21 +793,32 @@ func (mc *muxConn) roundTrip(req *wire.Request, deadline time.Time) (*wire.Respo
 		if !ok {
 			// The connection failed with this call in flight. The
 			// error is retriable, but the request may or may not have
-			// executed on the server.
+			// executed on the server. fail closed ch; it is not
+			// reusable.
 			err := mc.failure()
 			return nil, fmt.Errorf("%w: in-flight call failed: %v", classify(err), err)
 		}
+		// The demux deleted seq before sending, so nothing can touch
+		// ch again: recycle it.
+		respChPool.Put(ch)
 		return resp, nil
 	case <-expire:
-		mc.deregister(seq)
+		if mc.deregister(seq) {
+			reclaimRespCh(ch)
+		}
 		return nil, fmt.Errorf("%w: no response within deadline", ErrTimeout)
 	}
 }
 
-func (mc *muxConn) deregister(seq uint64) {
+// deregister removes seq from the inflight table and reports whether
+// the caller still owns its parking channel: false once the
+// connection has failed, because fail closes every registered
+// channel and a closed channel must never return to the pool.
+func (mc *muxConn) deregister(seq uint64) bool {
 	mc.mu.Lock()
+	defer mc.mu.Unlock()
 	delete(mc.inflight, seq)
-	mc.mu.Unlock()
+	return !mc.failed
 }
 
 func (mc *muxConn) failure() error {
@@ -673,7 +838,10 @@ func (mc *muxConn) idle() bool {
 
 // fail marks the connection dead exactly once: it closes the socket
 // (stopping both loops) and closes every in-flight caller's channel so
-// all of them fail promptly with a retriable error.
+// all of them fail promptly with a retriable error. The channels are
+// closed while holding mc.mu so that deregister's failed check is
+// exact: a caller that deregisters on a healthy connection can never
+// have its channel closed afterwards.
 func (mc *muxConn) fail(err error) {
 	mc.mu.Lock()
 	if mc.failed {
@@ -682,14 +850,13 @@ func (mc *muxConn) fail(err error) {
 	}
 	mc.failed = true
 	mc.err = err
-	pending := mc.inflight
-	mc.inflight = make(map[uint64]chan *wire.Response)
+	for seq, ch := range mc.inflight {
+		close(ch)
+		delete(mc.inflight, seq)
+	}
 	mc.mu.Unlock()
 	close(mc.closed)
 	mc.c.Close()
-	for _, ch := range pending {
-		close(ch)
-	}
 }
 
 // CachedConns reports the number of cached multiplexed connections

@@ -29,6 +29,15 @@ import (
 
 // Handler processes one request and returns its response. Handlers
 // must be safe for concurrent use.
+//
+// Buffer ownership (DESIGN.md §11): the request, its Key/Value/Aux,
+// and the frame they alias belong to the transport and are recycled
+// the moment the handler returns — a handler that retains any of
+// them must copy. The returned response transfers to the transport,
+// which recycles it (and any wire.SetPooledValue scratch) after
+// encoding: handlers must return a response they exclusively own —
+// freshly built or pool-drawn, never shared between calls — and its
+// fields must not alias request memory.
 type Handler func(req *wire.Request) *wire.Response
 
 // Caller issues requests to remote instances. Implementations must be
@@ -57,11 +66,21 @@ func EnvelopeCallBatch(c Caller, addr string, reqs []*wire.Request) ([]*wire.Res
 	if len(reqs) == 0 {
 		return nil, nil
 	}
-	resp, err := c.Call(addr, wire.NewBatchRequest(reqs))
+	env := wire.NewBatchRequest(reqs)
+	resp, err := c.Call(addr, env)
+	wire.ReleaseBatchRequest(env)
 	if err != nil {
 		return nil, err
 	}
-	return wire.UnpackBatchResponses(resp, len(reqs))
+	rs, err := wire.UnpackBatchResponses(resp, len(reqs))
+	if err != nil {
+		return nil, err
+	}
+	// The sub-responses carry (or alias) everything the caller needs;
+	// the envelope struct itself can go back to the pool. Its Value
+	// backing stays alive through the sub-response aliases.
+	wire.PutResponse(resp)
+	return rs, nil
 }
 
 // Listener is a running server endpoint.

@@ -73,51 +73,66 @@ func (s *UDPServer) loop() {
 			return // socket closed
 		}
 		s.met.bytesIn.Add(int64(n))
-		req, err := wire.DecodeRequest(buf[:n])
+		req, err := wire.DecodeRequestPooled(buf[:n])
 		if err != nil {
 			continue // drop malformed datagrams
 		}
 		s.met.requests.Inc()
-		// DecodeRequest aliases buf; copy before handing off.
-		r := *req
-		r.Value = append([]byte(nil), req.Value...)
-		r.Aux = append([]byte(nil), req.Aux...)
-		if len(r.Value) == 0 {
-			r.Value = nil
-		}
-		if len(r.Aux) == 0 {
-			r.Aux = nil
+		// The decoded request aliases buf, which the read loop reuses
+		// for the next datagram: move Value/Aux into one pooled
+		// scratch buffer that lives exactly as long as the handler.
+		var scratch []byte
+		if len(req.Value)+len(req.Aux) > 0 {
+			scratch = getFrameBuf()
+			lv := len(req.Value)
+			scratch = append(scratch, req.Value...)
+			scratch = append(scratch, req.Aux...)
+			if lv > 0 {
+				req.Value = scratch[:lv]
+			}
+			if len(req.Aux) > 0 {
+				req.Aux = scratch[lv:]
+			}
 		}
 		dst := *from
 		if !s.gate.tryAcquire() {
 			// Admission gate saturated: shed from the read loop with
 			// StatusBusy instead of queueing behind the worker pool.
 			s.met.sheds.Inc()
-			out := wire.EncodeResponse(nil, s.gate.busy(r.Seq))
+			busy := s.gate.busy(req.Seq)
+			out := wire.EncodeResponse(wire.GetBuffer(), busy)
+			wire.PutResponse(busy)
+			wire.PutRequest(req)
+			putFrameBuf(scratch)
 			s.met.bytesOut.Add(int64(len(out)))
 			s.pc.WriteToUDP(out, &dst)
+			wire.PutBuffer(out)
 			continue
 		}
 		sem <- struct{}{}
 		s.wg.Add(1)
-		go func() {
+		go func(req *wire.Request, scratch []byte) {
 			defer s.wg.Done()
 			defer func() { <-sem }()
 			defer s.gate.release()
 			s.met.inflight.Inc()
-			resp := s.handler(&r)
+			resp := s.handler(req)
 			s.met.inflight.Dec()
-			resp.Seq = r.Seq
-			out := wire.EncodeResponse(nil, resp)
+			resp.Seq = req.Seq
+			wire.PutRequest(req)
+			putFrameBuf(scratch)
+			out := wire.EncodeResponse(wire.GetBuffer(), resp)
 			if len(out) > maxDatagram {
-				out = wire.EncodeResponse(nil, &wire.Response{
-					Status: wire.StatusError, Seq: r.Seq,
+				out = wire.EncodeResponse(out[:0], &wire.Response{
+					Status: wire.StatusError, Seq: resp.Seq,
 					Err: "transport: response exceeds datagram limit",
 				})
 			}
+			wire.PutResponse(resp)
 			s.met.bytesOut.Add(int64(len(out)))
 			s.pc.WriteToUDP(out, &dst)
-		}()
+			wire.PutBuffer(out)
+		}(req, scratch)
 	}
 }
 
@@ -179,7 +194,8 @@ func (c *UDPClient) Call(addr string, req *wire.Request) (*wire.Response, error)
 	c.met.calls.Inc()
 	r := *req
 	r.Seq = c.seq.Add(1)
-	out := wire.EncodeRequest(nil, &r)
+	out := wire.EncodeRequest(wire.GetBuffer(), &r)
+	defer func() { wire.PutBuffer(out) }()
 	if len(out) > maxDatagram {
 		return nil, fmt.Errorf("transport: request of %d bytes exceeds datagram limit", len(out))
 	}
@@ -191,7 +207,13 @@ func (c *UDPClient) Call(addr string, req *wire.Request) (*wire.Response, error)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
 	}
-	buf := make([]byte, maxDatagram)
+	// Datagram receive buffer: pooled, full datagram capacity.
+	buf := getFrameBuf()
+	if cap(buf) < maxDatagram {
+		buf = make([]byte, maxDatagram)
+	}
+	buf = buf[:maxDatagram]
+	defer func() { putFrameBuf(buf) }()
 	attempts := 1 + c.opts.Retries
 	if c.opts.Retries < 0 {
 		attempts = 1
@@ -224,8 +246,11 @@ func (c *UDPClient) Call(addr string, req *wire.Request) (*wire.Response, error)
 				return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
 			}
 			c.met.bytesIn.Add(int64(n))
-			resp, derr := wire.DecodeResponse(buf[:n])
+			resp, derr := wire.DecodeResponsePooled(buf[:n])
 			if derr != nil || resp.Seq != r.Seq {
+				if derr == nil {
+					wire.PutResponse(resp)
+				}
 				continue // stray or stale datagram; keep waiting
 			}
 			// Copy fields that alias buf before reuse.
@@ -275,7 +300,8 @@ func (c *UDPClient) CallBatch(addr string, reqs []*wire.Request) ([]*wire.Respon
 		size = 0
 		return nil
 	}
-	var scratch []byte
+	scratch := wire.GetBuffer()
+	defer func() { wire.PutBuffer(scratch) }()
 	for _, r := range reqs {
 		scratch = wire.EncodeRequest(scratch[:0], r)
 		n := len(scratch) + binary.MaxVarintLen64

@@ -24,12 +24,13 @@ const MaxBatchOps = 1 << 16
 // dst and returns it.
 func EncodeOps(dst []byte, reqs []*Request) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(reqs)))
-	var item []byte
+	item := GetBuffer()
 	for _, r := range reqs {
 		item = EncodeRequest(item[:0], r)
 		dst = binary.AppendUvarint(dst, uint64(len(item)))
 		dst = append(dst, item...)
 	}
+	PutBuffer(item)
 	return dst
 }
 
@@ -46,36 +47,51 @@ func DecodeOps(b []byte) ([]*Request, error) {
 		return nil, fmt.Errorf("%w: batch of %d ops exceeds limit", errMalformed, n)
 	}
 	reqs := make([]*Request, 0, n)
+	fail := func(err error) ([]*Request, error) {
+		ReleaseOps(reqs)
+		return nil, err
+	}
 	for i := uint64(0); i < n; i++ {
 		var item []byte
 		if item, b, err = bytesField(b); err != nil {
-			return nil, err
+			return fail(err)
 		}
-		r, err := DecodeRequest(item)
+		r, err := DecodeRequestPooled(item)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		if r.Op == OpBatch {
-			return nil, fmt.Errorf("%w: nested batch", errMalformed)
+			PutRequest(r)
+			return fail(fmt.Errorf("%w: nested batch", errMalformed))
 		}
 		reqs = append(reqs, r)
 	}
 	if len(b) != 0 {
-		return nil, errMalformed
+		return fail(errMalformed)
 	}
 	return reqs, nil
+}
+
+// ReleaseOps returns every sub-request decoded by DecodeOps to the
+// pool. Callers that let the slice go to the GC instead merely lose
+// the reuse, never correctness.
+func ReleaseOps(reqs []*Request) {
+	for _, r := range reqs {
+		PutRequest(r)
+	}
 }
 
 // EncodeResponses appends count + length-prefixed encoded
 // sub-responses to dst and returns it.
 func EncodeResponses(dst []byte, rs []*Response) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(rs)))
-	var item []byte
+	item := GetBuffer()
 	for _, r := range rs {
 		item = EncodeResponse(item[:0], r)
 		dst = binary.AppendUvarint(dst, uint64(len(item)))
 		dst = append(dst, item...)
 	}
+	PutBuffer(item)
 	return dst
 }
 
@@ -90,21 +106,33 @@ func DecodeResponses(b []byte) ([]*Response, error) {
 		return nil, fmt.Errorf("%w: batch of %d responses exceeds limit", errMalformed, n)
 	}
 	rs := make([]*Response, 0, n)
+	fail := func(err error) ([]*Response, error) {
+		ReleaseResponses(rs)
+		return nil, err
+	}
 	for i := uint64(0); i < n; i++ {
 		var item []byte
 		if item, b, err = bytesField(b); err != nil {
-			return nil, err
+			return fail(err)
 		}
-		r, err := DecodeResponse(item)
+		r, err := DecodeResponsePooled(item)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		rs = append(rs, r)
 	}
 	if len(b) != 0 {
-		return nil, errMalformed
+		return fail(errMalformed)
 	}
 	return rs, nil
+}
+
+// ReleaseResponses returns every sub-response decoded by
+// DecodeResponses to the pool.
+func ReleaseResponses(rs []*Response) {
+	for _, r := range rs {
+		PutResponse(r)
+	}
 }
 
 // NewBatchRequest packs sub-requests into an OpBatch envelope. The
@@ -112,7 +140,9 @@ func DecodeResponses(b []byte) ([]*Response, error) {
 // sub-requests so stale-table detection and deadline propagation keep
 // working at the message level.
 func NewBatchRequest(reqs []*Request) *Request {
-	env := &Request{Op: OpBatch, Aux: EncodeOps(nil, reqs)}
+	env := GetRequest()
+	env.Op = OpBatch
+	env.Aux = EncodeOps(GetBuffer(), reqs)
 	for _, r := range reqs {
 		if r.Epoch > env.Epoch {
 			env.Epoch = r.Epoch
@@ -124,10 +154,25 @@ func NewBatchRequest(reqs []*Request) *Request {
 	return env
 }
 
+// ReleaseBatchRequest returns an envelope built by NewBatchRequest —
+// struct and encoded Aux payload — to the pools. Call it only after
+// the transport call using the envelope has returned.
+func ReleaseBatchRequest(env *Request) {
+	if env == nil {
+		return
+	}
+	PutBuffer(env.Aux)
+	PutRequest(env)
+}
+
 // NewBatchResponse packs sub-responses into a batch envelope's
-// response.
+// response. The envelope is pooled and its Value payload is marked
+// pool-owned, so the transport writer reclaims both after encoding.
 func NewBatchResponse(rs []*Response) *Response {
-	return &Response{Status: StatusOK, Value: EncodeResponses(nil, rs)}
+	r := GetResponse()
+	r.Status = StatusOK
+	r.SetPooledValue(EncodeResponses(GetBuffer(), rs))
+	return r
 }
 
 // UnpackBatchResponses extracts n sub-responses from an envelope's

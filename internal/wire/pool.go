@@ -1,0 +1,244 @@
+// Message and buffer pools for the hot path.
+//
+// Every request that crosses the wire needs a Request struct, a
+// Response struct, and a handful of byte buffers (encode scratch, the
+// framed payload, value scratch). At millions of ops per second those
+// allocations dominate the profile, so the hot path recycles all of
+// them here. Ownership rules are documented in DESIGN.md §11; the
+// short version:
+//
+//   - A decoded *Request and the frame it aliases belong to the
+//     transport. Handlers may use them only until they return.
+//   - A *Response produced by a handler is released by whoever
+//     encodes it (the transport writer); marking it with
+//     SetPooledValue also returns its Value scratch to the pool.
+//   - Buffers from GetBuffer are single-owner: whoever holds one
+//     either passes it on or returns it with PutBuffer, never both.
+//
+// Structs are pooled with sync.Pool. Byte buffers use a fixed-size
+// channel freelist instead: handing a []byte through sync.Pool boxes
+// the slice header (an allocation per Put, defeating the point),
+// while a channel send copies it. The freelist is deliberately
+// bounded — overflow is dropped for the GC — and buffers above
+// maxPooledBuf are never retained, so a burst of large values cannot
+// pin memory.
+package wire
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"zht/internal/metrics"
+)
+
+const (
+	// pooledBufCap is the initial capacity of freshly allocated pool
+	// buffers: big enough for a typical request frame (paper-scale
+	// keys and values are tens of bytes) without being wasteful.
+	pooledBufCap = 1 << 10
+	// maxPooledBuf caps the capacity of buffers the pool retains.
+	// Larger buffers (bulk migration images, batch envelopes) are
+	// left to the GC so the freelist stays small and hot.
+	maxPooledBuf = 64 << 10
+	// bufFreeListSize bounds the freelist; with maxPooledBuf this
+	// caps pool-pinned memory at 16 MiB worst case.
+	bufFreeListSize = 256
+)
+
+// poolMetrics holds the pool's instruments; all fields are nil-safe
+// (see internal/metrics), so a nil *poolMetrics pointer means
+// "metrics off" and costs one atomic pointer load.
+type poolMetrics struct {
+	gets   *metrics.Counter // zht.wire.pool.gets
+	puts   *metrics.Counter // zht.wire.pool.puts
+	misses *metrics.Counter // zht.wire.pool.misses
+}
+
+var poolMet atomic.Pointer[poolMetrics]
+
+// EnablePoolMetrics points the package-level pools at reg. The pools
+// are process-global, so the last registry wins; passing nil turns
+// accounting off again. gets counts every pooled acquisition
+// (structs and buffers), misses the subset that had to allocate, and
+// puts every successful return — a healthy steady state shows
+// gets ≈ puts with misses flat.
+func EnablePoolMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		poolMet.Store(nil)
+		return
+	}
+	poolMet.Store(&poolMetrics{
+		gets:   reg.Counter("zht.wire.pool.gets"),
+		puts:   reg.Counter("zht.wire.pool.puts"),
+		misses: reg.Counter("zht.wire.pool.misses"),
+	})
+}
+
+// poisonPool, when set, makes PutBuffer overwrite returned buffers
+// with poisonByte before pooling them. Tests enable it to turn any
+// use-after-release of a pooled buffer into a loud, deterministic
+// corruption instead of a silent heisenbug.
+var poisonPool atomic.Bool
+
+// PoisonByte is the filler SetPoolPoison writes over released
+// buffers; exported so regression tests can assert against it.
+const PoisonByte = 0xDB
+
+// SetPoolPoison toggles poisoning of released buffers. Test-only:
+// it is global and costs a memset per PutBuffer.
+func SetPoolPoison(on bool) { poisonPool.Store(on) }
+
+// PoolPoisonEnabled reports whether buffer poisoning is on; the
+// transport's own buffer pool honors the same switch.
+func PoolPoisonEnabled() bool { return poisonPool.Load() }
+
+var requestPool = sync.Pool{New: func() any {
+	if m := poolMet.Load(); m != nil {
+		m.misses.Inc()
+	}
+	return new(Request)
+}}
+
+var responsePool = sync.Pool{New: func() any {
+	if m := poolMet.Load(); m != nil {
+		m.misses.Inc()
+	}
+	return new(Response)
+}}
+
+// GetRequest returns a zeroed Request from the pool.
+func GetRequest() *Request {
+	if m := poolMet.Load(); m != nil {
+		m.gets.Inc()
+	}
+	return requestPool.Get().(*Request)
+}
+
+// PutRequest zeroes r and returns it to the pool. r's Key, Value,
+// and Aux are merely dropped, never recycled — the pool does not own
+// them. Callers must not touch r afterwards.
+func PutRequest(r *Request) {
+	if r == nil {
+		return
+	}
+	*r = Request{}
+	requestPool.Put(r)
+	if m := poolMet.Load(); m != nil {
+		m.puts.Inc()
+	}
+}
+
+// GetResponse returns a zeroed Response from the pool.
+func GetResponse() *Response {
+	if m := poolMet.Load(); m != nil {
+		m.gets.Inc()
+	}
+	return responsePool.Get().(*Response)
+}
+
+// PutResponse zeroes r and returns it to the pool. If r's Value was
+// attached with SetPooledValue, the scratch buffer goes back to the
+// buffer pool too. Callers must not touch r (or a pooled Value)
+// afterwards, and must not release a Response whose struct they
+// copied — the copy would alias the recycled Value.
+func PutResponse(r *Response) {
+	if r == nil {
+		return
+	}
+	if r.pooledValue {
+		PutBuffer(r.Value)
+	}
+	*r = Response{}
+	responsePool.Put(r)
+	if m := poolMet.Load(); m != nil {
+		m.puts.Inc()
+	}
+}
+
+// SetPooledValue sets r.Value to v and marks the backing array as
+// pool-owned, so PutResponse recycles it. v must come from GetBuffer
+// and ownership transfers to r — the caller must not use or PutBuffer
+// it afterwards.
+func (r *Response) SetPooledValue(v []byte) {
+	r.Value = v
+	r.pooledValue = true
+}
+
+// ShallowCopy returns a pooled Response with the same visible fields
+// as r. The copy shares r's Value/Table backing but never owns it:
+// releasing the copy recycles only the struct, so fanning one verdict
+// out to many slots stays single-owner per slot.
+func (r *Response) ShallowCopy() *Response {
+	cp := GetResponse()
+	*cp = *r
+	cp.pooledValue = false
+	return cp
+}
+
+// bufFree is the byte-buffer freelist. A channel rather than a
+// sync.Pool: slice headers move through it by value, so neither
+// GetBuffer nor PutBuffer allocates.
+var bufFree = make(chan []byte, bufFreeListSize)
+
+// GetBuffer returns an empty (length-0) scratch buffer from the
+// pool. Append to it; hand it back with PutBuffer or transfer
+// ownership exactly once.
+func GetBuffer() []byte {
+	if m := poolMet.Load(); m != nil {
+		m.gets.Inc()
+	}
+	select {
+	case b := <-bufFree:
+		return b
+	default:
+		if m := poolMet.Load(); m != nil {
+			m.misses.Inc()
+		}
+		return make([]byte, 0, pooledBufCap)
+	}
+}
+
+// PutBuffer returns b's backing array to the pool. Oversized buffers
+// and overflow beyond the freelist's capacity are dropped for the GC.
+// The caller must not retain any slice of b.
+func PutBuffer(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledBuf {
+		return
+	}
+	b = b[:cap(b)]
+	if poisonPool.Load() {
+		for i := range b {
+			b[i] = PoisonByte
+		}
+	}
+	select {
+	case bufFree <- b[:0]:
+		if m := poolMet.Load(); m != nil {
+			m.puts.Inc()
+		}
+	default:
+	}
+}
+
+// DecodeRequestPooled is DecodeRequest into a pooled struct: release
+// the result with PutRequest once the handler is done with it. The
+// request aliases b exactly like DecodeRequest's does.
+func DecodeRequestPooled(b []byte) (*Request, error) {
+	r := GetRequest()
+	if err := decodeRequestInto(r, b); err != nil {
+		PutRequest(r)
+		return nil, err
+	}
+	return r, nil
+}
+
+// DecodeResponsePooled is DecodeResponse into a pooled struct:
+// release the result with PutResponse. Value/Table alias b.
+func DecodeResponsePooled(b []byte) (*Response, error) {
+	r := GetResponse()
+	if err := decodeResponseInto(r, b); err != nil {
+		PutResponse(r)
+		return nil, err
+	}
+	return r, nil
+}

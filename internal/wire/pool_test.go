@@ -1,0 +1,131 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The pool tests run with poisoning on: every buffer released to the
+// pool is overwritten with PoisonByte, so any path that reads pooled
+// memory after releasing it sees deterministic corruption instead of
+// a heisenbug. SetPoolPoison is global — always restore it.
+
+func TestPutBufferPoisonsBacking(t *testing.T) {
+	SetPoolPoison(true)
+	defer SetPoolPoison(false)
+
+	b := GetBuffer()
+	b = append(b, []byte("live payload")...)
+	alias := b
+	PutBuffer(b)
+	for i, c := range alias {
+		if c != PoisonByte {
+			t.Fatalf("byte %d survived release: %#x (want poison %#x)", i, c, PoisonByte)
+		}
+	}
+}
+
+func TestPutResponseRecyclesPooledValue(t *testing.T) {
+	SetPoolPoison(true)
+	defer SetPoolPoison(false)
+
+	v := GetBuffer()
+	v = append(v, []byte("pooled value")...)
+	alias := v
+	r := GetResponse()
+	r.Status = StatusOK
+	r.SetPooledValue(v)
+	PutResponse(r)
+	for i, c := range alias {
+		if c != PoisonByte {
+			t.Fatalf("pooled value byte %d survived PutResponse: %#x", i, c)
+		}
+	}
+}
+
+// TestShallowCopyNeverOwnsValue pins the fan-out contract: releasing
+// a ShallowCopy recycles only the struct, so N copies of one verdict
+// can each be released without double-freeing the shared Value.
+func TestShallowCopyNeverOwnsValue(t *testing.T) {
+	SetPoolPoison(true)
+	defer SetPoolPoison(false)
+
+	v := GetBuffer()
+	v = append(v, []byte("shared verdict")...)
+	r := GetResponse()
+	r.Status = StatusOK
+	r.SetPooledValue(v)
+
+	want := append([]byte(nil), r.Value...)
+	for i := 0; i < 4; i++ {
+		cp := r.ShallowCopy()
+		PutResponse(cp)
+		if !bytes.Equal(r.Value, want) {
+			t.Fatalf("releasing shallow copy %d corrupted the original's value: %q", i, r.Value)
+		}
+	}
+	alias := r.Value
+	PutResponse(r) // the original owns the value; now it gets recycled
+	for i, c := range alias {
+		if c != PoisonByte {
+			t.Fatalf("owned value byte %d survived final release: %#x", i, c)
+		}
+	}
+}
+
+// TestDecodePooledReleaseDoesNotReachCopies walks the ownership chain
+// a client follows: decode a response from a frame, copy the value
+// out for the application, release struct and frame. The application
+// copy must be untouched while the frame itself is poisoned.
+func TestDecodePooledReleaseDoesNotReachCopies(t *testing.T) {
+	SetPoolPoison(true)
+	defer SetPoolPoison(false)
+
+	src := &Response{Status: StatusOK, Value: []byte("frame-backed value")}
+	frame := EncodeResponse(GetBuffer(), src)
+
+	dec, err := DecodeResponsePooled(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appCopy := append([]byte(nil), dec.Value...)
+	frameAlias := dec.Value // aliases frame's backing array
+
+	PutResponse(dec) // not a pooled value: struct only
+	PutBuffer(frame)
+
+	if !bytes.Equal(appCopy, src.Value) {
+		t.Fatalf("application copy corrupted by release: %q", appCopy)
+	}
+	for i, c := range frameAlias {
+		if c != PoisonByte {
+			t.Fatalf("frame byte %d survived PutBuffer: %#x", i, c)
+		}
+	}
+}
+
+// TestBatchReleaseRoundTrip poisons through the batch envelope path:
+// encode ops, decode them pooled, release, and check that nothing the
+// caller kept is reachable from the recycled frames.
+func TestBatchReleaseRoundTrip(t *testing.T) {
+	SetPoolPoison(true)
+	defer SetPoolPoison(false)
+
+	ops := []*Request{
+		{Op: OpInsert, Key: "k1", Value: []byte("v1")},
+		{Op: OpLookup, Key: "k2"},
+	}
+	env := EncodeOps(GetBuffer(), ops)
+
+	dec, err := DecodeOps(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := append([]byte(nil), dec[0].Value...)
+	ReleaseOps(dec)
+	PutBuffer(env)
+
+	if !bytes.Equal(kept, []byte("v1")) {
+		t.Fatalf("copied sub-op value corrupted by release: %q", kept)
+	}
+}

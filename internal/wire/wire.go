@@ -240,6 +240,10 @@ type Response struct {
 	// (gossip-driven membership; see internal/gossip). 0 means the
 	// responder does not participate (non-instance handlers).
 	Epoch uint64
+	// pooledValue marks Value's backing array as owned by this
+	// package's buffer pool (set via SetPooledValue); PutResponse
+	// recycles it. See pool.go.
+	pooledValue bool
 }
 
 // maxString caps any single field to guard against corrupt length
@@ -268,45 +272,53 @@ func EncodeRequest(dst []byte, r *Request) []byte {
 // DecodeRequest parses a request. The returned request aliases b's
 // backing array for Value/Aux; callers that retain those must copy.
 func DecodeRequest(b []byte) (*Request, error) {
-	if len(b) < 3 || b[0] != 'Q' {
-		return nil, errMalformed
+	r := &Request{}
+	if err := decodeRequestInto(r, b); err != nil {
+		return nil, err
 	}
-	r := &Request{Op: Op(b[1]), Flags: b[2]}
+	return r, nil
+}
+
+func decodeRequestInto(r *Request, b []byte) error {
+	if len(b) < 3 || b[0] != 'Q' {
+		return errMalformed
+	}
+	r.Op, r.Flags = Op(b[1]), b[2]
 	if r.Op == OpNop || r.Op >= opMax {
-		return nil, fmt.Errorf("%w: bad op %d", errMalformed, b[1])
+		return fmt.Errorf("%w: bad op %d", errMalformed, b[1])
 	}
 	b = b[3:]
 	var err error
 	if r.Seq, b, err = uvar(b); err != nil {
-		return nil, err
+		return err
 	}
 	if r.Epoch, b, err = uvar(b); err != nil {
-		return nil, err
+		return err
 	}
 	if r.Partition, b, err = svar(b); err != nil {
-		return nil, err
+		return err
 	}
 	var hop uint64
 	if hop, b, err = uvar(b); err != nil {
-		return nil, err
+		return err
 	}
 	r.Hop = uint32(hop)
 	if r.Budget, b, err = uvar(b); err != nil {
-		return nil, err
+		return err
 	}
 	var key []byte
 	if key, b, err = bytesField(b); err != nil {
-		return nil, err
+		return err
 	}
 	r.Key = string(key)
 	if r.Value, b, err = bytesField(b); err != nil {
-		return nil, err
+		return err
 	}
 	if r.Aux, b, err = bytesField(b); err != nil {
-		return nil, err
+		return err
 	}
 	if len(b) != 0 {
-		return nil, errMalformed
+		return errMalformed
 	}
 	if len(r.Value) == 0 {
 		r.Value = nil
@@ -314,7 +326,7 @@ func DecodeRequest(b []byte) (*Request, error) {
 	if len(r.Aux) == 0 {
 		r.Aux = nil
 	}
-	return r, nil
+	return nil
 }
 
 // EncodeResponse appends the encoded response to dst and returns it.
@@ -336,38 +348,46 @@ func EncodeResponse(dst []byte, r *Response) []byte {
 
 // DecodeResponse parses a response. Value/Table alias b.
 func DecodeResponse(b []byte) (*Response, error) {
-	if len(b) < 2 || b[0] != 'S' {
-		return nil, errMalformed
+	r := &Response{}
+	if err := decodeResponseInto(r, b); err != nil {
+		return nil, err
 	}
-	r := &Response{Status: Status(b[1])}
+	return r, nil
+}
+
+func decodeResponseInto(r *Response, b []byte) error {
+	if len(b) < 2 || b[0] != 'S' {
+		return errMalformed
+	}
+	r.Status = Status(b[1])
 	b = b[2:]
 	var err error
 	if r.Seq, b, err = uvar(b); err != nil {
-		return nil, err
+		return err
 	}
 	if r.Value, b, err = bytesField(b); err != nil {
-		return nil, err
+		return err
 	}
 	if r.Table, b, err = bytesField(b); err != nil {
-		return nil, err
+		return err
 	}
 	var s []byte
 	if s, b, err = bytesField(b); err != nil {
-		return nil, err
+		return err
 	}
 	r.Redirect = string(s)
 	if s, b, err = bytesField(b); err != nil {
-		return nil, err
+		return err
 	}
 	r.Err = string(s)
 	if r.RetryAfter, b, err = uvar(b); err != nil {
-		return nil, err
+		return err
 	}
 	if r.Epoch, b, err = uvar(b); err != nil {
-		return nil, err
+		return err
 	}
 	if len(b) != 0 {
-		return nil, errMalformed
+		return errMalformed
 	}
 	if len(r.Value) == 0 {
 		r.Value = nil
@@ -375,7 +395,7 @@ func DecodeResponse(b []byte) (*Response, error) {
 	if len(r.Table) == 0 {
 		r.Table = nil
 	}
-	return r, nil
+	return nil
 }
 
 func uvar(b []byte) (uint64, []byte, error) {

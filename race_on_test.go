@@ -1,0 +1,8 @@
+//go:build race
+
+package zht_test
+
+// raceEnabled reports whether this binary was built with -race; the
+// alloc-budget gate skips itself then, because race instrumentation
+// adds allocations the budgets do not model.
+const raceEnabled = true
