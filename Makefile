@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test verify bench clean docs-check fmt-check bench-smoke storage-smoke repair-smoke churn-smoke bench-allocs
+.PHONY: build test verify bench clean docs-check fmt-check bench-smoke storage-smoke repair-smoke churn-smoke consistency-smoke bench-allocs
 
 build:
 	$(GO) build ./...
@@ -54,6 +54,16 @@ repair-smoke:
 churn-smoke:
 	timeout 90 $(GO) run ./internal/tools/churnsmoke
 
+# consistency-smoke is the tunable-consistency gate: a randomized
+# loop of sequential QUORUM write+read pairs through a replica
+# partition and a node crash, requiring read-your-writes on every
+# acked write, enforced quorum refusals while the replica is
+# unreachable, and zero lost acked writes (see
+# internal/tools/consistencysmoke). Seeds are printed, so a failure
+# is replayable with -seed.
+consistency-smoke:
+	timeout 60 $(GO) run ./internal/tools/consistencysmoke
+
 # bench-allocs is the hot-path allocation gate: it benchmarks the
 # loopback TCP request path in-process and fails if Lookup, Insert, or
 # batched Insert exceeds its allocs/op budget (the budget constants and
@@ -66,7 +76,8 @@ bench-allocs:
 # verify is the pre-merge gate: formatting and docs checks, static
 # analysis, the full test suite (including the chaos soaks) under the
 # race detector, the hot-path allocation gate, and the batching +
-# crash-recovery + replica-repair + elastic-membership smoke runs.
+# crash-recovery + replica-repair + elastic-membership +
+# tunable-consistency smoke runs.
 verify: fmt-check docs-check
 	$(GO) vet ./...
 	$(GO) test -race ./...
@@ -75,6 +86,7 @@ verify: fmt-check docs-check
 	$(MAKE) storage-smoke
 	$(MAKE) repair-smoke
 	$(MAKE) churn-smoke
+	$(MAKE) consistency-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

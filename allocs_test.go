@@ -39,6 +39,32 @@ const (
 	allocBenchValueBytes  = 132 // the paper's micro-benchmark value size
 )
 
+// quorumLookupAllocBudget is the gate for the QUORUM read path at
+// Replicas=1 (two instances on loopback TCP, copies=2). Quorum reads
+// are client-coordinated fan-out, so the floor is structurally higher
+// than the zero-hop ONE lookup and is paid per read, not per copy:
+//
+//   - the two response values: each answering copy's value is copied
+//     out of its transport frame into application-owned memory
+//     (2 allocs; same "value outlives the transport" rule as the ONE
+//     lookup's single alloc),
+//   - the fan-out scaffolding: the targets slice, the buffered votes
+//     channel, and one goroutine per copy (the goroutine closures and
+//     their stacks' escape-analysis spill),
+//   - the replica leg's request struct and the per-call backoff state
+//     (the ONE path reuses its routed-call scratch; the direct
+//     replica call cannot),
+//   - the server-side key strings on both instances (one per copy, as
+//     in the ONE budget).
+//
+// Measured: 12 allocs/op steady-state. The budget adds slack for the
+// runtime's occasional channel/timer internals under the fan-out's
+// goroutine churn rather than for any budgeted allocation; the gate
+// exists to catch structural regressions (a per-op table copy, an
+// unpooled frame), not single-alloc noise on a path that is
+// deliberately 2 RPCs + 2 goroutines per call.
+const quorumLookupAllocBudget = 16
+
 // benchTCPClient boots a single-instance deployment on loopback TCP —
 // the configuration the alloc budgets are defined against — with every
 // background allocator disabled: no replicas, no anti-entropy, no
@@ -89,6 +115,84 @@ func benchTCPClient(tb testing.TB) (*zht.Client, []string, func()) {
 		caller.Close()
 	}
 	return c, keys, cleanup
+}
+
+// benchTCPQuorumClient boots a TWO-instance deployment on loopback
+// TCP with Replicas:1 — the smallest topology where a QUORUM read
+// actually fans out (owner + one replica, need both). Background
+// allocators are disabled as in benchTCPClient; keys are pre-inserted
+// at ALL so both copies answer FOUND with equal versions (the
+// steady state: no read-repair legs fire).
+func benchTCPQuorumClient(tb testing.TB) (*zht.Client, []string, func()) {
+	tb.Helper()
+	cfg := zht.Config{
+		NumPartitions:  64,
+		Replicas:       1,
+		OpDeadline:     -1,
+		GossipCooldown: -1,
+		AntiEntropy:    -1,
+	}
+	caller := zht.NewTCPCaller()
+	const n = 2
+	var (
+		lns []transport.Listener
+		hss []*zht.HandlerSwitch
+		eps []zht.Endpoint
+	)
+	for i := 0; i < n; i++ {
+		hs := &zht.HandlerSwitch{}
+		ln, err := zht.ListenTCP("127.0.0.1:0", hs.Handle)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		lns = append(lns, ln)
+		hss = append(hss, hs)
+		eps = append(eps, zht.Endpoint{Addr: ln.Addr(), Node: fmt.Sprintf("n%d", i)})
+	}
+	d, err := zht.Bootstrap(cfg, eps, func(addr string, h transport.Handler) (transport.Listener, error) {
+		for i := range eps {
+			if eps[i].Addr == addr {
+				hss[i].Set(h)
+			}
+		}
+		return nopListener{addr}, nil
+	}, caller)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	c, err := zht.NewClientFromSeed(cfg, eps[0].Addr, caller)
+	if err != nil {
+		d.Close()
+		tb.Fatal(err)
+	}
+	keys := make([]string, allocBenchKeys)
+	val := make([]byte, allocBenchValueBytes)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("alloc-key-%06d", i)
+		if err := c.InsertWith(keys[i], val, zht.ConsistencyAll); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	cleanup := func() {
+		d.Close()
+		for _, ln := range lns {
+			ln.Close()
+		}
+		caller.Close()
+	}
+	return c, keys, cleanup
+}
+
+func benchQuorumLookupAllocs(c *zht.Client, keys []string) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.LookupWith(keys[i%len(keys)], zht.ConsistencyQuorum); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
 }
 
 func benchLookupAllocs(c *zht.Client, keys []string) func(b *testing.B) {
@@ -147,6 +251,9 @@ func BenchmarkHotPathAllocs(b *testing.B) {
 	b.Run("lookup", benchLookupAllocs(c, keys))
 	b.Run("insert", benchInsertAllocs(c, keys))
 	b.Run("batch-insert", benchBatchInsertAllocs(c, keys))
+	qc, qkeys, qcleanup := benchTCPQuorumClient(b)
+	defer qcleanup()
+	b.Run("quorum-lookup", benchQuorumLookupAllocs(qc, qkeys))
 }
 
 // TestHotPathAllocBudget is the allocs/op regression gate (`make
@@ -185,4 +292,17 @@ func TestHotPathAllocBudget(t *testing.T) {
 	r = testing.Benchmark(benchBatchInsertAllocs(c, keys))
 	perOp := float64(r.AllocsPerOp()) / allocBenchBatch
 	check("batch-insert", perOp, batchPerOpAllocBudget)
+
+	// The QUORUM read path has its own (structurally higher) floor —
+	// see quorumLookupAllocBudget for the breakdown. Benchmarked on a
+	// separate two-instance deployment: fan-out needs a replica.
+	qc, qkeys, qcleanup := benchTCPQuorumClient(t)
+	defer qcleanup()
+	for i := 0; i < 2*allocBenchKeys; i++ {
+		if _, err := qc.LookupWith(qkeys[i%len(qkeys)], zht.ConsistencyQuorum); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r = testing.Benchmark(benchQuorumLookupAllocs(qc, qkeys))
+	check("quorum-lookup", float64(r.AllocsPerOp()), quorumLookupAllocBudget)
 }

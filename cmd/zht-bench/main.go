@@ -14,14 +14,17 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"zht/internal/chaos"
 	"zht/internal/core"
+	"zht/internal/hashing"
 	"zht/internal/loadgen"
 	"zht/internal/metrics"
+	"zht/internal/ring"
 	"zht/internal/storage"
 	"zht/internal/transport"
 	"zht/internal/wire"
@@ -48,6 +51,7 @@ func main() {
 		durSweep   = flag.Bool("durability-sweep", false, "measure throughput per durability mode over loopback TCP and print the group-commit win")
 		antiEnt    = flag.Duration("anti-entropy", 0, "anti-entropy period: replicas diff partition digests against their authority and pull divergent ranges this often (0 = off)")
 		repSweep   = flag.Bool("repair-sweep", false, "measure the anti-entropy loop's throughput overhead at 0/1/2 replicas and print per-replica-count cost")
+		consSweep  = flag.Bool("consistency-sweep", false, "measure write/read latency and throughput per consistency level (ONE/QUORUM/ALL) at 2 replicas, plus the measured stale-copy rate behind ONE writes")
 		churn      = flag.Bool("churn", false, "alternate joining and departing one instance in the background for the whole run (inproc only; implies -metrics) and report membership churn plus migration counters")
 		churnEvery = flag.Duration("churn-every", 250*time.Millisecond, "pause between membership changes in -churn mode")
 	)
@@ -62,6 +66,10 @@ func main() {
 	}
 	if *repSweep {
 		runRepairSweep(*ops, *antiEnt)
+		return
+	}
+	if *consSweep {
+		runConsistencySweep(*ops)
 		return
 	}
 	if *smoke {
@@ -515,6 +523,225 @@ func runRepairSweep(rounds int, period time.Duration) {
 		fmt.Printf("replicas=%d  off %9.0f ops/s  anti-entropy(%v) %9.0f ops/s  overhead %+5.1f%%\n",
 			reps, tput[0], period, tput[1], overhead)
 	}
+}
+
+// runConsistencySweep prices the consistency ladder: the same
+// write+read workload runs once per level (ONE, QUORUM, ALL) against
+// one topology — 4 servers, 2 replicas per partition, so every write
+// has three copies and the levels genuinely differ (ONE waits on the
+// primary plus its always-sync first replica leg, QUORUM on 2 of 3
+// acks, ALL on all 3; the replica legs are serial RPCs, so each extra
+// sync leg is a full round trip). Every link — client→owner and the
+// owner's replica legs alike — carries an emulated fixed one-way
+// delay through the chaos caller: on bare loopback a warm replica leg
+// costs less than scheduler jitter, so leg counts (the thing a
+// consistency level actually buys) would drown in noise, where
+// against a uniform link delay they are exactly what the sweep
+// resolves. Latency is measured per op and aggregated across clients;
+// the headline number is the ONE/ALL median-write-latency ratio, the
+// price of the extra synchronous leg ALL waits on. Medians, not
+// means: retried ops put multi-millisecond outliers in the tail.
+//
+// The sweep also measures what ONE's speed costs: a single-threaded
+// prober writes at ONE and immediately reads every replica copy
+// directly (the instance's in-process Handle — the probe must not
+// ride the delayed network it is trying to outrun), counting copies
+// that do not yet hold the acked value. That fraction is the measured
+// stale-read window a failover read could hit before hinted handoff
+// or anti-entropy closes it. The first replica leg is synchronous at
+// every level, so copy 1 is never stale by construction; the measured
+// rate is the async tail's window.
+func runConsistencySweep(rounds int) {
+	// Few clients, not a saturating swarm: the sweep prices the
+	// per-op leg count, and queueing delay under saturation drowns
+	// the very difference being measured. linkLat is a millisecond —
+	// large enough that the emulated delay, not the sleep timer's
+	// overshoot, is what each leg costs.
+	const clients, servers, partitions = 4, 4, 64
+	const linkLat = time.Millisecond
+	if rounds > 3000 {
+		rounds = 3000
+	}
+	val := make([]byte, 132)
+	levels := []wire.Consistency{
+		wire.ConsistencyOne, wire.ConsistencyQuorum, wire.ConsistencyAll,
+	}
+	sc := &chaos.Scenario{Steps: []chaos.Step{
+		{At: 0, Label: "uniform link delay", Rules: []chaos.Rule{{Latency: linkLat}}},
+	}}
+	boot := func(replicas int) (*core.Deployment, *transport.Registry) {
+		cfg := core.Config{
+			NumPartitions: partitions, Replicas: replicas,
+			RetryBase: time.Millisecond,
+		}
+		reg := transport.NewRegistry()
+		d, err := core.Bootstrap(cfg, core.InprocEndpoints(servers),
+			func(addr string, h transport.Handler) (transport.Listener, error) {
+				return reg.Listen(addr, h)
+			}, chaos.Wrap(reg.NewClient(), sc, chaos.Options{Seed: 1}))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return d, reg
+	}
+	newClient := func(d *core.Deployment, reg *transport.Registry, replicas int, seed int64) (*core.Client, error) {
+		return core.NewClient(core.Config{
+			NumPartitions: partitions, Replicas: replicas,
+			RetryBase: time.Millisecond,
+		}, d.Instance(0).Table(), chaos.Wrap(reg.NewClient(), sc, chaos.Options{Seed: seed}))
+	}
+	type stats struct {
+		tput float64
+		p50  time.Duration
+		p99  time.Duration
+	}
+	aggregate := func(all [][]time.Duration, elapsed time.Duration) stats {
+		var merged []time.Duration
+		for _, ls := range all {
+			merged = append(merged, ls...)
+		}
+		sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+		return stats{
+			tput: float64(len(merged)) / elapsed.Seconds(),
+			p50:  merged[len(merged)/2],
+			p99:  merged[len(merged)*99/100],
+		}
+	}
+	fmt.Printf("consistency sweep: %d servers, %d clients x %d rounds, %v emulated one-way link delay\n",
+		servers, clients, rounds, linkLat)
+	for _, replicas := range []int{1, 2} {
+		write := make(map[wire.Consistency]stats)
+		for _, level := range levels {
+			d, reg := boot(replicas)
+			var wg sync.WaitGroup
+			errCh := make(chan error, clients)
+			wlats := make([][]time.Duration, clients)
+			rlats := make([][]time.Duration, clients)
+			var welapsed, relapsed time.Duration
+			for phase := 0; phase < 2; phase++ {
+				start := time.Now()
+				for ci := 0; ci < clients; ci++ {
+					wg.Add(1)
+					go func(ci, phase int) {
+						defer wg.Done()
+						c, err := newClient(d, reg, replicas, int64(100+ci))
+						if err != nil {
+							errCh <- err
+							return
+						}
+						lats := make([]time.Duration, 0, rounds)
+						for i := 0; i < rounds; i++ {
+							k := fmt.Sprintf("l%dc%03dk%09d", level, ci, i)
+							t0 := time.Now()
+							if phase == 0 {
+								err = c.InsertWith(k, val, level)
+							} else {
+								_, err = c.LookupWith(k, level)
+							}
+							lats = append(lats, time.Since(t0))
+							if err != nil {
+								errCh <- err
+								return
+							}
+						}
+						if phase == 0 {
+							wlats[ci] = lats
+						} else {
+							rlats[ci] = lats
+						}
+					}(ci, phase)
+				}
+				wg.Wait()
+				if phase == 0 {
+					welapsed = time.Since(start)
+				} else {
+					relapsed = time.Since(start)
+				}
+			}
+			close(errCh)
+			for err := range errCh {
+				log.Fatal(err)
+			}
+			d.Close()
+			w, r := aggregate(wlats, welapsed), aggregate(rlats, relapsed)
+			write[level] = w
+			fmt.Printf("replicas=%d level=%-6s  write %8.0f ops/s  p50 %8v  p99 %8v | read %8.0f ops/s  p50 %8v  p99 %8v\n",
+				replicas, level, w.tput, w.p50.Round(100*time.Nanosecond), w.p99.Round(100*time.Nanosecond),
+				r.tput, r.p50.Round(100*time.Nanosecond), r.p99.Round(100*time.Nanosecond))
+		}
+		fmt.Printf("replicas=%d one/all median write latency ratio: %.2fx\n",
+			replicas, float64(write[wire.ConsistencyOne].p50)/float64(write[wire.ConsistencyAll].p50))
+	}
+
+	// The staleness probe. The prober is a co-located client (the
+	// paper's deployment shape: every node runs both) on an UNdelayed
+	// link, so its ack arrives before the delayed replica legs land —
+	// the measurement isolates the replication tail, not the probe's
+	// own network. Copy 1 is the always-sync first leg; copies past it
+	// are the async tail, and for each stale one the probe polls until
+	// the value lands, yielding the staleness window's width. Probed
+	// at replicas=2: the only topology above with an async tail.
+	const probeReplicas = 2
+	d, reg := boot(probeReplicas)
+	defer d.Close()
+	cfg := core.Config{
+		NumPartitions: partitions, Replicas: probeReplicas,
+		RetryBase: time.Millisecond,
+	}
+	c, err := core.NewClient(cfg, d.Instance(0).Table(), reg.NewClient())
+	if err != nil {
+		log.Fatal(err)
+	}
+	table := d.Instance(0).Table()
+	hashf := hashing.ByName("")
+	byID := map[ring.InstanceID]*core.Instance{}
+	for _, in := range d.Instances() {
+		byID[in.ID()] = in
+	}
+	fresh := func(in *core.Instance, p int, k string, v []byte) bool {
+		resp := in.Handle(&wire.Request{
+			Op: wire.OpLookup, Partition: int64(p), Key: k,
+			Flags: wire.FlagReplicaRead,
+		})
+		return resp.Status == wire.StatusOK && string(resp.Value) == string(v)
+	}
+	var syncProbes, syncStale, tailProbes, tailStale int
+	var lags []time.Duration
+	for i := 0; i < rounds; i++ {
+		k := fmt.Sprintf("stale-probe-%09d", i)
+		v := []byte(fmt.Sprintf("v%09d", i))
+		if err := c.InsertWith(k, v, wire.ConsistencyOne); err != nil {
+			log.Fatal(err)
+		}
+		acked := time.Now()
+		p := table.Partition(hashf(k))
+		for ri, rep := range table.ReplicasOf(p, probeReplicas) {
+			in := byID[rep.ID]
+			ok := fresh(in, p, k, v)
+			if ri == 0 {
+				syncProbes++
+				if !ok {
+					syncStale++
+				}
+				continue
+			}
+			tailProbes++
+			if ok {
+				lags = append(lags, 0)
+				continue
+			}
+			tailStale++
+			for !fresh(in, p, k, v) {
+				time.Sleep(10 * time.Microsecond)
+			}
+			lags = append(lags, time.Since(acked))
+		}
+	}
+	sort.Slice(lags, func(i, j int) bool { return lags[i] < lags[j] })
+	fmt.Printf("ONE staleness probe (co-located client): sync copy stale %d/%d (%.2f%%); async copy stale %d/%d (%.2f%%), window p50 %v p99 %v\n",
+		syncStale, syncProbes, 100*float64(syncStale)/float64(syncProbes),
+		tailStale, tailProbes, 100*float64(tailStale)/float64(tailProbes),
+		lags[len(lags)/2].Round(time.Microsecond), lags[len(lags)*99/100].Round(time.Microsecond))
 }
 
 // degradedScenario is the default -chaos schedule: a persistently bad

@@ -21,6 +21,7 @@ import (
 
 	"zht/internal/core"
 	"zht/internal/transport"
+	"zht/internal/wire"
 )
 
 func main() {
@@ -30,8 +31,13 @@ func main() {
 		partitions = flag.Int("partitions", 1024, "deployment partition count")
 		replicas   = flag.Int("replicas", 2, "deployment replica count")
 		ops        = flag.Int("ops", 10000, "operations for the bench subcommand")
+		levelName  = flag.String("level", "", "consistency level for this op: one, quorum, all (empty = the deployment default)")
 	)
 	flag.Parse()
+	level, err := wire.ParseConsistency(*levelName)
+	if err != nil {
+		log.Fatalf("-level: %v", err)
+	}
 	args := flag.Args()
 	if len(args) == 0 {
 		flag.Usage()
@@ -53,10 +59,10 @@ func main() {
 	switch args[0] {
 	case "insert":
 		need(args, 3)
-		die(c.Insert(args[1], []byte(args[2])))
+		die(c.InsertWith(args[1], []byte(args[2]), level))
 	case "lookup":
 		need(args, 2)
-		v, err := c.Lookup(args[1])
+		v, err := c.LookupWith(args[1], level)
 		if errors.Is(err, core.ErrNotFound) {
 			fmt.Println("(not found)")
 			os.Exit(1)
@@ -65,10 +71,10 @@ func main() {
 		fmt.Printf("%s\n", v)
 	case "remove":
 		need(args, 2)
-		die(c.Remove(args[1]))
+		die(c.RemoveWith(args[1], level))
 	case "append":
 		need(args, 3)
-		die(c.Append(args[1], []byte(args[2])))
+		die(c.AppendWith(args[1], []byte(args[2]), level))
 	case "cas":
 		need(args, 4)
 		cur, err := c.Cas(args[1], []byte(args[2]), []byte(args[3]))

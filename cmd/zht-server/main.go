@@ -24,6 +24,7 @@ import (
 	"zht/internal/ring"
 	"zht/internal/storage"
 	"zht/internal/transport"
+	"zht/internal/wire"
 )
 
 func main() {
@@ -41,11 +42,16 @@ func main() {
 		durability = flag.String("durability", "async", "WAL acknowledgement mode: none, async, group, or sync")
 		antiEnt    = flag.Duration("anti-entropy", 0, "anti-entropy period: diff partition digests against each partition's authority and pull divergent ranges this often (0 = off)")
 		handoffCap = flag.Int("handoff-cap", 0, "per-destination hinted-handoff queue bound (0 = default 1024, negative disables handoff)")
+		writeLevel = flag.String("write-level", "", "default write consistency level when the request does not name one: one, quorum, all (empty = quorum); reads are client-coordinated, so their default lives in the client")
 	)
 	flag.Parse()
 	dur, err := storage.ParseDurability(*durability)
 	if err != nil {
 		log.Fatal(err)
+	}
+	wl, err := wire.ParseConsistency(*writeLevel)
+	if err != nil {
+		log.Fatalf("-write-level: %v", err)
 	}
 	var reg *metrics.Registry
 	if *debugAddr != "" {
@@ -65,6 +71,7 @@ func main() {
 		HashName:      *hashName,
 		AntiEntropy:   *antiEnt,
 		HandoffCap:    *handoffCap,
+		WriteLevel:    wl,
 		Metrics:       reg,
 	}
 	if *joinSeed != "" {

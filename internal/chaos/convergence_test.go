@@ -12,6 +12,7 @@ import (
 	"zht/internal/hashing"
 	"zht/internal/metrics"
 	"zht/internal/ring"
+	"zht/internal/wire"
 )
 
 // The anti-entropy convergence soak (acceptance criterion for the
@@ -44,7 +45,11 @@ func TestAntiEntropyConvergesAfterPartition(t *testing.T) {
 		RetryBase:     time.Millisecond,
 		RetryMax:      8 * time.Millisecond,
 		OpDeadline:    2 * time.Second,
-		Metrics:       mreg,
+		// ONE: the whole soak writes into a partition whose sole replica
+		// is unreachable — the point is that primaries keep acking while
+		// handoff + anti-entropy carry the repair debt.
+		WriteLevel: wire.ConsistencyOne,
+		Metrics:    mreg,
 	}
 	const n = 4
 	d, reg, err := core.BootstrapInproc(cfg, n)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"slices"
 	"sort"
 	"sync"
@@ -184,41 +185,93 @@ func (in *Instance) applyBatchPartition(p int, subs []*wire.Request, idxs []int,
 		defer in.mutLocks[st].Unlock()
 	}
 	// applied collects the sub-ops whose mutation succeeded, in apply
-	// order — the order replicas must see them in.
+	// order — the order replicas must see them in — alongside the
+	// version each was stamped with and, where the leg value differs
+	// from the request's (appends), the full value the legs carry.
 	var applied []int
+	var vers []uint64
+	var legVals [][]byte
 	for _, i := range idxs {
-		r := applyKV(s, subs[i])
-		resps[i] = r
-		if r.Status == wire.StatusOK && in.mutates(subs[i]) {
-			applied = append(applied, i)
+		if !in.mutates(subs[i]) {
+			resps[i] = applyKV(s, subs[i])
+			continue
 		}
+		ver := in.clock.Next()
+		r, legVal := in.applyPrimary(s, subs[i], ver)
+		resps[i] = r
+		if r.Status != wire.StatusOK {
+			if legVal != nil {
+				wire.PutBuffer(legVal)
+			}
+			continue
+		}
+		applied = append(applied, i)
+		vers = append(vers, ver)
+		legVals = append(legVals, legVal)
 	}
-	if len(applied) > 0 {
-		in.replicateBatch(table, p, subs, applied)
+	if len(applied) == 0 {
+		return
+	}
+	acked, copies := in.replicateBatch(table, p, subs, applied, vers, legVals)
+	for j, i := range applied {
+		if legVals[j] != nil {
+			wire.PutBuffer(legVals[j])
+		}
+		// Each sub-op's own write level is enforced against the acks
+		// the shared envelope fan-out collected: an envelope ack means
+		// that replica applied the whole group, so per-sub-op acks are
+		// identical and only the demanded level differs.
+		if need := in.writeLevel(subs[i]).Acks(copies); need > 1 {
+			in.met.quorumWrites.Inc()
+			if acked+1 < need {
+				resps[i].Status = wire.StatusError
+				resps[i].Err = fmt.Sprintf("core: quorum not met (%d/%d acks)", acked+1, need)
+			}
+		}
 	}
 }
 
 // replicateBatch pushes a partition's successful mutations along the
 // replica chain as one batched OpReplicate envelope per replica
-// instead of one round trip per mutation: the first replica (or every
-// replica under SyncReplication) synchronously via CallBatch, the rest
-// through the per-destination async FIFO — a single envelope enqueued
-// there preserves the queue's per-key ordering guarantee unchanged.
-func (in *Instance) replicateBatch(table *ring.Table, p int, subs []*wire.Request, applied []int) {
+// instead of one round trip per mutation. Envelopes go synchronously
+// (via CallBatch) to as many replicas as the strictest write level in
+// the group demands — an envelope ack counts only when every leg in
+// it succeeded — and through the per-destination async FIFO to the
+// rest; a single envelope enqueued there preserves the queue's
+// per-key ordering guarantee unchanged. Returns the envelope acks
+// collected and the copy count levels resolve against, so the caller
+// can enforce each sub-op's own level.
+func (in *Instance) replicateBatch(table *ring.Table, p int, subs []*wire.Request, applied []int, vers []uint64, legVals [][]byte) (acked, copies int) {
 	reps := table.ReplicasOf(p, in.cfg.Replicas)
-	if len(reps) == 0 {
-		return
+	copies = 1
+	for _, r := range reps {
+		if r.ID != in.self.ID {
+			copies++
+		}
+	}
+	if copies == 1 {
+		return 0, copies
+	}
+	syncNeed := 0
+	for _, i := range applied {
+		if n := in.writeLevel(subs[i]).Acks(copies) - 1; n > syncNeed {
+			syncNeed = n
+		}
 	}
 	fwds := make([]wire.Request, len(applied))
 	for j, i := range applied {
-		fwds[j] = replicaFwd(p, subs[i])
+		fwds[j] = replicaFwd(p, subs[i], vers[j], legVals[j])
 	}
-	for ri, r := range reps {
+	first := true
+	for _, r := range reps {
 		if r.ID == in.self.ID {
 			continue
 		}
 		legs := make([]*wire.Request, len(fwds))
-		if ri == 0 || in.cfg.SyncReplication {
+		// As in replicate(): the first replica's envelope is always
+		// synchronous; the level only decides how many acks matter.
+		if first || acked < syncNeed {
+			first = false
 			for j := range fwds {
 				f := fwds[j]
 				f.Flags |= wire.FlagSyncReplica
@@ -244,13 +297,18 @@ func (in *Instance) replicateBatch(table *ring.Table, p int, subs []*wire.Reques
 				continue
 			}
 			in.rbrk.success(r.Addr)
+			allOK := true
 			for j, resp := range rs {
 				if resp.Status != wire.StatusOK {
+					allOK = false
 					in.met.syncErrors.Inc()
 					if j < len(legs) {
 						in.hintLeg(r.Addr, legs[j])
 					}
 				}
+			}
+			if allOK && len(rs) == len(legs) {
+				acked++
 			}
 			continue
 		}
@@ -262,4 +320,5 @@ func (in *Instance) replicateBatch(table *ring.Table, p int, subs []*wire.Reques
 		}
 		in.enqueueAsync(r.Addr, wire.NewBatchRequest(legs))
 	}
+	return acked, copies
 }

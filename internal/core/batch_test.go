@@ -229,7 +229,13 @@ func TestBatchSurvivesFailedNode(t *testing.T) {
 // zht.core.replica.sync_errors instead of vanishing silently.
 func TestSyncReplicationErrorsCounted(t *testing.T) {
 	mreg := metrics.NewRegistry()
-	cfg := Config{NumPartitions: 32, Replicas: 1, RetryBase: time.Millisecond, Metrics: mreg}
+	// WriteLevel One: the first replica leg is still attempted
+	// synchronously (and its failure counted), but the ack does not
+	// depend on it — the scenario writes into a dead replica on purpose.
+	cfg := Config{
+		NumPartitions: 32, Replicas: 1, RetryBase: time.Millisecond,
+		WriteLevel: wire.ConsistencyOne, Metrics: mreg,
+	}
 	d, reg, c := startDeployment(t, cfg, 3)
 	counter := mreg.Counter("zht.core.replica.sync_errors")
 

@@ -157,31 +157,57 @@ func (c *Client) Table() *ring.Table {
 // request once routing settles. The response stays with the caller
 // (its Value may be handed to the application); callers that do not
 // need it release it with wire.PutResponse.
-func (c *Client) doOp(op wire.Op, key string, val, aux []byte, flags uint8) (*wire.Response, error) {
+func (c *Client) doOp(op wire.Op, key string, val, aux []byte, flags uint8, cons wire.Consistency) (*wire.Response, error) {
 	req := wire.GetRequest()
 	req.Op, req.Key, req.Value, req.Aux, req.Flags = op, key, val, aux, flags
+	req.Consistency = cons
 	resp, err := c.do(req)
 	wire.PutRequest(req)
 	return resp, err
 }
 
-// Insert stores val under key (unconditional).
+// Insert stores val under key (unconditional) at the deployment's
+// default write level.
 func (c *Client) Insert(key string, val []byte) error {
-	resp, err := c.doOp(wire.OpInsert, key, val, nil, 0)
+	return c.InsertWith(key, val, wire.ConsistencyDefault)
+}
+
+// InsertWith is Insert at an explicit write consistency level:
+// success means at least Acks(copies) copies hold the write
+// (DESIGN.md §12). ConsistencyDefault defers to Config.WriteLevel.
+func (c *Client) InsertWith(key string, val []byte, level wire.Consistency) error {
+	resp, err := c.doOp(wire.OpInsert, key, val, nil, 0, level)
 	wire.PutResponse(resp)
 	return err
 }
 
 // InsertIfAbsent stores val only when key is absent.
 func (c *Client) InsertIfAbsent(key string, val []byte) error {
-	resp, err := c.doOp(wire.OpInsert, key, val, nil, wire.FlagIfAbsent)
+	resp, err := c.doOp(wire.OpInsert, key, val, nil, wire.FlagIfAbsent, wire.ConsistencyDefault)
 	wire.PutResponse(resp)
 	return err
 }
 
-// Lookup returns the value stored under key.
+// Lookup returns the value stored under key, read at the deployment's
+// default read level.
 func (c *Client) Lookup(key string) ([]byte, error) {
-	resp, err := c.doOp(wire.OpLookup, key, nil, nil, 0)
+	return c.LookupWith(key, wire.ConsistencyDefault)
+}
+
+// LookupWith is Lookup at an explicit read consistency level. One is
+// the zero-hop read of the owner's copy; Quorum and All consult the
+// owner plus the partition's replicas in parallel and return the copy
+// with the newest version stamp, queueing an asynchronous read-repair
+// of any stale copy observed (DESIGN.md §12). ConsistencyDefault
+// defers to Config.ReadLevel.
+func (c *Client) LookupWith(key string, level wire.Consistency) ([]byte, error) {
+	if level == wire.ConsistencyDefault {
+		level = c.cfg.ReadLevel
+	}
+	if level > wire.ConsistencyOne && c.cfg.Replicas > 0 {
+		return c.quorumLookup(key, level)
+	}
+	resp, err := c.doOp(wire.OpLookup, key, nil, nil, 0, level)
 	if err != nil {
 		wire.PutResponse(resp)
 		return nil, err
@@ -191,9 +217,14 @@ func (c *Client) Lookup(key string) ([]byte, error) {
 	return v, nil
 }
 
-// Remove deletes key.
+// Remove deletes key at the deployment's default write level.
 func (c *Client) Remove(key string) error {
-	resp, err := c.doOp(wire.OpRemove, key, nil, nil, 0)
+	return c.RemoveWith(key, wire.ConsistencyDefault)
+}
+
+// RemoveWith is Remove at an explicit write consistency level.
+func (c *Client) RemoveWith(key string, level wire.Consistency) error {
+	resp, err := c.doOp(wire.OpRemove, key, nil, nil, 0, level)
 	wire.PutResponse(resp)
 	return err
 }
@@ -202,7 +233,12 @@ func (c *Client) Remove(key string) error {
 // Appends from concurrent clients interleave without any distributed
 // lock (§III.I).
 func (c *Client) Append(key string, val []byte) error {
-	resp, err := c.doOp(wire.OpAppend, key, val, nil, 0)
+	return c.AppendWith(key, val, wire.ConsistencyDefault)
+}
+
+// AppendWith is Append at an explicit write consistency level.
+func (c *Client) AppendWith(key string, val []byte, level wire.Consistency) error {
+	resp, err := c.doOp(wire.OpAppend, key, val, nil, 0, level)
 	wire.PutResponse(resp)
 	return err
 }
@@ -211,11 +247,18 @@ func (c *Client) Append(key string, val []byte) error {
 // value equals oldVal; oldVal == nil means "expect absent". On
 // mismatch it returns ErrCasMismatch and the observed value.
 func (c *Client) Cas(key string, oldVal, newVal []byte) ([]byte, error) {
+	return c.CasWith(key, oldVal, newVal, wire.ConsistencyDefault)
+}
+
+// CasWith is Cas at an explicit write consistency level (the compare
+// itself always runs on the owner — the serialization point; the
+// level governs how many copies must hold the winning value).
+func (c *Client) CasWith(key string, oldVal, newVal []byte, level wire.Consistency) ([]byte, error) {
 	var flags uint8
 	if oldVal == nil {
 		flags = wire.FlagIfAbsent
 	}
-	resp, err := c.doOp(wire.OpCas, key, newVal, oldVal, flags)
+	resp, err := c.doOp(wire.OpCas, key, newVal, oldVal, flags, level)
 	if err != nil {
 		if errors.Is(err, ErrCasMismatch) && resp != nil {
 			cur := resp.Value
@@ -227,6 +270,125 @@ func (c *Client) Cas(key string, oldVal, newVal []byte) ([]byte, error) {
 	}
 	wire.PutResponse(resp)
 	return nil, nil
+}
+
+// readVote is one copy's answer to a quorum read fan-out.
+type readVote struct {
+	addr  string
+	val   []byte
+	ver   uint64
+	found bool
+	ok    bool // the copy answered at all
+}
+
+// quorumLookup coordinates a Quorum/All read: consult the owner (a
+// full routed read, so stale tables and failovers heal as usual) and
+// the partition's replicas (direct replica-reads of their local
+// copies) in parallel, return once Acks(copies) copies answered, and
+// resolve disagreement newest-version-wins. Any copy observed older
+// than the winner gets an asynchronous read-repair push — a versioned
+// replica leg its LWW compare accepts only if still stale. A removed
+// key can "resurface" at quorum if a replica still holds the
+// pre-remove value: removes are tombstone-free, so an absent copy
+// cannot be distinguished from a never-written one; the winner among
+// FOUND copies is returned (documented in DESIGN.md §12).
+func (c *Client) quorumLookup(key string, level wire.Consistency) ([]byte, error) {
+	c.metrics.quorumReads.Inc()
+	var deadline time.Time
+	if c.cfg.OpDeadline > 0 {
+		deadline = time.Now().Add(c.cfg.OpDeadline)
+	}
+	table := c.snapshot()
+	p := table.Partition(c.hashf(key))
+	owner := table.Instances[table.Owner[p]]
+	reps := table.ReplicasOf(p, c.cfg.Replicas)
+	targets := make([]string, 0, 1+len(reps))
+	targets = append(targets, owner.Addr)
+	for _, r := range reps {
+		if r.ID != owner.ID {
+			targets = append(targets, r.Addr)
+		}
+	}
+	copies := len(targets)
+	need := level.Acks(copies)
+	votes := make(chan readVote, copies) // buffered: stragglers never block
+	go func() {
+		req := wire.GetRequest()
+		req.Op, req.Key, req.Consistency = wire.OpLookup, key, wire.ConsistencyOne
+		resp, err := c.doRoutedDeadline(req, deadline)
+		wire.PutRequest(req)
+		v := readVote{addr: owner.Addr}
+		if err == nil || errors.Is(err, ErrNotFound) {
+			v.ok = true
+			v.found = err == nil
+			if resp != nil {
+				v.val, v.ver = resp.Value, resp.Version
+			}
+		}
+		wire.PutResponse(resp)
+		votes <- v
+	}()
+	for _, addr := range targets[1:] {
+		go func(addr string) {
+			req := wire.GetRequest()
+			req.Op, req.Key, req.Flags = wire.OpLookup, key, wire.FlagReplicaRead
+			resp, err := c.callWithBackoff(addr, req, deadline)
+			wire.PutRequest(req)
+			v := readVote{addr: addr}
+			if err == nil && (resp.Status == wire.StatusOK || resp.Status == wire.StatusNotFound) {
+				v.ok = true
+				v.found = resp.Status == wire.StatusOK
+				v.val, v.ver = resp.Value, resp.Version
+			}
+			wire.PutResponse(resp)
+			votes <- v
+		}(addr)
+	}
+	var winner readVote
+	acked := 0
+	got := make([]readVote, 0, copies)
+	for i := 0; i < copies && acked < need; i++ {
+		v := <-votes
+		if !v.ok {
+			continue
+		}
+		acked++
+		got = append(got, v)
+		if v.found && (!winner.found || v.ver > winner.ver) {
+			winner = v
+		}
+	}
+	if acked < need {
+		return nil, fmt.Errorf("%w: read quorum not met (%d/%d copies answered)", ErrUnavailable, acked, need)
+	}
+	if winner.found && winner.ver > 0 {
+		stale := false
+		for _, v := range got {
+			if !v.found || v.ver < winner.ver {
+				stale = true
+				go c.repairCopy(p, v.addr, key, winner.val, winner.ver)
+			}
+		}
+		if stale {
+			c.metrics.staleReadsRepaired.Inc()
+		}
+	}
+	if !winner.found {
+		return nil, ErrNotFound
+	}
+	return winner.val, nil
+}
+
+// repairCopy pushes the quorum-read winner to one stale copy as a
+// versioned replica leg: the target's last-writer-wins compare applies
+// it only if the copy is still older, so a racing newer write is never
+// regressed.
+func (c *Client) repairCopy(p int, addr, key string, val []byte, ver uint64) {
+	c.caller.Call(addr, &wire.Request{
+		Op: wire.OpReplicate, Partition: int64(p), Key: key, Value: val,
+		Version: ver, Flags: wire.FlagNoReplicate,
+		Aux: encodeReplicaAux(wire.OpInsert, nil),
+	})
 }
 
 // Broadcast delivers key/val to every instance via the spanning-tree

@@ -17,6 +17,7 @@ import (
 	"zht/internal/hashing"
 	"zht/internal/metrics"
 	"zht/internal/storage"
+	"zht/internal/wire"
 )
 
 // Config holds deployment-wide parameters shared by every instance
@@ -31,8 +32,21 @@ type Config struct {
 	// the rest asynchronously (§III.J).
 	Replicas int
 	// SyncReplication forces every replica (not only the first) to
-	// be updated synchronously; used by the replication ablation.
+	// be updated synchronously. Deprecated: it survives as a legacy
+	// alias for WriteLevel = wire.ConsistencyAll (the replication
+	// ablation still sets it); prefer WriteLevel.
 	SyncReplication bool
+	// WriteLevel is the default write consistency: how many copies
+	// (primary + replicas) must acknowledge a mutation before the
+	// client sees success (DESIGN.md §12). Zero (ConsistencyDefault)
+	// means Quorum — or All when SyncReplication is set. Clients and
+	// instances resolve per-request overrides against this default.
+	WriteLevel wire.Consistency
+	// ReadLevel is the default read consistency: how many copies a
+	// lookup consults before answering, resolving conflicts
+	// newest-version-wins. Zero (ConsistencyDefault) means One — the
+	// owner's copy, today's zero-hop read.
+	ReadLevel wire.Consistency
 	// HashName selects the ring hash function (see hashing.ByName);
 	// empty selects the default.
 	HashName string
@@ -149,6 +163,18 @@ func (c *Config) fill() error {
 	}
 	if c.Replicas < 0 {
 		return errors.New("core: Replicas must be non-negative")
+	}
+	if c.WriteLevel > wire.ConsistencyAll || c.ReadLevel > wire.ConsistencyAll {
+		return errors.New("core: unknown consistency level")
+	}
+	if c.WriteLevel == wire.ConsistencyDefault {
+		c.WriteLevel = wire.ConsistencyQuorum
+		if c.SyncReplication {
+			c.WriteLevel = wire.ConsistencyAll
+		}
+	}
+	if c.ReadLevel == wire.ConsistencyDefault {
+		c.ReadLevel = wire.ConsistencyOne
 	}
 	if hashing.ByName(c.HashName) == nil {
 		return errors.New("core: unknown hash function " + c.HashName)

@@ -31,6 +31,11 @@ type Instance struct {
 	cfg   Config
 	self  ring.Instance
 	hashf hashing.Func
+	// clock stamps every replicated mutation with a version for
+	// last-writer-wins resolution across replicas (DESIGN.md §12) and
+	// observes stamps on incoming legs so local stamps always order
+	// after everything already applied.
+	clock *hlc
 
 	mu    sync.RWMutex // guards table
 	table *ring.Table
@@ -120,6 +125,7 @@ func NewInstance(cfg Config, self ring.Instance, table *ring.Table, caller trans
 		cfg:      cfg,
 		self:     self,
 		hashf:    cfg.hash(),
+		clock:    newHLC(self.ID),
 		table:    table.Clone(),
 		deltaLog: ring.NewDeltaLog(0),
 		stores:   make(map[int]storage.KV),
@@ -342,6 +348,20 @@ func (in *Instance) handleKV(req *wire.Request) *wire.Response {
 	p := in.table.Partition(h)
 	in.mu.RUnlock()
 
+	// Replica reads bypass ownership and the migration gate: a quorum
+	// read's coordinator is asking THIS node for its local copy of the
+	// pair (plus its version stamp), explicitly not for the
+	// authoritative answer. Serve whatever is stored — possibly stale,
+	// that is the point — and never instantiate a store for a
+	// partition this node holds nothing of.
+	if req.Op == wire.OpLookup && req.Flags&wire.FlagReplicaRead != 0 {
+		s := in.storeIfPresent(p)
+		if s == nil {
+			return statusResp(wire.StatusNotFound)
+		}
+		return applyKV(s, req)
+	}
+
 	// Migration gate: if this partition is being given away, queue
 	// until the move resolves (paper queues requests during
 	// migration and answers with a redirect). The op lock's read
@@ -393,17 +413,135 @@ func (in *Instance) handleKV(req *wire.Request) *wire.Response {
 	if err != nil {
 		return &wire.Response{Status: wire.StatusError, Err: err.Error()}
 	}
-	mutation := in.mutates(req)
-	if mutation {
-		ml := &in.mutLocks[h%uint64(len(in.mutLocks))]
-		ml.Lock()
-		defer ml.Unlock()
+	if !in.mutates(req) {
+		return applyKV(s, req)
 	}
-	resp := applyKV(s, req)
-	if resp.Status == wire.StatusOK && mutation {
-		in.replicate(table, p, req)
+	ml := &in.mutLocks[h%uint64(len(in.mutLocks))]
+	ml.Lock()
+	defer ml.Unlock()
+	// Replicated mutations are version-stamped so replicas resolve
+	// reordered legs last-writer-wins instead of diverging, then
+	// fanned out at the request's write level: success is withheld
+	// until Acks(copies) copies (local apply counts as one) hold the
+	// write.
+	ver := in.clock.Next()
+	resp, legVal := in.applyPrimary(s, req, ver)
+	if resp.Status != wire.StatusOK {
+		return resp
+	}
+	level := in.writeLevel(req)
+	acked, copies := in.replicate(table, p, req, ver, legVal, level)
+	if legVal != nil {
+		// Every leg has copied or finished with the scratch by now
+		// (sync legs completed, async legs and handoff hold copies).
+		wire.PutBuffer(legVal)
+	}
+	if need := level.Acks(copies); need > 1 {
+		in.met.quorumWrites.Inc()
+		if acked+1 < need {
+			// The local apply is NOT rolled back: the write exists on
+			// fewer copies than the level demands, and anti-entropy or
+			// handoff replay will finish spreading it. The error tells
+			// the client its durability contract was not met, not that
+			// the write vanished (DESIGN.md §12).
+			resp.Status = wire.StatusError
+			resp.Err = fmt.Sprintf("core: quorum not met (%d/%d acks)", acked+1, need)
+		}
 	}
 	return resp
+}
+
+// writeLevel resolves the effective write consistency for one
+// request: its own Consistency field when set, the deployment default
+// otherwise.
+func (in *Instance) writeLevel(req *wire.Request) wire.Consistency {
+	if req.Consistency != wire.ConsistencyDefault {
+		return req.Consistency
+	}
+	return in.cfg.WriteLevel
+}
+
+// storeIfPresent returns partition p's store only if this instance
+// already holds one, never creating it.
+func (in *Instance) storeIfPresent(p int) storage.KV {
+	in.smu.Lock()
+	defer in.smu.Unlock()
+	return in.stores[p]
+}
+
+// applyPrimary applies a replicated mutation to the owner's store,
+// stamping the stored pair with ver. It returns the response plus the
+// value the replica legs must carry when it differs from req.Value
+// (append legs carry the full concatenated value: with versions,
+// appends replicate as whole-value inserts so a replica that missed
+// an earlier leg converges to the primary's bytes instead of
+// appending onto a different base). Falls back to the unversioned
+// applyKV when the store does not persist stamps.
+func (in *Instance) applyPrimary(s storage.KV, req *wire.Request, ver uint64) (*wire.Response, []byte) {
+	vkv, ok := s.(storage.VersionedKV)
+	if !ok {
+		return applyKV(s, req), nil
+	}
+	switch req.Op {
+	case wire.OpInsert:
+		if req.Flags&wire.FlagIfAbsent != 0 {
+			// The per-key mutation stripe is held: check-then-put is
+			// atomic with respect to every other writer of this key.
+			if _, _, found, err := vkv.GetV(req.Key); err != nil {
+				return errResp(err), nil
+			} else if found {
+				return statusResp(wire.StatusExists), nil
+			}
+		}
+		if err := vkv.PutV(req.Key, req.Value, ver); err != nil {
+			return errResp(err), nil
+		}
+		return statusResp(wire.StatusOK), nil
+	case wire.OpRemove:
+		// The owner is the serialization point (mutation stripe), so
+		// the local delete is unconditional; ver rides the replica
+		// legs, where RemoveLWW refuses to delete a newer write.
+		ok, err := s.Remove(req.Key)
+		if err != nil {
+			return errResp(err), nil
+		}
+		if !ok {
+			return statusResp(wire.StatusNotFound), nil
+		}
+		return statusResp(wire.StatusOK), nil
+	case wire.OpAppend:
+		buf := wire.GetBuffer()
+		old, _, _, err := vkv.GetAppendV(buf, req.Key)
+		if err != nil {
+			wire.PutBuffer(old)
+			return errResp(err), nil
+		}
+		full := append(old, req.Value...)
+		if err := vkv.PutV(req.Key, full, ver); err != nil {
+			wire.PutBuffer(full)
+			return errResp(err), nil
+		}
+		// full escapes into the replica legs (copied per leg by
+		// replicate); recycle the scratch afterwards is unsafe since
+		// legs alias it — the fan-out copies before returning, so the
+		// buffer is released there via legVal ownership passing back.
+		return statusResp(wire.StatusOK), full
+	case wire.OpCas:
+		// CAS semantics (nil-vs-empty expectations, current-value
+		// reporting) live in the store; re-stamp the winner rather
+		// than re-implementing them here. The extra PutV is off the
+		// hot path — CAS is the rare op — and keeps behavior
+		// byte-identical to the engine's.
+		resp := applyKV(s, req)
+		if resp.Status == wire.StatusOK {
+			if err := vkv.PutV(req.Key, req.Value, ver); err != nil {
+				wire.PutResponse(resp)
+				return errResp(err), nil
+			}
+		}
+		return resp, nil
+	}
+	return applyKV(s, req), nil
 }
 
 func (in *Instance) opLock(p int) *sync.RWMutex { return &in.opLocks[p%len(in.opLocks)] }
@@ -478,7 +616,30 @@ func applyKV(s storage.KV, req *wire.Request) *wire.Response {
 	case wire.OpLookup:
 		// Copy-reduced read: stores that support scratch-buffer reads
 		// copy the value once, shard to pooled buffer, and the buffer
-		// rides the response back to the pool after encoding.
+		// rides the response back to the pool after encoding. Versioned
+		// stores additionally return the pair's stamp — quorum-read
+		// coordinators resolve copies newest-version-wins.
+		if vg, ok := s.(storage.VersionedKV); ok {
+			buf := wire.GetBuffer()
+			v, ver, found, err := vg.GetAppendV(buf, req.Key)
+			if err != nil {
+				wire.PutBuffer(v)
+				return errResp(err)
+			}
+			if !found || len(v) == 0 {
+				wire.PutBuffer(v)
+				if !found {
+					return statusResp(wire.StatusNotFound)
+				}
+				resp := statusResp(wire.StatusOK)
+				resp.Version = ver
+				return resp
+			}
+			resp := statusResp(wire.StatusOK)
+			resp.SetPooledValue(v)
+			resp.Version = ver
+			return resp
+		}
 		if ag, ok := s.(storage.ScratchGetter); ok {
 			buf := wire.GetBuffer()
 			v, found, err := ag.GetAppend(buf, req.Key)
@@ -548,18 +709,37 @@ func applyKV(s storage.KV, req *wire.Request) *wire.Response {
 	return r
 }
 
-// replicate pushes a mutation along the replica chain: the first
-// replica synchronously (primary and secondary are strongly
-// consistent), the rest asynchronously (§III.J); SyncReplication
-// makes every leg synchronous for the ablation benchmark.
-func (in *Instance) replicate(table *ring.Table, p int, req *wire.Request) {
+// replicate pushes a mutation along the replica chain at the given
+// write level. Legs are synchronous until enough acks are in hand to
+// meet the level (local apply counts as the first ack), the rest
+// asynchronous — so Quorum reproduces the seed's
+// first-replica-sync/rest-async shape and All is every leg sync, the
+// old SyncReplication ablation. A failed sync leg promotes the next
+// replica in ring order to synchronous (straggler promotion): the
+// level counts acks, not positions. Returns the replica acks actually
+// collected and the number of copies (self + alive replicas) the
+// level was resolved against.
+func (in *Instance) replicate(table *ring.Table, p int, req *wire.Request, ver uint64, legVal []byte, level wire.Consistency) (acked, copies int) {
 	reps := table.ReplicasOf(p, in.cfg.Replicas)
-	fwd := replicaFwd(p, req)
-	for i, r := range reps {
+	copies = 1
+	for _, r := range reps {
+		if r.ID != in.self.ID {
+			copies++
+		}
+	}
+	syncNeed := level.Acks(copies) - 1
+	fwd := replicaFwd(p, req, ver, legVal)
+	first := true
+	for _, r := range reps {
 		if r.ID == in.self.ID {
 			continue
 		}
-		if i == 0 || in.cfg.SyncReplication {
+		// The first replica leg is synchronous at every level — the
+		// paper's strongly-paired primary/secondary (§III.J) — so even
+		// ONE keeps an eagerly consistent second copy; the level only
+		// decides how many acks success WAITS on.
+		if first || acked < syncNeed {
+			first = false
 			f := fwd
 			f.Flags |= wire.FlagSyncReplica
 			// A failed sync leg is a consistency gap until repaired —
@@ -584,7 +764,9 @@ func (in *Instance) replicate(table *ring.Table, p int, req *wire.Request) {
 			if resp.Status != wire.StatusOK {
 				in.met.syncErrors.Inc()
 				in.hintLeg(r.Addr, &f)
+				continue
 			}
+			acked++
 			continue
 		}
 		f := fwd
@@ -592,20 +774,33 @@ func (in *Instance) replicate(table *ring.Table, p int, req *wire.Request) {
 		f.Aux = append([]byte(nil), fwd.Aux...)
 		in.enqueueAsync(r.Addr, &f)
 	}
+	return acked, copies
 }
 
 // replicaFwd rewrites a successful primary mutation into the
-// OpReplicate message pushed to the partition's replicas. A successful
-// CAS is replicated as a plain insert of the new value: the decision
-// was already made at the primary, and re-running the comparison on a
-// replica whose async state lags could diverge. Conditional inserts
-// likewise — the primary already decided.
-func replicaFwd(p int, req *wire.Request) wire.Request {
+// OpReplicate message pushed to the partition's replicas, carrying the
+// version the primary stamped. A successful CAS is replicated as a
+// plain insert of the new value: the decision was already made at the
+// primary, and re-running the comparison on a replica whose async
+// state lags could diverge. Conditional inserts likewise, and
+// versioned appends too — legVal is the full post-append value, so a
+// replica that missed an earlier leg still converges to the primary's
+// bytes (the LWW compare needs whole-value legs to be meaningful).
+func replicaFwd(p int, req *wire.Request, ver uint64, legVal []byte) wire.Request {
 	fwd := *req
 	fwd.Op = wire.OpReplicate
+	fwd.Version = ver
 	innerOp, innerAux := req.Op, req.Aux
-	if req.Op == wire.OpCas {
+	switch req.Op {
+	case wire.OpCas:
 		innerOp, innerAux = wire.OpInsert, nil
+	case wire.OpAppend:
+		if ver > 0 {
+			innerOp, innerAux = wire.OpInsert, nil
+		}
+	}
+	if legVal != nil {
+		fwd.Value = legVal
 	}
 	fwd.Flags &^= wire.FlagIfAbsent
 	fwd.Aux = encodeReplicaAux(innerOp, innerAux)
@@ -639,12 +834,41 @@ func (in *Instance) handleReplicate(req *wire.Request) *wire.Response {
 	if err != nil {
 		return &wire.Response{Status: wire.StatusError, Err: err.Error()}
 	}
+	// Versioned legs resolve last-writer-wins: a stale leg (reordered
+	// behind a newer write on the sync/async seam, or replayed from
+	// handoff after the key moved on) is rejected by the version
+	// compare instead of clobbering the newer state. The clock
+	// observes every incoming stamp so this node's next local write
+	// orders after everything it has applied.
+	if req.Version > 0 {
+		in.clock.Observe(req.Version)
+		vkv, ok := s.(storage.VersionedKV)
+		if !ok {
+			return &wire.Response{Status: wire.StatusError, Err: "core: versioned leg on unversioned store"}
+		}
+		var applied bool
+		switch inner.Op {
+		case wire.OpInsert:
+			applied, err = vkv.PutLWW(inner.Key, inner.Value, req.Version)
+		case wire.OpRemove:
+			applied, err = vkv.RemoveLWW(inner.Key, req.Version)
+		default:
+			return &wire.Response{Status: wire.StatusError, Err: "core: bad versioned replica op " + inner.Op.String()}
+		}
+		if err != nil {
+			return errResp(err)
+		}
+		if !applied {
+			in.met.versionConflicts.Inc()
+		}
+		return statusResp(wire.StatusOK)
+	}
 	resp := applyKV(s, &inner)
-	// Replicas tolerate NotFound (a remove may race ahead of the
-	// insert it follows on the async path) — but each tolerated race
-	// is a pair whose replica state disagreed with the primary's apply
-	// order, so count it: silent drift should be observable even with
-	// the repair loop disabled.
+	// Unversioned replicas tolerate NotFound (a remove may race ahead
+	// of the insert it follows on the async path) — but each tolerated
+	// race is a pair whose replica state disagreed with the primary's
+	// apply order, so count it: silent drift should be observable even
+	// with the repair loop disabled.
 	if resp.Status == wire.StatusNotFound || resp.Status == wire.StatusCasMismatch || resp.Status == wire.StatusExists {
 		in.met.divergence.Inc()
 		resp.Status = wire.StatusOK

@@ -20,21 +20,30 @@ type clientMetrics struct {
 	fastfails   *metrics.Counter   // zht.client.breaker.fastfails
 	batches     *metrics.Counter   // zht.client.batches
 	batchSize   *metrics.Histogram // zht.client.batch.size
-	allLat      *metrics.Histogram
-	opLat       map[wire.Op]*metrics.Histogram
+	// quorumReads counts lookups the client fanned out to replicas
+	// for newest-version-wins resolution (ReadLevel Quorum/All);
+	// staleReadsRepaired counts those fan-outs that observed at least
+	// one copy older than the winner and queued an async read-repair
+	// of it (DESIGN.md §12).
+	quorumReads        *metrics.Counter // zht.consistency.quorum_reads
+	staleReadsRepaired *metrics.Counter // zht.consistency.stale_reads_repaired
+	allLat             *metrics.Histogram
+	opLat              map[wire.Op]*metrics.Histogram
 }
 
 func newClientMetrics(reg *metrics.Registry) clientMetrics {
 	m := clientMetrics{
-		ops:         reg.Counter("zht.client.ops"),
-		retries:     reg.Counter("zht.client.retries"),
-		busyRetries: reg.Counter("zht.client.busy_retries"),
-		wrongOwner:  reg.Counter("zht.client.wrong_owner"),
-		unavailable: reg.Counter("zht.client.unavailable"),
-		fastfails:   reg.Counter("zht.client.breaker.fastfails"),
-		batches:     reg.Counter("zht.client.batches"),
-		batchSize:   reg.Histogram("zht.client.batch.size"),
-		allLat:      reg.Histogram("zht.client.op.all.latency_ns"),
+		ops:                reg.Counter("zht.client.ops"),
+		retries:            reg.Counter("zht.client.retries"),
+		busyRetries:        reg.Counter("zht.client.busy_retries"),
+		wrongOwner:         reg.Counter("zht.client.wrong_owner"),
+		unavailable:        reg.Counter("zht.client.unavailable"),
+		fastfails:          reg.Counter("zht.client.breaker.fastfails"),
+		batches:            reg.Counter("zht.client.batches"),
+		batchSize:          reg.Histogram("zht.client.batch.size"),
+		quorumReads:        reg.Counter("zht.consistency.quorum_reads"),
+		staleReadsRepaired: reg.Counter("zht.consistency.stale_reads_repaired"),
+		allLat:             reg.Histogram("zht.client.op.all.latency_ns"),
 	}
 	if reg != nil {
 		m.opLat = map[wire.Op]*metrics.Histogram{
@@ -73,6 +82,16 @@ type instanceMetrics struct {
 	repBreakerTrips *metrics.Counter // zht.core.replica.breaker.trips
 	repBreakerOpen  *metrics.Gauge   // zht.core.replica.breaker.open
 
+	// Consistency instruments (DESIGN.md §12; see OBSERVABILITY.md
+	// "Consistency"). quorumWrites counts mutations the owner
+	// coordinated at Quorum or All (i.e. success waited on replica
+	// acks, not just the owner's copy); versionConflicts counts
+	// replica applies rejected by the last-writer-wins compare (a
+	// stale leg arriving after a newer write — expected under
+	// reordering, never data loss).
+	quorumWrites     *metrics.Counter // zht.consistency.quorum_writes
+	versionConflicts *metrics.Counter // zht.consistency.version_conflicts
+
 	// Anti-entropy instruments (see OBSERVABILITY.md "Repair").
 	digestSyncs     *metrics.Counter // zht.repair.digest_syncs
 	rangesPulled    *metrics.Counter // zht.repair.ranges_pulled
@@ -99,10 +118,13 @@ type instanceMetrics struct {
 
 func newInstanceMetrics(reg *metrics.Registry) instanceMetrics {
 	return instanceMetrics{
-		syncErrors:      reg.Counter("zht.core.replica.sync_errors"),
-		divergence:      reg.Counter("zht.core.replica.divergence"),
-		repBreakerTrips: reg.Counter("zht.core.replica.breaker.trips"),
-		repBreakerOpen:  reg.Gauge("zht.core.replica.breaker.open"),
+		syncErrors:       reg.Counter("zht.core.replica.sync_errors"),
+		divergence:       reg.Counter("zht.core.replica.divergence"),
+		repBreakerTrips:  reg.Counter("zht.core.replica.breaker.trips"),
+		repBreakerOpen:   reg.Gauge("zht.core.replica.breaker.open"),
+		quorumWrites:     reg.Counter("zht.consistency.quorum_writes"),
+		versionConflicts: reg.Counter("zht.consistency.version_conflicts"),
+
 		digestSyncs:     reg.Counter("zht.repair.digest_syncs"),
 		rangesPulled:    reg.Counter("zht.repair.ranges_pulled"),
 		readRepairs:     reg.Counter("zht.repair.read_repairs"),

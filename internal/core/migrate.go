@@ -150,7 +150,10 @@ func (in *Instance) pullLeafChunks(addr string, p int, leaves []int, thr *repair
 		if err != nil {
 			return err
 		}
-		if err := in.applyLeafContent(p, ls, pairs); err != nil {
+		// The source holds the partition locked (or is its live owner
+		// mid-stream): its leaf image is complete, so the pull is
+		// wholesale — local absentees are deleted.
+		if err := in.applyLeafContent(p, ls, pairs, true); err != nil {
 			return err
 		}
 		in.met.migBytes.Add(int64(len(resp.Value)))
@@ -172,6 +175,9 @@ func (in *Instance) pushLeafChunks(addr string, p int, leaves []int, thr *repair
 		resp, err := in.caller.Call(addr, &wire.Request{
 			Op: wire.OpRepairPull, Partition: int64(p),
 			Aux: repair.EncodeLeafSet(ls), Value: enc,
+			// The pusher is the partition's owner giving it away: its
+			// image is complete, so the receiver may delete absentees.
+			Flags: wire.FlagWholesale,
 		})
 		if err != nil {
 			return err

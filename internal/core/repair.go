@@ -125,7 +125,10 @@ func (in *Instance) handleRepairPull(req *wire.Request) *wire.Response {
 		if err != nil {
 			return &wire.Response{Status: wire.StatusError, Err: err.Error()}
 		}
-		if err := in.applyLeafContent(p, leaves, pairs); err != nil {
+		// FlagWholesale distinguishes a live owner's complete image
+		// (migration pushes — absentees may be deleted) from an acting
+		// authority's best-effort push (read-repair — upsert only).
+		if err := in.applyLeafContent(p, leaves, pairs, req.Flags&wire.FlagWholesale != 0); err != nil {
 			return &wire.Response{Status: wire.StatusError, Err: err.Error()}
 		}
 		return &wire.Response{Status: wire.StatusOK}
@@ -138,7 +141,9 @@ func (in *Instance) handleRepairPull(req *wire.Request) *wire.Response {
 }
 
 // collectLeafPairs snapshots the local pairs falling in the given
-// leaves of partition p.
+// leaves of partition p, with their version stamps: repair transfers
+// must carry versions or the receiver's LWW compare would treat
+// authoritative pairs as unordered.
 func (in *Instance) collectLeafPairs(p int, leaves []int) ([]repair.Pair, error) {
 	s, err := in.store(p)
 	if err != nil {
@@ -149,9 +154,9 @@ func (in *Instance) collectLeafPairs(p int, leaves []int) ([]repair.Pair, error)
 		want[l] = true
 	}
 	var pairs []repair.Pair
-	err = s.ForEach(func(k string, v []byte) error {
+	err = s.(*repair.Tracked).ForEachV(func(k string, v []byte, ver uint64) error {
 		if want[repair.LeafOf(k)] {
-			pairs = append(pairs, repair.Pair{Key: k, Value: append([]byte(nil), v...)})
+			pairs = append(pairs, repair.Pair{Key: k, Value: append([]byte(nil), v...), Ver: ver})
 		}
 		return nil
 	})
@@ -161,51 +166,83 @@ func (in *Instance) collectLeafPairs(p int, leaves []int) ([]repair.Pair, error)
 	return pairs, nil
 }
 
-// applyLeafContent makes the given leaves of partition p byte-equal
-// to the authoritative pair set: local keys in those leaves that the
-// authority lacks are removed (repair handles deletes without
-// tombstones — the leaf is replaced wholesale), and every
-// authoritative pair is upserted unless already identical.
-func (in *Instance) applyLeafContent(p int, leaves []int, pairs []repair.Pair) error {
+// applyLeafContent converges the given leaves of partition p toward
+// the authoritative pair set, version-aware in both directions
+// (DESIGN.md §12):
+//
+//   - Upserts apply last-writer-wins: a local pair newer than the
+//     authority's copy is kept (the authority's digest predates a
+//     write this replica already holds — repair must never replace
+//     newer with older), and unversioned authority pairs never
+//     clobber a versioned local pair.
+//   - Local keys the authority lacks are deleted only when wholesale
+//     is set — the pair set is a live owner's complete image, so an
+//     absent key was removed (removes carry no tombstones) — or when
+//     the local pair is unversioned (legacy wholesale-replace
+//     behavior). A VERSIONED local extra under a non-wholesale sync
+//     (authority is itself a failover replica) is kept: it may be an
+//     acked write the acting authority missed, and deleting it could
+//     drop the write from its last copy. The cost is bounded
+//     divergence — the leaf re-pulls each round until the true owner
+//     returns or re-replication rebuilds the set.
+//
+// Applied versions feed the instance clock so local stamps order
+// after everything repair installed.
+func (in *Instance) applyLeafContent(p int, leaves []int, pairs []repair.Pair, wholesale bool) error {
 	s, err := in.store(p)
 	if err != nil {
 		return err
 	}
+	tr := s.(*repair.Tracked)
 	want := make(map[int]bool, len(leaves))
 	for _, l := range leaves {
 		want[l] = true
 	}
-	auth := make(map[string][]byte, len(pairs))
+	auth := make(map[string]repair.Pair, len(pairs))
 	for _, pr := range pairs {
 		if want[repair.LeafOf(pr.Key)] {
-			auth[pr.Key] = pr.Value
+			auth[pr.Key] = pr
 		}
 	}
-	var stale []string
-	if err := s.ForEach(func(k string, _ []byte) error {
+	type staleKey struct {
+		key string
+		ver uint64
+	}
+	var stale []staleKey
+	if err := tr.ForEachV(func(k string, _ []byte, ver uint64) error {
 		if want[repair.LeafOf(k)] {
 			if _, ok := auth[k]; !ok {
-				stale = append(stale, k)
+				stale = append(stale, staleKey{k, ver})
 			}
 		}
 		return nil
 	}); err != nil {
 		return err
 	}
-	for _, k := range stale {
-		if _, err := s.Remove(k); err != nil {
+	for _, sk := range stale {
+		if !wholesale && sk.ver > 0 {
+			continue
+		}
+		if _, err := tr.Remove(sk.key); err != nil {
 			return err
 		}
 	}
-	for k, v := range auth {
-		cur, ok, err := s.Get(k)
+	for k, pr := range auth {
+		if pr.Ver > 0 {
+			if _, err := tr.PutLWW(k, pr.Value, pr.Ver); err != nil {
+				return err
+			}
+			in.clock.Observe(pr.Ver)
+			continue
+		}
+		cur, curVer, ok, err := tr.GetV(k)
 		if err != nil {
 			return err
 		}
-		if ok && bytes.Equal(cur, v) {
+		if ok && (curVer > 0 || bytes.Equal(cur, pr.Value)) {
 			continue
 		}
-		if err := s.Put(k, v); err != nil {
+		if err := tr.Put(k, pr.Value); err != nil {
 			return err
 		}
 	}
@@ -326,7 +363,9 @@ func (in *Instance) digestSync(addr string, ps []int) {
 }
 
 // pullLeaves fetches the authoritative contents of the given leaves
-// and replaces the local ranges with them.
+// and converges the local ranges toward them. The sync is wholesale
+// (local absentees deleted) only when the authority is the
+// partition's live owner — the one node whose image is complete.
 func (in *Instance) pullLeaves(addr string, p int, leaves []int) {
 	resp, err := in.caller.Call(addr, &wire.Request{
 		Op: wire.OpRepairPull, Partition: int64(p),
@@ -339,7 +378,10 @@ func (in *Instance) pullLeaves(addr string, p int, leaves []int) {
 	if err != nil {
 		return
 	}
-	if err := in.applyLeafContent(p, leaves, pairs); err == nil {
+	table := in.tableRef()
+	idx := table.Owner[p]
+	wholesale := table.Status[idx] == ring.Alive && table.Instances[idx].Addr == addr
+	if err := in.applyLeafContent(p, leaves, pairs, wholesale); err == nil {
 		in.met.rangesPulled.Add(int64(len(leaves)))
 	}
 }

@@ -21,7 +21,11 @@ func TestHandoffReplaysDroppedSyncLeg(t *testing.T) {
 		NumPartitions: 16, Replicas: 1,
 		RetryBase: time.Millisecond, RetryMax: 4 * time.Millisecond,
 		BreakerCooldown: 10 * time.Millisecond,
-		Metrics:         mreg,
+		// ONE: the write must ack via the primary alone while the sole
+		// replica is down; the failed (still-synchronous) first leg is
+		// what feeds hinted handoff here.
+		WriteLevel: wire.ConsistencyOne,
+		Metrics:    mreg,
 	}
 	d, reg, c := startDeployment(t, cfg, 3)
 
@@ -118,7 +122,10 @@ func TestAntiEntropyRepairsOverflowedHandoff(t *testing.T) {
 		AntiEntropy: 25 * time.Millisecond,
 		RetryBase:   time.Millisecond, RetryMax: 4 * time.Millisecond,
 		BreakerCooldown: 5 * time.Millisecond,
-		Metrics:         mreg,
+		// ONE: every write targets a dead sole replica; the test needs
+		// them acked so the overflow + anti-entropy path is what heals.
+		WriteLevel: wire.ConsistencyOne,
+		Metrics:    mreg,
 	}
 	d, reg, c := startDeployment(t, cfg, 2)
 

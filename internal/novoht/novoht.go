@@ -154,14 +154,20 @@ type entry struct {
 	val    []byte
 	off    int64
 	vlen   int64
-	onDisk bool // an up-to-date contiguous image exists on disk
+	ver    uint64 // HLC version stamp; 0 = unversioned (legacy write)
+	onDisk bool   // an up-to-date contiguous image exists on disk
 }
 
-// Log record types.
+// Log record types. The versioned variants carry an extra version
+// uvarint between the value length and the key; unversioned writes
+// (ver == 0) keep emitting the legacy types, so a store that never
+// sees a versioned mutation produces byte-identical logs.
 const (
-	recPut    = 1
-	recRemove = 2
-	recAppend = 3
+	recPut     = 1
+	recRemove  = 2
+	recAppend  = 3
+	recPutV    = 4
+	recRemoveV = 5
 )
 
 var (
@@ -257,7 +263,7 @@ func (s *Store) replay(f *os.File) (int64, error) {
 	r := bufio.NewReaderSize(f, 1<<20)
 	var off int64
 	for {
-		rec, key, val, n, err := readRecord(r)
+		rec, key, val, ver, n, err := readRecord(r)
 		if err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, errBadRecord) {
 				break // torn tail: keep the consistent prefix
@@ -266,15 +272,26 @@ func (s *Store) replay(f *os.File) (int64, error) {
 		}
 		sh := s.shardOf(key)
 		switch rec {
-		case recPut:
+		case recPut, recPutV:
 			if old, ok := sh.m[key]; ok {
-				s.deadBytes.Add(recordSize(key, old.vlen))
+				// Crash replay keeps the newest version: a versioned
+				// record that lost a last-writer-wins race with a record
+				// already replayed is dead bytes, not the live state.
+				if ver > 0 && old.ver > ver {
+					s.deadBytes.Add(recordSize(key, int64(len(val)), ver))
+					break
+				}
+				s.deadBytes.Add(recordSize(key, old.vlen, old.ver))
 			}
 			voff := off + int64(n) - int64(len(val)) - 4
-			sh.m[key] = &entry{val: val, off: voff, vlen: int64(len(val)), onDisk: true}
-		case recRemove:
+			sh.m[key] = &entry{val: val, off: voff, vlen: int64(len(val)), ver: ver, onDisk: true}
+		case recRemove, recRemoveV:
 			if old, ok := sh.m[key]; ok {
-				s.deadBytes.Add(recordSize(key, old.vlen) + recordSize(key, 0))
+				if ver > 0 && old.ver > ver {
+					s.deadBytes.Add(recordSize(key, 0, ver))
+					break
+				}
+				s.deadBytes.Add(recordSize(key, old.vlen, old.ver) + recordSize(key, 0, ver))
 				delete(sh.m, key)
 			}
 		case recAppend:
@@ -304,6 +321,14 @@ func (s *Store) replay(f *os.File) (int64, error) {
 
 // Put stores val under key, replacing any existing value.
 func (s *Store) Put(key string, val []byte) error {
+	return s.PutV(key, val, 0)
+}
+
+// PutV stores val under key with the given version stamp,
+// unconditionally replacing any existing value and version
+// (storage.VersionedKV). Version 0 is the legacy unversioned write —
+// Put is exactly PutV(key, val, 0).
+func (s *Store) PutV(key string, val []byte, ver uint64) error {
 	defer s.timeOp(s.putLat)()
 	sh := s.shardOf(key)
 	sh.mu.Lock()
@@ -311,12 +336,35 @@ func (s *Store) Put(key string, val []byte) error {
 		sh.mu.Unlock()
 		return ErrClosed
 	}
-	end, err := s.putShardLocked(sh, key, val)
+	end, err := s.putShardLocked(sh, key, val, ver)
 	sh.mu.Unlock()
 	if err != nil {
 		return err
 	}
 	return s.finishMutation(end)
+}
+
+// PutLWW stores (val, ver) only when ver is strictly newer than the
+// stored version; an absent key always accepts the write
+// (storage.VersionedKV). It reports whether the store was modified.
+func (s *Store) PutLWW(key string, val []byte, ver uint64) (bool, error) {
+	defer s.timeOp(s.putLat)()
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	if s.closed.Load() {
+		sh.mu.Unlock()
+		return false, ErrClosed
+	}
+	if e, ok := sh.m[key]; ok && e.ver >= ver {
+		sh.mu.Unlock()
+		return false, nil
+	}
+	end, err := s.putShardLocked(sh, key, val, ver)
+	sh.mu.Unlock()
+	if err != nil {
+		return false, err
+	}
+	return true, s.finishMutation(end)
 }
 
 // timeOp starts timing an operation against h, returning the function
@@ -338,22 +386,22 @@ func nopTimer() {}
 // submitted to the WAL (offsets assigned in submission order, which
 // the shard lock makes per-key order) and the in-memory entry
 // updated. It returns the log offset the caller must wait durable.
-func (s *Store) putShardLocked(sh *shard, key string, val []byte) (int64, error) {
-	voff, end, err := s.appendRecord(recPut, key, val)
+func (s *Store) putShardLocked(sh *shard, key string, val []byte, ver uint64) (int64, error) {
+	voff, end, err := s.appendRecord(recPut, key, val, ver)
 	if err != nil {
 		return 0, err
 	}
 	if old, ok := sh.m[key]; ok {
-		s.deadBytes.Add(recordSize(key, old.vlen))
+		s.deadBytes.Add(recordSize(key, old.vlen, old.ver))
 		if old.val == nil && old.onDisk {
 			s.resident.Add(1) // evicted entry becomes resident again
 		}
 		old.val = append(old.val[:0], val...)
-		old.off, old.vlen, old.onDisk = voff, int64(len(val)), s.wal != nil
+		old.off, old.vlen, old.ver, old.onDisk = voff, int64(len(val)), ver, s.wal != nil
 	} else {
 		sh.m[key] = &entry{
 			val: append([]byte(nil), val...), off: voff,
-			vlen: int64(len(val)), onDisk: s.wal != nil,
+			vlen: int64(len(val)), ver: ver, onDisk: s.wal != nil,
 		}
 		s.resident.Add(1)
 	}
@@ -363,10 +411,20 @@ func (s *Store) putShardLocked(sh *shard, key string, val []byte) (int64, error)
 
 // appendRecord encodes and submits one log record, returning the
 // in-log offset of its value bytes and the offset its last byte will
-// occupy (the durability target).
-func (s *Store) appendRecord(typ byte, key string, val []byte) (voff, end int64, err error) {
+// occupy (the durability target). A non-zero ver upgrades the record
+// to its versioned variant (recPut→recPutV, recRemove→recRemoveV)
+// carrying the stamp.
+func (s *Store) appendRecord(typ byte, key string, val []byte, ver uint64) (voff, end int64, err error) {
 	if s.wal == nil {
 		return 0, 0, nil
+	}
+	if ver > 0 {
+		switch typ {
+		case recPut:
+			typ = recPutV
+		case recRemove:
+			typ = recRemoveV
+		}
 	}
 	// The record is built in a pooled buffer the WAL writer returns
 	// after committing it, and the checksum runs once over the
@@ -375,6 +433,9 @@ func (s *Store) appendRecord(typ byte, key string, val []byte) (voff, end int64,
 	rec = append(rec, typ)
 	rec = binary.AppendUvarint(rec, uint64(len(key)))
 	rec = binary.AppendUvarint(rec, uint64(len(val)))
+	if typ == recPutV || typ == recRemoveV {
+		rec = binary.AppendUvarint(rec, ver)
+	}
 	n := len(rec)
 	rec = append(rec, key...)
 	rec = append(rec, val...)
@@ -445,7 +506,7 @@ func (s *Store) PutIfAbsent(key string, val []byte) (bool, error) {
 		sh.mu.Unlock()
 		return false, nil
 	}
-	end, err := s.putShardLocked(sh, key, val)
+	end, err := s.putShardLocked(sh, key, val, 0)
 	sh.mu.Unlock()
 	if err != nil {
 		return false, err
@@ -455,18 +516,26 @@ func (s *Store) PutIfAbsent(key string, val []byte) (bool, error) {
 
 // Get returns a copy of the value stored under key.
 func (s *Store) Get(key string) ([]byte, bool, error) {
+	v, _, ok, err := s.GetV(key)
+	return v, ok, err
+}
+
+// GetV is Get plus the stored version stamp (storage.VersionedKV);
+// the version is 0 for pre-versioning records.
+func (s *Store) GetV(key string) ([]byte, uint64, bool, error) {
 	defer s.timeOp(s.getLat)()
 	sh := s.shardOf(key)
 	sh.mu.RLock()
 	e, ok := sh.m[key]
 	if !ok {
 		sh.mu.RUnlock()
-		return nil, false, nil
+		return nil, 0, false, nil
 	}
 	if e.val != nil || e.vlen == 0 {
 		v := append([]byte(nil), e.val...)
+		ver := e.ver
 		sh.mu.RUnlock()
-		return v, true, nil
+		return v, ver, true, nil
 	}
 	sh.mu.RUnlock()
 	// Evicted: fault the value in while holding only this shard's
@@ -475,18 +544,18 @@ func (s *Store) Get(key string) ([]byte, bool, error) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if s.closed.Load() {
-		return nil, false, ErrClosed
+		return nil, 0, false, ErrClosed
 	}
 	e, ok = sh.m[key]
 	if !ok {
-		return nil, false, nil
+		return nil, 0, false, nil
 	}
 	if e.val == nil && e.vlen > 0 {
 		if err := s.loadEvicted(e); err != nil {
-			return nil, false, err
+			return nil, 0, false, err
 		}
 	}
-	return append([]byte(nil), e.val...), true, nil
+	return append([]byte(nil), e.val...), e.ver, true, nil
 }
 
 // GetAppend implements storage.ScratchGetter: it appends the value
@@ -494,36 +563,44 @@ func (s *Store) Get(key string) ([]byte, bool, error) {
 // hot read path costs one copy into a caller-owned scratch buffer and
 // zero allocations. On a miss or error dst is returned unmodified.
 func (s *Store) GetAppend(dst []byte, key string) ([]byte, bool, error) {
+	v, _, ok, err := s.GetAppendV(dst, key)
+	return v, ok, err
+}
+
+// GetAppendV is GetAppend plus the stored version stamp
+// (storage.VersionedKV).
+func (s *Store) GetAppendV(dst []byte, key string) ([]byte, uint64, bool, error) {
 	defer s.timeOp(s.getLat)()
 	sh := s.shardOf(key)
 	sh.mu.RLock()
 	e, ok := sh.m[key]
 	if !ok {
 		sh.mu.RUnlock()
-		return dst, false, nil
+		return dst, 0, false, nil
 	}
 	if e.val != nil || e.vlen == 0 {
 		dst = append(dst, e.val...)
+		ver := e.ver
 		sh.mu.RUnlock()
-		return dst, true, nil
+		return dst, ver, true, nil
 	}
 	sh.mu.RUnlock()
 	// Evicted: fault the value in exactly like Get.
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if s.closed.Load() {
-		return dst, false, ErrClosed
+		return dst, 0, false, ErrClosed
 	}
 	e, ok = sh.m[key]
 	if !ok {
-		return dst, false, nil
+		return dst, 0, false, nil
 	}
 	if e.val == nil && e.vlen > 0 {
 		if err := s.loadEvicted(e); err != nil {
-			return dst, false, err
+			return dst, 0, false, err
 		}
 	}
-	return append(dst, e.val...), true, nil
+	return append(dst, e.val...), e.ver, true, nil
 }
 
 // loadEvicted reads an evicted entry's value back from the log; the
@@ -544,6 +621,19 @@ func (s *Store) loadEvicted(e *entry) error {
 
 // Remove deletes key, reporting whether it was present.
 func (s *Store) Remove(key string) (bool, error) {
+	return s.removeVer(key, 0, false)
+}
+
+// RemoveLWW deletes key only when ver is strictly newer than the
+// stored version (storage.VersionedKV), reporting whether the key was
+// removed.
+func (s *Store) RemoveLWW(key string, ver uint64) (bool, error) {
+	return s.removeVer(key, ver, true)
+}
+
+// removeVer is the shared remove path; when lww is set the delete is
+// skipped unless ver beats the stored version.
+func (s *Store) removeVer(key string, ver uint64, lww bool) (bool, error) {
 	sh := s.shardOf(key)
 	sh.mu.Lock()
 	if s.closed.Load() {
@@ -555,12 +645,16 @@ func (s *Store) Remove(key string) (bool, error) {
 		sh.mu.Unlock()
 		return false, nil
 	}
-	_, end, err := s.appendRecord(recRemove, key, nil)
+	if lww && e.ver >= ver {
+		sh.mu.Unlock()
+		return false, nil
+	}
+	_, end, err := s.appendRecord(recRemove, key, nil, ver)
 	if err != nil {
 		sh.mu.Unlock()
 		return false, err
 	}
-	s.deadBytes.Add(recordSize(key, e.vlen) + recordSize(key, 0))
+	s.deadBytes.Add(recordSize(key, e.vlen, e.ver) + recordSize(key, 0, ver))
 	if e.val != nil || e.vlen == 0 {
 		s.resident.Add(-1)
 	}
@@ -588,7 +682,7 @@ func (s *Store) Append(key string, val []byte) error {
 			return err
 		}
 	}
-	_, end, err := s.appendRecord(recAppend, key, val)
+	_, end, err := s.appendRecord(recAppend, key, val, 0)
 	if err != nil {
 		sh.mu.Unlock()
 		return err
@@ -638,12 +732,21 @@ func (s *Store) Cas(key string, oldVal, newVal []byte) (bool, []byte, error) {
 		sh.mu.Unlock()
 		return false, v, nil
 	}
-	end, err := s.putShardLocked(sh, key, newVal)
+	end, err := s.putShardLocked(sh, key, newVal, e.loadVer())
 	sh.mu.Unlock()
 	if err != nil {
 		return false, nil, err
 	}
 	return true, nil, s.finishMutation(end)
+}
+
+// loadVer returns the entry's version, tolerating the nil entry the
+// Cas "expect absent" success path holds.
+func (e *entry) loadVer() uint64 {
+	if e == nil {
+		return 0
+	}
+	return e.ver
 }
 
 // Len reports the number of keys stored.
@@ -676,6 +779,14 @@ func (s *Store) unlockAll() {
 // whole store is locked for the duration, so the iteration is a
 // consistent snapshot (partition export depends on this).
 func (s *Store) ForEach(fn func(key string, val []byte) error) error {
+	return s.ForEachV(func(key string, val []byte, _ uint64) error {
+		return fn(key, val)
+	})
+}
+
+// ForEachV is ForEach with each pair's version stamp
+// (storage.VersionedKV).
+func (s *Store) ForEachV(fn func(key string, val []byte, ver uint64) error) error {
 	s.lockAll()
 	defer s.unlockAll()
 	if s.closed.Load() {
@@ -690,7 +801,7 @@ func (s *Store) ForEach(fn func(key string, val []byte) error) error {
 				}
 				v = e.val
 			}
-			if err := fn(k, v); err != nil {
+			if err := fn(k, v, e.ver); err != nil {
 				return err
 			}
 		}
@@ -742,8 +853,9 @@ func (s *Store) evictShardLocked(sh *shard, bound int64) error {
 			continue
 		}
 		if !e.onDisk {
-			// Rewrite the full value so a contiguous image exists.
-			voff, _, err := s.appendRecord(recPut, k, e.val)
+			// Rewrite the full value so a contiguous image exists,
+			// preserving the entry's version stamp.
+			voff, _, err := s.appendRecord(recPut, k, e.val, e.ver)
 			if err != nil {
 				return err
 			}
@@ -832,7 +944,7 @@ func (s *Store) compactLocked() error {
 				}
 				v = buf
 			}
-			n, voff, err := writeRecordTo(bw, newSize, recPut, k, v)
+			n, voff, err := writeRecordTo(bw, newSize, recPut, k, v, e.ver)
 			if err != nil {
 				tmp.Close()
 				return err
@@ -934,53 +1046,62 @@ func (s *Store) Stats() storage.Stats {
 
 var errBadRecord = errors.New("novoht: bad record checksum")
 
-// readRecord reads one log record, returning its type, key, value and
-// total encoded size.
-func readRecord(r *bufio.Reader) (typ byte, key string, val []byte, n int, err error) {
+// readRecord reads one log record, returning its type, key, value,
+// version stamp (0 for unversioned types) and total encoded size.
+func readRecord(r *bufio.Reader) (typ byte, key string, val []byte, ver uint64, n int, err error) {
 	crc := crc32.NewIEEE()
 	typ, err = r.ReadByte()
 	if err != nil {
-		return 0, "", nil, 0, err
+		return 0, "", nil, 0, 0, err
 	}
 	crc.Write([]byte{typ})
 	n = 1
-	if typ != recPut && typ != recRemove && typ != recAppend {
-		return 0, "", nil, 0, errBadRecord
+	switch typ {
+	case recPut, recRemove, recAppend, recPutV, recRemoveV:
+	default:
+		return 0, "", nil, 0, 0, errBadRecord
 	}
 	klen, kn, err := readUvarintCRC(r, crc)
 	if err != nil {
-		return 0, "", nil, 0, err
+		return 0, "", nil, 0, 0, err
 	}
 	n += kn
 	vlen, vn, err := readUvarintCRC(r, crc)
 	if err != nil {
-		return 0, "", nil, 0, err
+		return 0, "", nil, 0, 0, err
 	}
 	n += vn
+	if typ == recPutV || typ == recRemoveV {
+		var rn int
+		if ver, rn, err = readUvarintCRC(r, crc); err != nil {
+			return 0, "", nil, 0, 0, err
+		}
+		n += rn
+	}
 	if klen > 1<<20 || vlen > 1<<30 {
-		return 0, "", nil, 0, errBadRecord
+		return 0, "", nil, 0, 0, errBadRecord
 	}
 	kb := make([]byte, klen)
 	if _, err := io.ReadFull(r, kb); err != nil {
-		return 0, "", nil, 0, err
+		return 0, "", nil, 0, 0, err
 	}
 	crc.Write(kb)
 	n += int(klen)
 	val = make([]byte, vlen)
 	if _, err := io.ReadFull(r, val); err != nil {
-		return 0, "", nil, 0, err
+		return 0, "", nil, 0, 0, err
 	}
 	crc.Write(val)
 	n += int(vlen)
 	var sum [4]byte
 	if _, err := io.ReadFull(r, sum[:]); err != nil {
-		return 0, "", nil, 0, err
+		return 0, "", nil, 0, 0, err
 	}
 	n += 4
 	if binary.LittleEndian.Uint32(sum[:]) != crc.Sum32() {
-		return 0, "", nil, 0, errBadRecord
+		return 0, "", nil, 0, 0, errBadRecord
 	}
-	return typ, string(kb), val, n, nil
+	return typ, string(kb), val, ver, n, nil
 }
 
 func readUvarintCRC(r *bufio.Reader, crc io.Writer) (uint64, int, error) {
@@ -1005,13 +1126,25 @@ func readUvarintCRC(r *bufio.Reader, crc io.Writer) (uint64, int, error) {
 }
 
 // writeRecordTo writes a record at logical offset base to w, returning
-// the record length and the value offset.
-func writeRecordTo(w io.Writer, base int64, typ byte, key string, val []byte) (int64, int64, error) {
-	var hdr [1 + 2*binary.MaxVarintLen64]byte
+// the record length and the value offset. As in appendRecord, a
+// non-zero ver upgrades the type to its versioned variant.
+func writeRecordTo(w io.Writer, base int64, typ byte, key string, val []byte, ver uint64) (int64, int64, error) {
+	if ver > 0 {
+		switch typ {
+		case recPut:
+			typ = recPutV
+		case recRemove:
+			typ = recRemoveV
+		}
+	}
+	var hdr [1 + 3*binary.MaxVarintLen64]byte
 	hdr[0] = typ
 	n := 1
 	n += binary.PutUvarint(hdr[n:], uint64(len(key)))
 	n += binary.PutUvarint(hdr[n:], uint64(len(val)))
+	if typ == recPutV || typ == recRemoveV {
+		n += binary.PutUvarint(hdr[n:], ver)
+	}
 	crc := crc32.NewIEEE()
 	crc.Write(hdr[:n])
 	crc.Write([]byte(key))
@@ -1028,11 +1161,16 @@ func writeRecordTo(w io.Writer, base int64, typ byte, key string, val []byte) (i
 	return total, voff, nil
 }
 
-// recordSize returns the encoded size of a record with the given key
-// and value length (used for dead-byte accounting).
-func recordSize(key string, vlen int64) int64 {
-	return 1 + int64(uvarintLen(uint64(len(key)))) + int64(uvarintLen(uint64(vlen))) +
+// recordSize returns the encoded size of a record with the given key,
+// value length, and version (used for dead-byte accounting); a
+// non-zero version adds the versioned variant's stamp uvarint.
+func recordSize(key string, vlen int64, ver uint64) int64 {
+	n := 1 + int64(uvarintLen(uint64(len(key)))) + int64(uvarintLen(uint64(vlen))) +
 		int64(len(key)) + vlen + 4
+	if ver > 0 {
+		n += int64(uvarintLen(ver))
+	}
+	return n
 }
 
 func uvarintLen(v uint64) int {

@@ -74,11 +74,24 @@ func LeafOf(key string) int {
 // by the client API, and even for arbitrary binary keys the key
 // length prefix keeps ("ab","c") distinct from ("a","bc").
 func PairHash(key string, val []byte) uint64 {
+	return PairHashV(key, val, 0)
+}
+
+// PairHashV hashes one versioned pair. The version stamp is part of
+// the digest so two replicas holding equal bytes under different
+// versions still read as divergent (a later LWW compare would resolve
+// them differently). Version 0 hashes exactly as the unversioned
+// PairHash, so digests over never-versioned stores are unchanged.
+func PairHashV(key string, val []byte, ver uint64) uint64 {
 	var lenBuf [8]byte
 	binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(key)))
 	h := fnv1a64(fnvOffset, lenBuf[:])
 	h = fnv1a64(h, []byte(key))
 	h = fnv1a64(h, val)
+	if ver > 0 {
+		binary.LittleEndian.PutUint64(lenBuf[:], ver)
+		h = fnv1a64(h, lenBuf[:])
+	}
 	return mix64(h)
 }
 
@@ -96,7 +109,13 @@ func NewDigest() *Digest { return &Digest{} }
 // Toggle XORs the pair's hash into its leaf: called once to add a
 // pair and once more (with the same arguments) to remove it.
 func (d *Digest) Toggle(key string, val []byte) {
-	h := PairHash(key, val)
+	d.ToggleV(key, val, 0)
+}
+
+// ToggleV is Toggle for a versioned pair: the removal toggle must use
+// the same version the pair was added under or the leaf corrupts.
+func (d *Digest) ToggleV(key string, val []byte, ver uint64) {
+	h := PairHashV(key, val, ver)
 	l := LeafOf(key)
 	d.mu.Lock()
 	d.leaf[l] ^= h
@@ -146,10 +165,12 @@ func DiffLeaves(a, b []uint64) []int {
 	return out
 }
 
-// Pair is one key/value pair in a repair-pull payload.
+// Pair is one key/value pair in a repair-pull payload, with the
+// version stamp it is stored under (0 = unversioned).
 type Pair struct {
 	Key   string
 	Value []byte
+	Ver   uint64
 }
 
 // Codec limits: a repair payload decoded off the wire may be
@@ -231,6 +252,7 @@ func EncodePairs(pairs []Pair) []byte {
 		out = append(out, p.Key...)
 		out = binary.AppendUvarint(out, uint64(len(p.Value)))
 		out = append(out, p.Value...)
+		out = binary.AppendUvarint(out, p.Ver)
 	}
 	return out
 }
@@ -261,7 +283,12 @@ func DecodePairs(b []byte) ([]Pair, error) {
 		if !ok {
 			return nil, errBadPayload
 		}
-		out = append(out, Pair{Key: string(kb), Value: append([]byte(nil), vb...)})
+		ver, k := binary.Uvarint(b)
+		if k <= 0 {
+			return nil, errBadPayload
+		}
+		b = b[k:]
+		out = append(out, Pair{Key: string(kb), Value: append([]byte(nil), vb...), Ver: ver})
 	}
 	if len(b) != 0 {
 		return nil, errBadPayload

@@ -21,23 +21,37 @@ var ExportMagic = []byte("NOVOEXP1")
 
 // Stream record framing: a pair record is tag 1 followed by uvarint
 // key and value lengths, the key, the value, and a CRC32 of all of
-// the preceding bytes; tag 0 marks a clean end of stream.
+// the preceding bytes; tag 0 marks a clean end of stream. Tag 2 is a
+// versioned pair: identical, plus a version-stamp uvarint between the
+// value length and the key. Versioned sources emit tag 2 only for
+// pairs with a non-zero stamp, so an unversioned store's stream is
+// byte-identical to the pre-versioning format.
 const (
-	expPair = 1
-	expEnd  = 0
+	expPair  = 1
+	expEnd   = 0
+	expPairV = 2
 )
 
 var errBadExportRecord = errors.New("storage: bad export record checksum")
 
-// Export writes a self-contained snapshot of kv to w.
+// Export writes a self-contained snapshot of kv to w. When kv
+// persists version stamps (VersionedKV), they travel with the pairs
+// so an import applies last-writer-wins correctly.
 func Export(w io.Writer, kv KV) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	if _, err := bw.Write(ExportMagic); err != nil {
 		return err
 	}
-	err := kv.ForEach(func(key string, val []byte) error {
-		return writeExportRecord(bw, key, val)
-	})
+	var err error
+	if vkv, ok := kv.(VersionedKV); ok {
+		err = vkv.ForEachV(func(key string, val []byte, ver uint64) error {
+			return writeExportRecord(bw, key, val, ver)
+		})
+	} else {
+		err = kv.ForEach(func(key string, val []byte) error {
+			return writeExportRecord(bw, key, val, 0)
+		})
+	}
 	if err != nil {
 		return err
 	}
@@ -48,8 +62,10 @@ func Export(w io.Writer, kv KV) error {
 }
 
 // Import loads pairs from an Export stream into kv, replacing values
-// for keys that already exist. It returns the number of pairs
-// imported.
+// for keys that already exist. Versioned pairs land through PutV when
+// kv supports it (preserving the stamp for later LWW resolution);
+// otherwise the stamp is dropped and the pair imported plain. It
+// returns the number of pairs imported.
 func Import(r io.Reader, kv KV) (int, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	magic := make([]byte, len(ExportMagic))
@@ -59,6 +75,7 @@ func Import(r io.Reader, kv KV) (int, error) {
 	if string(magic) != string(ExportMagic) {
 		return 0, errors.New("storage: import: bad magic")
 	}
+	vkv, _ := kv.(VersionedKV)
 	count := 0
 	for {
 		tag, err := br.ReadByte()
@@ -68,27 +85,39 @@ func Import(r io.Reader, kv KV) (int, error) {
 		if tag == expEnd {
 			return count, nil
 		}
-		if tag != expPair {
+		if tag != expPair && tag != expPairV {
 			return count, errors.New("storage: import: unexpected record type")
 		}
-		key, val, err := readExportRecord(br, tag)
+		key, val, ver, err := readExportRecord(br, tag)
 		if err != nil {
 			return count, fmt.Errorf("storage: import: %w", err)
 		}
-		if err := kv.Put(key, val); err != nil {
+		if ver > 0 && vkv != nil {
+			err = vkv.PutV(key, val, ver)
+		} else {
+			err = kv.Put(key, val)
+		}
+		if err != nil {
 			return count, err
 		}
 		count++
 	}
 }
 
-// writeExportRecord appends one pair record to w.
-func writeExportRecord(w *bufio.Writer, key string, val []byte) error {
-	var hdr [1 + 2*binary.MaxVarintLen64]byte
+// writeExportRecord appends one pair record to w, as a versioned
+// record when ver is non-zero.
+func writeExportRecord(w *bufio.Writer, key string, val []byte, ver uint64) error {
+	var hdr [1 + 3*binary.MaxVarintLen64]byte
 	hdr[0] = expPair
+	if ver > 0 {
+		hdr[0] = expPairV
+	}
 	n := 1
 	n += binary.PutUvarint(hdr[n:], uint64(len(key)))
 	n += binary.PutUvarint(hdr[n:], uint64(len(val)))
+	if ver > 0 {
+		n += binary.PutUvarint(hdr[n:], ver)
+	}
 	crc := crc32.NewIEEE()
 	crc.Write(hdr[:n])
 	crc.Write([]byte(key))
@@ -104,39 +133,46 @@ func writeExportRecord(w *bufio.Writer, key string, val []byte) error {
 }
 
 // readExportRecord reads the body of one pair record whose tag byte
-// has already been consumed.
-func readExportRecord(r *bufio.Reader, tag byte) (string, []byte, error) {
+// has already been consumed; versioned records yield their stamp,
+// plain pairs ver 0.
+func readExportRecord(r *bufio.Reader, tag byte) (string, []byte, uint64, error) {
 	crc := crc32.NewIEEE()
 	crc.Write([]byte{tag})
 	klen, err := readUvarint(r, crc)
 	if err != nil {
-		return "", nil, err
+		return "", nil, 0, err
 	}
 	vlen, err := readUvarint(r, crc)
 	if err != nil {
-		return "", nil, err
+		return "", nil, 0, err
+	}
+	var ver uint64
+	if tag == expPairV {
+		if ver, err = readUvarint(r, crc); err != nil {
+			return "", nil, 0, err
+		}
 	}
 	if klen > 1<<20 || vlen > 1<<30 {
-		return "", nil, errBadExportRecord
+		return "", nil, 0, errBadExportRecord
 	}
 	kb := make([]byte, klen)
 	if _, err := io.ReadFull(r, kb); err != nil {
-		return "", nil, err
+		return "", nil, 0, err
 	}
 	crc.Write(kb)
 	val := make([]byte, vlen)
 	if _, err := io.ReadFull(r, val); err != nil {
-		return "", nil, err
+		return "", nil, 0, err
 	}
 	crc.Write(val)
 	var sum [4]byte
 	if _, err := io.ReadFull(r, sum[:]); err != nil {
-		return "", nil, err
+		return "", nil, 0, err
 	}
 	if binary.LittleEndian.Uint32(sum[:]) != crc.Sum32() {
-		return "", nil, errBadExportRecord
+		return "", nil, 0, errBadExportRecord
 	}
-	return string(kb), val, nil
+	return string(kb), val, ver, nil
 }
 
 func readUvarint(r *bufio.Reader, crc io.Writer) (uint64, error) {

@@ -65,6 +65,40 @@ type ScratchGetter interface {
 	GetAppend(dst []byte, key string) ([]byte, bool, error)
 }
 
+// VersionedKV is an optional KV extension for stores that persist a
+// version stamp alongside each value. Tunable consistency needs it:
+// replicas resolve concurrent writes last-writer-wins on the version,
+// and quorum reads compare versions across copies. Versions are
+// opaque uint64s ordered by numeric comparison (internal/core stamps
+// them from a hybrid logical clock); version 0 means "unversioned"
+// and loses to any stamped write. Engines that cannot persist the
+// stamp simply do not implement the interface; consumers type-assert
+// and fall back to the unversioned methods (degrading to
+// blind-overwrite semantics, today's behavior).
+type VersionedKV interface {
+	// PutV stores val under key with the given version,
+	// unconditionally replacing any existing value and version.
+	PutV(key string, val []byte, ver uint64) error
+	// PutLWW stores (val, ver) only when ver is strictly newer than
+	// the stored version (absent = version 0 when the key predates
+	// versioning, loses to any ver > 0; a missing key always loses).
+	// It reports whether the store was modified: false means the
+	// stored value is at least as new and was kept.
+	PutLWW(key string, val []byte, ver uint64) (bool, error)
+	// RemoveLWW deletes key only when ver is strictly newer than the
+	// stored version, reporting whether the key was removed. Removing
+	// an absent key reports false with no error.
+	RemoveLWW(key string, ver uint64) (bool, error)
+	// GetV is Get plus the stored version (0 for pre-versioning
+	// records).
+	GetV(key string) (val []byte, ver uint64, found bool, err error)
+	// GetAppendV is GetAppend plus the stored version.
+	GetAppendV(dst []byte, key string) (val []byte, ver uint64, found bool, err error)
+	// ForEachV calls fn for every pair with its version; fn must not
+	// mutate the store.
+	ForEachV(fn func(key string, val []byte, ver uint64) error) error
+}
+
 // Stats is a point-in-time snapshot of a store's internals.
 type Stats struct {
 	// Keys is the number of live keys.

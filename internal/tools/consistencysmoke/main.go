@@ -1,0 +1,217 @@
+// Command consistencysmoke is the `make consistency-smoke` gate: a
+// short randomized check of the tunable-consistency contract
+// (DESIGN.md §12) at Replicas=1, where QUORUM demands both copies
+// (W+R>N ⇒ read-your-writes). Each iteration bootstraps an in-process
+// deployment and drives sequential QUORUM writes, each followed
+// immediately by a QUORUM read of the same key, through three fault
+// phases: a clean warm-up, a replica partitioned away (still Alive in
+// the table, so quorum-demanding writes into it must REFUSE — the
+// refusals are themselves asserted), and a node crash with failure
+// report and re-replication. The contract:
+//
+//   - a write that acks at QUORUM is immediately visible to a QUORUM
+//     read (a read may refuse under faults; it may never be stale),
+//   - at least one write refuses with quorum-not-met while the
+//     replica is partitioned (the level is actually enforced), and
+//   - zero acked QUORUM writes are lost once the deployment heals.
+//
+// Seeds are randomized per run but printed, so any failure is
+// replayable with -seed. Run from the repository root:
+// go run ./internal/tools/consistencysmoke
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"zht/internal/core"
+	"zht/internal/hashing"
+	"zht/internal/metrics"
+	"zht/internal/ring"
+	"zht/internal/wire"
+)
+
+func main() {
+	iters := flag.Int("iters", 3, "fault-cycle iterations")
+	ops := flag.Int("ops", 1200, "QUORUM write+read pairs per iteration")
+	seed := flag.Int64("seed", 0, "base seed (0 = derive from time, printed for replay)")
+	flag.Parse()
+
+	base := *seed
+	if base == 0 {
+		base = time.Now().UnixNano()
+	}
+	fmt.Printf("consistencysmoke: %d iters, %d ops each, base seed %d\n", *iters, *ops, base)
+
+	for i := 0; i < *iters; i++ {
+		if err := runOnce(base+int64(i), *ops); err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL iter %d (seed %d): %v\n", i, base+int64(i), err)
+			os.Exit(1)
+		}
+		fmt.Printf("iter %d ok\n", i)
+	}
+	fmt.Println("consistencysmoke PASS")
+}
+
+func runOnce(seed int64, ops int) error {
+	mreg := metrics.NewRegistry()
+	cfg := core.Config{
+		NumPartitions: 32,
+		Replicas:      1,
+		AntiEntropy:   50 * time.Millisecond,
+		OpRetries:     2,
+		RetryBase:     time.Millisecond,
+		RetryMax:      8 * time.Millisecond,
+		OpDeadline:    2 * time.Second,
+		Metrics:       mreg,
+	}
+	const n = 4
+	d, reg, err := core.BootstrapInproc(cfg, n)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	client, err := d.NewClient()
+	if err != nil {
+		return err
+	}
+
+	table := d.Instance(0).Table()
+	partitioned := d.Instance(1) // phase 2: network-partitioned, stays Alive
+	crashed := d.Instance(3)     // phase 3: crashed and failure-reported
+	hashf := hashing.ByName("")
+
+	// Keys owned by nodes that stay reachable, so acks depend only on
+	// replica legs; keys replicated ON the partitioned node stay in the
+	// pool on purpose — they produce the asserted quorum refusals.
+	rng := rand.New(rand.NewSource(seed))
+	var pool []string
+	for i := 0; len(pool) < 400; i++ {
+		key := fmt.Sprintf("csmk-%d-%04d", seed, i)
+		owner := table.OwnerOf(table.Partition(hashf(key))).ID
+		if owner == partitioned.ID() || owner == crashed.ID() {
+			continue
+		}
+		pool = append(pool, key)
+	}
+
+	tolerable := func(err error) bool {
+		return errors.Is(err, core.ErrUnavailable) ||
+			strings.Contains(err.Error(), "quorum not met")
+	}
+	expected := make(map[string][]byte)
+	// A refused quorum write is an ack refusal, NOT a rollback: the
+	// primary already applied it, so its (newer-versioned) value may
+	// legitimately win over the last acked one after handoff replay.
+	// ambiguous holds the most recent refused value per key; a later
+	// ack clears it.
+	ambiguous := make(map[string][]byte)
+	refused := 0
+	// drive writes `count` QUORUM write+read pairs: acked writes must
+	// read back their own value at QUORUM immediately.
+	drive := func(count int) error {
+		for i := 0; i < count; i++ {
+			key := pool[rng.Intn(len(pool))]
+			val := []byte(fmt.Sprintf("v%d-%d", seed, i))
+			if err := client.InsertWith(key, val, wire.ConsistencyQuorum); err != nil {
+				if !tolerable(err) {
+					return fmt.Errorf("write %s: unexpected error class: %w", key, err)
+				}
+				refused++
+				ambiguous[key] = val
+				continue
+			}
+			expected[key] = val
+			delete(ambiguous, key)
+			var got []byte
+			var rerr error
+			for attempt := 0; attempt < 3; attempt++ {
+				if got, rerr = client.LookupWith(key, wire.ConsistencyQuorum); rerr == nil {
+					break
+				}
+				if errors.Is(rerr, core.ErrNotFound) || !tolerable(rerr) {
+					return fmt.Errorf("read-your-write %s violated: %w", key, rerr)
+				}
+			}
+			if rerr == nil && string(got) != string(val) {
+				return fmt.Errorf("stale read-your-write on %s: got %q want %q", key, got, val)
+			}
+		}
+		return nil
+	}
+
+	// Phase 1: clean warm-up.
+	if err := drive(ops / 4); err != nil {
+		return err
+	}
+	// Phase 2: replica partitioned away. Writes whose sole replica it
+	// is must refuse; everything else keeps its read-your-writes.
+	reg.SetDown(partitioned.Addr(), true)
+	before := refused
+	if err := drive(ops / 2); err != nil {
+		return err
+	}
+	if refused == before {
+		return fmt.Errorf("no quorum refusals while a replica was partitioned — the level is not enforced")
+	}
+	reg.SetDown(partitioned.Addr(), false)
+
+	// Phase 3: crash a node for real — failure report, table
+	// convergence, re-replication — then keep writing through it.
+	reg.SetDown(crashed.Addr(), true)
+	resp := d.Instance(0).Handle(&wire.Request{Op: wire.OpReport, Key: string(crashed.ID())})
+	if resp.Status != wire.StatusOK {
+		return fmt.Errorf("failure report rejected: %v %s", resp.Status, resp.Err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for _, idx := range []int{0, 1, 2} {
+		for {
+			tab := d.Instance(idx).Table()
+			if j := tab.IndexOf(crashed.ID()); j >= 0 && tab.Status[j] != ring.Alive {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("instance %d never learned of the crash", idx)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	d.Drain()
+	if err := drive(ops / 4); err != nil {
+		return err
+	}
+
+	// Settle, then the durability half: every acked QUORUM write reads
+	// back at QUORUM through a fresh client.
+	d.Drain()
+	verifier, err := d.NewClient()
+	if err != nil {
+		return err
+	}
+	for key, want := range expected {
+		v, err := verifier.LookupWith(key, wire.ConsistencyQuorum)
+		if err == nil {
+			if string(v) == string(want) {
+				continue
+			}
+			// The no-rollback caveat: if the key's LAST write was a
+			// refused one, its value winning is correct behavior.
+			if alt, ok := ambiguous[key]; ok && string(v) == string(alt) {
+				continue
+			}
+		}
+		return fmt.Errorf("acked QUORUM write %s lost: %q %v", key, v, err)
+	}
+	if got := mreg.Counter("zht.consistency.quorum_writes").Value(); got < 1 {
+		return fmt.Errorf("quorum_writes = %d; the smoke never exercised the quorum path", got)
+	}
+	if got := mreg.Counter("zht.consistency.quorum_reads").Value(); got < 1 {
+		return fmt.Errorf("quorum_reads = %d; the smoke never exercised quorum reads", got)
+	}
+	return nil
+}

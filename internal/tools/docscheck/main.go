@@ -22,7 +22,13 @@
 //     must both be registered in internal/wire or internal/transport
 //     source AND be catalogued in OBSERVABILITY.md — they are how a
 //     pooled-buffer leak (gets outrunning puts) is diagnosed in the
-//     field.
+//     field, or
+//   - the consistency contract is broken: the canonical
+//     zht.consistency.* metrics (quorum reads/writes, stale reads
+//     repaired, version conflicts) must both be registered in
+//     internal/core source AND be catalogued in OBSERVABILITY.md —
+//     they are the observable surface of the tunable-consistency
+//     subsystem (DESIGN.md §12).
 //
 // Run from the repository root: go run ./internal/tools/docscheck
 package main
@@ -55,6 +61,7 @@ func main() {
 	checkRepairContract(fail)
 	checkMembershipContract(fail)
 	checkPoolContract(fail)
+	checkConsistencyContract(fail)
 
 	if len(problems) > 0 {
 		for _, p := range problems {
@@ -429,6 +436,48 @@ func checkPoolContract(fail func(string, ...any)) {
 		}
 		if !strings.Contains(string(catalogue), name) {
 			fail("pool metric %q is not catalogued in OBSERVABILITY.md", name)
+		}
+	}
+}
+
+// consistencyMetrics is the canonical metric set of the tunable
+// consistency subsystem (DESIGN.md §12). Both directions are pinned,
+// as with the other contracts: quorum traffic, read-repair activity,
+// and LWW conflict resolution must stay observable, and the
+// catalogue may not advertise rows the code no longer registers.
+var consistencyMetrics = []string{
+	"zht.consistency.quorum_reads",
+	"zht.consistency.quorum_writes",
+	"zht.consistency.stale_reads_repaired",
+	"zht.consistency.version_conflicts",
+}
+
+// checkConsistencyContract requires every canonical consistency
+// metric to be registered in internal/core non-test source and
+// catalogued in OBSERVABILITY.md.
+func checkConsistencyContract(fail func(string, ...any)) {
+	var src strings.Builder
+	filepath.WalkDir(filepath.Join("internal", "core"), func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") ||
+			strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		if b, err := os.ReadFile(path); err == nil {
+			src.Write(b)
+		}
+		return nil
+	})
+	catalogue, err := os.ReadFile("OBSERVABILITY.md")
+	if err != nil {
+		fail("OBSERVABILITY.md: %v", err)
+		return
+	}
+	for _, name := range consistencyMetrics {
+		if !strings.Contains(src.String(), `"`+name+`"`) {
+			fail("consistency metric %q is not registered in internal/core", name)
+		}
+		if !strings.Contains(string(catalogue), name) {
+			fail("consistency metric %q is not catalogued in OBSERVABILITY.md", name)
 		}
 	}
 }

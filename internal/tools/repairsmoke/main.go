@@ -33,6 +33,7 @@ import (
 	"zht/internal/hashing"
 	"zht/internal/metrics"
 	"zht/internal/ring"
+	"zht/internal/wire"
 )
 
 func main() {
@@ -62,13 +63,18 @@ func runOnce(seed int64, ops int) error {
 	cfg := core.Config{
 		NumPartitions: 32,
 		Replicas:      1,
-		AntiEntropy:   50 * time.Millisecond,
-		HandoffCap:    64, // small on purpose: overflow exercises the loop
-		OpRetries:     2,
-		RetryBase:     time.Millisecond,
-		RetryMax:      8 * time.Millisecond,
-		OpDeadline:    2 * time.Second,
-		Metrics:       mreg,
+		// The smoke deliberately writes through a replica-partition
+		// window and relies on handoff + anti-entropy to converge —
+		// the ONE contract. At the default QUORUM level those writes
+		// would (correctly) refuse with copies=2 and the victim down.
+		WriteLevel:  wire.ConsistencyOne,
+		AntiEntropy: 50 * time.Millisecond,
+		HandoffCap:  64, // small on purpose: overflow exercises the loop
+		OpRetries:   2,
+		RetryBase:   time.Millisecond,
+		RetryMax:    8 * time.Millisecond,
+		OpDeadline:  2 * time.Second,
+		Metrics:     mreg,
 	}
 	const n = 4
 	d, reg, err := core.BootstrapInproc(cfg, n)

@@ -1,0 +1,60 @@
+package wire
+
+import "testing"
+
+func TestConsistencyAcks(t *testing.T) {
+	cases := []struct {
+		level  Consistency
+		copies int
+		want   int
+	}{
+		// ONE: always a single copy, regardless of the copy count.
+		{ConsistencyOne, 1, 1},
+		{ConsistencyOne, 3, 1},
+		{ConsistencyOne, 0, 1}, // degenerate copy counts clamp to 1
+		// QUORUM: floor(copies/2)+1 — majorities of 1..5 copies.
+		{ConsistencyQuorum, 1, 1},
+		{ConsistencyQuorum, 2, 2},
+		{ConsistencyQuorum, 3, 2},
+		{ConsistencyQuorum, 4, 3},
+		{ConsistencyQuorum, 5, 3},
+		// ALL: every copy.
+		{ConsistencyAll, 1, 1},
+		{ConsistencyAll, 3, 3},
+		// Default resolves as Quorum (the paper-equivalent mode).
+		{ConsistencyDefault, 3, 2},
+		{ConsistencyDefault, 1, 1},
+	}
+	for _, c := range cases {
+		if got := c.level.Acks(c.copies); got != c.want {
+			t.Errorf("%v.Acks(%d) = %d, want %d", c.level, c.copies, got, c.want)
+		}
+	}
+}
+
+func TestParseConsistency(t *testing.T) {
+	for s, want := range map[string]Consistency{
+		"":        ConsistencyDefault,
+		"default": ConsistencyDefault,
+		"one":     ConsistencyOne,
+		"ONE":     ConsistencyOne,
+		"1":       ConsistencyOne,
+		"quorum":  ConsistencyQuorum,
+		"QUORUM":  ConsistencyQuorum,
+		"all":     ConsistencyAll,
+		"ALL":     ConsistencyAll,
+	} {
+		got, err := ParseConsistency(s)
+		if err != nil || got != want {
+			t.Errorf("ParseConsistency(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseConsistency("most"); err == nil {
+		t.Error("ParseConsistency must reject unknown level names")
+	}
+	for _, lvl := range []Consistency{ConsistencyDefault, ConsistencyOne, ConsistencyQuorum, ConsistencyAll} {
+		if back, err := ParseConsistency(lvl.String()); err != nil || back != lvl {
+			t.Errorf("String/Parse roundtrip of %v: %v, %v", lvl, back, err)
+		}
+	}
+}

@@ -185,6 +185,18 @@ const (
 	// FlagSyncReplica marks the synchronous (secondary) replication
 	// leg; async legs omit it.
 	FlagSyncReplica
+	// FlagReplicaRead marks a lookup addressed to a replica rather
+	// than the partition's owner: the receiver serves it from its
+	// local copy (with its stored version) instead of answering
+	// WrongOwner. Quorum reads fan these out alongside the owner read.
+	FlagReplicaRead
+	// FlagWholesale marks a repair-pull push whose pair set is the
+	// partition owner's complete image for the pushed leaves: the
+	// receiver may delete local keys absent from it. Pushes without
+	// the flag (an acting authority that is itself a replica) only
+	// upsert — the pusher's image may be missing acked writes, so
+	// deleting against it could lose them.
+	FlagWholesale
 )
 
 // Request is a ZHT protocol request.
@@ -215,6 +227,16 @@ type Request struct {
 	// server-to-server calls so one client operation's retries,
 	// redirects, and failovers share a single end-to-end deadline.
 	Budget uint64
+	// Consistency selects the per-request consistency level for KV
+	// reads and writes. ConsistencyDefault (zero) defers to the
+	// receiving node's configured default, which keeps the field free
+	// on the wire for senders that never set it.
+	Consistency Consistency
+	// Version is the HLC version stamp a mutation carries along the
+	// replica chain and through repair pushes, so every copy applies
+	// it last-writer-wins. Zero means unversioned: the receiver stamps
+	// (primary apply) or applies blindly (legacy path).
+	Version uint64
 }
 
 // Response is a ZHT protocol response.
@@ -240,6 +262,11 @@ type Response struct {
 	// (gossip-driven membership; see internal/gossip). 0 means the
 	// responder does not participate (non-instance handlers).
 	Epoch uint64
+	// Version is the stored HLC version of the value a lookup
+	// returned; quorum reads compare versions across copies and the
+	// newest wins. Zero means the serving copy predates versioning or
+	// the op does not carry one.
+	Version uint64
 	// pooledValue marks Value's backing array as owned by this
 	// package's buffer pool (set via SetPooledValue); PutResponse
 	// recycles it. See pool.go.
@@ -266,6 +293,8 @@ func EncodeRequest(dst []byte, r *Request) []byte {
 	dst = append(dst, r.Value...)
 	dst = binary.AppendUvarint(dst, uint64(len(r.Aux)))
 	dst = append(dst, r.Aux...)
+	dst = append(dst, byte(r.Consistency))
+	dst = binary.AppendUvarint(dst, r.Version)
 	return dst
 }
 
@@ -317,6 +346,17 @@ func decodeRequestInto(r *Request, b []byte) error {
 	if r.Aux, b, err = bytesField(b); err != nil {
 		return err
 	}
+	if len(b) < 1 {
+		return errMalformed
+	}
+	r.Consistency = Consistency(b[0])
+	if r.Consistency >= consistencyMax {
+		return fmt.Errorf("%w: bad consistency %d", errMalformed, b[0])
+	}
+	b = b[1:]
+	if r.Version, b, err = uvar(b); err != nil {
+		return err
+	}
 	if len(b) != 0 {
 		return errMalformed
 	}
@@ -343,6 +383,7 @@ func EncodeResponse(dst []byte, r *Response) []byte {
 	dst = append(dst, r.Err...)
 	dst = binary.AppendUvarint(dst, r.RetryAfter)
 	dst = binary.AppendUvarint(dst, r.Epoch)
+	dst = binary.AppendUvarint(dst, r.Version)
 	return dst
 }
 
@@ -384,6 +425,9 @@ func decodeResponseInto(r *Response, b []byte) error {
 		return err
 	}
 	if r.Epoch, b, err = uvar(b); err != nil {
+		return err
+	}
+	if r.Version, b, err = uvar(b); err != nil {
 		return err
 	}
 	if len(b) != 0 {

@@ -20,6 +20,9 @@ func TestRequestRoundTrip(t *testing.T) {
 		{Op: OpPing, Seq: 1<<63 + 5},
 		{Op: OpDelta, Aux: []byte("ZHTD...")},
 		{Op: OpInsert, Key: "deadline", Value: []byte("v"), Budget: 1_500_000_000},
+		{Op: OpInsert, Key: "lvl", Value: []byte("v"), Consistency: ConsistencyAll},
+		{Op: OpLookup, Key: "lvl", Consistency: ConsistencyQuorum, Flags: FlagReplicaRead},
+		{Op: OpReplicate, Partition: 3, Key: "ver", Value: []byte("v"), Version: 1<<48 + 9},
 	}
 	for i, r := range cases {
 		enc := EncodeRequest(nil, r)
@@ -45,6 +48,7 @@ func TestResponseRoundTrip(t *testing.T) {
 		{Status: StatusBusy, Seq: 3, RetryAfter: 2_000_000},
 		{Status: StatusOK, Seq: 4, Epoch: 17},
 		{Status: StatusWrongOwner, Table: []byte("ZHTT-encoded"), Epoch: 1<<40 + 3},
+		{Status: StatusOK, Value: []byte("versioned"), Version: 1<<52 + 77},
 	}
 	for i, r := range cases {
 		got, err := DecodeResponse(EncodeResponse(nil, r))
@@ -58,11 +62,13 @@ func TestResponseRoundTrip(t *testing.T) {
 }
 
 func TestRequestRoundTripProperty(t *testing.T) {
-	err := quick.Check(func(seq, epoch, budget uint64, part int64, key string, val, aux []byte, flags uint8, hop uint32) bool {
+	err := quick.Check(func(seq, epoch, budget, version uint64, part int64, key string, val, aux []byte, flags, level uint8, hop uint32) bool {
 		in := &Request{
 			Op: OpInsert, Flags: flags, Seq: seq, Epoch: epoch,
 			Partition: part, Key: key, Value: val, Aux: aux, Hop: hop,
-			Budget: budget,
+			Budget:      budget,
+			Consistency: Consistency(level % uint8(consistencyMax)),
+			Version:     version,
 		}
 		if len(in.Value) == 0 {
 			in.Value = nil
@@ -79,11 +85,11 @@ func TestRequestRoundTripProperty(t *testing.T) {
 }
 
 func TestResponseRoundTripProperty(t *testing.T) {
-	err := quick.Check(func(seq, retryAfter, epoch uint64, val, table []byte, redirect, errs string, status uint8) bool {
+	err := quick.Check(func(seq, retryAfter, epoch, version uint64, val, table []byte, redirect, errs string, status uint8) bool {
 		in := &Response{
 			Status: Status(status % 8), Seq: seq, Value: val,
 			Table: table, Redirect: redirect, Err: errs,
-			RetryAfter: retryAfter, Epoch: epoch,
+			RetryAfter: retryAfter, Epoch: epoch, Version: version,
 		}
 		if len(in.Value) == 0 {
 			in.Value = nil

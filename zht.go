@@ -33,6 +33,7 @@ import (
 	"zht/internal/core"
 	"zht/internal/ring"
 	"zht/internal/transport"
+	"zht/internal/wire"
 )
 
 // Config holds deployment-wide ZHT parameters. See core.Config for
@@ -57,6 +58,21 @@ type HandlerSwitch = core.HandlerSwitch
 
 // Table is the ZHT membership table.
 type Table = ring.Table
+
+// Consistency selects how many replicas a read or write waits on.
+// Set deployment defaults with Config.WriteLevel / Config.ReadLevel,
+// or override per operation via the client's *With methods
+// (InsertWith, LookupWith, ...).
+type Consistency = wire.Consistency
+
+// Consistency levels. Default resolves to the deployment's configured
+// level (QUORUM for writes, ONE for reads).
+const (
+	ConsistencyDefault = wire.ConsistencyDefault
+	ConsistencyOne     = wire.ConsistencyOne
+	ConsistencyQuorum  = wire.ConsistencyQuorum
+	ConsistencyAll     = wire.ConsistencyAll
+)
 
 // Errors returned by client operations.
 var (
