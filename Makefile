@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test verify bench clean docs-check fmt-check bench-smoke storage-smoke repair-smoke churn-smoke consistency-smoke bench-allocs
+.PHONY: build test verify bench clean docs-check fmt-check bench-smoke storage-smoke repair-smoke churn-smoke consistency-smoke tenant-smoke bench-allocs
 
 build:
 	$(GO) build ./...
@@ -64,6 +64,16 @@ churn-smoke:
 consistency-smoke:
 	timeout 60 $(GO) run ./internal/tools/consistencysmoke
 
+# tenant-smoke is the multi-tenancy gate: a randomized loop that
+# floods one quota-capped tenant while pacing another, and requires
+# the capped tenant to be shed at the admission gate, the in-quota
+# tenant to run loss- and shed-free, namespace isolation between the
+# two, and TTL expiry + reaping to hold end to end (see
+# internal/tools/tenantsmoke). Seeds are printed, so a failure is
+# replayable with -seed.
+tenant-smoke:
+	timeout 60 $(GO) run ./internal/tools/tenantsmoke
+
 # bench-allocs is the hot-path allocation gate: it benchmarks the
 # loopback TCP request path in-process and fails if Lookup, Insert, or
 # batched Insert exceeds its allocs/op budget (the budget constants and
@@ -77,7 +87,7 @@ bench-allocs:
 # analysis, the full test suite (including the chaos soaks) under the
 # race detector, the hot-path allocation gate, and the batching +
 # crash-recovery + replica-repair + elastic-membership +
-# tunable-consistency smoke runs.
+# tunable-consistency + multi-tenancy smoke runs.
 verify: fmt-check docs-check
 	$(GO) vet ./...
 	$(GO) test -race ./...
@@ -87,6 +97,7 @@ verify: fmt-check docs-check
 	$(MAKE) repair-smoke
 	$(MAKE) churn-smoke
 	$(MAKE) consistency-smoke
+	$(MAKE) tenant-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

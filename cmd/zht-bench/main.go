@@ -26,6 +26,7 @@ import (
 	"zht/internal/metrics"
 	"zht/internal/ring"
 	"zht/internal/storage"
+	"zht/internal/tenant"
 	"zht/internal/transport"
 	"zht/internal/wire"
 )
@@ -54,6 +55,7 @@ func main() {
 		consSweep  = flag.Bool("consistency-sweep", false, "measure write/read latency and throughput per consistency level (ONE/QUORUM/ALL) at 2 replicas, plus the measured stale-copy rate behind ONE writes")
 		churn      = flag.Bool("churn", false, "alternate joining and departing one instance in the background for the whole run (inproc only; implies -metrics) and report membership churn plus migration counters")
 		churnEvery = flag.Duration("churn-every", 250*time.Millisecond, "pause between membership changes in -churn mode")
+		tenSweep   = flag.Bool("tenants", false, "run the noisy-neighbor sweep: two tenants at ~10:1 offered load, without and then with an admission quota on the noisy one, and print per-tenant throughput/latency plus shed counts")
 	)
 	flag.Parse()
 	dur, err := storage.ParseDurability(*durability)
@@ -70,6 +72,10 @@ func main() {
 	}
 	if *consSweep {
 		runConsistencySweep(*ops)
+		return
+	}
+	if *tenSweep {
+		runTenantSweep(*ops)
 		return
 	}
 	if *smoke {
@@ -926,3 +932,141 @@ type nopListener struct{ addr string }
 
 func (l nopListener) Addr() string { return l.addr }
 func (l nopListener) Close() error { return nil }
+
+// runTenantSweep prices admission control the way an operator would
+// see it: two tenants share one deployment, the noisy one offering
+// roughly an order of magnitude more load than the calm one, and the
+// same workload runs twice — once with no quotas (the noisy tenant
+// queues everyone) and once with a token-bucket quota on the noisy
+// tenant (over-quota requests are shed at the gate with StatusBusy
+// before they touch a partition). The headline numbers are the calm
+// tenant's p50/p99 against its isolated baseline: with the quota on,
+// the calm tenant should sit near its baseline while the noisy
+// tenant's surplus shows up as sheds, not as everyone's queueing
+// delay.
+func runTenantSweep(rounds int) {
+	const servers, partitions, floodWorkers = 4, 64, 8
+	if rounds > 2000 {
+		rounds = 2000
+	}
+	type stats struct {
+		tput float64
+		p50  time.Duration
+		p99  time.Duration
+	}
+	summarize := func(lats []time.Duration, elapsed time.Duration) stats {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		return stats{
+			tput: float64(len(lats)) / elapsed.Seconds(),
+			p50:  lats[len(lats)/2],
+			p99:  lats[len(lats)*99/100],
+		}
+	}
+	baseCfg := func() core.Config {
+		return core.Config{
+			NumPartitions: partitions, Replicas: 1,
+			RetryBase: time.Millisecond, RetryMax: 4 * time.Millisecond,
+			OpRetries: 1, OpDeadline: 2 * time.Second,
+		}
+	}
+	// run executes one configuration: flood on/off, quota on/off.
+	// It returns the calm tenant's latency stats plus the noisy
+	// tenant's completed-op count and shed count.
+	run := func(flood, quota bool) (stats, int64, int64) {
+		cfg := baseCfg()
+		var adm *tenant.Admission
+		if quota {
+			treg := tenant.NewRegistry()
+			// The noisy bucket refills well below the flood's offered
+			// load; the calm bucket is effectively unlimited.
+			if err := treg.Register(tenant.Tenant{Name: "noisy", Rate: 2000, Burst: 200}); err != nil {
+				log.Fatal(err)
+			}
+			if err := treg.Register(tenant.Tenant{Name: "calm", Rate: 1e7, Burst: 1e6}); err != nil {
+				log.Fatal(err)
+			}
+			adm = tenant.NewAdmission(treg, tenant.AdmissionOptions{})
+			cfg.Admission = adm
+		}
+		d, _, err := core.BootstrapInproc(cfg, servers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer d.Close()
+
+		var flooding atomic.Bool
+		var noisyOK atomic.Int64
+		var wg, started sync.WaitGroup
+		if flood {
+			flooding.Store(true)
+			for g := 0; g < floodWorkers; g++ {
+				wg.Add(1)
+				started.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					nc, err := d.NewClient()
+					if err != nil {
+						started.Done()
+						return
+					}
+					noisy := tenant.NewClient(nc, tenant.Tenant{Name: "noisy"})
+					for i := 0; flooding.Load(); i++ {
+						// Errors (ErrUnavailable after busy retries
+						// exhaust) are the quota doing its job.
+						if noisy.Insert(fmt.Sprintf("flood-%d-%d", g, i), []byte("x")) == nil {
+							noisyOK.Add(1)
+						}
+						if i == 0 {
+							started.Done()
+						}
+					}
+				}(g)
+			}
+			started.Wait()
+		}
+
+		cc, err := d.NewClient()
+		if err != nil {
+			log.Fatal(err)
+		}
+		calm := tenant.NewClient(cc, tenant.Tenant{Name: "calm"})
+		lats := make([]time.Duration, 0, rounds)
+		start := time.Now()
+		for i := 0; i < rounds; i++ {
+			k := fmt.Sprintf("calm-%09d", i)
+			t0 := time.Now()
+			if err := calm.Insert(k, []byte("v")); err != nil {
+				log.Fatalf("calm insert: %v", err)
+			}
+			if _, err := calm.Lookup(k); err != nil {
+				log.Fatalf("calm lookup: %v", err)
+			}
+			lats = append(lats, time.Since(t0))
+		}
+		elapsed := time.Since(start)
+		flooding.Store(false)
+		wg.Wait()
+		var shed int64
+		if adm != nil {
+			shed = adm.ShedCount("noisy")
+		}
+		return summarize(lats, elapsed), noisyOK.Load(), shed
+	}
+
+	fmt.Printf("tenant sweep: %d servers, %d flood workers vs 1 calm client x %d rounds (insert+lookup pairs)\n",
+		servers, floodWorkers, rounds)
+	base, _, _ := run(false, false)
+	fmt.Printf("isolated     calm %8.0f pairs/s  p50 %8v  p99 %8v\n",
+		base.tput, base.p50.Round(100*time.Nanosecond), base.p99.Round(100*time.Nanosecond))
+	off, noisyOff, _ := run(true, false)
+	fmt.Printf("quota=off    calm %8.0f pairs/s  p50 %8v  p99 %8v | noisy ok %8d  shed      n/a\n",
+		off.tput, off.p50.Round(100*time.Nanosecond), off.p99.Round(100*time.Nanosecond), noisyOff)
+	on, noisyOn, shed := run(true, true)
+	fmt.Printf("quota=on     calm %8.0f pairs/s  p50 %8v  p99 %8v | noisy ok %8d  shed %8d\n",
+		on.tput, on.p50.Round(100*time.Nanosecond), on.p99.Round(100*time.Nanosecond), noisyOn, shed)
+	fmt.Printf("calm p50 vs isolated: quota=off %.2fx, quota=on %.2fx\n",
+		float64(off.p50)/float64(base.p50), float64(on.p50)/float64(base.p50))
+	if float64(on.p50) > 1.5*float64(base.p50) {
+		fmt.Println("WARN: quota-protected calm p50 exceeds 1.5x its isolated baseline")
+	}
+}

@@ -11,18 +11,23 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 
 	"zht/internal/core"
+	"zht/internal/memcached"
 	"zht/internal/metrics"
 	"zht/internal/ring"
 	"zht/internal/storage"
+	"zht/internal/tenant"
 	"zht/internal/transport"
 	"zht/internal/wire"
 )
@@ -43,6 +48,9 @@ func main() {
 		antiEnt    = flag.Duration("anti-entropy", 0, "anti-entropy period: diff partition digests against each partition's authority and pull divergent ranges this often (0 = off)")
 		handoffCap = flag.Int("handoff-cap", 0, "per-destination hinted-handoff queue bound (0 = default 1024, negative disables handoff)")
 		writeLevel = flag.String("write-level", "", "default write consistency level when the request does not name one: one, quorum, all (empty = quorum); reads are client-coordinated, so their default lives in the client")
+		mcAddr     = flag.String("memcached-addr", "", "serve the memcached text protocol on this address (front door for stock cache clients)")
+		mcTenant   = flag.String("memcached-tenant", "cache", "tenant namespace memcached traffic is scoped to ('' = unscoped keyspace)")
+		quotas     = flag.String("tenant-quotas", "", "per-tenant admission quotas, comma-separated name:rate[:burst[:weight]] entries (e.g. batch:500:100:1,interactive:5000:500:4)")
 	)
 	flag.Parse()
 	dur, err := storage.ParseDurability(*durability)
@@ -63,6 +71,10 @@ func main() {
 		defer stop()
 		log.Printf("debug endpoint on http://%s/metrics", dln.Addr())
 	}
+	adm, err := parseQuotas(*quotas, reg)
+	if err != nil {
+		log.Fatalf("-tenant-quotas: %v", err)
+	}
 	cfg := core.Config{
 		NumPartitions: *partitions,
 		Replicas:      *replicas,
@@ -72,13 +84,14 @@ func main() {
 		AntiEntropy:   *antiEnt,
 		HandoffCap:    *handoffCap,
 		WriteLevel:    wl,
+		Admission:     adm,
 		Metrics:       reg,
 	}
 	if *joinSeed != "" {
 		if *joinAddr == "" {
 			log.Fatal("-join requires -addr")
 		}
-		runJoin(cfg, *joinSeed, *joinAddr, *proto)
+		runJoin(cfg, *joinSeed, *joinAddr, *proto, *mcAddr, *mcTenant)
 		return
 	}
 	addrs := strings.Split(*peers, ",")
@@ -119,11 +132,16 @@ func main() {
 	}
 	log.Printf("zht-server %s serving %d partitions over %s (epoch %d)",
 		members[*index].ID, len(table.PartitionsOf(*index)), *proto, inst.Epoch())
+	stopGW, err := startMemcached(*mcAddr, *mcTenant, inst, caller, reg)
+	if err != nil {
+		log.Fatalf("memcached front door: %v", err)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("shutting down")
+	stopGW()
 	ln.Close()
 	inst.Drain()
 	if err := inst.Close(); err != nil {
@@ -131,10 +149,71 @@ func main() {
 	}
 }
 
+// parseQuotas builds the tenancy admission hook from the
+// -tenant-quotas flag: comma-separated name:rate[:burst[:weight]]
+// entries. Empty spec means no admission control.
+func parseQuotas(spec string, reg *metrics.Registry) (core.AdmissionHook, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	treg := tenant.NewRegistry()
+	for _, entry := range strings.Split(spec, ",") {
+		parts := strings.Split(strings.TrimSpace(entry), ":")
+		if len(parts) < 2 || len(parts) > 4 {
+			return nil, fmt.Errorf("bad entry %q, want name:rate[:burst[:weight]]", entry)
+		}
+		t := tenant.Tenant{Name: parts[0]}
+		var err error
+		if t.Rate, err = strconv.ParseFloat(parts[1], 64); err != nil {
+			return nil, fmt.Errorf("bad rate in %q: %v", entry, err)
+		}
+		if len(parts) > 2 {
+			if t.Burst, err = strconv.ParseFloat(parts[2], 64); err != nil {
+				return nil, fmt.Errorf("bad burst in %q: %v", entry, err)
+			}
+		}
+		if len(parts) > 3 {
+			if t.Weight, err = strconv.Atoi(parts[3]); err != nil {
+				return nil, fmt.Errorf("bad weight in %q: %v", entry, err)
+			}
+		}
+		if err := treg.Register(t); err != nil {
+			return nil, err
+		}
+	}
+	return tenant.NewAdmission(treg, tenant.AdmissionOptions{Metrics: reg}), nil
+}
+
+// startMemcached boots the memcached front door over a client bound
+// to the local instance's membership table. The returned stop
+// function closes the listener and drains connections; it is a no-op
+// when the flag is unset.
+func startMemcached(addr, tenantName string, inst *core.Instance, caller transport.Caller, reg *metrics.Registry) (func(), error) {
+	if addr == "" {
+		return func() {}, nil
+	}
+	cl, err := core.NewLocalClient(inst, caller)
+	if err != nil {
+		return nil, err
+	}
+	gw := memcached.New(cl, memcached.Options{Tenant: tenantName, Metrics: reg})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		if err := gw.Serve(ln); err != nil && !errors.Is(err, net.ErrClosed) {
+			log.Printf("memcached front door: %v", err)
+		}
+	}()
+	log.Printf("memcached front door on %s (tenant %q)", ln.Addr(), tenantName)
+	return func() { gw.Close() }, nil
+}
+
 // runJoin performs a dynamic join: bind the address first (peers may
 // contact the newcomer the moment the membership delta lands), then
 // run the join protocol — fetch table, migrate partitions, broadcast.
-func runJoin(cfg core.Config, seed, addr, proto string) {
+func runJoin(cfg core.Config, seed, addr, proto, mcAddr, mcTenant string) {
 	var caller transport.Caller
 	if proto == "udp" {
 		caller = transport.NewUDPClient(transport.UDPClientOptions{Metrics: cfg.Metrics})
@@ -165,11 +244,16 @@ func runJoin(cfg core.Config, seed, addr, proto string) {
 	t := inst.Table()
 	log.Printf("joined as %s: epoch %d, serving %d partitions",
 		inst.ID(), t.Epoch, len(t.PartitionsOf(t.IndexOf(inst.ID()))))
+	stopGW, err := startMemcached(mcAddr, mcTenant, inst, caller, cfg.Metrics)
+	if err != nil {
+		log.Fatalf("memcached front door: %v", err)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("departing")
+	stopGW()
 	if err := core.Depart(inst); err != nil {
 		log.Printf("planned departure failed: %v (shutting down anyway)", err)
 	}

@@ -1,0 +1,23 @@
+package core
+
+import "time"
+
+// AdmissionHook is the per-request admission gate an instance
+// consults before serving client-facing KV traffic (single ops and
+// batch sub-ops). It exists for policy layered ABOVE the node's own
+// transport inflight bound — per-tenant quotas and weighted shares
+// (internal/tenant.Admission implements it structurally) — so the
+// core stays tenancy-agnostic.
+//
+// Admit is called with the request's key (which may carry a tenant
+// namespace prefix) and payload size in bytes. ok=false sheds the
+// request with wire.StatusBusy and retryAfter as the client backoff
+// hint; ok=true admits it, and release (never nil then) must be
+// called exactly once when the request finishes.
+//
+// Internal traffic — replication legs, replica reads for quorum
+// fan-outs, migration — bypasses the hook: shedding a leg would turn
+// an overload verdict into a durability gap.
+type AdmissionHook interface {
+	Admit(key string, cost int) (release func(), retryAfter time.Duration, ok bool)
+}

@@ -208,8 +208,14 @@ func (c *Client) callBatchWithBackoff(addr string, reqs []*wire.Request, deadlin
 			}
 			c.metrics.busyRetries.Inc()
 			d := c.backoff(i)
-			if hint := time.Duration(rs[0].RetryAfter); hint > d {
-				d = hint
+			// Sub-responses can carry distinct hints (per-tenant
+			// admission sheds each slot with its own bucket's wait);
+			// honoring anything less than the largest would retry the
+			// whole envelope into a still-closed gate.
+			for _, r := range rs {
+				if hint := time.Duration(r.RetryAfter); hint > d {
+					d = hint
+				}
 			}
 			c.sleepBounded(d, deadline)
 			continue

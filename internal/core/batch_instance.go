@@ -53,10 +53,38 @@ func (in *Instance) handleBatch(req *wire.Request) *wire.Response {
 	// their position relative to same-batch KV ops is irrelevant.
 	tp := tagPool.Get().(*[]int64)
 	tags := (*tp)[:0]
+	// Admission releases collected for admitted KV sub-ops; every one
+	// is called when the envelope finishes.
+	var releases []func()
+	defer func() {
+		for _, rel := range releases {
+			rel()
+		}
+	}()
 	for i, s := range subs {
 		var p int
 		switch s.Op {
 		case wire.OpInsert, wire.OpLookup, wire.OpRemove, wire.OpAppend, wire.OpCas:
+			// Each KV sub-op passes the same admission and size gates as
+			// handleKV: a shed or oversized slot gets its verdict here
+			// and never joins a partition group, so one over-quota
+			// tenant's slots cannot ride a well-behaved tenant's batch.
+			if s.Flags&(wire.FlagNoReplicate|wire.FlagReplicaRead) == 0 {
+				if in.tooLarge(s) {
+					resps[i] = statusResp(wire.StatusTooLarge)
+					continue
+				}
+				if in.cfg.Admission != nil {
+					release, retry, ok := in.cfg.Admission.Admit(s.Key, len(s.Value))
+					if !ok {
+						r := statusResp(wire.StatusBusy)
+						r.RetryAfter = uint64(retry)
+						resps[i] = r
+						continue
+					}
+					releases = append(releases, release)
+				}
+			}
 			in.mu.RLock()
 			p = in.table.Partition(in.hashf(s.Key))
 			in.mu.RUnlock()
@@ -193,7 +221,7 @@ func (in *Instance) applyBatchPartition(p int, subs []*wire.Request, idxs []int,
 	var legVals [][]byte
 	for _, i := range idxs {
 		if !in.mutates(subs[i]) {
-			resps[i] = applyKV(s, subs[i])
+			resps[i] = in.applyKV(s, subs[i])
 			continue
 		}
 		ver := in.clock.Next()

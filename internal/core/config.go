@@ -139,6 +139,20 @@ type Config struct {
 	// ring neighbours — stays network-local (§VI future work,
 	// implemented).
 	NetworkAware bool
+	// Admission, when non-nil, gates every client-facing KV request
+	// (single ops and batch sub-ops) before it is served; over-quota
+	// requests are shed with wire.StatusBusy plus the hook's
+	// RetryAfter hint. Internal traffic (replication legs, replica
+	// reads, migration) bypasses it. See AdmissionHook and
+	// internal/tenant.
+	Admission AdmissionHook
+	// MaxKeyLen / MaxValueLen bound the payloads the write path
+	// accepts (Insert/Append/Cas; Append is checked per-op, not
+	// against the accumulated value). Oversized requests are rejected
+	// with wire.StatusTooLarge, a terminal verdict. 0 = unbounded,
+	// the pre-gateway behavior.
+	MaxKeyLen   int
+	MaxValueLen int
 }
 
 // Defaults for Config zero values.
@@ -214,6 +228,9 @@ func (c *Config) fill() error {
 	}
 	if c.MigrateLeavesPerPull <= 0 {
 		c.MigrateLeavesPerPull = DefaultMigrateLeavesPerPull
+	}
+	if c.MaxKeyLen < 0 || c.MaxValueLen < 0 {
+		return errors.New("core: size limits must be non-negative")
 	}
 	return nil
 }

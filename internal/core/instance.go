@@ -13,6 +13,7 @@ import (
 	"zht/internal/repair"
 	"zht/internal/ring"
 	"zht/internal/storage"
+	"zht/internal/tenant"
 	"zht/internal/transport"
 	"zht/internal/wire"
 )
@@ -341,6 +342,25 @@ func (in *Instance) handle(req *wire.Request) *wire.Response {
 
 // handleKV serves the four basic operations plus CAS.
 func (in *Instance) handleKV(req *wire.Request) *wire.Response {
+	// Client-facing traffic passes the admission and size gates;
+	// internal legs (NoReplicate forwards, replica reads) bypass both —
+	// shedding a replication leg would turn an overload verdict into a
+	// durability gap, and internal values (TTL envelopes) may
+	// legitimately exceed the user-facing payload bound.
+	if req.Flags&(wire.FlagNoReplicate|wire.FlagReplicaRead) == 0 {
+		if in.tooLarge(req) {
+			return statusResp(wire.StatusTooLarge)
+		}
+		if in.cfg.Admission != nil {
+			release, retry, ok := in.cfg.Admission.Admit(req.Key, len(req.Value))
+			if !ok {
+				resp := statusResp(wire.StatusBusy)
+				resp.RetryAfter = uint64(retry)
+				return resp
+			}
+			defer release()
+		}
+	}
 	h := in.hashf(req.Key)
 	// The partition index depends only on NumPartitions, which is
 	// immutable, so it can be computed from any table snapshot.
@@ -359,7 +379,7 @@ func (in *Instance) handleKV(req *wire.Request) *wire.Response {
 		if s == nil {
 			return statusResp(wire.StatusNotFound)
 		}
-		return applyKV(s, req)
+		return in.applyKV(s, req)
 	}
 
 	// Migration gate: if this partition is being given away, queue
@@ -414,7 +434,7 @@ func (in *Instance) handleKV(req *wire.Request) *wire.Response {
 		return &wire.Response{Status: wire.StatusError, Err: err.Error()}
 	}
 	if !in.mutates(req) {
-		return applyKV(s, req)
+		return in.applyKV(s, req)
 	}
 	ml := &in.mutLocks[h%uint64(len(in.mutLocks))]
 	ml.Lock()
@@ -480,16 +500,18 @@ func (in *Instance) storeIfPresent(p int) storage.KV {
 func (in *Instance) applyPrimary(s storage.KV, req *wire.Request, ver uint64) (*wire.Response, []byte) {
 	vkv, ok := s.(storage.VersionedKV)
 	if !ok {
-		return applyKV(s, req), nil
+		return in.applyKV(s, req), nil
 	}
 	switch req.Op {
 	case wire.OpInsert:
 		if req.Flags&wire.FlagIfAbsent != 0 {
 			// The per-key mutation stripe is held: check-then-put is
-			// atomic with respect to every other writer of this key.
-			if _, _, found, err := vkv.GetV(req.Key); err != nil {
+			// atomic with respect to every other writer of this key. An
+			// expired TTL envelope counts as absent — lazy expiry must
+			// not block a fresh add (memcached `add` semantics).
+			if v, _, found, err := vkv.GetV(req.Key); err != nil {
 				return errResp(err), nil
-			} else if found {
+			} else if found && !tenant.Expired(v) {
 				return statusResp(wire.StatusExists), nil
 			}
 		}
@@ -532,7 +554,7 @@ func (in *Instance) applyPrimary(s storage.KV, req *wire.Request, ver uint64) (*
 		// than re-implementing them here. The extra PutV is off the
 		// hot path — CAS is the rare op — and keeps behavior
 		// byte-identical to the engine's.
-		resp := applyKV(s, req)
+		resp := in.applyKV(s, req)
 		if resp.Status == wire.StatusOK {
 			if err := vkv.PutV(req.Key, req.Value, ver); err != nil {
 				wire.PutResponse(resp)
@@ -541,10 +563,32 @@ func (in *Instance) applyPrimary(s storage.KV, req *wire.Request, ver uint64) (*
 		}
 		return resp, nil
 	}
-	return applyKV(s, req), nil
+	return in.applyKV(s, req), nil
 }
 
 func (in *Instance) opLock(p int) *sync.RWMutex { return &in.opLocks[p%len(in.opLocks)] }
+
+// tooLarge screens client requests against the deployment-wide
+// payload bounds (Config.MaxKeyLen/MaxValueLen; 0 = unbounded). Only
+// ops that grow state are screened: Lookup and Remove of an oversized
+// key are harmless and must stay able to read/delete pairs written
+// before a limit was tightened. Append is bounded per-op — the
+// accumulated value can still grow past MaxValueLen across appends,
+// which is documented in DESIGN.md §13.
+func (in *Instance) tooLarge(req *wire.Request) bool {
+	if in.cfg.MaxKeyLen == 0 && in.cfg.MaxValueLen == 0 {
+		return false
+	}
+	switch req.Op {
+	case wire.OpInsert, wire.OpAppend, wire.OpCas:
+	default:
+		return false
+	}
+	if in.cfg.MaxKeyLen > 0 && len(req.Key) > in.cfg.MaxKeyLen {
+		return true
+	}
+	return in.cfg.MaxValueLen > 0 && len(req.Value) > in.cfg.MaxValueLen
+}
 
 // mutates reports whether req is a mutation this instance must push
 // along the replica chain.
@@ -595,8 +639,11 @@ func errResp(err error) *wire.Response {
 // applyKV executes one KV op against a store. Shared by the primary
 // path and the replica path so both stay byte-identical. Responses
 // are pooled; ownership passes to the caller (ultimately the
-// transport writer, which recycles them after encoding).
-func applyKV(s storage.KV, req *wire.Request) *wire.Response {
+// transport writer, which recycles them after encoding). Lookups are
+// TTL-aware: a value whose tenant envelope has expired answers
+// NotFound (lazy expiry, DESIGN.md §13) — the pair itself is deleted
+// later by the anti-entropy reaper, never on the read path.
+func (in *Instance) applyKV(s storage.KV, req *wire.Request) *wire.Response {
 	switch req.Op {
 	case wire.OpInsert:
 		if req.Flags&wire.FlagIfAbsent != 0 {
@@ -605,6 +652,18 @@ func applyKV(s storage.KV, req *wire.Request) *wire.Response {
 				return errResp(err)
 			}
 			if !ok {
+				// Occupied — but an expired TTL envelope counts as
+				// absent (lazy expiry): overwrite it. Only the occupied
+				// path pays the extra Get. On the unreplicated path no
+				// mutation stripe is held, so two concurrent adds racing
+				// an expired pair can both succeed — same class of
+				// benign race as concurrent adds on a truly absent key.
+				if v, found, gerr := s.Get(req.Key); gerr == nil && found && tenant.Expired(v) {
+					if perr := s.Put(req.Key, req.Value); perr != nil {
+						return errResp(perr)
+					}
+					return statusResp(wire.StatusOK)
+				}
 				return statusResp(wire.StatusExists)
 			}
 			return statusResp(wire.StatusOK)
@@ -635,6 +694,11 @@ func applyKV(s storage.KV, req *wire.Request) *wire.Response {
 				resp.Version = ver
 				return resp
 			}
+			if tenant.Expired(v) {
+				wire.PutBuffer(v)
+				in.met.expiredReads.Inc()
+				return statusResp(wire.StatusNotFound)
+			}
 			resp := statusResp(wire.StatusOK)
 			resp.SetPooledValue(v)
 			resp.Version = ver
@@ -654,6 +718,11 @@ func applyKV(s storage.KV, req *wire.Request) *wire.Response {
 				}
 				return statusResp(wire.StatusOK)
 			}
+			if tenant.Expired(v) {
+				wire.PutBuffer(v)
+				in.met.expiredReads.Inc()
+				return statusResp(wire.StatusNotFound)
+			}
 			resp := statusResp(wire.StatusOK)
 			resp.SetPooledValue(v)
 			return resp
@@ -663,6 +732,10 @@ func applyKV(s storage.KV, req *wire.Request) *wire.Response {
 			return errResp(err)
 		}
 		if !ok {
+			return statusResp(wire.StatusNotFound)
+		}
+		if tenant.Expired(v) {
+			in.met.expiredReads.Inc()
 			return statusResp(wire.StatusNotFound)
 		}
 		resp := statusResp(wire.StatusOK)
@@ -863,7 +936,7 @@ func (in *Instance) handleReplicate(req *wire.Request) *wire.Response {
 		}
 		return statusResp(wire.StatusOK)
 	}
-	resp := applyKV(s, &inner)
+	resp := in.applyKV(s, &inner)
 	// Unversioned replicas tolerate NotFound (a remove may race ahead
 	// of the insert it follows on the async path) — but each tolerated
 	// race is a pair whose replica state disagreed with the primary's

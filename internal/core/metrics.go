@@ -106,6 +106,13 @@ type instanceMetrics struct {
 	epoch            *metrics.Gauge   // zht.membership.epoch
 	gossipFullTables *metrics.Counter // zht.membership.gossip.full_tables
 
+	// Tenancy instruments (DESIGN.md §13). expiredReads counts lookups
+	// that found a TTL envelope past its expiry and answered NotFound
+	// (lazy expiry); reaped counts expired pairs the anti-entropy-tick
+	// reaper deleted from local stores.
+	expiredReads *metrics.Counter // zht.tenant.expired_reads
+	reaped       *metrics.Counter // zht.tenant.reaped
+
 	// Migration engine instruments (throttled streaming rebalance).
 	migPartitions *metrics.Counter // zht.migrate.partitions
 	migPairs      *metrics.Counter // zht.migrate.pairs
@@ -134,6 +141,9 @@ func newInstanceMetrics(reg *metrics.Registry) instanceMetrics {
 
 		epoch:            reg.Gauge("zht.membership.epoch"),
 		gossipFullTables: reg.Counter("zht.membership.gossip.full_tables"),
+
+		expiredReads: reg.Counter("zht.tenant.expired_reads"),
+		reaped:       reg.Counter("zht.tenant.reaped"),
 
 		migPartitions: reg.Counter("zht.migrate.partitions"),
 		migPairs:      reg.Counter("zht.migrate.pairs"),

@@ -7,6 +7,8 @@ import (
 
 	"zht/internal/repair"
 	"zht/internal/ring"
+	"zht/internal/storage"
+	"zht/internal/tenant"
 	"zht/internal/wire"
 )
 
@@ -296,7 +298,45 @@ func (in *Instance) antiEntropyLoop() {
 			return
 		case <-tick.C:
 		}
+		// The TTL reaper rides the same tick (DESIGN.md §13): reaping
+		// before the digest sync means a round never re-pulls ranges
+		// whose only divergence was expired pairs this node still held.
+		// Unlike the round below, the reaper also runs at Replicas=0 —
+		// expiry is a single-copy concern too.
+		in.reapExpired()
 		in.antiEntropyRound()
+	}
+}
+
+// reapExpired sweeps every local partition store (owned + replica)
+// and deletes pairs whose TTL envelope has expired, so lazily-expired
+// reads eventually become reclaimed space. Each node reaps on its own
+// wall clock; replicas that have not reaped yet can re-propagate an
+// expired pair through anti-entropy until their own sweep deletes it
+// — the documented lazy-expiry anomaly (DESIGN.md §13). Reads never
+// see the stale copy either way: the expiry check runs on every
+// lookup.
+func (in *Instance) reapExpired() {
+	nowMs := time.Now().UnixMilli()
+	in.smu.Lock()
+	stores := make([]storage.KV, 0, len(in.stores))
+	for _, s := range in.stores {
+		stores = append(stores, s)
+	}
+	in.smu.Unlock()
+	for _, s := range stores {
+		var dead []string
+		s.ForEach(func(key string, val []byte) error {
+			if tenant.ExpiredAt(val, nowMs) {
+				dead = append(dead, key)
+			}
+			return nil
+		})
+		for _, key := range dead {
+			if ok, err := s.Remove(key); err == nil && ok {
+				in.met.reaped.Inc()
+			}
+		}
 	}
 }
 

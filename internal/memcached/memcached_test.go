@@ -1,0 +1,481 @@
+package memcached_test
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"zht/internal/core"
+	"zht/internal/memcached"
+	"zht/internal/metrics"
+)
+
+// Protocol conformance over real TCP against an in-process ZHT
+// deployment — the gateway must behave like memcached for the command
+// set it serves, so the baseline suite's semantics
+// (internal/baselines/memcache) are ported here: set/get/delete,
+// double-delete, size limits with boundary acceptance, concurrent
+// access, hit/miss counters — plus the CAS-conflict and expiry paths
+// the baseline client has no equivalent for.
+
+// mc is a minimal text-protocol client: just enough to drive the
+// gateway the way telnet or any stock client library would.
+type mc struct {
+	t    *testing.T
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func dial(t *testing.T, addr string) *mc {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &mc{t: t, conn: conn, r: bufio.NewReader(conn)}
+}
+
+func (c *mc) send(format string, args ...any) {
+	c.t.Helper()
+	if _, err := fmt.Fprintf(c.conn, format+"\r\n", args...); err != nil {
+		c.t.Fatal(err)
+	}
+}
+
+func (c *mc) line() string {
+	c.t.Helper()
+	s, err := c.r.ReadString('\n')
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	return strings.TrimRight(s, "\r\n")
+}
+
+// store issues a storage command and returns the reply line.
+func (c *mc) store(cmd, key string, flags uint32, exptime int64, val string, extra ...string) string {
+	c.t.Helper()
+	ex := ""
+	if len(extra) > 0 {
+		ex = " " + strings.Join(extra, " ")
+	}
+	c.send("%s %s %d %d %d%s\r\n%s", cmd, key, flags, exptime, len(val), ex, val)
+	return c.line()
+}
+
+// get returns (value, flags, casid, hit) for a single-key get/gets.
+func (c *mc) get(cmd, key string) (string, uint32, uint64, bool) {
+	c.t.Helper()
+	c.send("%s %s", cmd, key)
+	first := c.line()
+	if first == "END" {
+		return "", 0, 0, false
+	}
+	var rkey string
+	var flags uint32
+	var size int
+	var casid uint64
+	if cmd == "gets" {
+		if _, err := fmt.Sscanf(first, "VALUE %s %d %d %d", &rkey, &flags, &size, &casid); err != nil {
+			c.t.Fatalf("bad gets header %q: %v", first, err)
+		}
+	} else {
+		if _, err := fmt.Sscanf(first, "VALUE %s %d %d", &rkey, &flags, &size); err != nil {
+			c.t.Fatalf("bad get header %q: %v", first, err)
+		}
+	}
+	val := c.line()
+	if len(val) != size {
+		c.t.Fatalf("VALUE advertised %d bytes, got %d (%q)", size, len(val), val)
+	}
+	if end := c.line(); end != "END" {
+		c.t.Fatalf("missing END, got %q", end)
+	}
+	return val, flags, casid, true
+}
+
+// startGateway boots a 3-instance deployment and a gateway on a real
+// TCP port, returning the dial address and the metrics registry.
+func startGateway(t *testing.T, opts memcached.Options) (string, *metrics.Registry) {
+	t.Helper()
+	mreg := metrics.NewRegistry()
+	if opts.Metrics == nil {
+		opts.Metrics = mreg
+	}
+	cfg := core.Config{
+		NumPartitions: 32,
+		Replicas:      1,
+		RetryBase:     time.Millisecond,
+	}
+	d, _, err := core.BootstrapInproc(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	cl, err := d.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := memcached.New(cl, opts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go gw.Serve(ln) //nolint:errcheck
+	t.Cleanup(func() { gw.Close() })
+	return ln.Addr().String(), opts.Metrics
+}
+
+func TestSetGetDelete(t *testing.T) {
+	addr, _ := startGateway(t, memcached.Options{Tenant: "cache"})
+	c := dial(t, addr)
+
+	if got := c.store("set", "alpha", 42, 0, "hello"); got != "STORED" {
+		t.Fatalf("set = %q", got)
+	}
+	val, flags, _, hit := c.get("get", "alpha")
+	if !hit || val != "hello" || flags != 42 {
+		t.Fatalf("get = (%q, %d, hit=%v), want (hello, 42, true)", val, flags, hit)
+	}
+	if _, _, _, hit := c.get("get", "missing"); hit {
+		t.Fatal("get of absent key returned a VALUE")
+	}
+	c.send("delete alpha")
+	if got := c.line(); got != "DELETED" {
+		t.Fatalf("delete = %q", got)
+	}
+	if _, _, _, hit := c.get("get", "alpha"); hit {
+		t.Fatal("deleted key still readable")
+	}
+	// Double delete answers NOT_FOUND, as memcached does.
+	c.send("delete alpha")
+	if got := c.line(); got != "NOT_FOUND" {
+		t.Fatalf("double delete = %q, want NOT_FOUND", got)
+	}
+}
+
+func TestAddReplaceSemantics(t *testing.T) {
+	addr, _ := startGateway(t, memcached.Options{})
+	c := dial(t, addr)
+
+	if got := c.store("replace", "r", 0, 0, "v"); got != "NOT_STORED" {
+		t.Fatalf("replace on absent key = %q, want NOT_STORED", got)
+	}
+	if got := c.store("add", "r", 0, 0, "first"); got != "STORED" {
+		t.Fatalf("add on absent key = %q", got)
+	}
+	if got := c.store("add", "r", 0, 0, "second"); got != "NOT_STORED" {
+		t.Fatalf("add on present key = %q, want NOT_STORED", got)
+	}
+	if got := c.store("replace", "r", 0, 0, "third"); got != "STORED" {
+		t.Fatalf("replace on present key = %q", got)
+	}
+	if val, _, _, _ := c.get("get", "r"); val != "third" {
+		t.Fatalf("value after replace = %q", val)
+	}
+}
+
+func TestSizeLimits(t *testing.T) {
+	addr, _ := startGateway(t, memcached.Options{})
+	c := dial(t, addr)
+
+	// Boundary sizes are accepted...
+	longest := strings.Repeat("k", memcached.MaxKeyLen)
+	if got := c.store("set", longest, 0, 0, "v"); got != "STORED" {
+		t.Fatalf("250-byte key = %q", got)
+	}
+	big := strings.Repeat("v", memcached.MaxValueLen)
+	if got := c.store("set", "big", 0, 0, big); got != "STORED" {
+		t.Fatalf("1 MiB value = %q", got)
+	}
+	if val, _, _, _ := c.get("get", "big"); val != big {
+		t.Fatal("1 MiB value corrupted on round trip")
+	}
+	// ...one byte past is not, and the connection stays usable (the
+	// gateway must consume the rejected data block).
+	if got := c.store("set", longest+"k", 0, 0, "v"); !strings.HasPrefix(got, "CLIENT_ERROR") {
+		t.Fatalf("251-byte key = %q, want CLIENT_ERROR", got)
+	}
+	if got := c.store("set", "big2", 0, 0, big+"v"); !strings.HasPrefix(got, "SERVER_ERROR") {
+		t.Fatalf("oversized value = %q, want SERVER_ERROR", got)
+	}
+	if got := c.store("set", "after", 0, 0, "ok"); got != "STORED" {
+		t.Fatalf("connection wedged after rejected store: %q", got)
+	}
+}
+
+func TestCasConflict(t *testing.T) {
+	addr, _ := startGateway(t, memcached.Options{})
+	c := dial(t, addr)
+
+	if got := c.store("set", "ck", 0, 0, "v1"); got != "STORED" {
+		t.Fatal(got)
+	}
+	_, _, casid, hit := c.get("gets", "ck")
+	if !hit || casid == 0 {
+		t.Fatalf("gets returned casid %d, hit=%v", casid, hit)
+	}
+	// A fresh cas against the current id succeeds.
+	if got := c.store("cas", "ck", 0, 0, "v2", fmt.Sprint(casid)); got != "STORED" {
+		t.Fatalf("cas with current id = %q", got)
+	}
+	// The old id is now stale: EXISTS.
+	if got := c.store("cas", "ck", 0, 0, "v3", fmt.Sprint(casid)); got != "EXISTS" {
+		t.Fatalf("cas with stale id = %q, want EXISTS", got)
+	}
+	if val, _, _, _ := c.get("get", "ck"); val != "v2" {
+		t.Fatalf("value after stale cas = %q, want v2", val)
+	}
+	// cas on an absent key: NOT_FOUND.
+	if got := c.store("cas", "absent", 0, 0, "v", "12345"); got != "NOT_FOUND" {
+		t.Fatalf("cas on absent key = %q, want NOT_FOUND", got)
+	}
+}
+
+func TestIncrDecrTouch(t *testing.T) {
+	addr, _ := startGateway(t, memcached.Options{})
+	c := dial(t, addr)
+
+	if got := c.store("set", "n", 9, 0, "10"); got != "STORED" {
+		t.Fatal(got)
+	}
+	c.send("incr n 5")
+	if got := c.line(); got != "15" {
+		t.Fatalf("incr = %q, want 15", got)
+	}
+	c.send("decr n 20")
+	if got := c.line(); got != "0" {
+		t.Fatalf("decr below zero = %q, want 0 (memcached floors)", got)
+	}
+	// Flags survive the read-modify-write.
+	if _, flags, _, _ := c.get("get", "n"); flags != 9 {
+		t.Fatalf("flags after incr/decr = %d, want 9", flags)
+	}
+	c.send("incr missing 1")
+	if got := c.line(); got != "NOT_FOUND" {
+		t.Fatalf("incr on absent key = %q", got)
+	}
+	if got := c.store("set", "word", 0, 0, "abc"); got != "STORED" {
+		t.Fatal(got)
+	}
+	c.send("incr word 1")
+	if got := c.line(); !strings.HasPrefix(got, "CLIENT_ERROR") {
+		t.Fatalf("incr on non-numeric = %q, want CLIENT_ERROR", got)
+	}
+	c.send("touch n 3600")
+	if got := c.line(); got != "TOUCHED" {
+		t.Fatalf("touch = %q", got)
+	}
+	c.send("touch missing 3600")
+	if got := c.line(); got != "NOT_FOUND" {
+		t.Fatalf("touch on absent key = %q", got)
+	}
+}
+
+func TestExpiry(t *testing.T) {
+	addr, _ := startGateway(t, memcached.Options{})
+	c := dial(t, addr)
+
+	// Negative exptime is "already expired": stored, never readable.
+	if got := c.store("set", "dead", 0, -1, "v"); got != "STORED" {
+		t.Fatal(got)
+	}
+	if _, _, _, hit := c.get("get", "dead"); hit {
+		t.Fatal("negatively-expired key readable")
+	}
+	// An expired pair counts as absent for add.
+	if got := c.store("add", "dead", 0, 0, "reborn"); got != "STORED" {
+		t.Fatalf("add over expired pair = %q", got)
+	}
+	if val, _, _, _ := c.get("get", "dead"); val != "reborn" {
+		t.Fatalf("post-add value = %q", val)
+	}
+	// A short relative TTL lapses.
+	if got := c.store("set", "brief", 0, 1, "v"); got != "STORED" {
+		t.Fatal(got)
+	}
+	if _, _, _, hit := c.get("get", "brief"); !hit {
+		t.Fatal("1s-TTL key already expired")
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if _, _, _, hit := c.get("get", "brief"); !hit {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("1s-TTL key never expired")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func TestNoreplyAndPipelining(t *testing.T) {
+	addr, _ := startGateway(t, memcached.Options{})
+	c := dial(t, addr)
+
+	// noreply stores produce no reply line; the next command's reply
+	// must line up correctly.
+	c.send("set nr1 0 0 2 noreply\r\nv1")
+	c.send("set nr2 0 0 2 noreply\r\nv2")
+	if val, _, _, _ := c.get("get", "nr1"); val != "v1" {
+		t.Fatalf("after noreply sets, nr1 = %q", val)
+	}
+	if val, _, _, _ := c.get("get", "nr2"); val != "v2" {
+		t.Fatalf("after noreply sets, nr2 = %q", val)
+	}
+	// Multi-key get returns each present key then one END.
+	c.send("get nr1 nr2 nrMissing")
+	seen := map[string]string{}
+	for {
+		line := c.line()
+		if line == "END" {
+			break
+		}
+		var key string
+		var flags uint32
+		var size int
+		if _, err := fmt.Sscanf(line, "VALUE %s %d %d", &key, &flags, &size); err != nil {
+			t.Fatalf("bad VALUE line %q", line)
+		}
+		seen[key] = c.line()
+	}
+	if len(seen) != 2 || seen["nr1"] != "v1" || seen["nr2"] != "v2" {
+		t.Fatalf("multi-get = %v", seen)
+	}
+	// version and unknown commands.
+	c.send("version")
+	if got := c.line(); !strings.HasPrefix(got, "VERSION") {
+		t.Fatalf("version = %q", got)
+	}
+	c.send("bogus")
+	if got := c.line(); got != "ERROR" {
+		t.Fatalf("unknown command = %q, want ERROR", got)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	addr, _ := startGateway(t, memcached.Options{})
+
+	const workers, perWorker = 8, 40
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+			for i := 0; i < perWorker; i++ {
+				key := fmt.Sprintf("w%d-k%d", w, i)
+				val := fmt.Sprintf("val-%d-%d", w, i)
+				fmt.Fprintf(conn, "set %s 0 0 %d\r\n%s\r\n", key, len(val), val)
+				if line, _ := r.ReadString('\n'); strings.TrimRight(line, "\r\n") != "STORED" {
+					t.Errorf("worker %d set %s: %q", w, key, line)
+					return
+				}
+				fmt.Fprintf(conn, "get %s\r\n", key)
+				header, _ := r.ReadString('\n')
+				if !strings.HasPrefix(header, "VALUE ") {
+					t.Errorf("worker %d get %s: %q", w, key, header)
+					return
+				}
+				got, _ := r.ReadString('\n')
+				if strings.TrimRight(got, "\r\n") != val {
+					t.Errorf("worker %d got %q, want %q", w, got, val)
+					return
+				}
+				if end, _ := r.ReadString('\n'); strings.TrimRight(end, "\r\n") != "END" {
+					t.Errorf("worker %d: missing END", w)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestHitMissCountersAndStats(t *testing.T) {
+	addr, mreg := startGateway(t, memcached.Options{})
+	c := dial(t, addr)
+
+	if got := c.store("set", "h", 0, 0, "v"); got != "STORED" {
+		t.Fatal(got)
+	}
+	c.get("get", "h")       // hit
+	c.get("get", "h")       // hit
+	c.get("get", "absent1") // miss
+	if hits := mreg.Counter("zht.memcached.hits").Value(); hits != 2 {
+		t.Errorf("zht.memcached.hits = %d, want 2", hits)
+	}
+	if misses := mreg.Counter("zht.memcached.misses").Value(); misses != 1 {
+		t.Errorf("zht.memcached.misses = %d, want 1", misses)
+	}
+	if conns := mreg.Gauge("zht.memcached.conns").Value(); conns != 1 {
+		t.Errorf("zht.memcached.conns = %d, want 1", conns)
+	}
+	// stats mirrors the registry over the wire.
+	c.send("stats")
+	stats := map[string]string{}
+	for {
+		line := c.line()
+		if line == "END" {
+			break
+		}
+		var k, v string
+		fmt.Sscanf(line, "STAT %s %s", &k, &v)
+		stats[k] = v
+	}
+	if stats["get_hits"] != "2" || stats["get_misses"] != "1" {
+		t.Errorf("stats = %v", stats)
+	}
+}
+
+func TestTenantIsolation(t *testing.T) {
+	// Two gateways over the same deployment with different tenants must
+	// not see each other's keys; a gateway with the default tenant
+	// shares the unscoped keyspace.
+	mreg := metrics.NewRegistry()
+	cfg := core.Config{NumPartitions: 32, Replicas: 1, RetryBase: time.Millisecond}
+	d, _, err := core.BootstrapInproc(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	newGW := func(tenantName string) string {
+		cl, err := d.NewClient()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gw := memcached.New(cl, memcached.Options{Tenant: tenantName, Metrics: mreg})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go gw.Serve(ln) //nolint:errcheck
+		t.Cleanup(func() { gw.Close() })
+		return ln.Addr().String()
+	}
+	ca := dial(t, newGW("a"))
+	cb := dial(t, newGW("b"))
+
+	if got := ca.store("set", "shared", 0, 0, "from-a"); got != "STORED" {
+		t.Fatal(got)
+	}
+	if _, _, _, hit := cb.get("get", "shared"); hit {
+		t.Fatal("tenant b can read tenant a's key")
+	}
+	if got := cb.store("set", "shared", 0, 0, "from-b"); got != "STORED" {
+		t.Fatal(got)
+	}
+	if val, _, _, _ := ca.get("get", "shared"); val != "from-a" {
+		t.Fatalf("tenant a's key clobbered by tenant b: %q", val)
+	}
+}

@@ -1,0 +1,122 @@
+package tenant
+
+import (
+	"errors"
+	"time"
+)
+
+// ErrUnsupported reports an operation that cannot be expressed for a
+// TTL (cache-shaped) tenant: Append would corrupt the value envelope
+// and Cas cannot reconstruct the stored envelope from a user value.
+// Gateways with richer state (internal/memcached) implement both via
+// read-modify-write loops instead.
+var ErrUnsupported = errors.New("tenant: operation not supported for TTL tenants")
+
+// KV is the slice of the client surface the tenancy wrapper needs;
+// core.Client satisfies it structurally (this package does not import
+// core).
+type KV interface {
+	Insert(key string, value []byte) error
+	InsertIfAbsent(key string, value []byte) error
+	Lookup(key string) ([]byte, error)
+	Remove(key string) error
+	Append(key string, value []byte) error
+	Cas(key string, oldValue, newValue []byte) ([]byte, error)
+}
+
+// Client scopes a KV client to one tenant: keys are namespaced below
+// the API, size limits are enforced, and — for cache-shaped tenants —
+// values are wrapped in a TTL envelope on write and unwrapped on
+// read. Callers keep the exact client surface they had before
+// tenancy.
+type Client struct {
+	kv KV
+	t  Tenant
+}
+
+// NewClient scopes kv to the tenant's namespace and policy. The
+// tenant need not be registered with any Registry: namespacing and
+// limits are client-side; quotas are server-side.
+func NewClient(kv KV, t Tenant) *Client {
+	return &Client{kv: kv, t: t}
+}
+
+// Tenant returns the policy this client is scoped to.
+func (c *Client) Tenant() Tenant { return c.t }
+
+// checkSize enforces the tenant's (user-visible) key/value bounds.
+func (c *Client) checkSize(key string, value []byte) error {
+	if c.t.MaxKeyLen > 0 && len(key) > c.t.MaxKeyLen {
+		return ErrTooLarge
+	}
+	if c.t.MaxValueLen > 0 && len(value) > c.t.MaxValueLen {
+		return ErrTooLarge
+	}
+	return nil
+}
+
+// wrap applies the tenant's TTL envelope when one is configured.
+func (c *Client) wrap(value []byte) []byte {
+	if c.t.DefaultTTL <= 0 {
+		return value
+	}
+	return Wrap(value, 0, time.Now().Add(c.t.DefaultTTL))
+}
+
+// Insert stores value under the tenant-scoped key.
+func (c *Client) Insert(key string, value []byte) error {
+	if err := c.checkSize(key, value); err != nil {
+		return err
+	}
+	return c.kv.Insert(Prefix(c.t.Name, key), c.wrap(value))
+}
+
+// InsertIfAbsent stores value only if the tenant-scoped key is
+// absent (an expired envelope counts as absent server-side).
+func (c *Client) InsertIfAbsent(key string, value []byte) error {
+	if err := c.checkSize(key, value); err != nil {
+		return err
+	}
+	return c.kv.InsertIfAbsent(Prefix(c.t.Name, key), c.wrap(value))
+}
+
+// Lookup fetches the tenant-scoped key, unwrapping any TTL envelope.
+// An expired value is reported as the underlying client's not-found.
+func (c *Client) Lookup(key string) ([]byte, error) {
+	raw, err := c.kv.Lookup(Prefix(c.t.Name, key))
+	if err != nil {
+		return nil, err
+	}
+	val, _, _, _ := Unwrap(raw)
+	return val, nil
+}
+
+// Remove deletes the tenant-scoped key.
+func (c *Client) Remove(key string) error {
+	return c.kv.Remove(Prefix(c.t.Name, key))
+}
+
+// Append appends to the tenant-scoped key. Unsupported for TTL
+// tenants (it would splice raw bytes after an envelope).
+func (c *Client) Append(key string, value []byte) error {
+	if c.t.DefaultTTL > 0 {
+		return ErrUnsupported
+	}
+	if err := c.checkSize(key, value); err != nil {
+		return err
+	}
+	return c.kv.Append(Prefix(c.t.Name, key), value)
+}
+
+// Cas compare-and-swaps the tenant-scoped key. Unsupported for TTL
+// tenants (the stored envelope's expiry stamp is not recoverable from
+// a user value); the memcached gateway implements CAS for those.
+func (c *Client) Cas(key string, oldValue, newValue []byte) ([]byte, error) {
+	if c.t.DefaultTTL > 0 {
+		return nil, ErrUnsupported
+	}
+	if err := c.checkSize(key, newValue); err != nil {
+		return nil, err
+	}
+	return c.kv.Cas(Prefix(c.t.Name, key), oldValue, newValue)
+}

@@ -1,0 +1,117 @@
+package tenant_test
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"zht/internal/core"
+	"zht/internal/metrics"
+	"zht/internal/tenant"
+)
+
+// TestNoisyNeighborIsolation is the tenancy subsystem's chaos check:
+// a quota-capped tenant flooding the deployment at many times its
+// allowance must be shed at the admission gate (StatusBusy), and the
+// well-behaved tenant sharing the deployment must keep completing its
+// ops with a sane tail. The latency bound is absolute and generous —
+// an in-process deployment answers in microseconds, so a p99 past
+// 100ms means the calm tenant queued behind the flood rather than
+// being isolated from it.
+func TestNoisyNeighborIsolation(t *testing.T) {
+	treg := tenant.NewRegistry()
+	if err := treg.Register(tenant.Tenant{Name: "noisy", Rate: 500, Burst: 50}); err != nil {
+		t.Fatal(err)
+	}
+	if err := treg.Register(tenant.Tenant{Name: "calm", Rate: 1e7, Burst: 1e6}); err != nil {
+		t.Fatal(err)
+	}
+	mreg := metrics.NewRegistry()
+	adm := tenant.NewAdmission(treg, tenant.AdmissionOptions{Metrics: mreg})
+	cfg := core.Config{
+		NumPartitions: 32,
+		Replicas:      1,
+		RetryBase:     time.Millisecond,
+		RetryMax:      4 * time.Millisecond,
+		OpRetries:     1,
+		OpDeadline:    2 * time.Second,
+		Admission:     adm,
+		Metrics:       mreg,
+	}
+	d, _, err := core.BootstrapInproc(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	const calmOps = 400
+	var flooding atomic.Bool
+	flooding.Store(true)
+	var wg, started sync.WaitGroup
+	// The noisy tenant floods from 8 goroutines with no pacing —
+	// roughly an order of magnitude more offered load than its bucket
+	// refills. Errors (ErrUnavailable after busy retries exhaust) are
+	// the throttle working, not failures.
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		started.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			nc, err := d.NewClient()
+			if err != nil {
+				t.Error(err)
+				started.Done()
+				return
+			}
+			noisy := tenant.NewClient(nc, tenant.Tenant{Name: "noisy"})
+			for i := 0; flooding.Load(); i++ {
+				noisy.Insert(fmt.Sprintf("flood-%d-%d", g, i), []byte("x")) //nolint:errcheck
+				if i == 0 {
+					started.Done()
+				}
+			}
+		}(g)
+	}
+	// Measure only while the flood is actually flowing; otherwise the
+	// in-process deployment finishes the calm ops before the noisy
+	// tenant has even drained its burst.
+	started.Wait()
+
+	cc, err := d.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	calm := tenant.NewClient(cc, tenant.Tenant{Name: "calm"})
+	lats := make([]time.Duration, 0, calmOps)
+	for i := 0; i < calmOps; i++ {
+		key := fmt.Sprintf("calm-%d", i)
+		start := time.Now()
+		if err := calm.Insert(key, []byte("v")); err != nil {
+			t.Fatalf("calm tenant op %d failed under noisy load: %v", i, err)
+		}
+		if _, err := calm.Lookup(key); err != nil {
+			t.Fatalf("calm tenant read %d failed under noisy load: %v", i, err)
+		}
+		lats = append(lats, time.Since(start))
+	}
+	flooding.Store(false)
+	wg.Wait()
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	p99 := lats[len(lats)*99/100]
+	if p99 > 100*time.Millisecond {
+		t.Errorf("calm tenant p99 = %v under noisy flood, want <= 100ms", p99)
+	}
+	if got := adm.ShedCount("noisy"); got < 1 {
+		t.Errorf("noisy tenant was never shed (ShedCount = %d)", got)
+	}
+	if got := adm.ShedCount("calm"); got != 0 {
+		t.Errorf("calm tenant was shed %d times; its quota is ample", got)
+	}
+	if got := mreg.Counter("zht.tenant.shed").Value(); got < 1 {
+		t.Errorf("zht.tenant.shed = %d, want >= 1", got)
+	}
+}

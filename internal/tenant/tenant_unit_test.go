@@ -1,0 +1,300 @@
+package tenant
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"zht/internal/metrics"
+)
+
+func TestNamespaceCodec(t *testing.T) {
+	cases := []struct{ name, key string }{
+		{"", "plain-key"},
+		{"fusionfs", "inode/42"},
+		{"matrix", ""},
+		{"a", "k"},
+	}
+	for _, c := range cases {
+		p := Prefix(c.name, c.key)
+		gotName, gotKey := Split(p)
+		if gotName != c.name || gotKey != c.key {
+			t.Errorf("Split(Prefix(%q,%q)) = (%q,%q)", c.name, c.key, gotName, gotKey)
+		}
+		if c.name == "" && p != c.key {
+			t.Errorf("default tenant must keep keys unchanged; got %q", p)
+		}
+	}
+	// Keys without the marker, or malformed, fall to the default tenant.
+	for _, raw := range []string{"bare", "", Sep + "noclose"} {
+		if name, key := Split(raw); name != "" || key != raw {
+			t.Errorf("Split(%q) = (%q,%q), want default tenant + input", raw, name, key)
+		}
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		Split(Sep + "fusionfs" + Sep + "inode/42")
+	}); allocs != 0 {
+		t.Errorf("Split allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	exp := time.Now().Add(time.Hour).Truncate(time.Millisecond)
+	env := Wrap([]byte("payload"), 0xdead, exp)
+	val, flags, gotExp, wrapped := Unwrap(env)
+	if !wrapped || !bytes.Equal(val, []byte("payload")) || flags != 0xdead || !gotExp.Equal(exp) {
+		t.Fatalf("Unwrap = (%q, %#x, %v, %v)", val, flags, gotExp, wrapped)
+	}
+	if Expired(env) {
+		t.Error("future expiry reported expired")
+	}
+	if !ExpiredAt(env, exp.UnixMilli()) {
+		t.Error("expiry instant not reported expired")
+	}
+	// No expiry: never expires.
+	forever := Wrap([]byte("v"), 7, time.Time{})
+	if Expired(forever) || ExpiredAt(forever, 1<<62) {
+		t.Error("zero-expiry envelope reported expired")
+	}
+	// Plain values pass through untouched and never expire.
+	plain := []byte("just-bytes")
+	val, _, _, wrapped = Unwrap(plain)
+	if wrapped || !bytes.Equal(val, plain) {
+		t.Errorf("plain value mangled: (%q, wrapped=%v)", val, wrapped)
+	}
+	if Expired(plain) || Expired(nil) || Expired([]byte{0x1d}) {
+		t.Error("plain/short value reported expired")
+	}
+}
+
+func TestTokenBucketShedsAndRefills(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Register(Tenant{Name: "m", Rate: 10, Burst: 2}); err != nil {
+		t.Fatal(err)
+	}
+	mreg := metrics.NewRegistry()
+	a := NewAdmission(reg, AdmissionOptions{Metrics: mreg})
+	clock := time.Unix(1000, 0)
+	a.now = func() time.Time { return clock }
+
+	key := Prefix("m", "k")
+	for i := 0; i < 2; i++ {
+		rel, _, ok := a.Admit(key, 1)
+		if !ok {
+			t.Fatalf("burst request %d shed", i)
+		}
+		rel()
+	}
+	_, retry, ok := a.Admit(key, 1)
+	if ok {
+		t.Fatal("over-burst request admitted")
+	}
+	if retry <= 0 || retry > 100*time.Millisecond {
+		t.Fatalf("retry hint %v, want ~1/Rate", retry)
+	}
+	// Advance past the hint: the bucket must have refilled.
+	clock = clock.Add(retry + time.Millisecond)
+	rel, _, ok := a.Admit(key, 1)
+	if !ok {
+		t.Fatal("request shed after refill window")
+	}
+	rel()
+	if got := mreg.Counter("zht.tenant.shed").Value(); got != 1 {
+		t.Errorf("zht.tenant.shed = %d, want 1", got)
+	}
+	if got := mreg.Counter("zht.tenant.admitted").Value(); got != 3 {
+		t.Errorf("zht.tenant.admitted = %d, want 3", got)
+	}
+	if got := a.ShedCount("m"); got != 1 {
+		t.Errorf("ShedCount(m) = %d, want 1", got)
+	}
+	// Unregistered tenants (and the default namespace) are unlimited.
+	for i := 0; i < 100; i++ {
+		rel, _, ok := a.Admit("unscoped-key", 1)
+		if !ok {
+			t.Fatal("default tenant shed")
+		}
+		rel()
+	}
+}
+
+func TestWeightedSharesUnderPressure(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Register(Tenant{Name: "big", Weight: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(Tenant{Name: "small", Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	a := NewAdmission(reg, AdmissionOptions{PressureInflight: 4})
+
+	// Below the pressure threshold weights are dormant.
+	rel, _, ok := a.Admit(Prefix("small", "k"), 1)
+	if !ok {
+		t.Fatal("shed below pressure threshold")
+	}
+	defer rel()
+
+	// Fill to the threshold with "small" traffic (held inflight).
+	var rels []func()
+	for i := 0; i < 4; i++ {
+		r, _, ok := a.Admit(Prefix("small", "k"), 1)
+		if !ok {
+			break
+		}
+		rels = append(rels, r)
+	}
+	// small now holds well over weight 1/(3+1) of inflight: shed.
+	if _, retry, ok := a.Admit(Prefix("small", "k"), 1); ok {
+		t.Fatal("over-share tenant admitted under pressure")
+	} else if retry <= 0 {
+		t.Fatal("weight shed carried no retry hint")
+	}
+	// big is under its share: admitted even under pressure.
+	r, _, ok := a.Admit(Prefix("big", "k"), 1)
+	if !ok {
+		t.Fatal("under-share tenant shed under pressure")
+	}
+	r()
+	for _, r := range rels {
+		r()
+	}
+	// Pressure released: small admits again.
+	r, _, ok = a.Admit(Prefix("small", "k"), 1)
+	if !ok {
+		t.Fatal("tenant still shed after pressure released")
+	}
+	r()
+}
+
+func TestRegistryValidation(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Register(Tenant{Name: "bad" + Sep}); !errors.Is(err, ErrBadName) {
+		t.Errorf("reserved separator in name accepted: %v", err)
+	}
+	if err := reg.Register(Tenant{Name: "t", Rate: 5}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := reg.Get("t")
+	if !ok || got.Burst != 5 || got.Weight != 1 {
+		t.Errorf("defaults not applied: %+v ok=%v", got, ok)
+	}
+	// Re-registration replaces, keeping total weight consistent.
+	if err := reg.Register(Tenant{Name: "t", Rate: 5, Weight: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, tw := reg.state("t"); tw != 4 {
+		t.Errorf("totalWeight after replace = %d, want 4", tw)
+	}
+	// A nil registry admits everything.
+	var a *Admission
+	if _, _, ok := a.Admit("k", 1); !ok {
+		t.Error("nil Admission shed a request")
+	}
+}
+
+// fakeKV records the raw keys/values crossing the tenancy boundary.
+type fakeKV struct {
+	store map[string][]byte
+}
+
+func newFakeKV() *fakeKV { return &fakeKV{store: make(map[string][]byte)} }
+
+var errFakeNotFound = errors.New("fake: not found")
+
+func (f *fakeKV) Insert(k string, v []byte) error {
+	f.store[k] = append([]byte(nil), v...)
+	return nil
+}
+
+func (f *fakeKV) InsertIfAbsent(k string, v []byte) error {
+	if _, ok := f.store[k]; ok {
+		return errors.New("fake: exists")
+	}
+	return f.Insert(k, v)
+}
+
+func (f *fakeKV) Lookup(k string) ([]byte, error) {
+	v, ok := f.store[k]
+	if !ok {
+		return nil, errFakeNotFound
+	}
+	return v, nil
+}
+
+func (f *fakeKV) Remove(k string) error { delete(f.store, k); return nil }
+
+func (f *fakeKV) Append(k string, v []byte) error {
+	f.store[k] = append(f.store[k], v...)
+	return nil
+}
+
+func (f *fakeKV) Cas(k string, old, new []byte) ([]byte, error) {
+	cur := f.store[k]
+	if !bytes.Equal(cur, old) {
+		return cur, errors.New("fake: cas mismatch")
+	}
+	f.store[k] = append([]byte(nil), new...)
+	return nil, nil
+}
+
+func TestScopedClient(t *testing.T) {
+	kv := newFakeKV()
+	c := NewClient(kv, Tenant{Name: "fs", MaxKeyLen: 8, MaxValueLen: 16})
+
+	if err := c.Insert("inode", []byte("meta")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := kv.store["inode"]; ok {
+		t.Fatal("key stored un-namespaced")
+	}
+	if _, ok := kv.store[Prefix("fs", "inode")]; !ok {
+		t.Fatal("namespaced key missing from store")
+	}
+	v, err := c.Lookup("inode")
+	if err != nil || string(v) != "meta" {
+		t.Fatalf("Lookup = %q, %v", v, err)
+	}
+	if err := c.Insert("way-too-long-key", []byte("v")); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized key accepted: %v", err)
+	}
+	if err := c.Insert("k", bytes.Repeat([]byte("x"), 17)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized value accepted: %v", err)
+	}
+	if err := c.Append("inode", []byte("+more")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := c.Lookup("inode"); string(v) != "meta+more" {
+		t.Errorf("append result %q", v)
+	}
+	if err := c.Remove("inode"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Lookup("inode"); !errors.Is(err, errFakeNotFound) {
+		t.Errorf("lookup after remove: %v", err)
+	}
+
+	// A TTL tenant wraps on write, unwraps on read, and rejects the
+	// envelope-incompatible operations.
+	ttl := NewClient(kv, Tenant{Name: "cache", DefaultTTL: time.Hour})
+	if err := ttl.Insert("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	raw := kv.store[Prefix("cache", "k")]
+	if _, _, _, wrapped := Unwrap(raw); !wrapped {
+		t.Fatal("TTL tenant stored a bare value")
+	}
+	if Expired(raw) {
+		t.Fatal("fresh TTL value already expired")
+	}
+	if v, err := ttl.Lookup("k"); err != nil || string(v) != "v" {
+		t.Fatalf("TTL Lookup = %q, %v", v, err)
+	}
+	if err := ttl.Append("k", []byte("x")); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("TTL append: %v", err)
+	}
+	if _, err := ttl.Cas("k", []byte("v"), []byte("w")); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("TTL cas: %v", err)
+	}
+}

@@ -28,7 +28,14 @@
 //     repaired, version conflicts) must both be registered in
 //     internal/core source AND be catalogued in OBSERVABILITY.md —
 //     they are the observable surface of the tunable-consistency
-//     subsystem (DESIGN.md §12).
+//     subsystem (DESIGN.md §12), or
+//   - the tenancy contract is broken: the canonical zht.tenant.* and
+//     zht.memcached.* metrics (admission verdicts, in-flight gauge,
+//     lazy-expiry reads, reaped pairs, front-door connections and
+//     command/hit/miss counts) must both be registered in
+//     internal/{tenant,memcached,core} source AND be catalogued in
+//     OBSERVABILITY.md — they are how a shed tenant or a cold cache
+//     is told apart from an outage (DESIGN.md §13).
 //
 // Run from the repository root: go run ./internal/tools/docscheck
 package main
@@ -62,6 +69,7 @@ func main() {
 	checkMembershipContract(fail)
 	checkPoolContract(fail)
 	checkConsistencyContract(fail)
+	checkTenantContract(fail)
 
 	if len(problems) > 0 {
 		for _, p := range problems {
@@ -478,6 +486,70 @@ func checkConsistencyContract(fail func(string, ...any)) {
 		}
 		if !strings.Contains(string(catalogue), name) {
 			fail("consistency metric %q is not catalogued in OBSERVABILITY.md", name)
+		}
+	}
+}
+
+// tenantMetrics is the canonical metric set of the multi-tenant front
+// door (DESIGN.md §13): admission verdicts and in-flight pressure in
+// internal/tenant, lazy-expiry/reaper activity in internal/core, and
+// the memcached gateway's connection and command counters in
+// internal/memcached. Both directions are pinned, as with the other
+// contracts: a shed tenant or a cold cache is diagnosed with exactly
+// these names, so neither the registration nor the catalogue row may
+// silently disappear.
+var tenantMetrics = []string{
+	"zht.tenant.admitted",
+	"zht.tenant.shed",
+	"zht.tenant.inflight",
+	"zht.tenant.expired_reads",
+	"zht.tenant.reaped",
+	"zht.memcached.conns",
+	"zht.memcached.cmds",
+	"zht.memcached.hits",
+	"zht.memcached.misses",
+}
+
+// checkTenantContract requires every canonical tenancy metric to be
+// registered in internal/{tenant,memcached,core} non-test source and
+// catalogued in OBSERVABILITY.md, and the tenant and memcached
+// packages themselves to exist (their package comments are enforced
+// by checkPackageComments).
+func checkTenantContract(fail func(string, ...any)) {
+	for _, dir := range []string{"tenant", "memcached"} {
+		if fi, err := os.Stat(filepath.Join("internal", dir)); err != nil || !fi.IsDir() {
+			fail("internal/%s is missing; the multi-tenant front door is mandatory", dir)
+			return
+		}
+	}
+	var src strings.Builder
+	for _, root := range []string{
+		filepath.Join("internal", "tenant"),
+		filepath.Join("internal", "memcached"),
+		filepath.Join("internal", "core"),
+	} {
+		filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") ||
+				strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			if b, err := os.ReadFile(path); err == nil {
+				src.Write(b)
+			}
+			return nil
+		})
+	}
+	catalogue, err := os.ReadFile("OBSERVABILITY.md")
+	if err != nil {
+		fail("OBSERVABILITY.md: %v", err)
+		return
+	}
+	for _, name := range tenantMetrics {
+		if !strings.Contains(src.String(), `"`+name+`"`) {
+			fail("tenancy metric %q is not registered in internal/tenant, internal/memcached, or internal/core", name)
+		}
+		if !strings.Contains(string(catalogue), name) {
+			fail("tenancy metric %q is not catalogued in OBSERVABILITY.md", name)
 		}
 	}
 }

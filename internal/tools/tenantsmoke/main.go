@@ -1,0 +1,181 @@
+// Command tenantsmoke is the `make tenant-smoke` gate: a short
+// randomized check of the tenancy contract (DESIGN.md §13). Each
+// iteration bootstraps an in-process deployment with two registered
+// tenants — one whose token bucket is far below its offered load, one
+// with ample quota — floods the first, paces the second, and asserts:
+//
+//   - the over-quota tenant is shed at the admission gate
+//     (zht.tenant.shed and the per-tenant shed count both move),
+//   - the in-quota tenant is NEVER shed and none of its ops fail,
+//   - namespaces hold: each tenant reads back exactly what it wrote,
+//     and the flood tenant's keys are invisible through the calm
+//     tenant's scope, and
+//   - TTL enforcement works end to end: an expired pair answers
+//     NotFound (zht.tenant.expired_reads moves) and the reaper
+//     riding the anti-entropy tick deletes it (zht.tenant.reaped).
+//
+// Seeds are randomized per run but printed, so any failure is
+// replayable with -seed. Run from the repository root:
+// go run ./internal/tools/tenantsmoke
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zht/internal/core"
+	"zht/internal/metrics"
+	"zht/internal/tenant"
+)
+
+func main() {
+	iters := flag.Int("iters", 3, "deployment iterations")
+	ops := flag.Int("ops", 300, "paced in-quota op pairs per iteration")
+	seed := flag.Int64("seed", 0, "base seed (0 = derive from time, printed for replay)")
+	flag.Parse()
+
+	base := *seed
+	if base == 0 {
+		base = time.Now().UnixNano()
+	}
+	fmt.Printf("tenantsmoke: %d iters, %d ops each, base seed %d\n", *iters, *ops, base)
+
+	for i := 0; i < *iters; i++ {
+		if err := runOnce(base+int64(i), *ops); err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL iter %d (seed %d): %v\n", i, base+int64(i), err)
+			os.Exit(1)
+		}
+		fmt.Printf("iter %d ok\n", i)
+	}
+	fmt.Println("tenantsmoke PASS")
+}
+
+func runOnce(seed int64, ops int) error {
+	treg := tenant.NewRegistry()
+	if err := treg.Register(tenant.Tenant{Name: "flood", Rate: 500, Burst: 50}); err != nil {
+		return err
+	}
+	if err := treg.Register(tenant.Tenant{Name: "calm", Rate: 1e7, Burst: 1e6}); err != nil {
+		return err
+	}
+	mreg := metrics.NewRegistry()
+	adm := tenant.NewAdmission(treg, tenant.AdmissionOptions{Metrics: mreg})
+	cfg := core.Config{
+		NumPartitions: 32,
+		Replicas:      1,
+		AntiEntropy:   25 * time.Millisecond,
+		OpRetries:     1,
+		RetryBase:     time.Millisecond,
+		RetryMax:      4 * time.Millisecond,
+		OpDeadline:    2 * time.Second,
+		Admission:     adm,
+		Metrics:       mreg,
+	}
+	d, _, err := core.BootstrapInproc(cfg, 4)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+
+	// Flood the capped tenant from 4 goroutines with no pacing; errors
+	// after busy retries exhaust are the throttle working.
+	var flooding atomic.Bool
+	flooding.Store(true)
+	var wg, started sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		started.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			fc, err := d.NewClient()
+			if err != nil {
+				started.Done()
+				return
+			}
+			flood := tenant.NewClient(fc, tenant.Tenant{Name: "flood"})
+			for i := 0; flooding.Load(); i++ {
+				flood.Insert(fmt.Sprintf("f-%d-%d-%d", seed, g, i), []byte("x")) //nolint:errcheck
+				if i == 0 {
+					started.Done()
+				}
+			}
+		}(g)
+	}
+	started.Wait()
+
+	// The calm tenant's paced workload must be untouched by the flood:
+	// no failures, no sheds, and read-your-writes within its namespace.
+	cc, err := d.NewClient()
+	if err != nil {
+		return err
+	}
+	calm := tenant.NewClient(cc, tenant.Tenant{Name: "calm"})
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < ops; i++ {
+		key := fmt.Sprintf("c-%d-%04d", seed, rng.Intn(ops))
+		val := []byte(fmt.Sprintf("v-%d-%d", seed, i))
+		if err := calm.Insert(key, val); err != nil {
+			return fmt.Errorf("calm insert %s under flood: %w", key, err)
+		}
+		got, err := calm.Lookup(key)
+		if err != nil {
+			return fmt.Errorf("calm lookup %s under flood: %w", key, err)
+		}
+		if string(got) != string(val) {
+			return fmt.Errorf("calm read-your-write %s: got %q want %q", key, got, val)
+		}
+	}
+	flooding.Store(false)
+	wg.Wait()
+
+	// Namespace isolation: a key the flood tenant definitely wrote is
+	// invisible through the calm tenant's scope.
+	fc, err := d.NewClient()
+	if err != nil {
+		return err
+	}
+	flood := tenant.NewClient(fc, tenant.Tenant{Name: "flood"})
+	if err := flood.Insert("iso", []byte("flood-owned")); err != nil {
+		return fmt.Errorf("flood insert after quiesce: %w", err)
+	}
+	if _, err := calm.Lookup("iso"); !errors.Is(err, core.ErrNotFound) {
+		return fmt.Errorf("namespace leak: calm tenant sees flood's key (err=%v)", err)
+	}
+
+	// Admission assertions.
+	if got := adm.ShedCount("flood"); got < 1 {
+		return fmt.Errorf("flood tenant was never shed (ShedCount = %d)", got)
+	}
+	if got := adm.ShedCount("calm"); got != 0 {
+		return fmt.Errorf("calm tenant was shed %d times; its quota is ample", got)
+	}
+	if got := mreg.Counter("zht.tenant.shed").Value(); got < 1 {
+		return fmt.Errorf("zht.tenant.shed = %d, want >= 1", got)
+	}
+
+	// TTL: an expired envelope answers NotFound on read and is deleted
+	// by the reaper riding the anti-entropy tick.
+	if err := cc.Insert("ttl-dead", tenant.Wrap([]byte("stale"), 0, time.Now().Add(-time.Second))); err != nil {
+		return err
+	}
+	if _, err := cc.Lookup("ttl-dead"); !errors.Is(err, core.ErrNotFound) {
+		return fmt.Errorf("expired lookup: got %v, want ErrNotFound", err)
+	}
+	if got := mreg.Counter("zht.tenant.expired_reads").Value(); got < 1 {
+		return fmt.Errorf("zht.tenant.expired_reads = %d, want >= 1", got)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for mreg.Counter("zht.tenant.reaped").Value() < 1 {
+		if time.Now().After(deadline) {
+			return errors.New("reaper never deleted the expired pair")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return nil
+}

@@ -150,6 +150,12 @@ const (
 	// jitter. Busy is an overload signal, not a failure: it must not
 	// count toward failure detection.
 	StatusBusy
+	// StatusTooLarge — the request's key or value exceeds the
+	// receiving deployment's configured size limits (core.Config
+	// MaxKeyLen/MaxValueLen, off by default). Terminal: retrying the
+	// same payload cannot succeed, so clients surface it immediately
+	// instead of re-routing.
+	StatusTooLarge
 )
 
 func (s Status) String() string {
@@ -170,6 +176,8 @@ func (s Status) String() string {
 		return "error"
 	case StatusBusy:
 		return "busy"
+	case StatusTooLarge:
+		return "too-large"
 	}
 	return fmt.Sprintf("status(%d)", uint8(s))
 }

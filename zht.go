@@ -80,6 +80,7 @@ var (
 	ErrExists      = core.ErrExists
 	ErrCasMismatch = core.ErrCasMismatch
 	ErrUnavailable = core.ErrUnavailable
+	ErrTooLarge    = core.ErrTooLarge
 )
 
 // Bootstrap starts one instance per endpoint on the given transport.
