@@ -51,6 +51,7 @@ func main() {
 		mcAddr     = flag.String("memcached-addr", "", "serve the memcached text protocol on this address (front door for stock cache clients)")
 		mcTenant   = flag.String("memcached-tenant", "cache", "tenant namespace memcached traffic is scoped to ('' = unscoped keyspace)")
 		quotas     = flag.String("tenant-quotas", "", "per-tenant admission quotas, comma-separated name:rate[:burst[:weight]] entries (e.g. batch:500:100:1,interactive:5000:500:4)")
+		pressure   = flag.Int("tenant-pressure", 0, "total admitted in-flight requests at which weighted tenant shares engage (0 = auto: 256 when any -tenant-quotas entry sets a weight, else off; negative = weights off)")
 	)
 	flag.Parse()
 	dur, err := storage.ParseDurability(*durability)
@@ -71,7 +72,7 @@ func main() {
 		defer stop()
 		log.Printf("debug endpoint on http://%s/metrics", dln.Addr())
 	}
-	adm, err := parseQuotas(*quotas, reg)
+	adm, err := parseQuotas(*quotas, *pressure, reg)
 	if err != nil {
 		log.Fatalf("-tenant-quotas: %v", err)
 	}
@@ -149,14 +150,24 @@ func main() {
 	}
 }
 
+// defaultTenantPressure is the auto total-inflight threshold at which
+// weighted shares engage when -tenant-quotas declares weights but
+// -tenant-pressure is unset. Weights are meaningless without a
+// pressure threshold (they would silently do nothing), so declaring
+// one turns the threshold on.
+const defaultTenantPressure = 256
+
 // parseQuotas builds the tenancy admission hook from the
 // -tenant-quotas flag: comma-separated name:rate[:burst[:weight]]
-// entries. Empty spec means no admission control.
-func parseQuotas(spec string, reg *metrics.Registry) (core.AdmissionHook, error) {
+// entries. Empty spec means no admission control. pressure is the
+// -tenant-pressure value: 0 = auto (defaultTenantPressure when any
+// entry sets a weight), negative = weighted shedding off.
+func parseQuotas(spec string, pressure int, reg *metrics.Registry) (core.AdmissionHook, error) {
 	if spec == "" {
 		return nil, nil
 	}
 	treg := tenant.NewRegistry()
+	hasWeight := false
 	for _, entry := range strings.Split(spec, ",") {
 		parts := strings.Split(strings.TrimSpace(entry), ":")
 		if len(parts) < 2 || len(parts) > 4 {
@@ -176,12 +187,22 @@ func parseQuotas(spec string, reg *metrics.Registry) (core.AdmissionHook, error)
 			if t.Weight, err = strconv.Atoi(parts[3]); err != nil {
 				return nil, fmt.Errorf("bad weight in %q: %v", entry, err)
 			}
+			hasWeight = true
 		}
 		if err := treg.Register(t); err != nil {
 			return nil, err
 		}
 	}
-	return tenant.NewAdmission(treg, tenant.AdmissionOptions{Metrics: reg}), nil
+	switch {
+	case pressure == 0 && hasWeight:
+		pressure = defaultTenantPressure
+	case pressure < 0:
+		if hasWeight {
+			log.Printf("-tenant-quotas declares weights but -tenant-pressure is negative: weighted shedding is off")
+		}
+		pressure = 0
+	}
+	return tenant.NewAdmission(treg, tenant.AdmissionOptions{PressureInflight: pressure, Metrics: reg}), nil
 }
 
 // startMemcached boots the memcached front door over a client bound

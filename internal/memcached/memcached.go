@@ -93,6 +93,7 @@ type gwMetrics struct {
 	cmds   *metrics.Counter // zht.memcached.cmds
 	hits   *metrics.Counter // zht.memcached.hits
 	misses *metrics.Counter // zht.memcached.misses
+	errs   *metrics.Counter // zht.memcached.errors
 }
 
 // Gateway serves the memcached text protocol over a listener,
@@ -119,6 +120,7 @@ func New(store Store, opts Options) *Gateway {
 			cmds:   opts.Metrics.Counter("zht.memcached.cmds"),
 			hits:   opts.Metrics.Counter("zht.memcached.hits"),
 			misses: opts.Metrics.Counter("zht.memcached.misses"),
+			errs:   opts.Metrics.Counter("zht.memcached.errors"),
 		},
 		conns: make(map[net.Conn]struct{}),
 	}
@@ -198,6 +200,10 @@ func (g *Gateway) serveConn(conn net.Conn) {
 		g.mu.Unlock()
 		g.met.conns.Dec()
 	}()
+	// Defense in depth: a panic while parsing one connection's bytes
+	// must cost that connection, never the server process (the gateway
+	// faces arbitrary remote input).
+	defer func() { recover() }()
 	g.met.conns.Inc()
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
@@ -235,6 +241,12 @@ func readLine(r *bufio.Reader) (string, error) {
 // for connection-fatal conditions (I/O failures).
 func (g *Gateway) dispatch(w *bufio.Writer, r *bufio.Reader, line string) (quit bool, err error) {
 	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		// A line of pure whitespace passes serveConn's empty check but
+		// has no verb; answer ERROR like any unknown command.
+		_, err = io.WriteString(w, "ERROR\r\n")
+		return false, err
+	}
 	cmd := fields[0]
 	args := fields[1:]
 	switch cmd {
@@ -265,7 +277,12 @@ func clientError(w *bufio.Writer, msg string) error {
 	return err
 }
 
-func serverError(w *bufio.Writer, err error) error {
+// serverError reports a failed backend call (routing failure, open
+// breaker, timeout, CAS contention) as SERVER_ERROR and counts it
+// under zht.memcached.errors — never as a miss, so a backend outage
+// cannot masquerade as a cold cache.
+func (g *Gateway) serverError(w *bufio.Writer, err error) error {
+	g.met.errs.Inc()
 	_, werr := fmt.Fprintf(w, "SERVER_ERROR %s\r\n", err)
 	return werr
 }
@@ -324,9 +341,15 @@ func (g *Gateway) cmdGet(w *bufio.Writer, keys []string, withCas bool) error {
 			continue // memcached silently skips malformed keys in get
 		}
 		raw, err := g.store.Lookup(tenant.Prefix(g.opts.Tenant, key))
-		if err != nil {
+		if errors.Is(err, core.ErrNotFound) {
 			g.met.misses.Inc()
-			continue // miss (including lazily-expired pairs) or routing failure: no VALUE line
+			continue // miss (including lazily-expired pairs): no VALUE line
+		}
+		if err != nil {
+			// Routing failures, open breakers, and timeouts are not
+			// misses. SERVER_ERROR aborts the reply (no END), as
+			// memcached clients expect.
+			return g.serverError(w, err)
 		}
 		g.met.hits.Inc()
 		val, flags, _, _ := tenant.Unwrap(raw)
@@ -370,10 +393,24 @@ func (g *Gateway) cmdStore(w *bufio.Writer, r *bufio.Reader, cmd string, args []
 	if err1 != nil || err2 != nil || err3 != nil || err4 != nil || size < 0 {
 		return clientError(w, "bad command line format")
 	}
+	reply := func(s string) error {
+		if noreply {
+			return nil
+		}
+		_, err := io.WriteString(w, s+"\r\n")
+		return err
+	}
 	// The data block must be consumed even when the command will be
-	// rejected, or the block's bytes would be parsed as commands.
-	if size > MaxValueLen+2 {
-		return clientError(w, "bad data chunk")
+	// rejected — the client sends <size>+2 bytes regardless, and
+	// leaving them in the stream would desync the protocol (the
+	// block's bytes would be parsed as commands). Oversized blocks are
+	// drained rather than buffered, so a hostile size declaration
+	// cannot make the gateway allocate.
+	if size > MaxValueLen {
+		if _, err := io.CopyN(io.Discard, r, size+2); err != nil {
+			return err
+		}
+		return reply("SERVER_ERROR object too large for cache")
 	}
 	data := make([]byte, size+2)
 	if _, err := io.ReadFull(r, data); err != nil {
@@ -383,25 +420,15 @@ func (g *Gateway) cmdStore(w *bufio.Writer, r *bufio.Reader, cmd string, args []
 		return clientError(w, "bad data chunk")
 	}
 	data = data[:size]
-	reply := func(s string) error {
-		if noreply {
-			return nil
-		}
-		_, err := io.WriteString(w, s+"\r\n")
-		return err
-	}
 	if !validKey(key) {
 		return reply("CLIENT_ERROR bad key")
-	}
-	if size > MaxValueLen {
-		return reply("SERVER_ERROR object too large for cache")
 	}
 	pkey := tenant.Prefix(g.opts.Tenant, key)
 	env := tenant.Wrap(data, uint32(flags), g.expiry(exptime))
 	switch cmd {
 	case "set":
 		if err := g.store.Insert(pkey, env); err != nil {
-			return serverError(w, err)
+			return g.serverError(w, err)
 		}
 		return reply("STORED")
 	case "add":
@@ -410,7 +437,7 @@ func (g *Gateway) cmdStore(w *bufio.Writer, r *bufio.Reader, cmd string, args []
 			return reply("NOT_STORED")
 		}
 		if err != nil {
-			return serverError(w, err)
+			return g.serverError(w, err)
 		}
 		return reply("STORED")
 	case "replace":
@@ -422,10 +449,10 @@ func (g *Gateway) cmdStore(w *bufio.Writer, r *bufio.Reader, cmd string, args []
 		if _, err := g.store.Lookup(pkey); errors.Is(err, core.ErrNotFound) {
 			return reply("NOT_STORED")
 		} else if err != nil {
-			return serverError(w, err)
+			return g.serverError(w, err)
 		}
 		if err := g.store.Insert(pkey, env); err != nil {
-			return serverError(w, err)
+			return g.serverError(w, err)
 		}
 		return reply("STORED")
 	case "cas":
@@ -434,7 +461,7 @@ func (g *Gateway) cmdStore(w *bufio.Writer, r *bufio.Reader, cmd string, args []
 			return reply("NOT_FOUND")
 		}
 		if err != nil {
-			return serverError(w, err)
+			return g.serverError(w, err)
 		}
 		if casID(raw) != casid {
 			return reply("EXISTS")
@@ -449,7 +476,7 @@ func (g *Gateway) cmdStore(w *bufio.Writer, r *bufio.Reader, cmd string, args []
 			if errors.Is(err, core.ErrNotFound) {
 				return reply("NOT_FOUND")
 			}
-			return serverError(w, err)
+			return g.serverError(w, err)
 		}
 		return reply("STORED")
 	}
@@ -476,7 +503,7 @@ func (g *Gateway) cmdDelete(w *bufio.Writer, args []string) error {
 		return reply("NOT_FOUND")
 	}
 	if err != nil {
-		return serverError(w, err)
+		return g.serverError(w, err)
 	}
 	return reply("DELETED")
 }
@@ -510,7 +537,7 @@ func (g *Gateway) cmdIncrDecr(w *bufio.Writer, cmd string, args []string) error 
 			return reply("NOT_FOUND")
 		}
 		if err != nil {
-			return serverError(w, err)
+			return g.serverError(w, err)
 		}
 		val, flags, exp, _ := tenant.Unwrap(raw)
 		cur, err := strconv.ParseUint(string(val), 10, 64)
@@ -533,11 +560,11 @@ func (g *Gateway) cmdIncrDecr(w *bufio.Writer, cmd string, args []string) error 
 			if errors.Is(err, core.ErrNotFound) {
 				return reply("NOT_FOUND")
 			}
-			return serverError(w, err)
+			return g.serverError(w, err)
 		}
 		return reply(strconv.FormatUint(next, 10))
 	}
-	return serverError(w, errors.New("cas contention"))
+	return g.serverError(w, errors.New("cas contention"))
 }
 
 // cmdTouch rewrites the stored envelope with a new expiry, keeping
@@ -568,7 +595,7 @@ func (g *Gateway) cmdTouch(w *bufio.Writer, args []string) error {
 			return reply("NOT_FOUND")
 		}
 		if err != nil {
-			return serverError(w, err)
+			return g.serverError(w, err)
 		}
 		val, flags, _, _ := tenant.Unwrap(raw)
 		env := tenant.Wrap(val, flags, g.expiry(exptime))
@@ -579,11 +606,11 @@ func (g *Gateway) cmdTouch(w *bufio.Writer, args []string) error {
 			if errors.Is(err, core.ErrNotFound) {
 				return reply("NOT_FOUND")
 			}
-			return serverError(w, err)
+			return g.serverError(w, err)
 		}
 		return reply("TOUCHED")
 	}
-	return serverError(w, errors.New("cas contention"))
+	return g.serverError(w, errors.New("cas contention"))
 }
 
 func (g *Gateway) cmdStats(w *bufio.Writer) error {

@@ -2,6 +2,7 @@ package memcached_test
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"strings"
@@ -205,6 +206,66 @@ func TestSizeLimits(t *testing.T) {
 	}
 	if got := c.store("set", "after", 0, 0, "ok"); got != "STORED" {
 		t.Fatalf("connection wedged after rejected store: %q", got)
+	}
+	// A declaration far past the limit is drained, not buffered
+	// (regression: the unread block's bytes used to be parsed as
+	// commands, desyncing the stream).
+	if got := c.store("set", "big3", 0, 0, big+"vvvv"); !strings.HasPrefix(got, "SERVER_ERROR") {
+		t.Fatalf("grossly oversized value = %q, want SERVER_ERROR", got)
+	}
+	if got := c.store("set", "after2", 0, 0, "ok"); got != "STORED" {
+		t.Fatalf("connection wedged after drained store: %q", got)
+	}
+}
+
+func TestWhitespaceCommandLine(t *testing.T) {
+	addr, _ := startGateway(t, memcached.Options{})
+	c := dial(t, addr)
+
+	// Regression: a line of pure whitespace used to panic the
+	// connection goroutine and take the whole process down.
+	c.send("   ")
+	if got := c.line(); got != "ERROR" {
+		t.Fatalf("whitespace-only line = %q, want ERROR", got)
+	}
+	if got := c.store("set", "alive", 0, 0, "v"); got != "STORED" {
+		t.Fatalf("server unusable after whitespace line: %q", got)
+	}
+}
+
+// errStore fails every backend call, standing in for a deployment
+// whose routing or replicas are down.
+type errStore struct{ err error }
+
+func (s errStore) Insert(string, []byte) error         { return s.err }
+func (s errStore) InsertIfAbsent(string, []byte) error { return s.err }
+func (s errStore) Lookup(string) ([]byte, error)       { return nil, s.err }
+func (s errStore) Remove(string) error                 { return s.err }
+func (s errStore) Cas(string, []byte, []byte) ([]byte, error) {
+	return nil, s.err
+}
+
+func TestBackendErrorIsNotAMiss(t *testing.T) {
+	mreg := metrics.NewRegistry()
+	gw := memcached.New(errStore{errors.New("no route to partition")},
+		memcached.Options{Metrics: mreg})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go gw.Serve(ln) //nolint:errcheck
+	t.Cleanup(func() { gw.Close() })
+	c := dial(t, ln.Addr().String())
+
+	c.send("get k")
+	if got := c.line(); !strings.HasPrefix(got, "SERVER_ERROR") {
+		t.Fatalf("backend failure answered %q, want SERVER_ERROR", got)
+	}
+	if m := mreg.Counter("zht.memcached.misses").Value(); m != 0 {
+		t.Errorf("backend failure counted as %d misses; an outage must not read as a cold cache", m)
+	}
+	if e := mreg.Counter("zht.memcached.errors").Value(); e != 1 {
+		t.Errorf("zht.memcached.errors = %d, want 1", e)
 	}
 }
 

@@ -19,7 +19,9 @@ import (
 //  2. Weighted shares: once total inflight through the gate reaches
 //     PressureInflight, a tenant whose share of inflight requests
 //     exceeds Weight/ΣWeight is shed. Below the threshold weights are
-//     dormant, so an idle deployment never sheds on weight.
+//     dormant, so an idle deployment never sheds on weight. A weight
+//     shed refunds the token the request spent in (1): one rejected
+//     request costs at most one quota, never both.
 //
 // Admission implements core.AdmissionHook structurally (this package
 // does not import core). A nil *Admission admits everything.
@@ -83,12 +85,14 @@ func (a *Admission) Admit(key string, cost int) (release func(), retryAfter time
 	name, _ := Split(key)
 	st, totalWeight := a.reg.state(name)
 
+	tookToken := false
 	if st != nil && st.cfg.Rate > 0 {
 		if wait := st.takeToken(a.now()); wait > 0 {
 			a.met.Shed.Inc()
 			a.countShed(name)
 			return nil, wait, false
 		}
+		tookToken = true
 	}
 
 	a.mu.Lock()
@@ -99,6 +103,12 @@ func (a *Admission) Admit(key string, cost int) (release func(), retryAfter time
 		st.imu.Unlock()
 		if over {
 			a.mu.Unlock()
+			if tookToken {
+				// The request never ran: a weight shed must not also
+				// burn rate quota, or overload double-penalizes the
+				// tenant (one request, two quotas spent).
+				st.refundToken()
+			}
 			a.met.Shed.Inc()
 			a.countShed(name)
 			return nil, a.weightRetry, false
@@ -143,6 +153,18 @@ func (s *tenantState) takeToken(now time.Time) time.Duration {
 	}
 	s.tokens--
 	return 0
+}
+
+// refundToken returns a spent token to the bucket, capped at Burst —
+// used when a request that passed the bucket is shed by a later
+// policy stage before doing any work.
+func (s *tenantState) refundToken() {
+	s.mu.Lock()
+	s.tokens++
+	if s.tokens > s.cfg.Burst {
+		s.tokens = s.cfg.Burst
+	}
+	s.mu.Unlock()
 }
 
 // countShed tallies a shed against its tenant. The registry-level

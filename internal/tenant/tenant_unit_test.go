@@ -168,6 +168,49 @@ func TestWeightedSharesUnderPressure(t *testing.T) {
 	r()
 }
 
+func TestWeightShedRefundsToken(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Register(Tenant{Name: "a", Rate: 10, Burst: 2, Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(Tenant{Name: "b", Weight: 3}); err != nil {
+		t.Fatal(err)
+	}
+	a := NewAdmission(reg, AdmissionOptions{PressureInflight: 2})
+	clock := time.Unix(1000, 0)
+	a.now = func() time.Time { return clock }
+
+	// Fill the gate to the pressure threshold with "b" traffic.
+	var rels []func()
+	for i := 0; i < 2; i++ {
+		r, _, ok := a.Admit(Prefix("b", "k"), 1)
+		if !ok {
+			t.Fatalf("below-pressure request %d shed", i)
+		}
+		rels = append(rels, r)
+	}
+	// Under pressure "a" (weight 1 of 4) is over its share: shed.
+	if _, _, ok := a.Admit(Prefix("a", "k"), 1); ok {
+		t.Fatal("over-share tenant admitted under pressure")
+	}
+	for _, r := range rels {
+		r()
+	}
+	// The weight shed must not also have burned a bucket token
+	// (regression: one rejected request used to spend both quotas):
+	// the full burst of 2 is still available at the same instant.
+	for i := 0; i < 2; i++ {
+		r, _, ok := a.Admit(Prefix("a", "k"), 1)
+		if !ok {
+			t.Fatalf("burst token %d missing after weight shed (token not refunded)", i)
+		}
+		r()
+	}
+	if _, _, ok := a.Admit(Prefix("a", "k"), 1); ok {
+		t.Fatal("over-burst request admitted")
+	}
+}
+
 func TestRegistryValidation(t *testing.T) {
 	reg := NewRegistry()
 	if err := reg.Register(Tenant{Name: "bad" + Sep}); !errors.Is(err, ErrBadName) {

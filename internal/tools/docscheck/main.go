@@ -508,6 +508,7 @@ var tenantMetrics = []string{
 	"zht.memcached.cmds",
 	"zht.memcached.hits",
 	"zht.memcached.misses",
+	"zht.memcached.errors",
 }
 
 // checkTenantContract requires every canonical tenancy metric to be
